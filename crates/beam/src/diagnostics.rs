@@ -1,0 +1,315 @@
+//! Beam diagnostics: rms moments, emittances, halo measures, and the
+//! four-fold-symmetry metric visible in the paper's Figure 5.
+
+use crate::particle::Particle;
+use accelviz_math::OnlineStats;
+
+/// Aggregate second-moment and halo diagnostics of a particle bunch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BeamDiagnostics {
+    /// Number of particles.
+    pub count: usize,
+    /// Centroid ⟨x⟩, ⟨y⟩, ⟨z⟩.
+    pub mean_x: f64,
+    /// Centroid ⟨y⟩.
+    pub mean_y: f64,
+    /// Centroid ⟨z⟩.
+    pub mean_z: f64,
+    /// RMS beam size in x (about the centroid).
+    pub rms_x: f64,
+    /// RMS beam size in y.
+    pub rms_y: f64,
+    /// RMS beam size in z.
+    pub rms_z: f64,
+    /// RMS transverse emittance εx = √(⟨x²⟩⟨px²⟩ − ⟨x·px⟩²).
+    pub emittance_x: f64,
+    /// RMS transverse emittance εy.
+    pub emittance_y: f64,
+    /// Fraction of particles with transverse radius > 4 × rms radius —
+    /// the operational definition of "halo" used across the workspace.
+    pub halo_fraction: f64,
+    /// Maximum transverse radius over the bunch divided by the rms radius
+    /// (Wangler's simplest halo extent indicator).
+    pub max_radius_ratio: f64,
+    /// Spatial-profile parameter h = ⟨r⁴⟩/⟨r²⟩² − 2; 0 for a Gaussian-like
+    /// core, grows as a halo shoulder develops.
+    pub profile_parameter: f64,
+}
+
+impl BeamDiagnostics {
+    /// Computes diagnostics for a bunch. Returns all-zero diagnostics for
+    /// an empty slice.
+    pub fn of(particles: &[Particle]) -> BeamDiagnostics {
+        if particles.is_empty() {
+            return BeamDiagnostics::default();
+        }
+        let n = particles.len() as f64;
+
+        let mut sx = OnlineStats::new();
+        let mut sy = OnlineStats::new();
+        let mut sz = OnlineStats::new();
+        for p in particles {
+            sx.push(p.position.x);
+            sy.push(p.position.y);
+            sz.push(p.position.z);
+        }
+        let (mx, my, mz) = (sx.mean(), sy.mean(), sz.mean());
+
+        // Centered second moments for emittance.
+        let mut xx = 0.0;
+        let mut xpxp = 0.0;
+        let mut xxp = 0.0;
+        let mut yy = 0.0;
+        let mut ypyp = 0.0;
+        let mut yyp = 0.0;
+        let mut mpx = 0.0;
+        let mut mpy = 0.0;
+        for p in particles {
+            mpx += p.momentum.x;
+            mpy += p.momentum.y;
+        }
+        mpx /= n;
+        mpy /= n;
+        let mut r2_sum = 0.0;
+        let mut r4_sum = 0.0;
+        let mut r2_max = 0.0f64;
+        for p in particles {
+            let x = p.position.x - mx;
+            let y = p.position.y - my;
+            let px = p.momentum.x - mpx;
+            let py = p.momentum.y - mpy;
+            xx += x * x;
+            xpxp += px * px;
+            xxp += x * px;
+            yy += y * y;
+            ypyp += py * py;
+            yyp += y * py;
+            let r2 = x * x + y * y;
+            r2_sum += r2;
+            r4_sum += r2 * r2;
+            r2_max = r2_max.max(r2);
+        }
+        xx /= n;
+        xpxp /= n;
+        xxp /= n;
+        yy /= n;
+        ypyp /= n;
+        yyp /= n;
+        let r2_mean = r2_sum / n;
+        let r4_mean = r4_sum / n;
+
+        let emittance_x = (xx * xpxp - xxp * xxp).max(0.0).sqrt();
+        let emittance_y = (yy * ypyp - yyp * yyp).max(0.0).sqrt();
+
+        let rms_r = r2_mean.sqrt();
+        let halo_cut = 4.0 * rms_r;
+        let halo_count = particles
+            .iter()
+            .filter(|p| {
+                let x = p.position.x - mx;
+                let y = p.position.y - my;
+                (x * x + y * y).sqrt() > halo_cut
+            })
+            .count();
+
+        BeamDiagnostics {
+            count: particles.len(),
+            mean_x: mx,
+            mean_y: my,
+            mean_z: mz,
+            rms_x: sx.std_dev(),
+            rms_y: sy.std_dev(),
+            rms_z: sz.std_dev(),
+            emittance_x,
+            emittance_y,
+            halo_fraction: halo_count as f64 / n,
+            max_radius_ratio: if rms_r > 0.0 { r2_max.sqrt() / rms_r } else { 0.0 },
+            profile_parameter: if r2_mean > 0.0 {
+                r4_mean / (r2_mean * r2_mean) - 2.0
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Fraction of particles whose transverse radius (about the origin)
+/// exceeds `radius`. Used to measure halo growth against a *fixed*
+/// reference radius (e.g. the initial rms radius), which is the honest
+/// metric when the whole beam is growing.
+pub fn halo_fraction_beyond(particles: &[Particle], radius: f64) -> f64 {
+    if particles.is_empty() {
+        return 0.0;
+    }
+    particles
+        .iter()
+        .filter(|p| p.transverse_radius() > radius)
+        .count() as f64
+        / particles.len() as f64
+}
+
+/// Measures the four-fold (quadrant) symmetry of the transverse
+/// distribution: 1 means the four quadrant populations are identical, 0
+/// means all particles sit in one quadrant.
+///
+/// The paper's Figure 5 notes that the alternating-gradient focusing
+/// produces "the four-fold symmetry seen in the figure"; this is the
+/// quantitative check the FIG5 experiment reports.
+pub fn four_fold_symmetry(particles: &[Particle]) -> f64 {
+    if particles.is_empty() {
+        return 1.0;
+    }
+    let mut quadrants = [0usize; 4];
+    let mut counted = 0usize;
+    for p in particles {
+        // Skip particles exactly on an axis; they belong to no quadrant.
+        if p.position.x == 0.0 || p.position.y == 0.0 {
+            continue;
+        }
+        let q = usize::from(p.position.x > 0.0) | (usize::from(p.position.y > 0.0) << 1);
+        quadrants[q] += 1;
+        counted += 1;
+    }
+    if counted == 0 {
+        return 1.0;
+    }
+    let expected = counted as f64 / 4.0;
+    // Normalized total absolute deviation from equal occupancy; the worst
+    // case (everything in one quadrant) has deviation 2·(3/4)·counted.
+    let dev: f64 = quadrants
+        .iter()
+        .map(|&c| (c as f64 - expected).abs())
+        .sum();
+    (1.0 - dev / (1.5 * counted as f64)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::Distribution;
+    use accelviz_math::Vec3;
+
+    #[test]
+    fn empty_bunch_is_all_zero() {
+        let d = BeamDiagnostics::of(&[]);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.rms_x, 0.0);
+        assert_eq!(d.emittance_x, 0.0);
+    }
+
+    #[test]
+    fn rms_of_known_bunch() {
+        // Four particles at ±1 in x: rms_x = 1, centered.
+        let ps = vec![
+            Particle::at_rest(Vec3::new(1.0, 0.0, 0.0)),
+            Particle::at_rest(Vec3::new(-1.0, 0.0, 0.0)),
+            Particle::at_rest(Vec3::new(1.0, 0.0, 0.0)),
+            Particle::at_rest(Vec3::new(-1.0, 0.0, 0.0)),
+        ];
+        let d = BeamDiagnostics::of(&ps);
+        assert!((d.rms_x - 1.0).abs() < 1e-12);
+        assert_eq!(d.mean_x, 0.0);
+        // Cold beam: zero emittance.
+        assert_eq!(d.emittance_x, 0.0);
+    }
+
+    #[test]
+    fn emittance_of_uncorrelated_beam() {
+        // x = ±a, px = ±b uncorrelated (all four sign combinations):
+        // ε = √(a²·b²) = a·b.
+        let mut ps = Vec::new();
+        for &sx in &[1.0, -1.0] {
+            for &sp in &[1.0, -1.0] {
+                ps.push(Particle::new(
+                    Vec3::new(2.0 * sx, 0.0, 0.0),
+                    Vec3::new(0.5 * sp, 0.0, 0.0),
+                ));
+            }
+        }
+        let d = BeamDiagnostics::of(&ps);
+        assert!((d.emittance_x - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_correlated_beam_has_zero_emittance() {
+        // px exactly proportional to x ⇒ zero phase-space area.
+        let ps: Vec<Particle> = (0..10)
+            .map(|i| {
+                let x = (i as f64 - 4.5) * 0.1;
+                Particle::new(Vec3::new(x, 0.0, 0.0), Vec3::new(2.0 * x, 0.0, 0.0))
+            })
+            .collect();
+        let d = BeamDiagnostics::of(&ps);
+        assert!(d.emittance_x < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_beam_has_tiny_halo_fraction() {
+        let ps = Distribution::default_beam().sample(20_000, 3);
+        let d = BeamDiagnostics::of(&ps);
+        // 4× rms radius on a (truncated) 2-D Gaussian: essentially nothing.
+        assert!(d.halo_fraction < 5e-3, "halo {}", d.halo_fraction);
+        assert!(d.max_radius_ratio < 6.0);
+        // Profile parameter near 0 for a Gaussian transverse profile.
+        assert!(d.profile_parameter.abs() < 0.3, "h = {}", d.profile_parameter);
+    }
+
+    #[test]
+    fn halo_fraction_detects_planted_halo() {
+        let mut ps = Distribution::default_beam().sample(5_000, 3);
+        let rms = BeamDiagnostics::of(&ps).rms_x;
+        for i in 0..100 {
+            let angle = i as f64;
+            ps.push(Particle::at_rest(Vec3::new(
+                30.0 * rms * angle.cos(),
+                30.0 * rms * angle.sin(),
+                0.0,
+            )));
+        }
+        let d = BeamDiagnostics::of(&ps);
+        assert!(d.halo_fraction > 0.015, "halo {}", d.halo_fraction);
+        assert!(d.max_radius_ratio > 5.0, "ratio {}", d.max_radius_ratio);
+        assert!(d.profile_parameter > 1.0, "h = {}", d.profile_parameter);
+    }
+
+    #[test]
+    fn four_fold_symmetry_of_symmetric_and_lopsided_bunches() {
+        let sym: Vec<Particle> = [
+            (1.0, 1.0),
+            (-1.0, 1.0),
+            (1.0, -1.0),
+            (-1.0, -1.0),
+        ]
+        .iter()
+        .map(|&(x, y)| Particle::at_rest(Vec3::new(x, y, 0.0)))
+        .collect();
+        assert!((four_fold_symmetry(&sym) - 1.0).abs() < 1e-12);
+
+        let lop: Vec<Particle> =
+            (0..100).map(|_| Particle::at_rest(Vec3::new(1.0, 1.0, 0.0))).collect();
+        assert!(four_fold_symmetry(&lop) < 0.01);
+    }
+
+    #[test]
+    fn four_fold_symmetry_of_sampled_beam_is_high() {
+        let ps = Distribution::default_beam().sample(20_000, 5);
+        assert!(four_fold_symmetry(&ps) > 0.95);
+    }
+
+    #[test]
+    fn axis_particles_are_ignored() {
+        let ps = vec![Particle::at_rest(Vec3::new(0.0, 1.0, 0.0))];
+        assert_eq!(four_fold_symmetry(&ps), 1.0);
+        assert_eq!(four_fold_symmetry(&[]), 1.0);
+    }
+
+    #[test]
+    fn centroid_offsets_are_reported() {
+        let ps = vec![
+            Particle::at_rest(Vec3::new(2.0, 3.0, 4.0)),
+            Particle::at_rest(Vec3::new(4.0, 5.0, 6.0)),
+        ];
+        let d = BeamDiagnostics::of(&ps);
+        assert_eq!((d.mean_x, d.mean_y, d.mean_z), (3.0, 4.0, 5.0));
+    }
+}

@@ -1,0 +1,343 @@
+//! Initial particle distributions.
+//!
+//! Beam dynamics codes seed their bunches from a small family of standard
+//! distributions; the halo studies the paper visualizes start from slightly
+//! mismatched versions of these. All sampling is deterministic given a
+//! `u64` seed.
+
+use crate::particle::Particle;
+use accelviz_math::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The supported analytic beam distributions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistributionKind {
+    /// Truncated Gaussian in every coordinate (cut at 4σ to keep the octree
+    /// root bounded, as production codes do).
+    Gaussian,
+    /// Kapchinskij–Vladimirskij: uniform on the surface of the 4-D
+    /// transverse phase-space ellipsoid — uniform *projected* density, the
+    /// classic choice for space-charge studies.
+    KV,
+    /// Waterbag: uniform inside the 6-D phase-space ellipsoid.
+    Waterbag,
+    /// Semi-Gaussian: uniform in space, Gaussian in momentum.
+    SemiGaussian,
+    /// Uniform ball in (x, y, z), cold (zero momentum). Produces the
+    /// "sphere-like (x, y, z) distribution" of the paper's Figure 4.
+    UniformSphere,
+}
+
+/// A distribution specification: kind + rms sizes + rms momentum spreads.
+#[derive(Clone, Copy, Debug)]
+pub struct Distribution {
+    /// Which analytic family to sample.
+    pub kind: DistributionKind,
+    /// RMS spatial size per axis (meters).
+    pub sigma_pos: Vec3,
+    /// RMS momentum spread per axis (radians / dimensionless slope).
+    pub sigma_mom: Vec3,
+}
+
+impl Distribution {
+    /// A distribution with uniform transverse/longitudinal sizes.
+    pub fn new(kind: DistributionKind, sigma_pos: Vec3, sigma_mom: Vec3) -> Distribution {
+        Distribution { kind, sigma_pos, sigma_mom }
+    }
+
+    /// The matched-beam default used across examples and benches: a round
+    /// Gaussian bunch, 1 mm transverse, 5 mm long, 1 mrad momentum spread.
+    pub fn default_beam() -> Distribution {
+        Distribution {
+            kind: DistributionKind::Gaussian,
+            sigma_pos: Vec3::new(1.0e-3, 1.0e-3, 5.0e-3),
+            sigma_mom: Vec3::new(1.0e-3, 1.0e-3, 0.5e-3),
+        }
+    }
+
+    /// Samples `n` particles deterministically from `seed`.
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<Particle> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            out.push(self.sample_one(&mut rng));
+        }
+        out
+    }
+
+    /// Samples a single particle.
+    pub fn sample_one(&self, rng: &mut StdRng) -> Particle {
+        match self.kind {
+            DistributionKind::Gaussian => {
+                let pos = Vec3::new(
+                    truncated_normal(rng, 4.0) * self.sigma_pos.x,
+                    truncated_normal(rng, 4.0) * self.sigma_pos.y,
+                    truncated_normal(rng, 4.0) * self.sigma_pos.z,
+                );
+                let mom = Vec3::new(
+                    truncated_normal(rng, 4.0) * self.sigma_mom.x,
+                    truncated_normal(rng, 4.0) * self.sigma_mom.y,
+                    truncated_normal(rng, 4.0) * self.sigma_mom.z,
+                );
+                Particle::new(pos, mom)
+            }
+            DistributionKind::KV => {
+                // Uniform on the 3-sphere in normalized (x, px, y, py); the
+                // rms of each coordinate on the unit 3-sphere is 1/2, so
+                // scale by 2σ to get the requested rms.
+                let s = sample_unit_sphere_4d(rng);
+                let pos = Vec3::new(
+                    2.0 * s[0] * self.sigma_pos.x,
+                    2.0 * s[2] * self.sigma_pos.y,
+                    truncated_normal(rng, 4.0) * self.sigma_pos.z,
+                );
+                let mom = Vec3::new(
+                    2.0 * s[1] * self.sigma_mom.x,
+                    2.0 * s[3] * self.sigma_mom.y,
+                    truncated_normal(rng, 4.0) * self.sigma_mom.z,
+                );
+                Particle::new(pos, mom)
+            }
+            DistributionKind::Waterbag => {
+                // Uniform inside the unit 6-ball; rms of each coordinate is
+                // 1/√8, so scale by √8 σ.
+                let s = sample_unit_ball_6d(rng);
+                let k = 8.0f64.sqrt();
+                let pos = Vec3::new(
+                    k * s[0] * self.sigma_pos.x,
+                    k * s[2] * self.sigma_pos.y,
+                    k * s[4] * self.sigma_pos.z,
+                );
+                let mom = Vec3::new(
+                    k * s[1] * self.sigma_mom.x,
+                    k * s[3] * self.sigma_mom.y,
+                    k * s[5] * self.sigma_mom.z,
+                );
+                Particle::new(pos, mom)
+            }
+            DistributionKind::SemiGaussian => {
+                // Uniform in the spatial ellipsoid (rms of a coordinate in
+                // the unit 3-ball is 1/√5), Gaussian in momentum.
+                let s = sample_unit_ball_3d(rng);
+                let k = 5.0f64.sqrt();
+                let pos = Vec3::new(
+                    k * s.x * self.sigma_pos.x,
+                    k * s.y * self.sigma_pos.y,
+                    k * s.z * self.sigma_pos.z,
+                );
+                let mom = Vec3::new(
+                    truncated_normal(rng, 4.0) * self.sigma_mom.x,
+                    truncated_normal(rng, 4.0) * self.sigma_mom.y,
+                    truncated_normal(rng, 4.0) * self.sigma_mom.z,
+                );
+                Particle::new(pos, mom)
+            }
+            DistributionKind::UniformSphere => {
+                let s = sample_unit_ball_3d(rng);
+                let k = 5.0f64.sqrt();
+                Particle::new(
+                    Vec3::new(
+                        k * s.x * self.sigma_pos.x,
+                        k * s.y * self.sigma_pos.y,
+                        k * s.z * self.sigma_pos.z,
+                    ),
+                    Vec3::ZERO,
+                )
+            }
+        }
+    }
+}
+
+/// Standard normal via Box–Muller, rejected beyond `cut` sigma.
+fn truncated_normal(rng: &mut StdRng, cut: f64) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
+        if z.abs() <= cut {
+            return z;
+        }
+    }
+}
+
+/// Uniform point on the unit 3-sphere in R⁴ (Marsaglia via normals).
+fn sample_unit_sphere_4d(rng: &mut StdRng) -> [f64; 4] {
+    loop {
+        let v = [
+            truncated_normal(rng, 6.0),
+            truncated_normal(rng, 6.0),
+            truncated_normal(rng, 6.0),
+            truncated_normal(rng, 6.0),
+        ];
+        let n = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if n > 1e-12 {
+            return [v[0] / n, v[1] / n, v[2] / n, v[3] / n];
+        }
+    }
+}
+
+/// Uniform point in the unit 6-ball (normalize a 6-D normal, scale by
+/// U^(1/6)).
+fn sample_unit_ball_6d(rng: &mut StdRng) -> [f64; 6] {
+    loop {
+        let v: Vec<f64> = (0..6).map(|_| truncated_normal(rng, 6.0)).collect();
+        let n = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if n <= 1e-12 {
+            continue;
+        }
+        let r: f64 = rng.gen_range(0.0f64..1.0).powf(1.0 / 6.0);
+        let mut out = [0.0; 6];
+        for i in 0..6 {
+            out[i] = v[i] / n * r;
+        }
+        return out;
+    }
+}
+
+/// Uniform point in the unit 3-ball (rejection sampling).
+fn sample_unit_ball_3d(rng: &mut StdRng) -> Vec3 {
+    loop {
+        let v = Vec3::new(
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+        );
+        if v.length_squared() <= 1.0 {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelviz_math::OnlineStats;
+
+    fn rms_of(particles: &[Particle], f: impl Fn(&Particle) -> f64) -> f64 {
+        let mut s = OnlineStats::new();
+        for p in particles {
+            s.push(f(p));
+        }
+        (s.variance() + s.mean() * s.mean()).sqrt()
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = Distribution::default_beam();
+        let a = d.sample(100, 42);
+        let b = d.sample(100, 42);
+        assert_eq!(a, b);
+        let c = d.sample(100, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_rms_matches_request() {
+        let d = Distribution::default_beam();
+        let ps = d.sample(20_000, 7);
+        let rx = rms_of(&ps, |p| p.position.x);
+        let rz = rms_of(&ps, |p| p.position.z);
+        let rpx = rms_of(&ps, |p| p.momentum.x);
+        assert!((rx / 1.0e-3 - 1.0).abs() < 0.05, "x rms {rx}");
+        assert!((rz / 5.0e-3 - 1.0).abs() < 0.05, "z rms {rz}");
+        assert!((rpx / 1.0e-3 - 1.0).abs() < 0.05, "px rms {rpx}");
+    }
+
+    #[test]
+    fn gaussian_is_truncated_at_four_sigma() {
+        let d = Distribution::default_beam();
+        for p in d.sample(20_000, 11) {
+            assert!(p.position.x.abs() <= 4.0 * 1.0e-3 + 1e-12);
+            assert!(p.momentum.y.abs() <= 4.0 * 1.0e-3 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn kv_transverse_amplitude_is_constant() {
+        // The KV invariant: x²/a² + px²/apx² + y²/b² + py²/bpy² = 1 exactly
+        // for every particle (a = 2σ).
+        let d = Distribution::new(
+            DistributionKind::KV,
+            Vec3::new(1.0e-3, 1.0e-3, 5.0e-3),
+            Vec3::new(1.0e-3, 1.0e-3, 0.5e-3),
+        );
+        for p in d.sample(2_000, 3) {
+            let a = 2.0e-3;
+            let inv = (p.position.x / a).powi(2)
+                + (p.momentum.x / a).powi(2)
+                + (p.position.y / a).powi(2)
+                + (p.momentum.y / a).powi(2);
+            assert!((inv - 1.0).abs() < 1e-9, "KV invariant violated: {inv}");
+        }
+    }
+
+    #[test]
+    fn kv_rms_matches_request() {
+        let d = Distribution::new(
+            DistributionKind::KV,
+            Vec3::new(1.0e-3, 1.0e-3, 5.0e-3),
+            Vec3::new(1.0e-3, 1.0e-3, 0.5e-3),
+        );
+        let ps = d.sample(40_000, 5);
+        let rx = rms_of(&ps, |p| p.position.x);
+        assert!((rx / 1.0e-3 - 1.0).abs() < 0.05, "KV x rms {rx}");
+    }
+
+    #[test]
+    fn waterbag_is_bounded_and_has_right_rms() {
+        let d = Distribution::new(
+            DistributionKind::Waterbag,
+            Vec3::splat(1.0e-3),
+            Vec3::splat(1.0e-3),
+        );
+        let ps = d.sample(40_000, 9);
+        let k = 8.0f64.sqrt() * 1.0e-3;
+        for p in &ps {
+            let r2: f64 = p
+                .to_array()
+                .iter()
+                .map(|c| (c / k) * (c / k))
+                .sum();
+            assert!(r2 <= 1.0 + 1e-9, "waterbag point outside ellipsoid: {r2}");
+        }
+        let rx = rms_of(&ps, |p| p.position.x);
+        assert!((rx / 1.0e-3 - 1.0).abs() < 0.05, "waterbag x rms {rx}");
+    }
+
+    #[test]
+    fn semi_gaussian_space_is_bounded_momentum_is_not_uniform() {
+        let d = Distribution::new(
+            DistributionKind::SemiGaussian,
+            Vec3::splat(1.0e-3),
+            Vec3::splat(1.0e-3),
+        );
+        let ps = d.sample(20_000, 13);
+        let k = 5.0f64.sqrt() * 1.0e-3;
+        for p in &ps {
+            let r2 = (p.position / k).length_squared();
+            assert!(r2 <= 1.0 + 1e-9);
+        }
+        let rx = rms_of(&ps, |p| p.position.x);
+        assert!((rx / 1.0e-3 - 1.0).abs() < 0.05, "semi-gaussian x rms {rx}");
+    }
+
+    #[test]
+    fn uniform_sphere_is_cold() {
+        let d = Distribution::new(
+            DistributionKind::UniformSphere,
+            Vec3::splat(1.0e-3),
+            Vec3::ZERO,
+        );
+        for p in d.sample(1_000, 17) {
+            assert_eq!(p.momentum, Vec3::ZERO);
+        }
+    }
+
+    #[test]
+    fn sample_count() {
+        let d = Distribution::default_beam();
+        assert_eq!(d.sample(0, 1).len(), 0);
+        assert_eq!(d.sample(123, 1).len(), 123);
+    }
+}

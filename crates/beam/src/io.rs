@@ -1,0 +1,148 @@
+//! Binary snapshot format for particle data.
+//!
+//! The paper's storage arithmetic rests on the raw layout: six
+//! double-precision coordinates per particle, so "the primary simulation,
+//! consisting of 100 million particles, requires 5 GB of storage per time
+//! step" and "the initial time step of a billion point simulation requires
+//! 48 GB". This module implements that exact layout (48 bytes per particle
+//! plus a 24-byte header) so the SIZE experiment can measure real bytes.
+
+use crate::particle::Particle;
+use std::io::{self, Read, Write};
+
+/// Magic bytes identifying a snapshot stream.
+pub const MAGIC: [u8; 8] = *b"AVIZSNAP";
+
+/// Bytes per particle in the on-disk layout (six `f64`s).
+pub const BYTES_PER_PARTICLE: u64 = 48;
+
+/// Header size: magic + u64 step index + u64 particle count.
+pub const HEADER_BYTES: u64 = 24;
+
+/// Exact serialized size of a snapshot with `n` particles.
+pub fn snapshot_bytes(n: u64) -> u64 {
+    HEADER_BYTES + n * BYTES_PER_PARTICLE
+}
+
+/// Writes a snapshot in the fixed binary format.
+pub fn write_snapshot<W: Write>(w: &mut W, step: u64, particles: &[Particle]) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&step.to_le_bytes())?;
+    w.write_all(&(particles.len() as u64).to_le_bytes())?;
+    // Buffer per-particle to keep write syscalls reasonable without
+    // allocating the whole payload.
+    let mut buf = [0u8; BYTES_PER_PARTICLE as usize];
+    for p in particles {
+        for (i, c) in p.to_array().iter().enumerate() {
+            buf[i * 8..(i + 1) * 8].copy_from_slice(&c.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Reads a snapshot written by [`write_snapshot`]. Returns
+/// `(step, particles)`.
+pub fn read_snapshot<R: Read>(r: &mut R) -> io::Result<(u64, Vec<Particle>)> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad snapshot magic",
+        ));
+    }
+    let mut u = [0u8; 8];
+    r.read_exact(&mut u)?;
+    let step = u64::from_le_bytes(u);
+    r.read_exact(&mut u)?;
+    let count = u64::from_le_bytes(u);
+    // Guard against absurd counts from corrupt headers before allocating.
+    const MAX_REASONABLE: u64 = 1 << 33;
+    if count > MAX_REASONABLE {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible particle count {count}"),
+        ));
+    }
+    let mut particles = Vec::with_capacity(count as usize);
+    let mut buf = [0u8; BYTES_PER_PARTICLE as usize];
+    for _ in 0..count {
+        r.read_exact(&mut buf)?;
+        let mut a = [0.0f64; 6];
+        for (i, c) in a.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[i * 8..(i + 1) * 8]);
+            *c = f64::from_le_bytes(b);
+        }
+        particles.push(Particle::from_array(a));
+    }
+    Ok((step, particles))
+}
+
+/// Serializes a snapshot to a byte vector (convenience for size accounting
+/// and in-memory transfer modeling).
+pub fn snapshot_to_vec(step: u64, particles: &[Particle]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(snapshot_bytes(particles.len() as u64) as usize);
+    write_snapshot(&mut v, step, particles).expect("writing to Vec cannot fail");
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::Distribution;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ps = Distribution::default_beam().sample(257, 9);
+        let bytes = snapshot_to_vec(42, &ps);
+        assert_eq!(bytes.len() as u64, snapshot_bytes(257));
+        let (step, back) = read_snapshot(&mut bytes.as_slice()).unwrap();
+        assert_eq!(step, 42);
+        assert_eq!(back, ps);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let bytes = snapshot_to_vec(0, &[]);
+        assert_eq!(bytes.len() as u64, HEADER_BYTES);
+        let (step, ps) = read_snapshot(&mut bytes.as_slice()).unwrap();
+        assert_eq!(step, 0);
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = snapshot_to_vec(1, &Distribution::default_beam().sample(3, 1));
+        bytes[0] ^= 0xFF;
+        assert!(read_snapshot(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let bytes = snapshot_to_vec(1, &Distribution::default_beam().sample(10, 1));
+        let cut = &bytes[..bytes.len() - 5];
+        assert!(read_snapshot(&mut &cut[..]).is_err());
+    }
+
+    #[test]
+    fn implausible_count_is_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_snapshot(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn paper_storage_arithmetic() {
+        // 100 M particles → ~4.8 GB ("5 GB" in the paper); 1 B → ~48 GB.
+        let hundred_million = snapshot_bytes(100_000_000);
+        assert_eq!(hundred_million, 24 + 100_000_000 * 48);
+        let gib = hundred_million as f64 / 1e9;
+        assert!((gib - 4.8).abs() < 0.01, "≈5 GB per 100 M-particle step: {gib}");
+        let billion = snapshot_bytes(1_000_000_000) as f64 / 1e9;
+        assert!((billion - 48.0).abs() < 0.1, "≈48 GB per 1 B-particle step: {billion}");
+    }
+}

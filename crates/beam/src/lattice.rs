@@ -1,0 +1,195 @@
+//! Beamline lattices: drifts, quadrupoles, and the alternating-gradient
+//! (FODO) channel of the paper's primary simulation.
+//!
+//! The paper (§2.1, Fig. 5): "The simulation corresponds to an intense beam
+//! propagating in a magnetic quadrupole channel. ... The quadrupole magnets
+//! are alternately focusing and defocusing in the x and y directions,
+//! resulting in the four-fold symmetry seen in the figure."
+
+/// A single beamline element.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Element {
+    /// Field-free drift of the given length (meters).
+    Drift {
+        /// Element length in meters.
+        length: f64,
+    },
+    /// Magnetic quadrupole of the given length and focusing strength
+    /// `k` (m⁻²). `k > 0` focuses in x and defocuses in y; `k < 0` the
+    /// reverse.
+    Quad {
+        /// Element length in meters.
+        length: f64,
+        /// Focusing strength k = (g q)/(p) in m⁻²; sign selects the plane.
+        k: f64,
+    },
+}
+
+impl Element {
+    /// Length of the element in meters.
+    pub fn length(&self) -> f64 {
+        match *self {
+            Element::Drift { length } => length,
+            Element::Quad { length, .. } => length,
+        }
+    }
+}
+
+/// An ordered sequence of elements, traversed periodically.
+#[derive(Clone, Debug, Default)]
+pub struct Lattice {
+    elements: Vec<Element>,
+}
+
+impl Lattice {
+    /// Lattice from an element list.
+    pub fn new(elements: Vec<Element>) -> Lattice {
+        Lattice { elements }
+    }
+
+    /// The classic FODO cell used throughout the reproduction:
+    /// `QF(L_q, +k) — O(L_d) — QD(L_q, −k) — O(L_d)`.
+    ///
+    /// * `quad_len` — quadrupole length (m)
+    /// * `drift_len` — drift length (m)
+    /// * `k` — focusing strength (m⁻²)
+    pub fn fodo_cell(quad_len: f64, drift_len: f64, k: f64) -> Lattice {
+        assert!(quad_len > 0.0 && drift_len > 0.0, "element lengths must be positive");
+        Lattice::new(vec![
+            Element::Quad { length: quad_len, k },
+            Element::Drift { length: drift_len },
+            Element::Quad { length: quad_len, k: -k },
+            Element::Drift { length: drift_len },
+        ])
+    }
+
+    /// The default channel used by examples/benches: a FODO cell whose
+    /// phase advance is comfortably below the 90°/cell envelope-instability
+    /// limit, so a matched beam stays bounded for hundreds of cells.
+    pub fn default_fodo() -> Lattice {
+        // 0.2 m quads, 0.3 m drifts, k = 8 m⁻² → σ0 ≈ 46°/cell.
+        Lattice::fodo_cell(0.2, 0.3, 8.0)
+    }
+
+    /// The elements in order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Total cell length (meters).
+    pub fn cell_length(&self) -> f64 {
+        self.elements.iter().map(|e| e.length()).sum()
+    }
+
+    /// Number of elements per cell.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// `true` for an empty lattice.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The element containing path position `s` (periodic in the cell
+    /// length), together with the offset into that element. Returns `None`
+    /// for an empty lattice.
+    pub fn element_at(&self, s: f64) -> Option<(Element, f64)> {
+        if self.elements.is_empty() {
+            return None;
+        }
+        let cell = self.cell_length();
+        if cell <= 0.0 {
+            return None;
+        }
+        let mut local = s.rem_euclid(cell);
+        for e in &self.elements {
+            if local < e.length() {
+                return Some((*e, local));
+            }
+            local -= e.length();
+        }
+        // Floating-point edge: s landed exactly on the cell end.
+        let last = *self.elements.last().unwrap();
+        let off = last.length();
+        Some((last, off))
+    }
+
+    /// Quadrupole strength k(s) at path position `s` (0 inside drifts).
+    /// This is the `k` entering both the particle equations of motion and
+    /// the core envelope equation.
+    pub fn k_at(&self, s: f64) -> f64 {
+        match self.element_at(s) {
+            Some((Element::Quad { k, .. }, _)) => k,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fodo_cell_structure() {
+        let l = Lattice::fodo_cell(0.2, 0.3, 8.0);
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.cell_length(), 1.0);
+        match l.elements()[0] {
+            Element::Quad { length, k } => {
+                assert_eq!(length, 0.2);
+                assert_eq!(k, 8.0);
+            }
+            _ => panic!("expected leading quad"),
+        }
+        match l.elements()[2] {
+            Element::Quad { k, .. } => assert_eq!(k, -8.0),
+            _ => panic!("expected defocusing quad"),
+        }
+    }
+
+    #[test]
+    fn element_at_walks_the_cell() {
+        let l = Lattice::fodo_cell(0.2, 0.3, 8.0);
+        // Inside focusing quad.
+        assert_eq!(l.k_at(0.1), 8.0);
+        // Inside first drift.
+        assert_eq!(l.k_at(0.3), 0.0);
+        // Inside defocusing quad.
+        assert_eq!(l.k_at(0.6), -8.0);
+        // Inside final drift.
+        assert_eq!(l.k_at(0.9), 0.0);
+    }
+
+    #[test]
+    fn element_at_is_periodic() {
+        let l = Lattice::fodo_cell(0.2, 0.3, 8.0);
+        for s in [0.1, 0.45, 0.85] {
+            assert_eq!(l.k_at(s), l.k_at(s + 1.0));
+            assert_eq!(l.k_at(s), l.k_at(s + 17.0));
+            assert_eq!(l.k_at(s), l.k_at(s - 3.0));
+        }
+    }
+
+    #[test]
+    fn empty_lattice() {
+        let l = Lattice::default();
+        assert!(l.is_empty());
+        assert!(l.element_at(0.5).is_none());
+        assert_eq!(l.k_at(0.5), 0.0);
+    }
+
+    #[test]
+    fn element_offsets() {
+        let l = Lattice::fodo_cell(0.2, 0.3, 8.0);
+        let (e, off) = l.element_at(0.25).unwrap();
+        assert_eq!(e, Element::Drift { length: 0.3 });
+        assert!((off - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_length_fodo_panics() {
+        let _ = Lattice::fodo_cell(0.0, 0.3, 8.0);
+    }
+}

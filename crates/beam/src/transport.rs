@@ -1,0 +1,272 @@
+//! Symplectic linear transport maps through lattice elements.
+//!
+//! Single-particle motion in a quadrupole channel is governed by Hill's
+//! equation `u'' + k(s) u = 0` per transverse plane. Each element therefore
+//! has an exact 2×2 transfer matrix per plane; products of these matrices
+//! transport particles and stay symplectic (det = 1) to machine precision,
+//! which is what keeps emittance conserved in the zero-current limit — one
+//! of the physics checks the test suite leans on.
+
+use crate::lattice::{Element, Lattice};
+use crate::particle::Particle;
+
+/// A 2×2 transfer matrix acting on one `(u, u')` phase plane.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Map2 {
+    /// Matrix entries `[[m11, m12], [m21, m22]]` (row major).
+    pub m: [[f64; 2]; 2],
+}
+
+impl Map2 {
+    /// Identity map.
+    pub const IDENTITY: Map2 = Map2 { m: [[1.0, 0.0], [0.0, 1.0]] };
+
+    /// Drift of length `l`.
+    pub fn drift(l: f64) -> Map2 {
+        Map2 { m: [[1.0, l], [0.0, 1.0]] }
+    }
+
+    /// Thick focusing lens: `u'' = -k u` with `k > 0`, length `l`.
+    pub fn focus(k: f64, l: f64) -> Map2 {
+        assert!(k > 0.0);
+        let w = k.sqrt();
+        let (s, c) = (w * l).sin_cos();
+        Map2 { m: [[c, s / w], [-w * s, c]] }
+    }
+
+    /// Thick defocusing lens: `u'' = +k u` with `k > 0`, length `l`.
+    pub fn defocus(k: f64, l: f64) -> Map2 {
+        assert!(k > 0.0);
+        let w = k.sqrt();
+        let (s, c) = ((w * l).sinh(), (w * l).cosh());
+        Map2 { m: [[c, s / w], [w * s, c]] }
+    }
+
+    /// Map for motion `u'' + k u = 0` over length `l`, any sign of `k`.
+    pub fn hill(k: f64, l: f64) -> Map2 {
+        if k > 1e-12 {
+            Map2::focus(k, l)
+        } else if k < -1e-12 {
+            Map2::defocus(-k, l)
+        } else {
+            Map2::drift(l)
+        }
+    }
+
+    /// Applies the map to a phase-plane pair.
+    #[inline]
+    pub fn apply(&self, u: f64, up: f64) -> (f64, f64) {
+        (
+            self.m[0][0] * u + self.m[0][1] * up,
+            self.m[1][0] * u + self.m[1][1] * up,
+        )
+    }
+
+    /// Matrix product `self ∘ other` (other applied first).
+    pub fn compose(&self, other: &Map2) -> Map2 {
+        let a = &self.m;
+        let b = &other.m;
+        Map2 {
+            m: [
+                [
+                    a[0][0] * b[0][0] + a[0][1] * b[1][0],
+                    a[0][0] * b[0][1] + a[0][1] * b[1][1],
+                ],
+                [
+                    a[1][0] * b[0][0] + a[1][1] * b[1][0],
+                    a[1][0] * b[0][1] + a[1][1] * b[1][1],
+                ],
+            ],
+        }
+    }
+
+    /// Determinant; exactly 1 for symplectic maps.
+    pub fn det(&self) -> f64 {
+        self.m[0][0] * self.m[1][1] - self.m[0][1] * self.m[1][0]
+    }
+
+    /// Trace, which controls single-particle stability of a periodic cell:
+    /// |trace| < 2 ⇔ bounded motion.
+    pub fn trace(&self) -> f64 {
+        self.m[0][0] + self.m[1][1]
+    }
+
+    /// Phase advance per period (radians) for a stable periodic map, or
+    /// `None` when unstable (|trace| ≥ 2).
+    pub fn phase_advance(&self) -> Option<f64> {
+        let half_trace = self.trace() / 2.0;
+        if half_trace.abs() >= 1.0 {
+            None
+        } else {
+            Some(half_trace.acos())
+        }
+    }
+}
+
+/// The pair of transverse maps (x plane, y plane) of a lattice element.
+/// Longitudinally, elements act as drifts (`z += l * pz`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ElementMap {
+    /// Horizontal-plane map.
+    pub x: Map2,
+    /// Vertical-plane map.
+    pub y: Map2,
+    /// Longitudinal drift length.
+    pub length: f64,
+}
+
+impl ElementMap {
+    /// Exact map of a lattice element (or a slice of one, via `length`).
+    pub fn of(element: &Element, length: f64) -> ElementMap {
+        match *element {
+            Element::Drift { .. } => ElementMap {
+                x: Map2::drift(length),
+                y: Map2::drift(length),
+                length,
+            },
+            Element::Quad { k, .. } => ElementMap {
+                x: Map2::hill(k, length),
+                y: Map2::hill(-k, length),
+                length,
+            },
+        }
+    }
+
+    /// Transports one particle through this map.
+    #[inline]
+    pub fn transport(&self, p: &mut Particle) {
+        let (x, px) = self.x.apply(p.position.x, p.momentum.x);
+        let (y, py) = self.y.apply(p.position.y, p.momentum.y);
+        p.position.x = x;
+        p.momentum.x = px;
+        p.position.y = y;
+        p.momentum.y = py;
+        p.position.z += self.length * p.momentum.z;
+    }
+}
+
+/// The one-cell transfer maps of a periodic lattice, used for stability
+/// analysis and matched-beam computation.
+pub fn cell_maps(lattice: &Lattice) -> ElementMap {
+    let mut x = Map2::IDENTITY;
+    let mut y = Map2::IDENTITY;
+    let mut length = 0.0;
+    for e in lattice.elements() {
+        let m = ElementMap::of(e, e.length());
+        x = m.x.compose(&x);
+        y = m.y.compose(&y);
+        length += e.length();
+    }
+    ElementMap { x, y, length }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelviz_math::approx_eq;
+
+    #[test]
+    fn drift_moves_position_only() {
+        let m = Map2::drift(2.0);
+        let (u, up) = m.apply(1.0, 0.5);
+        assert_eq!((u, up), (2.0, 0.5));
+        assert_eq!(m.det(), 1.0);
+    }
+
+    #[test]
+    fn all_element_maps_are_symplectic() {
+        for map in [
+            Map2::drift(0.37),
+            Map2::focus(8.0, 0.2),
+            Map2::defocus(8.0, 0.2),
+            Map2::hill(-3.0, 1.1),
+            Map2::hill(0.0, 1.1),
+        ] {
+            assert!(approx_eq(map.det(), 1.0, 1e-14), "det = {}", map.det());
+        }
+    }
+
+    #[test]
+    fn composition_is_symplectic_and_associative() {
+        let a = Map2::focus(8.0, 0.2);
+        let b = Map2::drift(0.3);
+        let c = Map2::defocus(8.0, 0.2);
+        let ab_c = c.compose(&b.compose(&a));
+        let a_bc = c.compose(&b).compose(&a);
+        for r in 0..2 {
+            for col in 0..2 {
+                assert!(approx_eq(ab_c.m[r][col], a_bc.m[r][col], 1e-14));
+            }
+        }
+        assert!(approx_eq(ab_c.det(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn thin_focus_limit_matches_thin_lens() {
+        // As l → 0 with kl fixed, the thick map approaches the thin lens
+        // [[1, 0], [-kl, 1]].
+        let kl = 2.0;
+        let l = 1e-6;
+        let m = Map2::focus(kl / l, l);
+        assert!(approx_eq(m.m[0][0], 1.0, 1e-5));
+        assert!(approx_eq(m.m[1][0], -kl, 1e-5));
+    }
+
+    #[test]
+    fn default_fodo_cell_is_stable_in_both_planes() {
+        let lattice = Lattice::default_fodo();
+        let cell = cell_maps(&lattice);
+        let mux = cell.x.phase_advance().expect("x plane must be stable");
+        let muy = cell.y.phase_advance().expect("y plane must be stable");
+        // Below the 90°-per-cell envelope-instability limit.
+        assert!(mux.to_degrees() < 90.0, "σ0x = {}", mux.to_degrees());
+        assert!(muy.to_degrees() < 90.0, "σ0y = {}", muy.to_degrees());
+        // x and y see mirror-symmetric cells ⇒ equal phase advance.
+        assert!(approx_eq(mux, muy, 1e-9));
+    }
+
+    #[test]
+    fn overly_strong_fodo_is_unstable() {
+        let lattice = Lattice::fodo_cell(0.2, 0.3, 200.0);
+        let cell = cell_maps(&lattice);
+        assert!(cell.x.phase_advance().is_none() || cell.y.phase_advance().is_none());
+    }
+
+    #[test]
+    fn element_transport_longitudinal_drift() {
+        let e = Element::Drift { length: 2.0 };
+        let m = ElementMap::of(&e, 2.0);
+        let mut p = Particle::from_array([0.0, 0.0, 0.0, 0.0, 1.0, 0.25]);
+        m.transport(&mut p);
+        assert_eq!(p.position.z, 1.5);
+        assert_eq!(p.momentum.z, 0.25);
+    }
+
+    #[test]
+    fn quad_focuses_one_plane_defocuses_other() {
+        let e = Element::Quad { length: 0.5, k: 4.0 };
+        let m = ElementMap::of(&e, 0.5);
+        // Particle offset in x with no slope: focusing quad bends it inward
+        // (px < 0); same offset in y is bent outward (py > 0).
+        let mut p = Particle::from_array([1e-3, 0.0, 1e-3, 0.0, 0.0, 0.0]);
+        m.transport(&mut p);
+        assert!(p.momentum.x < 0.0, "x plane must focus");
+        assert!(p.momentum.y > 0.0, "y plane must defocus");
+    }
+
+    #[test]
+    fn single_particle_motion_is_bounded_over_many_cells() {
+        let lattice = Lattice::default_fodo();
+        let mut p = Particle::from_array([1e-3, 0.0, -0.5e-3, 0.3e-3, 0.0, 0.0]);
+        let mut max_amp: f64 = 0.0;
+        for _ in 0..500 {
+            for e in lattice.elements() {
+                ElementMap::of(e, e.length()).transport(&mut p);
+            }
+            max_amp = max_amp.max(p.transverse_radius());
+        }
+        // Stable motion: amplitude stays within a small multiple of the
+        // initial offset (Courant–Snyder beating, no growth).
+        assert!(max_amp < 10e-3, "unbounded motion: {max_amp}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Ablation — the octree design choices DESIGN.md calls out: maximal
+//! subdivision level, leaf capacity, and the §2.5 gradient refinement.
+//! Measures the build-cost / tree-size / boundary-quality trade-off.
+
+use accelviz_bench::workloads;
+use accelviz_octree::builder::{partition, BuildParams, GradientRefinement};
+use accelviz_octree::plots::PlotType;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let snap = workloads::halo_snapshot(100_000, 10, 3);
+
+    let mut g = c.benchmark_group("ablation_max_depth");
+    g.sample_size(10);
+    for &depth in &[3u32, 5, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                partition(
+                    &snap.particles,
+                    PlotType::XYZ,
+                    BuildParams { max_depth: depth, leaf_capacity: 64, gradient_refinement: None },
+                )
+                .tree()
+                .nodes
+                .len()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_leaf_capacity");
+    g.sample_size(10);
+    for &cap in &[32usize, 256, 2048] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                partition(
+                    &snap.particles,
+                    PlotType::XYZ,
+                    BuildParams { max_depth: 6, leaf_capacity: cap, gradient_refinement: None },
+                )
+                .tree()
+                .nodes
+                .len()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_gradient_refinement");
+    g.sample_size(10);
+    g.bench_function("off_depth4", |b| {
+        b.iter(|| {
+            partition(
+                &snap.particles,
+                PlotType::XYZ,
+                BuildParams { max_depth: 4, leaf_capacity: 64, gradient_refinement: None },
+            )
+            .tree()
+            .nodes
+            .len()
+        })
+    });
+    g.bench_function("selective_4_plus_2", |b| {
+        b.iter(|| {
+            partition(
+                &snap.particles,
+                PlotType::XYZ,
+                BuildParams {
+                    max_depth: 4,
+                    leaf_capacity: 64,
+                    gradient_refinement: Some(GradientRefinement {
+                        extra_depth: 2,
+                        contrast_threshold: 6.0,
+                    }),
+                },
+            )
+            .tree()
+            .nodes
+            .len()
+        })
+    });
+    g.bench_function("global_depth6", |b| {
+        b.iter(|| {
+            partition(
+                &snap.particles,
+                PlotType::XYZ,
+                BuildParams { max_depth: 6, leaf_capacity: 64, gradient_refinement: None },
+            )
+            .tree()
+            .nodes
+            .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! FIG1 — render-time comparison: brute-force 256³ volume rendering vs
+//! the hybrid 64³-volume + points rendering of the same snapshot.
+
+use accelviz_bench::workloads;
+use accelviz_core::hybrid::HybridFrame;
+use accelviz_core::scene::{render_hybrid_frame, RenderMode};
+use accelviz_core::transfer::TransferFunctionPair;
+use accelviz_octree::plots::PlotType;
+use accelviz_render::framebuffer::Framebuffer;
+use accelviz_render::points::PointStyle;
+use accelviz_render::volume::VolumeStyle;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let snap = workloads::halo_snapshot(50_000, 20, 11);
+    let data = workloads::partitioned(&snap, PlotType::X_PX_Y);
+    let hires = HybridFrame::from_partition(&data, 0, 0.0, [256, 256, 256]);
+    let hybrid = workloads::hybrid_frame(&data, 0, 5_000, [64, 64, 64]);
+    let cam = workloads::frame_camera(&hybrid, 1.0);
+    let tfs = TransferFunctionPair::linked_at(0.03, 0.01);
+    let ps = PointStyle::default();
+
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("volume_only_256", |b| {
+        let vs = VolumeStyle { steps: 192, ..Default::default() };
+        b.iter(|| {
+            let mut fb = Framebuffer::new(256, 256);
+            render_hybrid_frame(&mut fb, &cam, &hires, &tfs, RenderMode::VolumeOnly, &vs, &ps)
+        })
+    });
+    g.bench_function("hybrid_64_plus_points", |b| {
+        let vs = VolumeStyle { steps: 48, ..Default::default() };
+        b.iter(|| {
+            let mut fb = Framebuffer::new(256, 256);
+            render_hybrid_frame(&mut fb, &cam, &hybrid, &tfs, RenderMode::Hybrid, &vs, &ps)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! FIG2 — partitioning and hybrid rendering cost per plot type: the four
+//! phase-space distributions of one time step.
+
+use accelviz_bench::workloads;
+use accelviz_core::scene::{render_hybrid_frame, RenderMode};
+use accelviz_core::transfer::TransferFunctionPair;
+use accelviz_octree::plots::PlotType;
+use accelviz_render::framebuffer::Framebuffer;
+use accelviz_render::points::PointStyle;
+use accelviz_render::volume::VolumeStyle;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let snap = workloads::halo_snapshot(30_000, 20, 11);
+
+    let mut g = c.benchmark_group("fig2_partition");
+    g.sample_size(10);
+    for plot in PlotType::FIGURE2 {
+        g.bench_with_input(BenchmarkId::from_parameter(plot.name()), &plot, |b, &plot| {
+            b.iter(|| workloads::partitioned(&snap, plot))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig2_render");
+    g.sample_size(10);
+    for plot in PlotType::FIGURE2 {
+        let data = workloads::partitioned(&snap, plot);
+        let frame = workloads::hybrid_frame(&data, 0, 3_000, [64, 64, 64]);
+        let cam = workloads::frame_camera(&frame, 1.0);
+        let tfs = TransferFunctionPair::linked_at(0.03, 0.01);
+        g.bench_with_input(BenchmarkId::from_parameter(plot.name()), &frame, |b, frame| {
+            b.iter(|| {
+                let mut fb = Framebuffer::new(192, 192);
+                render_hybrid_frame(
+                    &mut fb,
+                    &cam,
+                    frame,
+                    &tfs,
+                    RenderMode::Hybrid,
+                    &VolumeStyle { steps: 48, ..Default::default() },
+                    &PointStyle::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! FIG5 — the time-series workflow: per-frame pipeline cost and the
+//! viewer's cached vs uncached frame stepping.
+
+use accelviz_bench::workloads;
+use accelviz_core::pipeline::{process_run, PipelineParams};
+use accelviz_core::viewer::FrameCache;
+use accelviz_octree::builder::BuildParams;
+use accelviz_octree::plots::PlotType;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let series = workloads::halo_series(10_000, 8, 11);
+    let params = PipelineParams {
+        plot: PlotType::XYZ,
+        build: BuildParams { max_depth: 5, leaf_capacity: 256, gradient_refinement: None },
+        point_budget: 1_000,
+        volume_dims: [32, 32, 32],
+    };
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("process_run_8_frames", |b| {
+        b.iter(|| process_run(&series, &params))
+    });
+
+    // Viewer stepping: cold vs warm (the paper's "instantaneous" claim).
+    g.bench_function("viewer_step_cached", |b| {
+        let cache = FrameCache::paper_desktop(vec![(100 << 20, 64 * 64 * 64); 8]);
+        for f in 0..8 {
+            cache.step_to(f);
+        }
+        let mut f = 0;
+        b.iter(|| {
+            let load = cache.step_to(f % 8);
+            f += 1;
+            assert!(load.cache_hit);
+            load
+        })
+    });
+    g.bench_function("viewer_step_thrashing", |b| {
+        // Only 3 of 8 frames fit: every step is a miss + eviction.
+        let cache = FrameCache::new(
+            vec![(100 << 20, 64 * 64 * 64); 8],
+            300 << 20,
+            10.0e6,
+            accelviz_render::texmem::TextureMemory::geforce_class(),
+        );
+        let mut f = 0;
+        b.iter(|| {
+            let load = cache.step_to(f % 8);
+            f += 1;
+            load
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! FIG6 — field-line representation gallery: geometry build and render
+//! cost per representation (the 5–6× streamtube-vs-SOS claim).
+
+use accelviz_bench::workloads;
+use accelviz_core::scene::{render_line_set, LineRepresentation};
+use accelviz_fieldlines::line::FieldLine;
+use accelviz_fieldlines::sos::{sos_strip, SosParams};
+use accelviz_fieldlines::style::LineStyle;
+use accelviz_fieldlines::tube::{tube_triangles, TubeParams};
+use accelviz_math::Vec3;
+use accelviz_render::framebuffer::Framebuffer;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let field = workloads::three_cell_e_field(12, 400);
+    let lines: Vec<FieldLine> = workloads::cavity_lines(&field, 120, 5)
+        .into_iter()
+        .map(|sl| sl.line)
+        .collect();
+    let cam = workloads::cavity_camera(&field, 1.0);
+    let style = LineStyle::electric(1.0);
+    let eye = Vec3::new(0.0, 0.0, 6.0);
+
+    // Geometry construction cost: strips vs polygonal tubes.
+    let mut g = c.benchmark_group("fig6_geometry");
+    g.sample_size(20);
+    g.bench_function("sos_strips", |b| {
+        let p = SosParams::default();
+        b.iter(|| {
+            lines
+                .iter()
+                .map(|l| sos_strip(l, eye, &p).len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("streamtubes_12gon", |b| {
+        let p = TubeParams::default();
+        b.iter(|| {
+            lines
+                .iter()
+                .map(|l| tube_triangles(l, eye, &p).len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+
+    // Full render cost per representation.
+    let mut g = c.benchmark_group("fig6_render");
+    g.sample_size(10);
+    for (name, rep) in [
+        ("flat_lines", LineRepresentation::FlatLines),
+        ("illuminated", LineRepresentation::Illuminated),
+        ("streamtubes", LineRepresentation::Streamtubes),
+        ("sos", LineRepresentation::SelfOrientingSurfaces),
+        ("transparent_sos", LineRepresentation::TransparentSos),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &rep, |b, &rep| {
+            b.iter(|| {
+                let mut fb = Framebuffer::new(192, 192);
+                render_line_set(&mut fb, &cam, &lines, rep, &style, 0.012)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

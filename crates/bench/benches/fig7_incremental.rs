@@ -1,0 +1,43 @@
+//! FIG7 — incremental seeding cost across line budgets, plus the restyle
+//! path of FIG10 (interactive parameter changes never re-integrate).
+
+use accelviz_bench::workloads;
+use accelviz_fieldlines::sos::{sos_strip, SosParams};
+use accelviz_fieldlines::style::LineStyle;
+use accelviz_math::Vec3;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let field = workloads::three_cell_e_field(12, 400);
+
+    let mut g = c.benchmark_group("fig7_seed");
+    g.sample_size(10);
+    for &n in &[50usize, 150, 400] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| workloads::cavity_lines(&field, n, 5).len())
+        });
+    }
+    g.finish();
+
+    // FIG10: restyling already-built strips vs re-seeding.
+    let seeded = workloads::cavity_lines(&field, 150, 5);
+    let eye = Vec3::new(0.0, 0.0, 6.0);
+    let params = SosParams::default();
+    let mut strips: Vec<_> = seeded
+        .iter()
+        .map(|sl| (sl.line.clone(), sos_strip(&sl.line, eye, &params)))
+        .collect();
+    let mut g = c.benchmark_group("fig10_restyle");
+    g.bench_function("restyle_150_lines", |b| {
+        let style = LineStyle::electric(1.0);
+        b.iter(|| {
+            for (line, verts) in &mut strips {
+                style.restyle_strip(line, verts);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! FIG8 — time-domain solver throughput: stepping the driven 3-cell
+//! structure, plus field capture for the per-step visualization.
+
+use accelviz_bench::workloads;
+use accelviz_emsim::cavity::{CavityGeometry, CavitySpec};
+use accelviz_emsim::fdtd::{FdtdSim, FdtdSpec};
+use accelviz_emsim::sample::{FieldKind, FieldSampler};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_step");
+    g.sample_size(10);
+    for &res in &[8usize, 12, 16] {
+        let geometry = CavityGeometry::new(CavitySpec::three_cell());
+        let spec = FdtdSpec::for_geometry(geometry, res);
+        let cells: usize = spec.dims.iter().product();
+        let mut sim = FdtdSim::new(spec);
+        sim.run(50);
+        g.throughput(Throughput::Elements(cells as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(res), &res, |b, _| {
+            b.iter(|| sim.step())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig8_capture");
+    g.sample_size(10);
+    let sim = workloads::driven_three_cell(12, 300);
+    g.bench_function("capture_e_field", |b| {
+        b.iter(|| FieldSampler::capture(&sim, FieldKind::Electric))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

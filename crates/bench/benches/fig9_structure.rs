@@ -1,0 +1,50 @@
+//! FIG9 — the 12-cell structure: geometry rasterization, mesh
+//! extraction, asymmetry measurement, and compact line serialization
+//! (COMPR).
+
+use accelviz_bench::workloads;
+use accelviz_emsim::cavity::{CavityGeometry, CavitySpec};
+use accelviz_emsim::fdtd::{FdtdSim, FdtdSpec};
+use accelviz_emsim::mesh::HexMesh;
+use accelviz_fieldlines::compact::serialize_lines;
+use accelviz_fieldlines::line::FieldLine;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let geometry = CavityGeometry::new(CavitySpec::twelve_cell());
+
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("rasterize_12cell_solver", |b| {
+        b.iter(|| FdtdSim::new(FdtdSpec::for_geometry(geometry.clone(), 10)).vacuum_cell_count())
+    });
+    g.bench_function("hex_mesh_extraction", |b| {
+        let bounds = geometry.bounds;
+        b.iter(|| {
+            HexMesh::from_grid_mask(bounds, [24, 36, 96], |p| geometry.inside(p)).element_count()
+        })
+    });
+    g.bench_function("radial_asymmetry_probe", |b| {
+        b.iter(|| geometry.radial_asymmetry(16))
+    });
+    g.finish();
+
+    // COMPR: compact serialization throughput.
+    let field = workloads::three_cell_e_field(12, 400);
+    let lines: Vec<FieldLine> = workloads::cavity_lines(&field, 200, 5)
+        .into_iter()
+        .map(|sl| sl.line)
+        .collect();
+    let mut g = c.benchmark_group("compr");
+    g.bench_function("serialize_200_lines", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            serialize_lines(&mut buf, &lines).unwrap();
+            buf.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

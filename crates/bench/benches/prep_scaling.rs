@@ -1,0 +1,52 @@
+//! PREP — partitioning scales linearly in particle count; extraction is a
+//! prefix copy whose cost is independent of the discarded data.
+
+use accelviz_bench::workloads;
+use accelviz_octree::builder::{partition, BuildParams};
+use accelviz_octree::extraction::{extract, threshold_for_budget};
+use accelviz_octree::parallel::partition_parallel;
+use accelviz_octree::plots::PlotType;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prep_partition");
+    g.sample_size(10);
+    for &n in &[20_000usize, 80_000, 320_000] {
+        let snap = workloads::halo_snapshot(n, 5, 3);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("serial", n), &snap, |b, snap| {
+            b.iter(|| {
+                partition(
+                    &snap.particles,
+                    PlotType::XYZ,
+                    BuildParams { max_depth: 6, leaf_capacity: 256, gradient_refinement: None },
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("multi_node", n), &snap, |b, snap| {
+            b.iter(|| {
+                partition_parallel(
+                    &snap.particles,
+                    PlotType::XYZ,
+                    BuildParams { max_depth: 6, leaf_capacity: 256, gradient_refinement: None },
+                )
+            })
+        });
+    }
+    g.finish();
+
+    // Extraction: cost depends on the kept prefix, not the total.
+    let snap = workloads::halo_snapshot(320_000, 5, 3);
+    let data = workloads::partitioned(&snap, PlotType::XYZ);
+    let mut g = c.benchmark_group("prep_extract");
+    for &budget in &[1_000usize, 32_000, 320_000] {
+        let t = threshold_for_budget(&data, budget);
+        g.bench_with_input(BenchmarkId::from_parameter(budget), &t, |b, &t| {
+            b.iter(|| extract(&data, t))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

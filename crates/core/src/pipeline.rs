@@ -1,0 +1,122 @@
+//! End-to-end orchestration: simulate → partition → extract → view.
+//!
+//! This is the workflow of the paper's §2: beam snapshots come off the
+//! simulation, each is partitioned once (the "expensive" step, run in
+//! parallel here as on the paper's IBM SP), and hybrid frames are
+//! extracted at whatever threshold the session needs.
+
+use crate::hybrid::HybridFrame;
+use accelviz_beam::simulation::Snapshot;
+use accelviz_octree::builder::{partition, BuildParams};
+use accelviz_octree::extraction::threshold_for_budget;
+use accelviz_octree::plots::PlotType;
+use accelviz_octree::sorted_store::PartitionedData;
+use rayon::prelude::*;
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineParams {
+    /// Plot projection to partition for.
+    pub plot: PlotType,
+    /// Octree build parameters.
+    pub build: BuildParams,
+    /// Per-frame point budget (the extraction threshold is derived per
+    /// frame so output sizes stay bounded — the paper's "conservative
+    /// point density threshold").
+    pub point_budget: usize,
+    /// Volume texture resolution.
+    pub volume_dims: [usize; 3],
+}
+
+impl Default for PipelineParams {
+    fn default() -> PipelineParams {
+        PipelineParams {
+            plot: PlotType::XYZ,
+            build: BuildParams::default(),
+            point_budget: 10_000,
+            volume_dims: [64, 64, 64],
+        }
+    }
+}
+
+/// Partitions one snapshot.
+pub fn partition_snapshot(snapshot: &Snapshot, params: &PipelineParams) -> PartitionedData {
+    partition(&snapshot.particles, params.plot, params.build)
+}
+
+/// Processes a whole run: partitions every snapshot in parallel and
+/// extracts one hybrid frame per snapshot at the configured point budget.
+pub fn process_run(snapshots: &[Snapshot], params: &PipelineParams) -> Vec<HybridFrame> {
+    snapshots
+        .par_iter()
+        .map(|snap| {
+            let data = partition_snapshot(snap, params);
+            let threshold = threshold_for_budget(&data, params.point_budget);
+            HybridFrame::from_partition(&data, snap.step, threshold, params.volume_dims)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelviz_beam::simulation::{BeamConfig, BeamSimulation};
+
+    fn short_run(n_particles: usize, steps: usize) -> Vec<Snapshot> {
+        let mut sim = BeamSimulation::new(BeamConfig::zero_current(n_particles, 5));
+        sim.run(steps, 4)
+    }
+
+    #[test]
+    fn one_frame_per_snapshot_with_bounded_points() {
+        let snaps = short_run(2_000, 5);
+        let params = PipelineParams {
+            point_budget: 500,
+            volume_dims: [16, 16, 16],
+            ..Default::default()
+        };
+        let frames = process_run(&snaps, &params);
+        assert_eq!(frames.len(), snaps.len());
+        for (f, s) in frames.iter().zip(&snaps) {
+            assert_eq!(f.step, s.step);
+            assert!(f.points.len() <= 500, "budget exceeded: {}", f.points.len());
+            assert_eq!(f.grid.total() as usize, 2_000, "volume bins all particles");
+        }
+    }
+
+    #[test]
+    fn frames_track_the_evolving_beam() {
+        let snaps = short_run(2_000, 6);
+        let params = PipelineParams {
+            point_budget: 1_000,
+            volume_dims: [8, 8, 8],
+            ..Default::default()
+        };
+        let frames = process_run(&snaps, &params);
+        // Bounds differ between early and late frames (the beam breathes
+        // through the FODO cell).
+        let first = frames.first().unwrap().bounds;
+        let last = frames.last().unwrap().bounds;
+        assert!(
+            (first.size().x - last.size().x).abs() > 1e-9
+                || (first.size().y - last.size().y).abs() > 1e-9,
+            "beam envelope must evolve across frames"
+        );
+    }
+
+    #[test]
+    fn parallel_processing_is_deterministic() {
+        let snaps = short_run(1_000, 4);
+        let params = PipelineParams {
+            point_budget: 300,
+            volume_dims: [8, 8, 8],
+            ..Default::default()
+        };
+        let a = process_run(&snaps, &params);
+        let b = process_run(&snaps, &params);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.points, y.points);
+            assert_eq!(x.threshold, y.threshold);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The remote-visualization transfer model.
+//!
+//! "The interactivity offered by the hybrid method makes choosing viewing
+//! parameters ... an easy job, and the storage savings mean that the data
+//! can be more efficiently transferred from the computer where it was
+//! generated to a remote computer on a scientist's desk thousands of
+//! miles away" (§2.1). This module turns representation sizes into
+//! transfer times for the SIZE experiment.
+
+/// A network path with a fixed usable bandwidth.
+#[derive(Clone, Copy, Debug)]
+pub struct TransferModel {
+    /// Usable bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// Fixed per-transfer latency in seconds.
+    pub latency: f64,
+}
+
+impl TransferModel {
+    /// A paper-era wide-area research link: ~100 Mbit/s usable.
+    pub fn wide_area() -> TransferModel {
+        TransferModel { bandwidth: 12.5e6, latency: 0.05 }
+    }
+
+    /// A paper-era desktop LAN: ~1 Gbit/s.
+    pub fn local_area() -> TransferModel {
+        TransferModel { bandwidth: 125.0e6, latency: 0.001 }
+    }
+
+    /// Transfer time for a payload.
+    pub fn seconds_for(&self, bytes: u64) -> f64 {
+        assert!(self.bandwidth > 0.0);
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Speedup of sending `small` instead of `large`.
+    pub fn speedup(&self, large: u64, small: u64) -> f64 {
+        self.seconds_for(large) / self.seconds_for(small).max(1e-12)
+    }
+}
+
+/// A comparison row of the SIZE experiment: one representation's size and
+/// its transfer times on the two modeled links.
+#[derive(Clone, Debug)]
+pub struct TransferReport {
+    /// Label ("raw dump", "hybrid ≤100 MB", …).
+    pub label: String,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Seconds on the wide-area link.
+    pub wan_seconds: f64,
+    /// Seconds on the LAN.
+    pub lan_seconds: f64,
+}
+
+impl TransferReport {
+    /// Builds a report row.
+    pub fn new(label: impl Into<String>, bytes: u64) -> TransferReport {
+        TransferReport {
+            label: label.into(),
+            bytes,
+            wan_seconds: TransferModel::wide_area().seconds_for(bytes),
+            lan_seconds: TransferModel::local_area().seconds_for(bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_linear_in_size_plus_latency() {
+        let m = TransferModel { bandwidth: 1e6, latency: 0.5 };
+        assert!((m.seconds_for(0) - 0.5).abs() < 1e-12);
+        assert!((m.seconds_for(1_000_000) - 1.5).abs() < 1e-12);
+        assert!((m.seconds_for(2_000_000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_scale_wan_comparison() {
+        // A raw 5 GB time step vs a 100 MB hybrid frame on the WAN.
+        let wan = TransferModel::wide_area();
+        let raw = wan.seconds_for(5_000_000_000);
+        let hybrid = wan.seconds_for(100_000_000);
+        // Raw: ~400 s (almost 7 minutes); hybrid: ~8 s.
+        assert!(raw > 390.0 && raw < 410.0, "raw {raw}");
+        assert!(hybrid > 7.0 && hybrid < 9.0, "hybrid {hybrid}");
+        assert!(wan.speedup(5_000_000_000, 100_000_000) > 45.0);
+    }
+
+    #[test]
+    fn report_rows_are_consistent() {
+        let r = TransferReport::new("hybrid", 100 << 20);
+        assert_eq!(r.bytes, 100 << 20);
+        assert!(r.lan_seconds < r.wan_seconds);
+        assert_eq!(r.label, "hybrid");
+    }
+}

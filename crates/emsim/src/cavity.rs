@@ -1,0 +1,251 @@
+//! Multi-cell linac cavity geometry with input/output ports.
+//!
+//! The paper's test structures are 3-cell and 12-cell linear accelerator
+//! sections: a chain of cylindrical cavity cells along the beam (z) axis,
+//! separated by iris constrictions, with waveguide *ports* through which
+//! RF power "flows in from the top and bottom through input ports, and
+//! then flows to the right" (Figure 9). The port geometry is radially
+//! asymmetric, which visibly breaks the E-field symmetry — a claim the
+//! FIG9 experiment measures.
+
+use accelviz_math::{Aabb, Vec3};
+
+/// Parameters of an n-cell linac structure.
+#[derive(Clone, Copy, Debug)]
+pub struct CavitySpec {
+    /// Number of accelerating cells.
+    pub cells: usize,
+    /// Cavity (cell) radius.
+    pub cavity_radius: f64,
+    /// Iris aperture radius (beam hole between cells).
+    pub iris_radius: f64,
+    /// Length of one cell along z.
+    pub cell_length: f64,
+    /// Thickness of the iris wall between cells.
+    pub iris_thickness: f64,
+    /// Half-width of the (square cross-section) waveguide ports.
+    pub port_half_width: f64,
+    /// `true` attaches an input port (+y wall of the first cell) and an
+    /// output port (+y wall of the last cell) plus a −y input port — the
+    /// asymmetric arrangement of the paper's figures.
+    pub with_ports: bool,
+}
+
+impl CavitySpec {
+    /// The 3-cell structure of Figures 6–8 (normalized units: cavity
+    /// radius 1).
+    pub fn three_cell() -> CavitySpec {
+        CavitySpec {
+            cells: 3,
+            cavity_radius: 1.0,
+            iris_radius: 0.35,
+            cell_length: 0.8,
+            iris_thickness: 0.12,
+            port_half_width: 0.3,
+            with_ports: true,
+        }
+    }
+
+    /// The 12-cell structure of Figure 9.
+    pub fn twelve_cell() -> CavitySpec {
+        CavitySpec { cells: 12, ..CavitySpec::three_cell() }
+    }
+
+    /// Total structure length along z.
+    pub fn total_length(&self) -> f64 {
+        self.cells as f64 * self.cell_length
+    }
+
+    /// Port extent above the cavity wall.
+    fn port_height(&self) -> f64 {
+        0.6 * self.cavity_radius
+    }
+}
+
+/// The realized geometry: an inside/outside predicate over a bounding box,
+/// plus the port regions used by the solver for drive and absorption.
+#[derive(Clone, Debug)]
+pub struct CavityGeometry {
+    /// The generating spec.
+    pub spec: CavitySpec,
+    /// Domain bounds (vacuum + metal).
+    pub bounds: Aabb,
+    /// Axis-aligned region of the input port aperture (+y, first cell).
+    pub input_port: Aabb,
+    /// Second input port (−y, first cell).
+    pub input_port_lower: Aabb,
+    /// Output port aperture (+y, last cell).
+    pub output_port: Aabb,
+}
+
+impl CavityGeometry {
+    /// Builds the geometry for a spec. The beam axis is z, starting at
+    /// z = 0; the structure is centered on x = y = 0.
+    pub fn new(spec: CavitySpec) -> CavityGeometry {
+        assert!(spec.cells >= 1);
+        assert!(spec.iris_radius < spec.cavity_radius);
+        let r = spec.cavity_radius;
+        let len = spec.total_length();
+        let margin = 0.15 * r;
+        let top = if spec.with_ports { r + spec.port_height() } else { r };
+        let bounds = Aabb::new(
+            Vec3::new(-r - margin, -top - margin, -margin),
+            Vec3::new(r + margin, top + margin, len + margin),
+        );
+        let p = spec.port_half_width;
+        let cell0_mid = 0.5 * spec.cell_length;
+        let cell_last_mid = (spec.cells as f64 - 0.5) * spec.cell_length;
+        let input_port = Aabb::new(
+            Vec3::new(-p, 0.0, cell0_mid - p),
+            Vec3::new(p, top + margin, cell0_mid + p),
+        );
+        let input_port_lower = Aabb::new(
+            Vec3::new(-p, -top - margin, cell0_mid - p),
+            Vec3::new(p, 0.0, cell0_mid + p),
+        );
+        let output_port = Aabb::new(
+            Vec3::new(-p, 0.0, cell_last_mid - p),
+            Vec3::new(p, top + margin, cell_last_mid + p),
+        );
+        CavityGeometry { spec, bounds, input_port, input_port_lower, output_port }
+    }
+
+    /// `true` when `p` is inside the vacuum region (cavity cells, iris
+    /// apertures, or ports); `false` inside metal or outside the
+    /// structure.
+    pub fn inside(&self, p: Vec3) -> bool {
+        let spec = &self.spec;
+        let len = spec.total_length();
+        if p.z < 0.0 || p.z > len {
+            return false;
+        }
+        let r2 = p.x * p.x + p.y * p.y;
+
+        // Ports are vacuum channels punched through the cavity wall.
+        if spec.with_ports
+            && (self.input_port.contains(p)
+                || self.input_port_lower.contains(p)
+                || self.output_port.contains(p))
+        {
+            return true;
+        }
+
+        // Position within the repeating cell: an iris wall of the given
+        // thickness sits at each interior cell boundary.
+        let cell_pos = p.z / spec.cell_length;
+        let nearest_boundary = cell_pos.round();
+        let is_interior_boundary =
+            nearest_boundary >= 1.0 && nearest_boundary <= (spec.cells as f64 - 1.0);
+        let dist_to_boundary = (p.z - nearest_boundary * spec.cell_length).abs();
+        if is_interior_boundary && dist_to_boundary < spec.iris_thickness / 2.0 {
+            // Inside the iris wall: vacuum only through the beam hole.
+            return r2 < spec.iris_radius * spec.iris_radius;
+        }
+        // Inside a cell: vacuum within the cavity radius.
+        r2 < spec.cavity_radius * spec.cavity_radius
+    }
+
+    /// Asymmetry of the vacuum region under 90° rotation about the beam
+    /// axis: fraction of probe points whose inside/outside status changes
+    /// when rotated (0 for a perfectly radially symmetric structure).
+    /// The ports are what make this nonzero.
+    pub fn radial_asymmetry(&self, probes_per_axis: usize) -> f64 {
+        let n = probes_per_axis.max(2);
+        let mut differing = 0usize;
+        let mut total = 0usize;
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let t = Vec3::new(
+                        (i as f64 + 0.5) / n as f64,
+                        (j as f64 + 0.5) / n as f64,
+                        (k as f64 + 0.5) / n as f64,
+                    );
+                    let p = Vec3::new(
+                        self.bounds.min.x + t.x * self.bounds.size().x,
+                        self.bounds.min.y + t.y * self.bounds.size().y,
+                        self.bounds.min.z + t.z * self.bounds.size().z,
+                    );
+                    // Rotate 90° about z: (x, y) → (−y, x).
+                    let q = Vec3::new(-p.y, p.x, p.z);
+                    total += 1;
+                    if self.inside(p) != self.inside(q) {
+                        differing += 1;
+                    }
+                }
+            }
+        }
+        differing as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_is_inside_metal_is_not() {
+        let g = CavityGeometry::new(CavitySpec::three_cell());
+        // Beam axis points within cells are vacuum.
+        assert!(g.inside(Vec3::new(0.0, 0.0, 0.4)));
+        assert!(g.inside(Vec3::new(0.0, 0.0, 1.2)));
+        // Outside the cavity radius (and not in a port) is metal.
+        assert!(!g.inside(Vec3::new(0.99, 0.99, 0.4)));
+        // Beyond the ends is outside.
+        assert!(!g.inside(Vec3::new(0.0, 0.0, -0.1)));
+        assert!(!g.inside(Vec3::new(0.0, 0.0, 100.0)));
+    }
+
+    #[test]
+    fn iris_blocks_off_axis_passage() {
+        let g = CavityGeometry::new(CavitySpec::three_cell());
+        let z_iris = 0.8; // first interior boundary
+        // On-axis through the iris hole: vacuum.
+        assert!(g.inside(Vec3::new(0.0, 0.0, z_iris)));
+        // Off-axis at the same z (between iris radius and cavity radius,
+        // away from the ports in x): metal.
+        assert!(!g.inside(Vec3::new(0.7, 0.0, z_iris)));
+        // Same radius inside a cell: vacuum.
+        assert!(g.inside(Vec3::new(0.7, 0.0, 0.4)));
+    }
+
+    #[test]
+    fn ports_punch_through_the_wall() {
+        let g = CavityGeometry::new(CavitySpec::three_cell());
+        let z_mid = 0.4; // middle of the first cell
+        // Above the cavity radius inside the input port: vacuum.
+        assert!(g.inside(Vec3::new(0.0, 1.2, z_mid)));
+        // Same point with ports disabled: metal.
+        let g2 = CavityGeometry::new(CavitySpec { with_ports: false, ..CavitySpec::three_cell() });
+        assert!(!g2.inside(Vec3::new(0.0, 1.2, z_mid)));
+    }
+
+    #[test]
+    fn ports_break_radial_symmetry() {
+        let with = CavityGeometry::new(CavitySpec::three_cell());
+        let without =
+            CavityGeometry::new(CavitySpec { with_ports: false, ..CavitySpec::three_cell() });
+        let a_with = with.radial_asymmetry(24);
+        let a_without = without.radial_asymmetry(24);
+        assert!(a_with > a_without, "{a_with} vs {a_without}");
+        assert!(a_with > 0.005, "ports must create measurable asymmetry");
+        assert!(a_without < 0.01, "portless structure is nearly symmetric");
+    }
+
+    #[test]
+    fn twelve_cell_is_longer() {
+        let s3 = CavitySpec::three_cell();
+        let s12 = CavitySpec::twelve_cell();
+        assert_eq!(s12.cells, 12);
+        assert!((s12.total_length() / s3.total_length() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn iris_must_be_smaller_than_cavity() {
+        let _ = CavityGeometry::new(CavitySpec {
+            iris_radius: 2.0,
+            ..CavitySpec::three_cell()
+        });
+    }
+}

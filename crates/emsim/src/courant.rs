@@ -1,0 +1,93 @@
+//! Courant-condition arithmetic in physical units.
+//!
+//! "To achieve the needed accuracy, the simulations must not proceed
+//! faster than electromagnetic information could physically flow through
+//! mesh elements. To satisfy the Courant Condition, simulating 100
+//! nanoseconds in the real world requires millions of time steps" (§3);
+//! for the 12-cell structure, "steady state at about 40 nanoseconds ...
+//! corresponds to 326,700 time steps" (§3.4). These functions reproduce
+//! that arithmetic for the FIG9 experiment.
+
+/// Speed of light in vacuum (m/s).
+pub const C_LIGHT: f64 = 2.997_924_58e8;
+
+/// The Courant-limited time step for a rectilinear mesh with the given
+/// cell edge lengths (meters), scaled by a safety factor `cfl` in (0, 1]:
+///
+/// `dt = cfl / (c · √(1/dx² + 1/dy² + 1/dz²))`
+pub fn courant_dt(dx: f64, dy: f64, dz: f64, cfl: f64) -> f64 {
+    assert!(dx > 0.0 && dy > 0.0 && dz > 0.0, "cell sizes must be positive");
+    assert!(cfl > 0.0 && cfl <= 1.0, "cfl must be in (0, 1]");
+    cfl / (C_LIGHT * (1.0 / (dx * dx) + 1.0 / (dy * dy) + 1.0 / (dz * dz)).sqrt())
+}
+
+/// Number of Courant-limited steps needed to simulate `duration` seconds.
+pub fn steps_for_duration(duration: f64, dt: f64) -> u64 {
+    assert!(dt > 0.0);
+    (duration / dt).ceil() as u64
+}
+
+/// The cubic cell edge length that makes `duration` seconds take exactly
+/// `steps` Courant-limited steps (inverse of the above, used to infer the
+/// paper's effective minimum element size).
+pub fn cell_size_for_steps(duration: f64, steps: u64, cfl: f64) -> f64 {
+    assert!(steps > 0);
+    let dt = duration / steps as f64;
+    // dt = cfl·dx/(c·√3)  ⇒  dx = dt·c·√3/cfl
+    dt * C_LIGHT * 3.0f64.sqrt() / cfl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dt_shrinks_with_cell_size() {
+        let big = courant_dt(1e-3, 1e-3, 1e-3, 1.0);
+        let small = courant_dt(1e-4, 1e-4, 1e-4, 1.0);
+        assert!((big / small - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anisotropic_cells_are_limited_by_smallest() {
+        let iso = courant_dt(1e-3, 1e-3, 1e-3, 1.0);
+        let flat = courant_dt(1e-3, 1e-3, 1e-5, 1.0);
+        assert!(flat < iso / 10.0);
+    }
+
+    #[test]
+    fn paper_step_count_roundtrip() {
+        // Infer the effective cell size from the paper's numbers, then
+        // verify it reproduces them: 40 ns in 326 700 steps.
+        let duration = 40e-9;
+        let steps = 326_700u64;
+        let dx = cell_size_for_steps(duration, steps, 0.99);
+        let dt = courant_dt(dx, dx, dx, 0.99);
+        let back = steps_for_duration(duration, dt);
+        assert!(
+            (back as i64 - steps as i64).unsigned_abs() <= 1,
+            "step count must round-trip: {back}"
+        );
+        // The implied minimum element edge is sub-0.1 mm — which is why the
+        // data set would be 26 TB and why the paper stores field lines
+        // instead.
+        assert!(dx < 1e-4, "implied cell size {dx} m");
+        assert!(dx > 1e-5);
+    }
+
+    #[test]
+    fn hundred_ns_needs_millions_of_steps() {
+        // §3: "simulating 100 nanoseconds ... requires millions of time
+        // steps" at the implied resolution.
+        let dx = cell_size_for_steps(40e-9, 326_700, 0.99);
+        let dt = courant_dt(dx, dx, dx, 0.99);
+        let steps = steps_for_duration(100e-9, dt);
+        assert!(steps > 800_000, "{steps} steps for 100 ns");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_cfl_panics() {
+        let _ = courant_dt(1e-3, 1e-3, 1e-3, 1.5);
+    }
+}

@@ -1,0 +1,81 @@
+//! Field snapshot storage accounting.
+//!
+//! "Since it would take about 80 megabytes of storage space to save one
+//! time step of the electric and magnetic fields together, over 26
+//! terabytes of storage space would be needed for the overall data set"
+//! (§3.4, for the 1.6 M-element, 326 700-step 12-cell run). This module
+//! implements the raw per-element E+B layout those numbers come from, so
+//! the FIG9/COMPR experiments measure real bytes.
+
+use crate::sample::FieldSampler;
+use accelviz_math::Vec3;
+
+/// Bytes per mesh element for one snapshot of E and B together: two
+/// 3-vectors of f64.
+pub const BYTES_PER_ELEMENT: u64 = 48;
+
+/// Size of one raw E+B snapshot for a mesh of `elements` elements
+/// (saturating: terascale arithmetic must not overflow).
+pub fn snapshot_bytes(elements: u64) -> u64 {
+    elements.saturating_mul(BYTES_PER_ELEMENT)
+}
+
+/// Size of a full run: one snapshot per step.
+pub fn run_bytes(elements: u64, steps: u64) -> u64 {
+    snapshot_bytes(elements).saturating_mul(steps)
+}
+
+/// Serializes E+B cell vectors (vacuum cells only) to the raw layout.
+pub fn serialize_fields(e: &FieldSampler, b: &FieldSampler) -> Vec<u8> {
+    assert_eq!(e.dims(), b.dims(), "field grids must match");
+    let [nx, ny, nz] = e.dims();
+    let mut out = Vec::new();
+    let mut push = |v: Vec3| {
+        out.extend_from_slice(&v.x.to_le_bytes());
+        out.extend_from_slice(&v.y.to_le_bytes());
+        out.extend_from_slice(&v.z.to_le_bytes());
+    };
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                if e.cell_is_vacuum(i, j, k) {
+                    push(e.at_cell(i, j, k));
+                    push(b.at_cell(i, j, k));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelviz_math::Aabb;
+
+    #[test]
+    fn paper_numbers_reproduce() {
+        // 1.6 M elements → ~80 MB per step.
+        let per_step = snapshot_bytes(1_600_000);
+        let mb = per_step as f64 / 1e6;
+        assert!((mb - 76.8).abs() < 0.1, "≈80 MB per step: {mb} MB");
+        // × 326 700 steps → ~26 TB.
+        let total = run_bytes(1_600_000, 326_700) as f64 / 1e12;
+        assert!((total - 25.1).abs() < 0.5, "≈26 TB total: {total} TB");
+    }
+
+    #[test]
+    fn serialized_size_matches_element_count() {
+        let bounds = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let e = FieldSampler::from_vectors([3, 3, 3], bounds, vec![Vec3::UNIT_X; 27]);
+        let b = FieldSampler::from_vectors([3, 3, 3], bounds, vec![Vec3::UNIT_Y; 27]);
+        let bytes = serialize_fields(&e, &b);
+        assert_eq!(bytes.len() as u64, snapshot_bytes(27));
+    }
+
+    #[test]
+    fn run_bytes_saturates_instead_of_overflowing() {
+        let huge = run_bytes(u64::MAX / 2, u64::MAX / 2);
+        assert_eq!(huge, u64::MAX);
+    }
+}

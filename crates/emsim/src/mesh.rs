@@ -1,0 +1,170 @@
+//! Explicit hexahedral element meshes.
+//!
+//! The solver itself runs on a structured staircase grid (the FIT/FDTD
+//! equivalence), but everything downstream — field-line seeding, element
+//! counts, storage arithmetic — consumes the mesh as an unstructured list
+//! of hexahedral elements, exactly the representation Tau3P uses.
+
+use accelviz_math::{Aabb, Vec3};
+
+/// One hexahedral element: 8 vertex indices in the usual bit order
+/// (bit 0 = +x, bit 1 = +y, bit 2 = +z).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HexElement {
+    /// Vertex indices into [`HexMesh::vertices`].
+    pub verts: [u32; 8],
+}
+
+/// An unstructured hexahedral mesh.
+#[derive(Clone, Debug, Default)]
+pub struct HexMesh {
+    /// Vertex positions.
+    pub vertices: Vec<Vec3>,
+    /// Hexahedral elements.
+    pub elements: Vec<HexElement>,
+}
+
+impl HexMesh {
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Axis-aligned bounds of element `e`.
+    pub fn element_bounds(&self, e: usize) -> Aabb {
+        Aabb::from_points(
+            self.elements[e]
+                .verts
+                .iter()
+                .map(|&v| self.vertices[v as usize]),
+        )
+    }
+
+    /// Centroid of element `e`.
+    pub fn element_center(&self, e: usize) -> Vec3 {
+        let mut c = Vec3::ZERO;
+        for &v in &self.elements[e].verts {
+            c += self.vertices[v as usize];
+        }
+        c / 8.0
+    }
+
+    /// Volume of element `e` (exact for the axis-aligned hexes produced by
+    /// the structured generators).
+    pub fn element_volume(&self, e: usize) -> f64 {
+        self.element_bounds(e).volume()
+    }
+
+    /// Bounds of the whole mesh.
+    pub fn bounds(&self) -> Aabb {
+        Aabb::from_points(self.vertices.iter().copied())
+    }
+
+    /// Builds the mesh of all cells of a `dims` grid over `bounds` for
+    /// which `keep(cell_center)` is true. Vertices are deduplicated.
+    pub fn from_grid_mask(
+        bounds: Aabb,
+        dims: [usize; 3],
+        keep: impl Fn(Vec3) -> bool,
+    ) -> HexMesh {
+        assert!(dims.iter().all(|&d| d > 0));
+        let size = bounds.size();
+        let d = Vec3::new(
+            size.x / dims[0] as f64,
+            size.y / dims[1] as f64,
+            size.z / dims[2] as f64,
+        );
+        // Vertex grid is (dims+1)^3; map lazily to compact indices.
+        let vdims = [dims[0] + 1, dims[1] + 1, dims[2] + 1];
+        let mut vert_map: Vec<u32> = vec![u32::MAX; vdims[0] * vdims[1] * vdims[2]];
+        let mut mesh = HexMesh::default();
+        let vidx = |i: usize, j: usize, k: usize| i + vdims[0] * (j + vdims[1] * k);
+
+        for k in 0..dims[2] {
+            for j in 0..dims[1] {
+                for i in 0..dims[0] {
+                    let center = bounds.min
+                        + Vec3::new(
+                            (i as f64 + 0.5) * d.x,
+                            (j as f64 + 0.5) * d.y,
+                            (k as f64 + 0.5) * d.z,
+                        );
+                    if !keep(center) {
+                        continue;
+                    }
+                    let mut verts = [0u32; 8];
+                    for (bit, v) in verts.iter_mut().enumerate() {
+                        let (di, dj, dk) = (bit & 1, (bit >> 1) & 1, (bit >> 2) & 1);
+                        let vi = vidx(i + di, j + dj, k + dk);
+                        if vert_map[vi] == u32::MAX {
+                            vert_map[vi] = mesh.vertices.len() as u32;
+                            mesh.vertices.push(
+                                bounds.min
+                                    + Vec3::new(
+                                        (i + di) as f64 * d.x,
+                                        (j + dj) as f64 * d.y,
+                                        (k + dk) as f64 * d.z,
+                                    ),
+                            );
+                        }
+                        *v = vert_map[vi];
+                    }
+                    mesh.elements.push(HexElement { verts });
+                }
+            }
+        }
+        mesh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_bounds() -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::ONE)
+    }
+
+    #[test]
+    fn full_grid_has_all_cells() {
+        let m = HexMesh::from_grid_mask(unit_bounds(), [3, 4, 5], |_| true);
+        assert_eq!(m.element_count(), 3 * 4 * 5);
+        assert_eq!(m.vertices.len(), 4 * 5 * 6);
+    }
+
+    #[test]
+    fn masked_grid_keeps_only_selected_cells() {
+        // Keep the lower-z half.
+        let m = HexMesh::from_grid_mask(unit_bounds(), [4, 4, 4], |c| c.z < 0.5);
+        assert_eq!(m.element_count(), 4 * 4 * 2);
+        for e in 0..m.element_count() {
+            assert!(m.element_center(e).z < 0.5);
+        }
+    }
+
+    #[test]
+    fn element_geometry() {
+        let m = HexMesh::from_grid_mask(unit_bounds(), [2, 2, 2], |_| true);
+        let vol: f64 = (0..m.element_count()).map(|e| m.element_volume(e)).sum();
+        assert!((vol - 1.0).abs() < 1e-12, "cells tile the unit cube");
+        let b = m.element_bounds(0);
+        assert!((b.volume() - 0.125).abs() < 1e-12);
+        let c = m.element_center(0);
+        assert!(c.distance(Vec3::splat(0.25)) < 1e-12);
+        assert_eq!(m.bounds(), unit_bounds());
+    }
+
+    #[test]
+    fn vertices_are_shared_between_neighbors() {
+        let m = HexMesh::from_grid_mask(unit_bounds(), [2, 1, 1], |_| true);
+        // Two hexes share a 4-vertex face: 12 unique vertices, not 16.
+        assert_eq!(m.vertices.len(), 12);
+    }
+
+    #[test]
+    fn empty_mask_gives_empty_mesh() {
+        let m = HexMesh::from_grid_mask(unit_bounds(), [4, 4, 4], |_| false);
+        assert_eq!(m.element_count(), 0);
+        assert!(m.vertices.is_empty());
+    }
+}

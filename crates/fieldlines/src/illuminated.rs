@@ -1,0 +1,108 @@
+//! Illuminated field lines baseline (Figure 6(b); Stalling, Zöckler &
+//! Hege, the paper's ref [13]).
+//!
+//! Classic line-primitive illumination: the intensity of an infinitely
+//! thin line is computed from its tangent, `diffuse ∝ √(1 − (L·T)²)`,
+//! with the well-known limitation the paper calls out — "thin lines could
+//! look artificial because the texture does not vary sideways across the
+//! width of the lines" and they provide no perspective depth cue.
+
+use crate::line::FieldLine;
+use accelviz_math::{Rgba, Vec3};
+
+/// A shaded line segment ready for 1-pixel-wide rendering.
+#[derive(Clone, Copy, Debug)]
+pub struct ShadedSegment {
+    /// Segment start.
+    pub a: Vec3,
+    /// Segment end.
+    pub b: Vec3,
+    /// Illuminated color (constant across the line's width — the
+    /// limitation the self-orienting surfaces fix).
+    pub color: Rgba,
+}
+
+/// Tangent-based line illumination for a light direction `light`.
+pub fn illuminate_tangent(tangent: Vec3, light: Vec3, base: Rgba) -> Rgba {
+    let t = tangent.normalized_or(Vec3::UNIT_X);
+    let l = light.normalized_or(Vec3::UNIT_Z);
+    let lt = t.dot(l).clamp(-1.0, 1.0);
+    // Maximal diffuse when the line is perpendicular to the light.
+    let diffuse = (1.0 - lt * lt).sqrt() as f32;
+    let spec = diffuse.powi(16) * 0.4;
+    Rgba::new(
+        (base.r * (0.1 + 0.8 * diffuse) + spec).min(1.0),
+        (base.g * (0.1 + 0.8 * diffuse) + spec).min(1.0),
+        (base.b * (0.1 + 0.8 * diffuse) + spec).min(1.0),
+        base.a,
+    )
+}
+
+/// Converts a field line into illuminated segments for a headlight at
+/// `eye`.
+pub fn illuminated_segments(line: &FieldLine, eye: Vec3, base: Rgba) -> Vec<ShadedSegment> {
+    let mut out = Vec::with_capacity(line.segment_count());
+    for i in 0..line.segment_count() {
+        let a = line.points[i];
+        let b = line.points[i + 1];
+        let mid = (a + b) * 0.5;
+        let color = illuminate_tangent(line.tangents[i], eye - mid, base);
+        out.push(ShadedSegment { a, b, color });
+    }
+    out
+}
+
+/// Geometry cost of the illuminated-lines representation: line segments,
+/// not triangles (for the FIG6 primitive-count table).
+pub fn segment_count(line: &FieldLine) -> usize {
+    line.segment_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perpendicular_lines_are_brightest() {
+        let base = Rgba::rgb(0.5, 0.5, 0.5);
+        let perp = illuminate_tangent(Vec3::UNIT_X, Vec3::UNIT_Z, base);
+        let parallel = illuminate_tangent(Vec3::UNIT_Z, Vec3::UNIT_Z, base);
+        assert!(perp.luminance() > parallel.luminance());
+        // A line parallel to the light gets only the ambient floor.
+        assert!(parallel.luminance() < 0.12);
+    }
+
+    #[test]
+    fn illumination_is_symmetric_in_light_sign() {
+        let base = Rgba::rgb(0.3, 0.6, 0.9);
+        let a = illuminate_tangent(Vec3::UNIT_X, Vec3::UNIT_Z, base);
+        let b = illuminate_tangent(Vec3::UNIT_X, -Vec3::UNIT_Z, base);
+        assert!((a.luminance() - b.luminance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segments_cover_the_line() {
+        let mut line = FieldLine::new();
+        for i in 0..6 {
+            line.push(Vec3::new(i as f64, 0.0, 0.0), Vec3::UNIT_X, 1.0);
+        }
+        let segs = illuminated_segments(&line, Vec3::new(0.0, 0.0, 10.0), Rgba::WHITE);
+        assert_eq!(segs.len(), 5);
+        assert_eq!(segment_count(&line), 5);
+        for (i, s) in segs.iter().enumerate() {
+            assert_eq!(s.a, line.points[i]);
+            assert_eq!(s.b, line.points[i + 1]);
+        }
+    }
+
+    #[test]
+    fn no_sideways_variation() {
+        // The documented limitation: one color per segment, regardless of
+        // where across the (conceptual) width you sample.
+        let base = Rgba::rgb(1.0, 0.2, 0.2);
+        let c = illuminate_tangent(Vec3::UNIT_X, Vec3::UNIT_Z, base);
+        // (Nothing to vary: the API has no cross-line coordinate at all,
+        // which is exactly what Figure 6(d) improves on.)
+        assert!(c.a == base.a);
+    }
+}

@@ -1,0 +1,286 @@
+//! Field-line polylines.
+
+use accelviz_math::Vec3;
+
+/// A traced field line: an ordered polyline with per-point unit tangents
+/// and local field magnitudes. Tangents are what the self-orienting
+/// surface construction needs ("a sequence of points along a curve, an
+/// associated sequence of tangent vectors, and a viewing position", §3.1).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FieldLine {
+    /// Polyline vertices.
+    pub points: Vec<Vec3>,
+    /// Unit tangent at each vertex (field direction).
+    pub tangents: Vec<Vec3>,
+    /// |F| at each vertex.
+    pub magnitudes: Vec<f64>,
+}
+
+impl FieldLine {
+    /// An empty line.
+    pub fn new() -> FieldLine {
+        FieldLine::default()
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the line has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.points.len().saturating_sub(1)
+    }
+
+    /// Total arc length.
+    pub fn arc_length(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].distance(w[1])).sum()
+    }
+
+    /// Appends a vertex.
+    pub fn push(&mut self, point: Vec3, tangent: Vec3, magnitude: f64) {
+        debug_assert!(self.points.len() == self.tangents.len());
+        self.points.push(point);
+        self.tangents.push(tangent);
+        self.magnitudes.push(magnitude);
+    }
+
+    /// Reverses the line in place (used when joining backward and forward
+    /// traces; tangents flip sign so they keep pointing along the
+    /// traversal direction).
+    pub fn reverse(&mut self) {
+        self.points.reverse();
+        self.tangents.reverse();
+        for t in &mut self.tangents {
+            *t = -*t;
+        }
+        self.magnitudes.reverse();
+    }
+
+    /// Concatenates another line onto the end of this one, skipping the
+    /// other's first vertex when it duplicates this line's last.
+    pub fn extend_with(&mut self, other: &FieldLine) {
+        let skip = usize::from(
+            !self.is_empty()
+                && !other.is_empty()
+                && self.points.last().unwrap().distance(other.points[0]) < 1e-12,
+        );
+        self.points.extend_from_slice(&other.points[skip..]);
+        self.tangents.extend_from_slice(&other.tangents[skip..]);
+        self.magnitudes.extend_from_slice(&other.magnitudes[skip..]);
+    }
+
+    /// Resamples the line at (approximately) uniform arc-length `spacing`
+    /// using Catmull–Rom interpolation through the stored points. The
+    /// endpoints are preserved exactly; tangents are recomputed from the
+    /// resampled polyline.
+    ///
+    /// This is the storage dial of the compact format: integration can
+    /// run at a fine step for accuracy while the stored line keeps only
+    /// as many vertices as the curvature justifies.
+    pub fn resample(&self, spacing: f64) -> FieldLine {
+        assert!(spacing > 0.0, "spacing must be positive");
+        let n = self.len();
+        if n < 3 {
+            return self.clone();
+        }
+        // Cumulative arc length per input vertex.
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        cum.push(0.0);
+        for w in self.points.windows(2) {
+            acc += w[0].distance(w[1]);
+            cum.push(acc);
+        }
+        let total = acc;
+        if total <= spacing {
+            // Too short to resample: keep the endpoints.
+            let mut out = FieldLine::new();
+            out.push(self.points[0], self.tangents[0], self.magnitudes[0]);
+            out.push(
+                *self.points.last().unwrap(),
+                *self.tangents.last().unwrap(),
+                *self.magnitudes.last().unwrap(),
+            );
+            return out;
+        }
+        let samples = ((total / spacing).round() as usize).max(2);
+        let mut out = FieldLine::new();
+        let mut seg = 0usize;
+        for si in 0..=samples {
+            let target = total * si as f64 / samples as f64;
+            while seg + 1 < n - 1 && cum[seg + 1] < target {
+                seg += 1;
+            }
+            let seg_len = (cum[seg + 1] - cum[seg]).max(1e-300);
+            let t = ((target - cum[seg]) / seg_len).clamp(0.0, 1.0);
+            let idx = |i: isize| -> usize { i.clamp(0, n as isize - 1) as usize };
+            let (p0, p1, p2, p3) = (
+                self.points[idx(seg as isize - 1)],
+                self.points[seg],
+                self.points[seg + 1],
+                self.points[idx(seg as isize + 2)],
+            );
+            let pos = Vec3::new(
+                accelviz_math::catmull_rom(p0.x, p1.x, p2.x, p3.x, t),
+                accelviz_math::catmull_rom(p0.y, p1.y, p2.y, p3.y, t),
+                accelviz_math::catmull_rom(p0.z, p1.z, p2.z, p3.z, t),
+            );
+            let mag = accelviz_math::lerp(self.magnitudes[seg], self.magnitudes[seg + 1], t);
+            out.push(pos, Vec3::ZERO, mag);
+        }
+        // Exact endpoints.
+        let last = out.len() - 1;
+        out.points[0] = self.points[0];
+        out.points[last] = *self.points.last().unwrap();
+        // Tangents from central differences.
+        let m = out.len();
+        for i in 0..m {
+            let prev = out.points[i.saturating_sub(1)];
+            let next = out.points[(i + 1).min(m - 1)];
+            out.tangents[i] = (next - prev).normalized_or(self.tangents[0]);
+        }
+        out
+    }
+
+    /// Mean field magnitude along the line (0 for empty lines).
+    pub fn mean_magnitude(&self) -> f64 {
+        if self.magnitudes.is_empty() {
+            0.0
+        } else {
+            self.magnitudes.iter().sum::<f64>() / self.magnitudes.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_line(n: usize) -> FieldLine {
+        let mut l = FieldLine::new();
+        for i in 0..n {
+            l.push(Vec3::new(i as f64, 0.0, 0.0), Vec3::UNIT_X, 1.0 + i as f64);
+        }
+        l
+    }
+
+    #[test]
+    fn lengths_and_counts() {
+        let l = straight_line(5);
+        assert_eq!(l.len(), 5);
+        assert_eq!(l.segment_count(), 4);
+        assert!((l.arc_length() - 4.0).abs() < 1e-12);
+        assert!(!l.is_empty());
+        assert_eq!(FieldLine::new().segment_count(), 0);
+        assert_eq!(FieldLine::new().arc_length(), 0.0);
+    }
+
+    #[test]
+    fn reverse_flips_points_and_tangents() {
+        let mut l = straight_line(3);
+        l.reverse();
+        assert_eq!(l.points[0], Vec3::new(2.0, 0.0, 0.0));
+        assert_eq!(l.tangents[0], -Vec3::UNIT_X);
+        assert_eq!(l.magnitudes, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn extend_with_dedupes_shared_vertex() {
+        let mut a = straight_line(3);
+        let mut b = FieldLine::new();
+        b.push(Vec3::new(2.0, 0.0, 0.0), Vec3::UNIT_X, 3.0); // duplicates a's end
+        b.push(Vec3::new(3.0, 0.0, 0.0), Vec3::UNIT_X, 4.0);
+        a.extend_with(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.points[3], Vec3::new(3.0, 0.0, 0.0));
+        // Extending with a disjoint line keeps everything.
+        let mut c = FieldLine::new();
+        c.push(Vec3::new(10.0, 0.0, 0.0), Vec3::UNIT_X, 1.0);
+        a.extend_with(&c);
+        assert_eq!(a.len(), 5);
+    }
+
+    fn helix(n: usize, step: f64) -> FieldLine {
+        let mut l = FieldLine::new();
+        for i in 0..n {
+            let a = i as f64 * step;
+            l.push(
+                Vec3::new(a.cos(), a.sin(), 0.1 * a),
+                Vec3::new(-a.sin(), a.cos(), 0.1).normalized().unwrap(),
+                1.0 + 0.01 * a,
+            );
+        }
+        l
+    }
+
+    #[test]
+    fn resample_preserves_endpoints_and_shape() {
+        let fine = helix(200, 0.05);
+        let coarse = fine.resample(0.25);
+        assert!(coarse.len() < fine.len() / 3, "must actually decimate");
+        assert!(coarse.points[0].distance(fine.points[0]) < 1e-12);
+        assert!(
+            coarse.points.last().unwrap().distance(*fine.points.last().unwrap()) < 1e-12
+        );
+        // Arc length is approximately preserved (chords shorten slightly).
+        assert!((coarse.arc_length() / fine.arc_length() - 1.0).abs() < 0.05);
+        // Every resampled point lies close to the original curve (within
+        // a fraction of the spacing, thanks to Catmull–Rom).
+        for q in &coarse.points {
+            let d = fine
+                .points
+                .iter()
+                .map(|p| p.distance(*q))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d < 0.08, "resampled point {q} strays {d} from the curve");
+        }
+        // Tangents are unit length.
+        for t in &coarse.tangents {
+            assert!((t.length() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resample_reduces_compact_storage() {
+        let fine = helix(300, 0.02);
+        let coarse = fine.resample(0.2);
+        let fine_bytes = crate::compact::compact_bytes(std::slice::from_ref(&fine));
+        let coarse_bytes = crate::compact::compact_bytes(std::slice::from_ref(&coarse));
+        assert!(
+            fine_bytes > 5 * coarse_bytes,
+            "decimation must shrink storage: {fine_bytes} vs {coarse_bytes}"
+        );
+    }
+
+    #[test]
+    fn resample_degenerate_cases() {
+        // Short lines pass through unchanged.
+        let short = straight_line(2);
+        assert_eq!(short.resample(0.1), short);
+        // Lines shorter than the spacing collapse to their endpoints.
+        let tiny = straight_line(5); // length 4 with unit spacing
+        let collapsed = tiny.resample(10.0);
+        assert_eq!(collapsed.len(), 2);
+        assert_eq!(collapsed.points[0], tiny.points[0]);
+        assert_eq!(collapsed.points[1], *tiny.points.last().unwrap());
+    }
+
+    #[test]
+    #[should_panic]
+    fn resample_zero_spacing_panics() {
+        let _ = straight_line(5).resample(0.0);
+    }
+
+    #[test]
+    fn mean_magnitude() {
+        let l = straight_line(3); // magnitudes 1, 2, 3
+        assert!((l.mean_magnitude() - 2.0).abs() < 1e-12);
+        assert_eq!(FieldLine::new().mean_magnitude(), 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Wide textured ribbons (Figure 6(e)).
+//!
+//! "Using a wider version of the self-orienting surfaces it is possible to
+//! give the impression of the field density by only rendering a small
+//! number of self-orienting surfaces, with line density textured according
+//! to local field strength. The reduction in the number of lines that must
+//! be traced and plotted can help maintain a desirable level of
+//! interactivity."
+
+use crate::line::FieldLine;
+use crate::sos::{sos_strip, SosParams};
+use accelviz_math::Vec3;
+use accelviz_render::rasterizer::Vertex;
+
+/// Ribbon parameters: a wide self-orienting strip plus a strand-count
+/// mapping from field magnitude.
+#[derive(Clone, Copy, Debug)]
+pub struct RibbonParams {
+    /// The underlying strip parameters (use a large `half_width`).
+    pub strip: SosParams,
+    /// Strand count at the maximum field magnitude.
+    pub max_strands: usize,
+    /// Normalizing magnitude (field maximum).
+    pub max_magnitude: f64,
+}
+
+impl Default for RibbonParams {
+    fn default() -> RibbonParams {
+        RibbonParams {
+            strip: SosParams { half_width: 0.06, ..Default::default() },
+            max_strands: 8,
+            max_magnitude: 1.0,
+        }
+    }
+}
+
+/// Builds the ribbon strip and the per-vertex strand counts: the
+/// number of texture strands to show at each point of the line, encoding
+/// local field strength as line density. The renderer selects the
+/// `ribbon_density_map` texture with the returned strand count.
+pub fn ribbon_strip(
+    line: &FieldLine,
+    eye: Vec3,
+    params: &RibbonParams,
+) -> (Vec<Vertex>, Vec<usize>) {
+    let verts = sos_strip(line, eye, &params.strip);
+    let mut strands = Vec::with_capacity(verts.len());
+    for i in 0..line.len() {
+        let m = if params.max_magnitude > 0.0 {
+            (line.magnitudes[i] / params.max_magnitude).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let s = ((m * params.max_strands as f64).round() as usize).max(1);
+        // Two strip vertices per line point share the strand count.
+        strands.push(s);
+        strands.push(s);
+    }
+    (verts, strands)
+}
+
+/// The line-budget saving of ribbons: how many individual lines one
+/// ribbon of `strands` strands replaces.
+pub fn lines_replaced_by_ribbon(strands: usize) -> usize {
+    strands.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graded_line() -> FieldLine {
+        let mut l = FieldLine::new();
+        for i in 0..10 {
+            // Magnitude ramps from 0.1 to 1.0 along the line.
+            l.push(
+                Vec3::new(i as f64 * 0.1, 0.0, 0.0),
+                Vec3::UNIT_X,
+                0.1 + 0.1 * i as f64,
+            );
+        }
+        l
+    }
+
+    #[test]
+    fn strand_counts_track_magnitude() {
+        let line = graded_line();
+        let (verts, strands) = ribbon_strip(&line, Vec3::new(0.0, 0.0, 5.0), &RibbonParams::default());
+        assert_eq!(verts.len(), strands.len());
+        // Strand count is non-decreasing along this ramping line.
+        for w in strands.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(strands[0] < *strands.last().unwrap());
+        assert!(*strands.last().unwrap() <= 8);
+        assert!(strands[0] >= 1, "at least one strand everywhere");
+    }
+
+    #[test]
+    fn ribbon_is_wider_than_default_sos() {
+        let line = graded_line();
+        let params = RibbonParams::default();
+        let (verts, _) = ribbon_strip(&line, Vec3::new(0.0, 0.0, 5.0), &params);
+        let across = verts[1].pos - verts[0].pos;
+        assert!((across.length() - 2.0 * params.strip.half_width).abs() < 1e-9);
+        assert!(across.length() > 0.1, "ribbons are wide");
+    }
+
+    #[test]
+    fn zero_max_magnitude_degrades_gracefully() {
+        let line = graded_line();
+        let params = RibbonParams { max_magnitude: 0.0, ..Default::default() };
+        let (_, strands) = ribbon_strip(&line, Vec3::ZERO, &params);
+        assert!(strands.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn line_budget_saving() {
+        assert_eq!(lines_replaced_by_ribbon(8), 8);
+        assert_eq!(lines_replaced_by_ribbon(0), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Region-of-interest tools (§3.3.3, Figure 6(h)–(i)).
+//!
+//! "One approach is to 'cut away' the data which is not in the region of
+//! interest. While effective ... in other cases this could take away the
+//! global context for the current region of interest. The other approach
+//! is to leave the region of interest opaque while using transparency to
+//! de-emphasize the remaining data."
+
+use crate::line::FieldLine;
+use accelviz_math::{Aabb, Vec3};
+
+/// A region of interest.
+#[derive(Clone, Copy, Debug)]
+pub enum Region {
+    /// A sphere.
+    Sphere {
+        /// Sphere center.
+        center: Vec3,
+        /// Sphere radius.
+        radius: f64,
+    },
+    /// An axis-aligned box.
+    Box(Aabb),
+    /// The half space `p · normal >= offset` (the paper's "front half of
+    /// the mesh has been removed" cutaways).
+    HalfSpace {
+        /// Plane normal.
+        normal: Vec3,
+        /// Plane offset along the normal.
+        offset: f64,
+    },
+}
+
+impl Region {
+    /// `true` when the point is inside the region.
+    pub fn contains(&self, p: Vec3) -> bool {
+        match *self {
+            Region::Sphere { center, radius } => p.distance(center) <= radius,
+            Region::Box(b) => b.contains(p),
+            Region::HalfSpace { normal, offset } => p.dot(normal) >= offset,
+        }
+    }
+
+    /// Fraction of a line's points inside the region (0 for empty lines).
+    pub fn coverage(&self, line: &FieldLine) -> f64 {
+        if line.is_empty() {
+            return 0.0;
+        }
+        let inside = line.points.iter().filter(|&&p| self.contains(p)).count();
+        inside as f64 / line.len() as f64
+    }
+}
+
+/// Cutaway (Figure 6(h)): keeps only the geometry inside the region,
+/// *clipping* lines at the boundary — a line is split into the maximal
+/// runs of consecutive inside points. Lines entirely outside vanish.
+pub fn cutaway(lines: &[FieldLine], region: &Region) -> Vec<FieldLine> {
+    let mut out = Vec::new();
+    for line in lines {
+        let mut run = FieldLine::new();
+        for i in 0..line.len() {
+            if region.contains(line.points[i]) {
+                run.push(line.points[i], line.tangents[i], line.magnitudes[i]);
+            } else if run.len() >= 2 {
+                out.push(std::mem::take(&mut run));
+            } else {
+                run = FieldLine::new();
+            }
+        }
+        if run.len() >= 2 {
+            out.push(run);
+        }
+    }
+    out
+}
+
+/// Focus + context (Figure 6(i)): per-line opacity multipliers — 1 for
+/// lines touching the region of interest, `context_alpha` for the rest —
+/// so "the interior structures can remain clear, and the global context
+/// is not lost".
+pub fn focus_alphas(lines: &[FieldLine], region: &Region, context_alpha: f32) -> Vec<f32> {
+    lines
+        .iter()
+        .map(|l| if region.coverage(l) > 0.0 { 1.0 } else { context_alpha })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_through(xs: &[f64]) -> FieldLine {
+        let mut l = FieldLine::new();
+        for &x in xs {
+            l.push(Vec3::new(x, 0.0, 0.0), Vec3::UNIT_X, 1.0);
+        }
+        l
+    }
+
+    #[test]
+    fn region_membership() {
+        let s = Region::Sphere { center: Vec3::ZERO, radius: 1.0 };
+        assert!(s.contains(Vec3::new(0.5, 0.0, 0.0)));
+        assert!(!s.contains(Vec3::new(1.5, 0.0, 0.0)));
+        let b = Region::Box(Aabb::new(Vec3::ZERO, Vec3::ONE));
+        assert!(b.contains(Vec3::splat(0.5)));
+        assert!(!b.contains(Vec3::splat(1.5)));
+        let h = Region::HalfSpace { normal: Vec3::UNIT_X, offset: 0.0 };
+        assert!(h.contains(Vec3::new(1.0, -5.0, 3.0)));
+        assert!(!h.contains(Vec3::new(-0.1, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn cutaway_clips_lines_at_the_boundary() {
+        // A line crossing x = 0: the half-space cutaway keeps only the
+        // non-negative-x run.
+        let line = line_through(&[-2.0, -1.0, 0.5, 1.0, 2.0]);
+        let region = Region::HalfSpace { normal: Vec3::UNIT_X, offset: 0.0 };
+        let cut = cutaway(&[line], &region);
+        assert_eq!(cut.len(), 1);
+        assert_eq!(cut[0].len(), 3);
+        assert!(cut[0].points.iter().all(|p| p.x >= 0.0));
+    }
+
+    #[test]
+    fn cutaway_splits_reentrant_lines() {
+        // In, out, in again: two runs.
+        let line = line_through(&[0.0, 0.5, 3.0, 4.0, 0.5, 0.2]);
+        let region = Region::Box(Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::ONE));
+        let cut = cutaway(&[line], &region);
+        assert_eq!(cut.len(), 2, "re-entrant line must split: {cut:?}");
+        assert_eq!(cut[0].len(), 2);
+        assert_eq!(cut[1].len(), 2);
+    }
+
+    #[test]
+    fn cutaway_drops_outside_lines_and_single_points() {
+        let outside = line_through(&[5.0, 6.0, 7.0]);
+        let grazing = line_through(&[5.0, 0.5, 6.0]); // one inside point
+        let region = Region::Box(Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::ONE));
+        let cut = cutaway(&[outside, grazing], &region);
+        assert!(cut.is_empty(), "single-point runs cannot form segments");
+    }
+
+    #[test]
+    fn focus_alphas_preserve_context() {
+        let inside = line_through(&[0.0, 0.5]);
+        let outside = line_through(&[5.0, 6.0]);
+        let region = Region::Sphere { center: Vec3::ZERO, radius: 1.0 };
+        let alphas = focus_alphas(&[inside, outside], &region, 0.15);
+        assert_eq!(alphas, vec![1.0, 0.15]);
+        // Unlike cutaway, every line survives — "the global context is
+        // not lost".
+        assert_eq!(alphas.len(), 2);
+    }
+
+    #[test]
+    fn coverage_fractions() {
+        let line = line_through(&[-1.0, 0.5, 0.7, 5.0]);
+        let region = Region::Box(Aabb::new(Vec3::new(0.0, -1.0, -1.0), Vec3::ONE));
+        assert!((region.coverage(&line) - 0.5).abs() < 1e-12);
+        assert_eq!(region.coverage(&FieldLine::new()), 0.0);
+    }
+}

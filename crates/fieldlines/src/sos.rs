@@ -1,0 +1,187 @@
+//! Self-orienting surfaces (§3.1): view-aligned triangle strips.
+//!
+//! "Each self-orienting surface is a triangle strip which is constructed
+//! from a sequence of points along a curve, an associated sequence of
+//! tangent vectors, and a viewing position. The triangle strip always
+//! orients toward the observer which makes aligning a texture to the strip
+//! easy." Two triangles per segment — "about five to six times less than a
+//! typical streamtube representation would require".
+
+use crate::line::FieldLine;
+use accelviz_math::{Rgba, Vec3};
+use accelviz_render::rasterizer::Vertex;
+
+/// Self-orienting surface construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SosParams {
+    /// Half-width of the strip in world units.
+    pub half_width: f64,
+    /// Texture repeat length along the strip (world units per u cycle).
+    pub u_period: f64,
+    /// Base color (per-vertex colors can be overridden by a style).
+    pub color: Rgba,
+}
+
+impl Default for SosParams {
+    fn default() -> SosParams {
+        SosParams {
+            half_width: 0.01,
+            u_period: 0.1,
+            color: Rgba::rgb(0.35, 0.55, 1.0),
+        }
+    }
+}
+
+/// Builds the triangle strip of a self-orienting surface for a field line
+/// seen from `eye`. Returns the strip vertices (2 per line point, so the
+/// strip has `2·(n−1)` triangles); `uv.1` is 0 on one edge and 1 on the
+/// other (the bump/halo texture coordinate), `uv.0` accumulates arc length
+/// in units of `u_period`.
+pub fn sos_strip(line: &FieldLine, eye: Vec3, params: &SosParams) -> Vec<Vertex> {
+    let n = line.len();
+    let mut verts = Vec::with_capacity(2 * n);
+    let mut u = 0.0;
+    let mut prev_point: Option<Vec3> = None;
+    let mut prev_side: Option<Vec3> = None;
+    for i in 0..n {
+        let p = line.points[i];
+        let t = line.tangents[i];
+        if let Some(q) = prev_point {
+            u += p.distance(q) / params.u_period;
+        }
+        // The self-orienting frame: side ⟂ tangent, ⟂ view direction.
+        let view = eye - p;
+        let mut side = t.cross(view).normalized_or_else_prev(prev_side, t);
+        // Keep a consistent side orientation along the strip (avoid
+        // flips where the view direction crosses the tangent plane).
+        if let Some(ps) = prev_side {
+            if side.dot(ps) < 0.0 {
+                side = -side;
+            }
+        }
+        prev_side = Some(side);
+        prev_point = Some(p);
+        let offset = side * params.half_width;
+        verts.push(Vertex { pos: p - offset, uv: (u, 0.0), color: params.color });
+        verts.push(Vertex { pos: p + offset, uv: (u, 1.0), color: params.color });
+    }
+    verts
+}
+
+/// Number of triangles in the strip for a line with `n` points.
+pub fn sos_triangle_count(n_points: usize) -> usize {
+    if n_points < 2 {
+        0
+    } else {
+        2 * (n_points - 1)
+    }
+}
+
+trait NormalizedOrPrev {
+    fn normalized_or_else_prev(self, prev: Option<Vec3>, tangent: Vec3) -> Vec3;
+}
+
+impl NormalizedOrPrev for Vec3 {
+    /// Normalize; when degenerate (view ∥ tangent), reuse the previous
+    /// side vector or any perpendicular of the tangent.
+    fn normalized_or_else_prev(self, prev: Option<Vec3>, tangent: Vec3) -> Vec3 {
+        match self.normalized() {
+            Some(v) => v,
+            None => prev.unwrap_or_else(|| tangent.any_perpendicular()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_line(n: usize) -> FieldLine {
+        let mut l = FieldLine::new();
+        for i in 0..n {
+            l.push(Vec3::new(i as f64 * 0.1, 0.0, 0.0), Vec3::UNIT_X, 1.0);
+        }
+        l
+    }
+
+    #[test]
+    fn strip_has_two_vertices_per_point() {
+        let line = straight_line(10);
+        let eye = Vec3::new(0.5, 0.0, 5.0);
+        let verts = sos_strip(&line, eye, &SosParams::default());
+        assert_eq!(verts.len(), 20);
+        assert_eq!(sos_triangle_count(10), 18);
+        assert_eq!(sos_triangle_count(1), 0);
+        assert_eq!(sos_triangle_count(0), 0);
+    }
+
+    #[test]
+    fn strip_faces_the_observer() {
+        // For a line along x viewed from +z, the side vector must be ±y:
+        // the strip lies in the xy plane, facing the viewer.
+        let line = straight_line(5);
+        let eye = Vec3::new(0.2, 0.0, 5.0);
+        let params = SosParams { half_width: 0.05, ..Default::default() };
+        let verts = sos_strip(&line, eye, &params);
+        for pair in verts.chunks(2) {
+            let across = pair[1].pos - pair[0].pos;
+            assert!(across.z.abs() < 1e-9, "strip must be perpendicular to the view");
+            assert!((across.length() - 0.1).abs() < 1e-9, "width = 2·half_width");
+        }
+    }
+
+    #[test]
+    fn texture_v_spans_zero_to_one_u_accumulates() {
+        let line = straight_line(5); // spacing 0.1
+        let eye = Vec3::new(0.0, 0.0, 5.0);
+        let params = SosParams { u_period: 0.1, ..Default::default() };
+        let verts = sos_strip(&line, eye, &params);
+        for (i, v) in verts.iter().enumerate() {
+            assert_eq!(v.uv.1, if i % 2 == 0 { 0.0 } else { 1.0 });
+        }
+        // u advances by 1 per point (0.1 spacing / 0.1 period).
+        assert!((verts[0].uv.0 - 0.0).abs() < 1e-9);
+        assert!((verts[8].uv.0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn side_orientation_is_continuous() {
+        // A gentle arc: consecutive side vectors must never flip sign.
+        let mut line = FieldLine::new();
+        for i in 0..50 {
+            let a = i as f64 * 0.05;
+            line.push(
+                Vec3::new(a.cos(), a.sin(), 0.0),
+                Vec3::new(-a.sin(), a.cos(), 0.0),
+                1.0,
+            );
+        }
+        let eye = Vec3::new(0.0, 0.0, 4.0);
+        let verts = sos_strip(&line, eye, &SosParams::default());
+        let mut prev: Option<Vec3> = None;
+        for pair in verts.chunks(2) {
+            let across = (pair[1].pos - pair[0].pos).normalized().unwrap();
+            if let Some(p) = prev {
+                assert!(across.dot(p) > 0.5, "side vector flipped");
+            }
+            prev = Some(across);
+        }
+    }
+
+    #[test]
+    fn degenerate_view_direction_is_handled() {
+        // Eye exactly along the tangent of the first point.
+        let line = straight_line(3);
+        let eye = Vec3::new(10.0, 0.0, 0.0);
+        let verts = sos_strip(&line, eye, &SosParams::default());
+        for v in &verts {
+            assert!(v.pos.is_finite());
+        }
+    }
+
+    #[test]
+    fn empty_line_gives_empty_strip() {
+        let verts = sos_strip(&FieldLine::new(), Vec3::ZERO, &SosParams::default());
+        assert!(verts.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Color/opacity styling by field strength (Figure 10).
+//!
+//! "The sequence of images in Figure 10 shows incremental loading of field
+//! lines ... with line transparency and color assigned according to the
+//! field strength. The key is that the scientist is allowed to
+//! interactively change these visualization and viewing parameters, and
+//! then see the resulting visualization immediately" — restyling touches
+//! only per-vertex colors, never re-integrates lines, which is what the
+//! FIG10 bench measures.
+
+use crate::line::FieldLine;
+use crate::sos::{sos_strip, SosParams};
+use accelviz_math::{Rgba, Vec3};
+use accelviz_render::rasterizer::Vertex;
+
+/// A magnitude-driven line style.
+#[derive(Clone, Copy, Debug)]
+pub struct LineStyle {
+    /// Color at zero magnitude.
+    pub cold_color: Rgba,
+    /// Color at `max_magnitude`.
+    pub hot_color: Rgba,
+    /// Opacity at zero magnitude (Figure 10 top row: weak lines fade out).
+    pub min_opacity: f32,
+    /// Opacity at `max_magnitude`.
+    pub max_opacity: f32,
+    /// Normalizing magnitude.
+    pub max_magnitude: f64,
+}
+
+impl LineStyle {
+    /// The paper's electric-field styling: blue (the E lines of Figure 9
+    /// are "shown in blue") ramping to white-hot, opacity proportional to
+    /// field strength.
+    pub fn electric(max_magnitude: f64) -> LineStyle {
+        LineStyle {
+            cold_color: Rgba::rgb(0.1, 0.2, 0.9),
+            hot_color: Rgba::rgb(1.0, 1.0, 1.0),
+            min_opacity: 0.05,
+            max_opacity: 1.0,
+            max_magnitude: max_magnitude.max(1e-300),
+        }
+    }
+
+    /// Magnetic-field styling (warm colors).
+    pub fn magnetic(max_magnitude: f64) -> LineStyle {
+        LineStyle {
+            cold_color: Rgba::rgb(0.6, 0.15, 0.05),
+            hot_color: Rgba::rgb(1.0, 0.9, 0.3),
+            min_opacity: 0.05,
+            max_opacity: 1.0,
+            max_magnitude: max_magnitude.max(1e-300),
+        }
+    }
+
+    /// Color + opacity for a field magnitude.
+    pub fn color_for(&self, magnitude: f64) -> Rgba {
+        let t = (magnitude / self.max_magnitude).clamp(0.0, 1.0) as f32;
+        self.cold_color
+            .lerp(self.hot_color, t)
+            .with_alpha(self.min_opacity + (self.max_opacity - self.min_opacity) * t)
+    }
+
+    /// Builds a styled self-orienting strip: geometry from [`sos_strip`],
+    /// per-vertex colors from the local field magnitude.
+    pub fn styled_strip(
+        &self,
+        line: &FieldLine,
+        eye: Vec3,
+        params: &SosParams,
+    ) -> Vec<Vertex> {
+        let mut verts = sos_strip(line, eye, params);
+        self.restyle_strip(line, &mut verts);
+        verts
+    }
+
+    /// Re-colors an existing strip in place (the interactive restyle
+    /// path: no re-integration, no re-orientation).
+    pub fn restyle_strip(&self, line: &FieldLine, verts: &mut [Vertex]) {
+        for (i, v) in verts.iter_mut().enumerate() {
+            let point_idx = (i / 2).min(line.magnitudes.len().saturating_sub(1));
+            v.color = self.color_for(line.magnitudes[point_idx]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graded_line() -> FieldLine {
+        let mut l = FieldLine::new();
+        for i in 0..10 {
+            l.push(
+                Vec3::new(i as f64 * 0.1, 0.0, 0.0),
+                Vec3::UNIT_X,
+                i as f64 / 9.0,
+            );
+        }
+        l
+    }
+
+    #[test]
+    fn opacity_is_monotone_in_magnitude() {
+        let style = LineStyle::electric(1.0);
+        let mut prev = -1.0f32;
+        for i in 0..=10 {
+            let c = style.color_for(i as f64 / 10.0);
+            assert!(c.a >= prev, "opacity must grow with magnitude");
+            prev = c.a;
+        }
+        assert!((style.color_for(0.0).a - 0.05).abs() < 1e-6);
+        assert!((style.color_for(1.0).a - 1.0).abs() < 1e-6);
+        // Clamped beyond the max.
+        assert_eq!(style.color_for(5.0).a, style.color_for(1.0).a);
+    }
+
+    #[test]
+    fn colors_interpolate_between_endpoints() {
+        let style = LineStyle::electric(1.0);
+        let cold = style.color_for(0.0);
+        let hot = style.color_for(1.0);
+        assert!(cold.b > cold.r, "cold end is blue");
+        assert!(hot.r > 0.9 && hot.g > 0.9, "hot end is white");
+    }
+
+    #[test]
+    fn styled_strip_matches_geometry_of_plain_strip() {
+        let line = graded_line();
+        let eye = Vec3::new(0.0, 0.0, 5.0);
+        let params = SosParams::default();
+        let plain = sos_strip(&line, eye, &params);
+        let styled = LineStyle::electric(1.0).styled_strip(&line, eye, &params);
+        assert_eq!(plain.len(), styled.len());
+        for (a, b) in plain.iter().zip(&styled) {
+            assert_eq!(a.pos, b.pos, "restyling must not move geometry");
+            assert_eq!(a.uv, b.uv);
+        }
+        // But colors differ along the ramp.
+        assert!(styled[0].color.a < styled[styled.len() - 1].color.a);
+    }
+
+    #[test]
+    fn restyle_in_place_changes_only_color() {
+        let line = graded_line();
+        let eye = Vec3::new(0.0, 0.0, 5.0);
+        let mut verts = sos_strip(&line, eye, &SosParams::default());
+        let before: Vec<_> = verts.iter().map(|v| v.pos).collect();
+        LineStyle::magnetic(1.0).restyle_strip(&line, &mut verts);
+        for (v, p) in verts.iter().zip(&before) {
+            assert_eq!(v.pos, *p);
+        }
+        // Magnetic palette is warm at the hot end.
+        let hot = verts.last().unwrap().color;
+        assert!(hot.r > hot.b);
+    }
+}

@@ -1,0 +1,192 @@
+//! Time-varying field-line animation (§3.4).
+//!
+//! "The ability to animate field lines in the temporal domain is
+//! particularly valuable. For example, from these four images, scientists
+//! can examine and verify the propagation of the RF waves. Storing the
+//! precomputed field lines rather than the raw data can significantly cut
+//! down the data storage and transfer requirements making interactive
+//! interrogation of the time-varying electromagnetic field lines data
+//! possible. ... We are presently parallelizing the field line
+//! calculations on PC clusters to speed up this preprocessing task."
+//!
+//! [`precompute_animation`] is that parallelized preprocessing: one
+//! independent seeding pass per captured time step, fanned out with Rayon
+//! (the "PC cluster" of this reproduction).
+
+use crate::compact::{compact_bytes, serialize_lines};
+use crate::line::FieldLine;
+use crate::seeding::{seed_lines, SeedingParams};
+use accelviz_emsim::sample::FieldSampler;
+use rayon::prelude::*;
+
+/// Pre-integrated field lines for a sequence of time steps.
+#[derive(Clone, Debug, Default)]
+pub struct LineAnimation {
+    /// One line set per captured time step, in time order.
+    pub steps: Vec<Vec<FieldLine>>,
+}
+
+impl LineAnimation {
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when no steps are stored.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total compact storage of the whole animation.
+    pub fn total_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| compact_bytes(s)).sum()
+    }
+
+    /// Serializes every step (concatenated compact line sets).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for step in &self.steps {
+            serialize_lines(&mut out, step).expect("writing to Vec cannot fail");
+        }
+        out
+    }
+
+    /// Storage saving versus keeping the raw per-step E+B fields for a
+    /// mesh of `elements_per_step` elements — the animation-scale version
+    /// of the paper's "factor of 25".
+    pub fn saving_factor(&self, elements_per_step: u64) -> f64 {
+        let raw = accelviz_emsim::io::snapshot_bytes(elements_per_step)
+            .saturating_mul(self.len() as u64) as f64;
+        let compact = self.total_bytes() as f64;
+        if compact <= 0.0 {
+            f64::INFINITY
+        } else {
+            raw / compact
+        }
+    }
+}
+
+/// Precomputes field lines for every captured time step in parallel. Each
+/// step is seeded independently (with the same seed, so a steady field
+/// yields a steady line set) — steps are embarrassingly parallel, exactly
+/// what the paper was distributing across its PC cluster.
+pub fn precompute_animation(fields: &[FieldSampler], params: &SeedingParams) -> LineAnimation {
+    let steps = fields
+        .par_iter()
+        .map(|f| {
+            seed_lines(f, params)
+                .into_iter()
+                .map(|sl| sl.line)
+                .collect()
+        })
+        .collect();
+    LineAnimation { steps }
+}
+
+/// Sequential reference implementation (used by tests to pin down the
+/// parallel path).
+pub fn precompute_animation_serial(
+    fields: &[FieldSampler],
+    params: &SeedingParams,
+) -> LineAnimation {
+    let steps = fields
+        .iter()
+        .map(|f| {
+            seed_lines(f, params)
+                .into_iter()
+                .map(|sl| sl.line)
+                .collect()
+        })
+        .collect();
+    LineAnimation { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::TraceParams;
+    use accelviz_math::{Aabb, Vec3};
+
+    /// A sequence of graded fields whose strength ramps over "time".
+    fn field_sequence(n_steps: usize) -> Vec<FieldSampler> {
+        let n = 8;
+        let bounds = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        (0..n_steps)
+            .map(|s| {
+                let amp = 1.0 + s as f64;
+                let mut vectors = Vec::with_capacity(n * n * n);
+                for _k in 0..n {
+                    for _j in 0..n {
+                        for i in 0..n {
+                            let x = (i as f64 + 0.5) / n as f64;
+                            vectors.push(Vec3::new(0.0, 0.0, amp * (1.0 + 3.0 * x)));
+                        }
+                    }
+                }
+                FieldSampler::from_vectors([n, n, n], bounds, vectors)
+            })
+            .collect()
+    }
+
+    fn params() -> SeedingParams {
+        SeedingParams {
+            n_lines: 20,
+            trace: TraceParams { step: 0.05, max_steps: 80, ..Default::default() },
+            seed: 3,
+            min_magnitude_frac: 1e-6,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let fields = field_sequence(4);
+        let p = params();
+        let par = precompute_animation(&fields, &p);
+        let ser = precompute_animation_serial(&fields, &p);
+        assert_eq!(par.len(), ser.len());
+        for (a, b) in par.steps.iter().zip(&ser.steps) {
+            assert_eq!(a.len(), b.len());
+            for (la, lb) in a.iter().zip(b) {
+                assert_eq!(la.points, lb.points);
+            }
+        }
+    }
+
+    #[test]
+    fn animation_accounting() {
+        let fields = field_sequence(3);
+        let anim = precompute_animation(&fields, &params());
+        assert_eq!(anim.len(), 3);
+        assert!(!anim.is_empty());
+        let per_step: u64 = anim.steps.iter().map(|s| compact_bytes(s)).sum();
+        assert_eq!(anim.total_bytes(), per_step);
+        let blob = anim.serialize();
+        assert_eq!(blob.len() as u64, anim.total_bytes());
+    }
+
+    #[test]
+    fn saving_factor_grows_with_mesh_size() {
+        let fields = field_sequence(2);
+        let anim = precompute_animation(&fields, &params());
+        let small = anim.saving_factor(1_000);
+        let big = anim.saving_factor(1_600_000);
+        assert!(big > small);
+        assert!(big / small > 1_000.0);
+        assert_eq!(LineAnimation::default().saving_factor(1_000), f64::INFINITY);
+    }
+
+    #[test]
+    fn identical_fields_give_identical_line_sets() {
+        // A steady field animated over time must not flicker: same seed,
+        // same field ⇒ same lines each step.
+        let f = field_sequence(1).pop().unwrap();
+        let fields = vec![f.clone(), f.clone(), f];
+        let anim = precompute_animation(&fields, &params());
+        for w in anim.steps.windows(2) {
+            assert_eq!(w[0].len(), w[1].len());
+            for (a, b) in w[0].iter().zip(&w[1]) {
+                assert_eq!(a.points, b.points);
+            }
+        }
+    }
+}

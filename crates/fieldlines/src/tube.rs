@@ -1,0 +1,182 @@
+//! Conventional streamtube baseline (Figure 6(c)).
+//!
+//! A polygonal tube sweeps an m-gon cross-section along the line: 2·m
+//! triangles per segment plus caps, versus the self-orienting surface's 2.
+//! This is the geometry-count baseline behind the paper's "five to six
+//! times less" claim.
+
+use crate::line::FieldLine;
+use accelviz_math::{Rgba, Vec3};
+use accelviz_render::rasterizer::Vertex;
+use accelviz_render::shading::{headlight_phong, Material};
+
+/// Streamtube construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TubeParams {
+    /// Tube radius (world units).
+    pub radius: f64,
+    /// Number of sides of the cross-section polygon. The paper's 5–6×
+    /// triangle savings corresponds to the customary 10–12 sides.
+    pub sides: usize,
+    /// Base color.
+    pub color: Rgba,
+}
+
+impl Default for TubeParams {
+    fn default() -> TubeParams {
+        TubeParams { radius: 0.01, sides: 12, color: Rgba::rgb(0.35, 0.55, 1.0) }
+    }
+}
+
+/// Builds the triangle list of a streamtube, Gouraud-lit with a headlight
+/// at `eye` (per-vertex Phong so the software pass matches what the
+/// fixed-function hardware path would produce).
+pub fn tube_triangles(line: &FieldLine, eye: Vec3, params: &TubeParams) -> Vec<[Vertex; 3]> {
+    assert!(params.sides >= 3, "tube needs at least 3 sides");
+    let n = line.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let material = Material::default();
+
+    // Build rings with a parallel-transported frame to avoid twisting.
+    let mut rings: Vec<Vec<(Vec3, Vec3)>> = Vec::with_capacity(n); // (pos, normal)
+    let mut normal = line.tangents[0].any_perpendicular();
+    for i in 0..n {
+        let t = line.tangents[i];
+        // Re-orthogonalize the transported normal against the new tangent.
+        normal = (normal - t * normal.dot(t)).normalized_or(t.any_perpendicular());
+        let binormal = t.cross(normal).normalized_or(normal.any_perpendicular());
+        let mut ring = Vec::with_capacity(params.sides);
+        for s in 0..params.sides {
+            let a = s as f64 / params.sides as f64 * std::f64::consts::TAU;
+            let dir = normal * a.cos() + binormal * a.sin();
+            ring.push((line.points[i] + dir * params.radius, dir));
+        }
+        rings.push(ring);
+    }
+
+    let lit = |pos: Vec3, n: Vec3| -> Rgba {
+        let view = (eye - pos).normalized_or(Vec3::UNIT_Z);
+        let (scale, spec) = headlight_phong(&material, n.dot(view) as f32);
+        Rgba::new(
+            params.color.r * scale + spec,
+            params.color.g * scale + spec,
+            params.color.b * scale + spec,
+            params.color.a,
+        )
+        .clamped()
+    };
+    let vert = |(pos, n): (Vec3, Vec3)| Vertex { pos, uv: (0.0, 0.0), color: lit(pos, n) };
+
+    let mut tris = Vec::with_capacity(2 * params.sides * (n - 1));
+    for i in 0..n - 1 {
+        for s in 0..params.sides {
+            let s2 = (s + 1) % params.sides;
+            let a = rings[i][s];
+            let b = rings[i][s2];
+            let c = rings[i + 1][s];
+            let d = rings[i + 1][s2];
+            tris.push([vert(a), vert(b), vert(c)]);
+            tris.push([vert(b), vert(d), vert(c)]);
+        }
+    }
+    tris
+}
+
+/// Triangle count of a streamtube over a line with `n` points (no caps).
+pub fn tube_triangle_count(n_points: usize, sides: usize) -> usize {
+    if n_points < 2 {
+        0
+    } else {
+        2 * sides * (n_points - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sos::sos_triangle_count;
+
+    fn straight_line(n: usize) -> FieldLine {
+        let mut l = FieldLine::new();
+        for i in 0..n {
+            l.push(Vec3::new(i as f64 * 0.1, 0.0, 0.0), Vec3::UNIT_X, 1.0);
+        }
+        l
+    }
+
+    #[test]
+    fn triangle_count_matches_formula() {
+        let line = straight_line(10);
+        let params = TubeParams::default();
+        let tris = tube_triangles(&line, Vec3::new(0.0, 0.0, 5.0), &params);
+        assert_eq!(tris.len(), tube_triangle_count(10, 12));
+        assert_eq!(tris.len(), 2 * 12 * 9);
+    }
+
+    #[test]
+    fn paper_claim_tubes_use_5_to_6_times_more_triangles() {
+        // With the customary 10–12-sided cross-section, streamtubes cost
+        // 10–12× a strip's 2 triangles per segment; the paper's "five to
+        // six times less" compares against its 2-triangle strips *and*
+        // counts the tubes' normals/vertex overhead — geometrically the
+        // per-segment ratio is sides:1. Verify the count ratio at the
+        // paper's implied tessellation (sides ≈ 10–12 → ratio 10–12, i.e.
+        // the strip is ≥5–6× cheaper even before vertex-data savings).
+        for n in [10usize, 100] {
+            let ratio =
+                tube_triangle_count(n, 12) as f64 / sos_triangle_count(n) as f64;
+            assert!((ratio - 12.0).abs() < 1e-9);
+            assert!(ratio >= 5.0, "SOS must be at least 5–6× cheaper");
+        }
+    }
+
+    #[test]
+    fn tube_points_lie_on_radius() {
+        let line = straight_line(5);
+        let params = TubeParams { radius: 0.05, sides: 8, ..Default::default() };
+        let tris = tube_triangles(&line, Vec3::new(0.0, 0.0, 5.0), &params);
+        for tri in &tris {
+            for v in tri {
+                // Distance from the line (the x axis) equals the radius.
+                let d = (v.pos.y * v.pos.y + v.pos.z * v.pos.z).sqrt();
+                assert!((d - 0.05).abs() < 1e-9, "vertex off the tube surface: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn facing_side_is_brighter_than_silhouette() {
+        let line = straight_line(5);
+        let eye = Vec3::new(0.2, 0.0, 5.0);
+        let params = TubeParams { radius: 0.05, sides: 16, ..Default::default() };
+        let tris = tube_triangles(&line, eye, &params);
+        let mut brightest = 0.0f32;
+        let mut dimmest = 1.0f32;
+        for tri in &tris {
+            for v in tri {
+                let l = v.color.luminance();
+                brightest = brightest.max(l);
+                dimmest = dimmest.min(l);
+            }
+        }
+        assert!(brightest > 2.0 * dimmest, "Gouraud shading must vary: {dimmest}..{brightest}");
+    }
+
+    #[test]
+    fn short_lines_make_no_tube() {
+        assert!(tube_triangles(&straight_line(1), Vec3::ZERO, &TubeParams::default()).is_empty());
+        assert_eq!(tube_triangle_count(1, 12), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_sides_panics() {
+        let _ = tube_triangles(
+            &straight_line(3),
+            Vec3::ZERO,
+            &TubeParams { sides: 2, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! RGBA colors and the compositing algebra used by every renderer in the
+//! workspace.
+
+use std::ops::{Add, Mul};
+
+/// A linear-space RGBA color with premultiplication handled explicitly by
+/// the compositing operators. Components are `f32`, matching the
+/// single-precision framebuffers of the commodity graphics hardware the
+/// paper targets.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Rgba {
+    /// Red, linear [0,1].
+    pub r: f32,
+    /// Green, linear [0,1].
+    pub g: f32,
+    /// Blue, linear [0,1].
+    pub b: f32,
+    /// Opacity (alpha), [0,1].
+    pub a: f32,
+}
+
+impl Rgba {
+    /// Fully transparent black.
+    pub const TRANSPARENT: Rgba = Rgba { r: 0.0, g: 0.0, b: 0.0, a: 0.0 };
+    /// Opaque black.
+    pub const BLACK: Rgba = Rgba { r: 0.0, g: 0.0, b: 0.0, a: 1.0 };
+    /// Opaque white.
+    pub const WHITE: Rgba = Rgba { r: 1.0, g: 1.0, b: 1.0, a: 1.0 };
+
+    /// Color from components (not clamped).
+    #[inline]
+    pub const fn new(r: f32, g: f32, b: f32, a: f32) -> Rgba {
+        Rgba { r, g, b, a }
+    }
+
+    /// Opaque color from RGB.
+    #[inline]
+    pub const fn rgb(r: f32, g: f32, b: f32) -> Rgba {
+        Rgba { r, g, b, a: 1.0 }
+    }
+
+    /// Grey level `v`, opaque.
+    #[inline]
+    pub const fn grey(v: f32) -> Rgba {
+        Rgba { r: v, g: v, b: v, a: 1.0 }
+    }
+
+    /// Copy with a different alpha.
+    #[inline]
+    pub fn with_alpha(self, a: f32) -> Rgba {
+        Rgba { a, ..self }
+    }
+
+    /// Component-wise clamp to [0,1].
+    #[inline]
+    pub fn clamped(self) -> Rgba {
+        Rgba::new(
+            self.r.clamp(0.0, 1.0),
+            self.g.clamp(0.0, 1.0),
+            self.b.clamp(0.0, 1.0),
+            self.a.clamp(0.0, 1.0),
+        )
+    }
+
+    /// Source-over compositing of straight-alpha colors:
+    /// `self` drawn over `dst`.
+    pub fn over(self, dst: Rgba) -> Rgba {
+        let sa = self.a;
+        let da = dst.a * (1.0 - sa);
+        let out_a = sa + da;
+        if out_a <= 1e-12 {
+            return Rgba::TRANSPARENT;
+        }
+        Rgba::new(
+            (self.r * sa + dst.r * da) / out_a,
+            (self.g * sa + dst.g * da) / out_a,
+            (self.b * sa + dst.b * da) / out_a,
+            out_a,
+        )
+    }
+
+    /// Front-to-back compositing step used by the volume ray-caster.
+    ///
+    /// `acc` is the accumulated *premultiplied* color + coverage so far,
+    /// `sample` the new straight-alpha sample behind it. Returns the updated
+    /// premultiplied accumulator.
+    pub fn front_to_back(acc: Rgba, sample: Rgba) -> Rgba {
+        let t = 1.0 - acc.a;
+        Rgba::new(
+            acc.r + sample.r * sample.a * t,
+            acc.g + sample.g * sample.a * t,
+            acc.b + sample.b * sample.a * t,
+            acc.a + sample.a * t,
+        )
+    }
+
+    /// Converts a premultiplied accumulator back to straight alpha.
+    pub fn unpremultiply(self) -> Rgba {
+        if self.a <= 1e-12 {
+            Rgba::TRANSPARENT
+        } else {
+            Rgba::new(self.r / self.a, self.g / self.a, self.b / self.a, self.a)
+        }
+    }
+
+    /// Linear interpolation between colors.
+    pub fn lerp(self, o: Rgba, t: f32) -> Rgba {
+        Rgba::new(
+            self.r + (o.r - self.r) * t,
+            self.g + (o.g - self.g) * t,
+            self.b + (o.b - self.b) * t,
+            self.a + (o.a - self.a) * t,
+        )
+    }
+
+    /// Perceived luminance (Rec. 709 weights) of the RGB part.
+    #[inline]
+    pub fn luminance(self) -> f32 {
+        0.2126 * self.r + 0.7152 * self.g + 0.0722 * self.b
+    }
+
+    /// Quantizes to 8-bit sRGB-ish (gamma 2.2) bytes for image output.
+    pub fn to_srgb8(self) -> [u8; 4] {
+        let enc = |v: f32| -> u8 {
+            let v = v.clamp(0.0, 1.0).powf(1.0 / 2.2);
+            (v * 255.0 + 0.5) as u8
+        };
+        [
+            enc(self.r),
+            enc(self.g),
+            enc(self.b),
+            (self.a.clamp(0.0, 1.0) * 255.0 + 0.5) as u8,
+        ]
+    }
+
+    /// Maximum absolute per-channel difference to another color, including
+    /// alpha. Used by the image-difference metrics in the benchmarks.
+    pub fn max_channel_diff(self, o: Rgba) -> f32 {
+        (self.r - o.r)
+            .abs()
+            .max((self.g - o.g).abs())
+            .max((self.b - o.b).abs())
+            .max((self.a - o.a).abs())
+    }
+}
+
+impl Add for Rgba {
+    type Output = Rgba;
+    #[inline]
+    fn add(self, o: Rgba) -> Rgba {
+        Rgba::new(self.r + o.r, self.g + o.g, self.b + o.b, self.a + o.a)
+    }
+}
+
+impl Mul<f32> for Rgba {
+    type Output = Rgba;
+    #[inline]
+    fn mul(self, s: f32) -> Rgba {
+        Rgba::new(self.r * s, self.g * s, self.b * s, self.a * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Rgba, b: Rgba, tol: f32) -> bool {
+        a.max_channel_diff(b) <= tol
+    }
+
+    #[test]
+    fn over_opaque_source_wins() {
+        let red = Rgba::rgb(1.0, 0.0, 0.0);
+        let blue = Rgba::rgb(0.0, 0.0, 1.0);
+        assert!(close(red.over(blue), red, 1e-6));
+    }
+
+    #[test]
+    fn over_transparent_source_is_noop() {
+        let blue = Rgba::rgb(0.0, 0.0, 1.0);
+        assert!(close(Rgba::TRANSPARENT.over(blue), blue, 1e-6));
+    }
+
+    #[test]
+    fn over_half_alpha_mixes() {
+        let half_red = Rgba::new(1.0, 0.0, 0.0, 0.5);
+        let white = Rgba::WHITE;
+        let out = half_red.over(white);
+        assert!((out.a - 1.0).abs() < 1e-6);
+        assert!((out.r - 1.0).abs() < 1e-6);
+        assert!((out.g - 0.5).abs() < 1e-6);
+        assert!((out.b - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn front_to_back_matches_back_to_front() {
+        // Compositing a stack of translucent samples front-to-back with the
+        // accumulator must equal back-to-front `over` chaining.
+        let samples = [
+            Rgba::new(1.0, 0.0, 0.0, 0.3),
+            Rgba::new(0.0, 1.0, 0.0, 0.5),
+            Rgba::new(0.0, 0.0, 1.0, 0.7),
+        ];
+        let mut acc = Rgba::TRANSPARENT;
+        for s in samples {
+            acc = Rgba::front_to_back(acc, s);
+        }
+        let ftb = acc.unpremultiply();
+        let mut btf = Rgba::TRANSPARENT;
+        for s in samples.iter().rev() {
+            btf = s.over(btf);
+        }
+        assert!(close(ftb, btf, 1e-6), "{ftb:?} vs {btf:?}");
+    }
+
+    #[test]
+    fn front_to_back_saturates_alpha() {
+        let mut acc = Rgba::TRANSPARENT;
+        for _ in 0..100 {
+            acc = Rgba::front_to_back(acc, Rgba::new(1.0, 1.0, 1.0, 0.5));
+        }
+        assert!(acc.a <= 1.0 + 1e-6);
+        assert!(acc.a > 0.999);
+    }
+
+    #[test]
+    fn srgb_roundtrip_extremes() {
+        assert_eq!(Rgba::BLACK.to_srgb8(), [0, 0, 0, 255]);
+        assert_eq!(Rgba::WHITE.to_srgb8(), [255, 255, 255, 255]);
+        assert_eq!(Rgba::TRANSPARENT.to_srgb8()[3], 0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Rgba::rgb(1.0, 0.0, 0.0);
+        let b = Rgba::rgb(0.0, 1.0, 0.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn luminance_ordering() {
+        // Green contributes most to perceived brightness.
+        let r = Rgba::rgb(1.0, 0.0, 0.0).luminance();
+        let g = Rgba::rgb(0.0, 1.0, 0.0).luminance();
+        let b = Rgba::rgb(0.0, 0.0, 1.0).luminance();
+        assert!(g > r && r > b);
+        assert!((Rgba::WHITE.luminance() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let c = Rgba::new(2.0, -1.0, 0.5, 3.0).clamped();
+        assert_eq!(c, Rgba::new(1.0, 0.0, 0.5, 1.0));
+    }
+}

@@ -1,0 +1,110 @@
+//! Scalar interpolation kernels shared by the transfer functions, the
+//! volume sampler, and the field interpolators.
+
+/// Linear interpolation `a + t (b - a)`.
+#[inline]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Hermite smoothstep: 0 below `e0`, 1 above `e1`, smooth in between.
+/// Used for the "ramp" transition of the paper's volume transfer function
+/// (§2.4), which softens the artificial boundary of the volume region.
+pub fn smoothstep(e0: f64, e1: f64, x: f64) -> f64 {
+    if e0 >= e1 {
+        // Degenerate ramp: behave as a step at e0.
+        return if x < e0 { 0.0 } else { 1.0 };
+    }
+    let t = ((x - e0) / (e1 - e0)).clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Trilinear interpolation of the 8 corner values of a cell.
+///
+/// `c[i]` uses the same bit convention as `Aabb::octant_index`: bit 0 = x
+/// high, bit 1 = y high, bit 2 = z high. `(u, v, w)` are the fractional
+/// coordinates in [0,1].
+pub fn trilinear(c: &[f64; 8], u: f64, v: f64, w: f64) -> f64 {
+    let x00 = lerp(c[0], c[1], u);
+    let x10 = lerp(c[2], c[3], u);
+    let x01 = lerp(c[4], c[5], u);
+    let x11 = lerp(c[6], c[7], u);
+    let y0 = lerp(x00, x10, v);
+    let y1 = lerp(x01, x11, v);
+    lerp(y0, y1, w)
+}
+
+/// Centripetal-flavoured Catmull-Rom interpolation through `p1`..`p2` with
+/// neighbours `p0`, `p3`, at parameter `t` in [0,1]. Used to smooth sparse
+/// field-line polylines before strip generation.
+pub fn catmull_rom(p0: f64, p1: f64, p2: f64, p3: f64, t: f64) -> f64 {
+    let t2 = t * t;
+    let t3 = t2 * t;
+    0.5 * ((2.0 * p1)
+        + (-p0 + p2) * t
+        + (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3) * t2
+        + (-p0 + 3.0 * p1 - 3.0 * p2 + p3) * t3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_basics() {
+        assert_eq!(lerp(0.0, 10.0, 0.0), 0.0);
+        assert_eq!(lerp(0.0, 10.0, 1.0), 10.0);
+        assert_eq!(lerp(0.0, 10.0, 0.25), 2.5);
+        // Extrapolation is allowed.
+        assert_eq!(lerp(0.0, 10.0, 1.5), 15.0);
+    }
+
+    #[test]
+    fn smoothstep_clamps_and_is_monotone() {
+        assert_eq!(smoothstep(0.2, 0.8, 0.0), 0.0);
+        assert_eq!(smoothstep(0.2, 0.8, 1.0), 1.0);
+        assert!((smoothstep(0.2, 0.8, 0.5) - 0.5).abs() < 1e-12);
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let v = smoothstep(0.2, 0.8, i as f64 / 100.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn smoothstep_degenerate_is_step() {
+        assert_eq!(smoothstep(0.5, 0.5, 0.4), 0.0);
+        assert_eq!(smoothstep(0.5, 0.5, 0.6), 1.0);
+        assert_eq!(smoothstep(0.5, 0.5, 0.5), 1.0);
+    }
+
+    #[test]
+    fn trilinear_corners_and_center() {
+        let c = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        assert_eq!(trilinear(&c, 0.0, 0.0, 0.0), 0.0);
+        assert_eq!(trilinear(&c, 1.0, 0.0, 0.0), 1.0);
+        assert_eq!(trilinear(&c, 0.0, 1.0, 0.0), 2.0);
+        assert_eq!(trilinear(&c, 0.0, 0.0, 1.0), 4.0);
+        assert_eq!(trilinear(&c, 1.0, 1.0, 1.0), 7.0);
+        // Center is the mean of the corners.
+        let mean: f64 = c.iter().sum::<f64>() / 8.0;
+        assert!((trilinear(&c, 0.5, 0.5, 0.5) - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trilinear_constant_field() {
+        let c = [3.5; 8];
+        for &(u, v, w) in &[(0.1, 0.9, 0.3), (0.5, 0.5, 0.5), (0.0, 1.0, 0.7)] {
+            assert!((trilinear(&c, u, v, w) - 3.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn catmull_rom_interpolates_endpoints() {
+        assert_eq!(catmull_rom(0.0, 1.0, 2.0, 3.0, 0.0), 1.0);
+        assert_eq!(catmull_rom(0.0, 1.0, 2.0, 3.0, 1.0), 2.0);
+        // On collinear data it reproduces the line.
+        assert!((catmull_rom(0.0, 1.0, 2.0, 3.0, 0.5) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,381 @@
+//! Column-major 4×4 matrix for the rendering pipeline.
+
+use crate::vec3::Vec3;
+use crate::vec4::Vec4;
+use std::ops::Mul;
+
+/// A column-major 4×4 double-precision matrix.
+///
+/// `m[c][r]` is the element in column `c`, row `r` — the same layout OpenGL
+/// used on the graphics cards the paper targets, so transform code reads
+/// identically to the original fixed-function pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat4 {
+    /// Columns of the matrix.
+    pub cols: [[f64; 4]; 4],
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Mat4::IDENTITY
+    }
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat4 = Mat4 {
+        cols: [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ],
+    };
+
+    /// Matrix from columns.
+    #[inline]
+    pub const fn from_cols(cols: [[f64; 4]; 4]) -> Mat4 {
+        Mat4 { cols }
+    }
+
+    /// Element accessor: column `c`, row `r`.
+    #[inline]
+    pub fn at(&self, c: usize, r: usize) -> f64 {
+        self.cols[c][r]
+    }
+
+    /// Translation matrix.
+    pub fn translation(t: Vec3) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        m.cols[3] = [t.x, t.y, t.z, 1.0];
+        m
+    }
+
+    /// Non-uniform scale matrix.
+    pub fn scale(s: Vec3) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        m.cols[0][0] = s.x;
+        m.cols[1][1] = s.y;
+        m.cols[2][2] = s.z;
+        m
+    }
+
+    /// Rotation about the x axis by `angle` radians.
+    pub fn rotation_x(angle: f64) -> Mat4 {
+        let (s, c) = angle.sin_cos();
+        Mat4::from_cols([
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, c, s, 0.0],
+            [0.0, -s, c, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ])
+    }
+
+    /// Rotation about the y axis by `angle` radians.
+    pub fn rotation_y(angle: f64) -> Mat4 {
+        let (s, c) = angle.sin_cos();
+        Mat4::from_cols([
+            [c, 0.0, -s, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [s, 0.0, c, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ])
+    }
+
+    /// Rotation about the z axis by `angle` radians.
+    pub fn rotation_z(angle: f64) -> Mat4 {
+        let (s, c) = angle.sin_cos();
+        Mat4::from_cols([
+            [c, s, 0.0, 0.0],
+            [-s, c, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ])
+    }
+
+    /// Right-handed look-at view matrix (camera at `eye`, looking at
+    /// `target`, with `up` roughly up).
+    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3) -> Mat4 {
+        let f = (target - eye).normalized_or(-Vec3::UNIT_Z);
+        let s = f.cross(up).normalized_or(Vec3::UNIT_X);
+        let u = s.cross(f);
+        Mat4::from_cols([
+            [s.x, u.x, -f.x, 0.0],
+            [s.y, u.y, -f.y, 0.0],
+            [s.z, u.z, -f.z, 0.0],
+            [-s.dot(eye), -u.dot(eye), f.dot(eye), 1.0],
+        ])
+    }
+
+    /// Right-handed perspective projection (OpenGL clip conventions:
+    /// z ∈ [-1, 1] after divide).
+    ///
+    /// `fovy` is the vertical field of view in radians; `aspect` is
+    /// width/height; `near`/`far` are positive distances.
+    pub fn perspective(fovy: f64, aspect: f64, near: f64, far: f64) -> Mat4 {
+        assert!(near > 0.0 && far > near, "invalid near/far planes");
+        let f = 1.0 / (fovy / 2.0).tan();
+        Mat4::from_cols([
+            [f / aspect, 0.0, 0.0, 0.0],
+            [0.0, f, 0.0, 0.0],
+            [0.0, 0.0, (far + near) / (near - far), -1.0],
+            [0.0, 0.0, 2.0 * far * near / (near - far), 0.0],
+        ])
+    }
+
+    /// Orthographic projection onto `[-1,1]³`.
+    pub fn orthographic(l: f64, r: f64, b: f64, t: f64, near: f64, far: f64) -> Mat4 {
+        Mat4::from_cols([
+            [2.0 / (r - l), 0.0, 0.0, 0.0],
+            [0.0, 2.0 / (t - b), 0.0, 0.0],
+            [0.0, 0.0, -2.0 / (far - near), 0.0],
+            [
+                -(r + l) / (r - l),
+                -(t + b) / (t - b),
+                -(far + near) / (far - near),
+                1.0,
+            ],
+        ])
+    }
+
+    /// Matrix transpose.
+    #[allow(clippy::needless_range_loop)]
+    pub fn transpose(&self) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        for c in 0..4 {
+            for r in 0..4 {
+                m.cols[c][r] = self.cols[r][c];
+            }
+        }
+        m
+    }
+
+    /// Full 4×4 inverse via cofactor expansion. Returns `None` when the
+    /// matrix is singular.
+    #[allow(clippy::needless_range_loop)]
+    pub fn inverse(&self) -> Option<Mat4> {
+        // Flatten to row-major a[r][c] for readability of the cofactor code.
+        let mut a = [[0.0f64; 4]; 4];
+        for c in 0..4 {
+            for r in 0..4 {
+                a[r][c] = self.cols[c][r];
+            }
+        }
+        let mut inv = [[0.0f64; 4]; 4];
+
+        // 2x2 sub-determinants of the lower half.
+        let s0 = a[0][0] * a[1][1] - a[1][0] * a[0][1];
+        let s1 = a[0][0] * a[1][2] - a[1][0] * a[0][2];
+        let s2 = a[0][0] * a[1][3] - a[1][0] * a[0][3];
+        let s3 = a[0][1] * a[1][2] - a[1][1] * a[0][2];
+        let s4 = a[0][1] * a[1][3] - a[1][1] * a[0][3];
+        let s5 = a[0][2] * a[1][3] - a[1][2] * a[0][3];
+
+        let c5 = a[2][2] * a[3][3] - a[3][2] * a[2][3];
+        let c4 = a[2][1] * a[3][3] - a[3][1] * a[2][3];
+        let c3 = a[2][1] * a[3][2] - a[3][1] * a[2][2];
+        let c2 = a[2][0] * a[3][3] - a[3][0] * a[2][3];
+        let c1 = a[2][0] * a[3][2] - a[3][0] * a[2][2];
+        let c0 = a[2][0] * a[3][1] - a[3][0] * a[2][1];
+
+        let det = s0 * c5 - s1 * c4 + s2 * c3 + s3 * c2 - s4 * c1 + s5 * c0;
+        if det.abs() < 1e-300 {
+            return None;
+        }
+        let invdet = 1.0 / det;
+
+        inv[0][0] = (a[1][1] * c5 - a[1][2] * c4 + a[1][3] * c3) * invdet;
+        inv[0][1] = (-a[0][1] * c5 + a[0][2] * c4 - a[0][3] * c3) * invdet;
+        inv[0][2] = (a[3][1] * s5 - a[3][2] * s4 + a[3][3] * s3) * invdet;
+        inv[0][3] = (-a[2][1] * s5 + a[2][2] * s4 - a[2][3] * s3) * invdet;
+
+        inv[1][0] = (-a[1][0] * c5 + a[1][2] * c2 - a[1][3] * c1) * invdet;
+        inv[1][1] = (a[0][0] * c5 - a[0][2] * c2 + a[0][3] * c1) * invdet;
+        inv[1][2] = (-a[3][0] * s5 + a[3][2] * s2 - a[3][3] * s1) * invdet;
+        inv[1][3] = (a[2][0] * s5 - a[2][2] * s2 + a[2][3] * s1) * invdet;
+
+        inv[2][0] = (a[1][0] * c4 - a[1][1] * c2 + a[1][3] * c0) * invdet;
+        inv[2][1] = (-a[0][0] * c4 + a[0][1] * c2 - a[0][3] * c0) * invdet;
+        inv[2][2] = (a[3][0] * s4 - a[3][1] * s2 + a[3][3] * s0) * invdet;
+        inv[2][3] = (-a[2][0] * s4 + a[2][1] * s2 - a[2][3] * s0) * invdet;
+
+        inv[3][0] = (-a[1][0] * c3 + a[1][1] * c1 - a[1][2] * c0) * invdet;
+        inv[3][1] = (a[0][0] * c3 - a[0][1] * c1 + a[0][2] * c0) * invdet;
+        inv[3][2] = (-a[3][0] * s3 + a[3][1] * s1 - a[3][2] * s0) * invdet;
+        inv[3][3] = (a[2][0] * s3 - a[2][1] * s1 + a[2][2] * s0) * invdet;
+
+        // Back to column-major.
+        let mut m = Mat4::IDENTITY;
+        for c in 0..4 {
+            for r in 0..4 {
+                m.cols[c][r] = inv[r][c];
+            }
+        }
+        Some(m)
+    }
+
+    /// Transforms a homogeneous vector.
+    #[inline]
+    pub fn mul_vec4(&self, v: Vec4) -> Vec4 {
+        let c = &self.cols;
+        Vec4::new(
+            c[0][0] * v.x + c[1][0] * v.y + c[2][0] * v.z + c[3][0] * v.w,
+            c[0][1] * v.x + c[1][1] * v.y + c[2][1] * v.z + c[3][1] * v.w,
+            c[0][2] * v.x + c[1][2] * v.y + c[2][2] * v.z + c[3][2] * v.w,
+            c[0][3] * v.x + c[1][3] * v.y + c[2][3] * v.z + c[3][3] * v.w,
+        )
+    }
+
+    /// Transforms a point (w = 1) without the perspective divide.
+    #[inline]
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        self.mul_vec4(Vec4::from_point(p)).xyz()
+    }
+
+    /// Transforms a point (w = 1) *with* the perspective divide; `None` for
+    /// points mapped to infinity.
+    #[inline]
+    pub fn project_point(&self, p: Vec3) -> Option<Vec3> {
+        self.mul_vec4(Vec4::from_point(p)).project()
+    }
+
+    /// Transforms a direction (w = 0).
+    #[inline]
+    pub fn transform_direction(&self, d: Vec3) -> Vec3 {
+        self.mul_vec4(Vec4::from_direction(d)).xyz()
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Mat4;
+    fn mul(self, o: Mat4) -> Mat4 {
+        let mut m = Mat4::from_cols([[0.0; 4]; 4]);
+        for c in 0..4 {
+            for r in 0..4 {
+                let mut sum = 0.0;
+                for k in 0..4 {
+                    sum += self.cols[k][r] * o.cols[c][k];
+                }
+                m.cols[c][r] = sum;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn mats_close(a: &Mat4, b: &Mat4, tol: f64) -> bool {
+        (0..4).all(|c| (0..4).all(|r| approx_eq(a.cols[c][r], b.cols[c][r], tol)))
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let p = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Mat4::IDENTITY.transform_point(p), p);
+        let m = Mat4::translation(Vec3::new(1.0, 2.0, 3.0));
+        assert!(mats_close(&(m * Mat4::IDENTITY), &m, 1e-15));
+        assert!(mats_close(&(Mat4::IDENTITY * m), &m, 1e-15));
+    }
+
+    #[test]
+    fn translation_moves_points_not_directions() {
+        let m = Mat4::translation(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(m.transform_point(Vec3::ZERO), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(m.transform_direction(Vec3::UNIT_X), Vec3::UNIT_X);
+    }
+
+    #[test]
+    fn scale_scales() {
+        let m = Mat4::scale(Vec3::new(2.0, 3.0, 4.0));
+        assert_eq!(
+            m.transform_point(Vec3::new(1.0, 1.0, 1.0)),
+            Vec3::new(2.0, 3.0, 4.0)
+        );
+    }
+
+    #[test]
+    fn rotation_z_quarter_turn() {
+        let m = Mat4::rotation_z(std::f64::consts::FRAC_PI_2);
+        let r = m.transform_point(Vec3::UNIT_X);
+        assert!(r.distance(Vec3::UNIT_Y) < 1e-12);
+    }
+
+    #[test]
+    fn rotations_preserve_length() {
+        let m = Mat4::rotation_x(0.3) * Mat4::rotation_y(1.1) * Mat4::rotation_z(-0.7);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!(approx_eq(m.transform_point(v).length(), v.length(), 1e-12));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = Mat4::translation(Vec3::new(1.0, -2.0, 0.5))
+            * Mat4::rotation_y(0.8)
+            * Mat4::scale(Vec3::new(2.0, 1.0, 0.25));
+        let inv = m.inverse().unwrap();
+        assert!(mats_close(&(m * inv), &Mat4::IDENTITY, 1e-12));
+        assert!(mats_close(&(inv * m), &Mat4::IDENTITY, 1e-12));
+    }
+
+    #[test]
+    fn singular_has_no_inverse() {
+        let m = Mat4::scale(Vec3::new(1.0, 0.0, 1.0));
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn look_at_maps_eye_to_origin_and_target_to_neg_z() {
+        let eye = Vec3::new(0.0, 0.0, 5.0);
+        let target = Vec3::ZERO;
+        let m = Mat4::look_at(eye, target, Vec3::UNIT_Y);
+        assert!(m.transform_point(eye).length() < 1e-12);
+        let t = m.transform_point(target);
+        // Target is straight down -z at distance 5.
+        assert!(t.distance(Vec3::new(0.0, 0.0, -5.0)) < 1e-12);
+    }
+
+    #[test]
+    fn perspective_maps_frustum_to_clip_cube() {
+        let proj = Mat4::perspective(std::f64::consts::FRAC_PI_2, 1.0, 1.0, 100.0);
+        // A point on the near plane straight ahead maps to z = -1.
+        let p = proj.project_point(Vec3::new(0.0, 0.0, -1.0)).unwrap();
+        assert!(approx_eq(p.z, -1.0, 1e-12));
+        // A point on the far plane maps to z = +1.
+        let p = proj.project_point(Vec3::new(0.0, 0.0, -100.0)).unwrap();
+        assert!(approx_eq(p.z, 1.0, 1e-12));
+        // fovy = 90° → at distance d the frustum half-height is d.
+        let p = proj.project_point(Vec3::new(0.0, 2.0, -2.0)).unwrap();
+        assert!(approx_eq(p.y, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn orthographic_unit_box() {
+        let proj = Mat4::orthographic(-1.0, 1.0, -1.0, 1.0, 0.0, 2.0);
+        let p = proj.project_point(Vec3::new(0.5, -0.5, -1.0)).unwrap();
+        assert!(approx_eq(p.x, 0.5, 1e-12));
+        assert!(approx_eq(p.y, -0.5, 1e-12));
+        assert!(approx_eq(p.z, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat4::look_at(Vec3::new(1.0, 2.0, 3.0), Vec3::ZERO, Vec3::UNIT_Y);
+        assert!(mats_close(&m.transpose().transpose(), &m, 0.0));
+    }
+
+    #[test]
+    fn matrix_multiply_composes_transforms() {
+        let t = Mat4::translation(Vec3::new(1.0, 0.0, 0.0));
+        let s = Mat4::scale(Vec3::splat(2.0));
+        let p = Vec3::new(1.0, 1.0, 1.0);
+        // (t * s) applies s first, then t — OpenGL composition order.
+        let composed = (t * s).transform_point(p);
+        let sequential = t.transform_point(s.transform_point(p));
+        assert_eq!(composed, sequential);
+        assert_eq!(composed, Vec3::new(3.0, 2.0, 2.0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Unit quaternions for interactive camera orbiting.
+
+use crate::mat4::Mat4;
+use crate::vec3::Vec3;
+use std::ops::Mul;
+
+/// A quaternion `w + xi + yj + zk`, used to represent rotations for the
+/// interactive trackball camera in the viewer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f64,
+    /// i coefficient.
+    pub x: f64,
+    /// j coefficient.
+    pub y: f64,
+    /// k coefficient.
+    pub z: f64,
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Quaternion from components.
+    #[inline]
+    pub const fn new(w: f64, x: f64, y: f64, z: f64) -> Quat {
+        Quat { w, x, y, z }
+    }
+
+    /// Rotation of `angle` radians about (not necessarily unit) `axis`.
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Quat {
+        let axis = axis.normalized_or(Vec3::UNIT_Z);
+        let (s, c) = (angle / 2.0).sin_cos();
+        Quat::new(c, axis.x * s, axis.y * s, axis.z * s)
+    }
+
+    /// Quaternion norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Unit-norm copy. Falls back to identity for degenerate input.
+    pub fn normalized(self) -> Quat {
+        let n = self.norm();
+        if n <= 1e-300 {
+            Quat::IDENTITY
+        } else {
+            Quat::new(self.w / n, self.x / n, self.y / n, self.z / n)
+        }
+    }
+
+    /// Conjugate (inverse rotation for unit quaternions).
+    #[inline]
+    pub fn conjugate(self) -> Quat {
+        Quat::new(self.w, -self.x, -self.y, -self.z)
+    }
+
+    /// Rotates a vector by this (unit) quaternion.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = q v q* expanded to avoid constructing intermediate quats.
+        let u = Vec3::new(self.x, self.y, self.z);
+        let s = self.w;
+        u * (2.0 * u.dot(v)) + v * (s * s - u.dot(u)) + u.cross(v) * (2.0 * s)
+    }
+
+    /// Converts to a rotation matrix.
+    pub fn to_mat4(self) -> Mat4 {
+        let q = self.normalized();
+        let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+        Mat4::from_cols([
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y + w * z),
+                2.0 * (x * z - w * y),
+                0.0,
+            ],
+            [
+                2.0 * (x * y - w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z + w * x),
+                0.0,
+            ],
+            [
+                2.0 * (x * z + w * y),
+                2.0 * (y * z - w * x),
+                1.0 - 2.0 * (x * x + y * y),
+                0.0,
+            ],
+            [0.0, 0.0, 0.0, 1.0],
+        ])
+    }
+
+    /// Spherical linear interpolation between two unit quaternions.
+    pub fn slerp(self, other: Quat, t: f64) -> Quat {
+        let mut b = other;
+        let mut dot = self.w * b.w + self.x * b.x + self.y * b.y + self.z * b.z;
+        // Take the short arc.
+        if dot < 0.0 {
+            b = Quat::new(-b.w, -b.x, -b.y, -b.z);
+            dot = -dot;
+        }
+        if dot > 0.9995 {
+            // Nearly parallel: fall back to nlerp.
+            return Quat::new(
+                self.w + t * (b.w - self.w),
+                self.x + t * (b.x - self.x),
+                self.y + t * (b.y - self.y),
+                self.z + t * (b.z - self.z),
+            )
+            .normalized();
+        }
+        let theta0 = dot.acos();
+        let theta = theta0 * t;
+        let (s, c) = theta.sin_cos();
+        let s0 = c - dot * s / theta0.sin();
+        let s1 = s / theta0.sin();
+        Quat::new(
+            self.w * s0 + b.w * s1,
+            self.x * s0 + b.x * s1,
+            self.y * s0 + b.y * s1,
+            self.z * s0 + b.z * s1,
+        )
+    }
+}
+
+impl Mul for Quat {
+    type Output = Quat;
+    fn mul(self, o: Quat) -> Quat {
+        Quat::new(
+            self.w * o.w - self.x * o.x - self.y * o.y - self.z * o.z,
+            self.w * o.x + self.x * o.w + self.y * o.z - self.z * o.y,
+            self.w * o.y - self.x * o.z + self.y * o.w + self.z * o.x,
+            self.w * o.z + self.x * o.y - self.y * o.x + self.z * o.w,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn identity_rotation_is_noop() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!(Quat::IDENTITY.rotate(v).distance(v) < 1e-15);
+    }
+
+    #[test]
+    fn axis_angle_quarter_turn() {
+        let q = Quat::from_axis_angle(Vec3::UNIT_Z, std::f64::consts::FRAC_PI_2);
+        assert!(q.rotate(Vec3::UNIT_X).distance(Vec3::UNIT_Y) < 1e-12);
+    }
+
+    #[test]
+    fn rotation_matches_matrix() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 1.0, 0.3), 1.234);
+        let m = q.to_mat4();
+        for v in [Vec3::UNIT_X, Vec3::UNIT_Y, Vec3::new(0.5, -2.0, 1.0)] {
+            assert!(q.rotate(v).distance(m.transform_point(v)) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn composition_matches_sequential_rotation() {
+        let a = Quat::from_axis_angle(Vec3::UNIT_X, 0.7);
+        let b = Quat::from_axis_angle(Vec3::UNIT_Y, -0.4);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        // (a*b) applies b first.
+        assert!((a * b).rotate(v).distance(a.rotate(b.rotate(v))) < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_inverts() {
+        let q = Quat::from_axis_angle(Vec3::new(0.2, -1.0, 0.5), 2.0);
+        let v = Vec3::new(-1.0, 0.5, 2.0);
+        assert!(q.conjugate().rotate(q.rotate(v)).distance(v) < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_length() {
+        let q = Quat::from_axis_angle(Vec3::new(3.0, 1.0, -2.0), 0.9);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!(approx_eq(q.rotate(v).length(), v.length(), 1e-12));
+    }
+
+    #[test]
+    fn slerp_endpoints() {
+        let a = Quat::from_axis_angle(Vec3::UNIT_Z, 0.0);
+        let b = Quat::from_axis_angle(Vec3::UNIT_Z, 1.0);
+        let v = Vec3::UNIT_X;
+        assert!(a.slerp(b, 0.0).rotate(v).distance(a.rotate(v)) < 1e-9);
+        assert!(a.slerp(b, 1.0).rotate(v).distance(b.rotate(v)) < 1e-9);
+        // Midpoint rotates by half the angle.
+        let mid = a.slerp(b, 0.5);
+        let expect = Quat::from_axis_angle(Vec3::UNIT_Z, 0.5);
+        assert!(mid.rotate(v).distance(expect.rotate(v)) < 1e-9);
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let q = Quat::new(2.0, 3.0, -1.0, 0.5).normalized();
+        assert!(approx_eq(q.norm(), 1.0, 1e-14));
+    }
+}

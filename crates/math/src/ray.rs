@@ -1,0 +1,52 @@
+//! Rays for the volume ray-caster.
+
+use crate::vec3::Vec3;
+
+/// A ray `origin + t * dir`, `t >= 0`. `dir` is not required to be unit
+/// length; parametric distances are in units of `|dir|`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Ray direction.
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Ray from origin and direction.
+    #[inline]
+    pub fn new(origin: Vec3, dir: Vec3) -> Ray {
+        Ray { origin, dir }
+    }
+
+    /// Point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f64) -> Vec3 {
+        self.origin + self.dir * t
+    }
+
+    /// Copy with unit-length direction (`None` if the direction is zero).
+    pub fn normalized(&self) -> Option<Ray> {
+        self.dir.normalized().map(|d| Ray::new(self.origin, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_walks_along_direction() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(r.at(0.0), Vec3::ZERO);
+        assert_eq!(r.at(2.0), Vec3::new(2.0, 4.0, 6.0));
+    }
+
+    #[test]
+    fn normalized_direction_is_unit() {
+        let r = Ray::new(Vec3::ONE, Vec3::new(0.0, 3.0, 4.0)).normalized().unwrap();
+        assert!((r.dir.length() - 1.0).abs() < 1e-15);
+        assert_eq!(r.origin, Vec3::ONE);
+        assert!(Ray::new(Vec3::ZERO, Vec3::ZERO).normalized().is_none());
+    }
+}

@@ -1,0 +1,366 @@
+//! Statistics helpers for diagnostics and the benchmark harness:
+//! single-pass moments, Pearson correlation, log-log regression (scaling
+//! exponents), and histograms.
+
+/// Numerically stable single-pass accumulator for mean/variance
+/// (Welford's algorithm).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> OnlineStats {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum sample (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum sample (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, o: &OnlineStats) {
+        if o.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *o;
+            return;
+        }
+        let n = (self.n + o.n) as f64;
+        let delta = o.mean - self.mean;
+        let mean = self.mean + delta * o.n as f64 / n;
+        let m2 = self.m2 + o.m2 + delta * delta * self.n as f64 * o.n as f64 / n;
+        self.n += o.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0 when either sample is constant or the samples are empty /
+/// mismatched in length, which is the conservative choice for the density ∝
+/// magnitude checks.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// A least-squares line `y = slope * x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Ordinary least squares fit. Returns `None` for fewer than two points
+    /// or constant x.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+        if xs.len() != ys.len() || xs.len() < 2 {
+            return None;
+        }
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            sxy += (x - mx) * (y - my);
+            sxx += (x - mx) * (x - mx);
+            syy += (y - my) * (y - my);
+        }
+        if sxx <= 0.0 {
+            return None;
+        }
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let r_squared = if syy <= 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+        Some(LinearFit { slope, intercept, r_squared })
+    }
+
+    /// Fits `y = c * x^p` by regressing in log-log space and returns the
+    /// exponent `p`. Used by the PREP experiment to verify the paper's claim
+    /// that partitioning scales linearly in the particle count.
+    pub fn scaling_exponent(sizes: &[f64], times: &[f64]) -> Option<LinearFit> {
+        if sizes.iter().chain(times).any(|&v| v <= 0.0) {
+            return None;
+        }
+        let lx: Vec<f64> = sizes.iter().map(|v| v.ln()).collect();
+        let ly: Vec<f64> = times.iter().map(|v| v.ln()).collect();
+        LinearFit::fit(&lx, &ly)
+    }
+
+    /// Evaluates the fitted line.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// A fixed-range histogram with uniformly sized bins. Out-of-range samples
+/// are clamped to the edge bins, so every pushed sample is counted.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi]` with `bins` bins. Panics on `bins == 0` or
+    /// a non-positive range.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    /// Bin index for a value (clamped to the edge bins).
+    pub fn bin_of(&self, x: f64) -> usize {
+        let b = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64).floor();
+        (b.max(0.0) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        let b = self.bin_of(x);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples pushed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Center value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Fraction of samples at or below the upper edge of bin `i`.
+    pub fn cumulative_fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let c: u64 = self.counts[..=i].iter().sum();
+        c as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_known_values() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&OnlineStats::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -2.0 * x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 4.0).collect();
+        let f = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((f.slope - 2.5).abs() < 1e-12);
+        assert!((f.intercept + 4.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.eval(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_exponent_detects_linear_and_quadratic() {
+        let ns: Vec<f64> = (1..=10).map(|i| (i * 1000) as f64).collect();
+        let lin: Vec<f64> = ns.iter().map(|n| 3e-6 * n).collect();
+        let quad: Vec<f64> = ns.iter().map(|n| 1e-9 * n * n).collect();
+        let fl = LinearFit::scaling_exponent(&ns, &lin).unwrap();
+        let fq = LinearFit::scaling_exponent(&ns, &quad).unwrap();
+        assert!((fl.slope - 1.0).abs() < 1e-9);
+        assert!((fq.slope - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_exponent_rejects_nonpositive() {
+        assert!(LinearFit::scaling_exponent(&[1.0, 0.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn histogram_counts_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        assert!(h.counts().iter().all(|&c| c == 1));
+        // Out-of-range values are clamped to the edge bins.
+        h.push(-5.0);
+        h.push(25.0);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 2);
+        assert_eq!(h.total(), 12);
+    }
+
+    #[test]
+    fn histogram_centers_and_cdf() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        assert_eq!(h.bin_center(0), 0.5);
+        assert_eq!(h.bin_center(3), 3.5);
+        for x in [0.5, 1.5, 2.5, 3.5] {
+            h.push(x);
+        }
+        assert!((h.cumulative_fraction(1) - 0.5).abs() < 1e-12);
+        assert!((h.cumulative_fraction(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,465 @@
+//! Three-component `f64` vector and the [`Axis`] selector.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub,
+               SubAssign};
+
+/// One of the three Cartesian axes. Used to address vector components and to
+/// name the coordinates of phase-space plot projections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// The x axis (component 0).
+    X,
+    /// The y axis (component 1).
+    Y,
+    /// The z axis (component 2).
+    Z,
+}
+
+impl Axis {
+    /// All three axes in component order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Component index of this axis (`X → 0`, `Y → 1`, `Z → 2`).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+
+    /// Axis from a component index. Panics if `i > 2`.
+    #[inline]
+    pub fn from_index(i: usize) -> Axis {
+        match i {
+            0 => Axis::X,
+            1 => Axis::Y,
+            2 => Axis::Z,
+            _ => panic!("axis index out of range: {i}"),
+        }
+    }
+}
+
+/// A three-component double-precision vector.
+///
+/// Positions, momenta, field vectors, tangents, and normals throughout the
+/// workspace are all `Vec3`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// The all-ones vector.
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    /// Unit vector along x.
+    pub const UNIT_X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along y.
+    pub const UNIT_Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along z.
+    pub const UNIT_Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Constructs a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Vec3 {
+        Vec3 { x, y, z }
+    }
+
+    /// Vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Vec3 {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Unit vector along `axis`.
+    #[inline]
+    pub fn unit(axis: Axis) -> Vec3 {
+        match axis {
+            Axis::X => Vec3::UNIT_X,
+            Axis::Y => Vec3::UNIT_Y,
+            Axis::Z => Vec3::UNIT_Z,
+        }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product (right-handed).
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length (no `sqrt`).
+    #[inline]
+    pub fn length_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, o: Vec3) -> f64 {
+        (self - o).length()
+    }
+
+    /// Unit-length copy of this vector. Returns `None` for (near-)zero
+    /// vectors rather than emitting NaNs.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let len = self.length();
+        if len > 1e-300 {
+            Some(self / len)
+        } else {
+            None
+        }
+    }
+
+    /// Unit-length copy, falling back to `fallback` for zero vectors.
+    #[inline]
+    pub fn normalized_or(self, fallback: Vec3) -> Vec3 {
+        self.normalized().unwrap_or(fallback)
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Component-wise product (Hadamard product).
+    #[inline]
+    pub fn mul_elem(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x * o.x, self.y * o.y, self.z * o.z)
+    }
+
+    /// Component-wise quotient.
+    #[inline]
+    pub fn div_elem(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x / o.x, self.y / o.y, self.z / o.z)
+    }
+
+    /// Component-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Vec3 {
+        Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Largest component value.
+    #[inline]
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component value.
+    #[inline]
+    pub fn min_component(self) -> f64 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// Linear interpolation `self + t * (o - self)`.
+    #[inline]
+    pub fn lerp(self, o: Vec3, t: f64) -> Vec3 {
+        self + (o - self) * t
+    }
+
+    /// `true` when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Projects this vector onto a unit direction `n` (n need not be unit;
+    /// the projection is scaled by `1/|n|²`).
+    #[inline]
+    pub fn project_onto(self, n: Vec3) -> Vec3 {
+        let d = n.length_squared();
+        if d <= 1e-300 {
+            Vec3::ZERO
+        } else {
+            n * (self.dot(n) / d)
+        }
+    }
+
+    /// An arbitrary unit vector perpendicular to `self`.
+    ///
+    /// Used when constructing streamtube cross-sections and ribbon frames.
+    pub fn any_perpendicular(self) -> Vec3 {
+        let base = if self.x.abs() < 0.9 { Vec3::UNIT_X } else { Vec3::UNIT_Y };
+        self.cross(base).normalized_or(Vec3::UNIT_Z)
+    }
+
+    /// Components as an array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Vector from an array.
+    #[inline]
+    pub fn from_array(a: [f64; 3]) -> Vec3 {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl Index<Axis> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, a: Axis) -> &f64 {
+        &self[a.index()]
+    }
+}
+
+impl IndexMut<Axis> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, a: Axis) -> &mut f64 {
+        &mut self[a.index()]
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, s: f64) {
+        *self = *self * s;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, s: f64) {
+        *self = *self / s;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6}, {:.6})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, -1.0, 0.5);
+        assert_eq!(a + b, Vec3::new(5.0, 1.0, 3.5));
+        assert_eq!(a - b, Vec3::new(-3.0, 3.0, 2.5));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        assert_eq!(Vec3::UNIT_X.dot(Vec3::UNIT_Y), 0.0);
+        assert_eq!(Vec3::UNIT_X.cross(Vec3::UNIT_Y), Vec3::UNIT_Z);
+        assert_eq!(Vec3::UNIT_Y.cross(Vec3::UNIT_Z), Vec3::UNIT_X);
+        assert_eq!(Vec3::UNIT_Z.cross(Vec3::UNIT_X), Vec3::UNIT_Y);
+        // Anti-commutativity.
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 4.0);
+        assert_eq!(a.cross(b), -(b.cross(a)));
+        // Cross product is orthogonal to both operands.
+        assert!(a.cross(b).dot(a).abs() < 1e-12);
+        assert!(a.cross(b).dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.length_squared(), 25.0);
+        let n = v.normalized().unwrap();
+        assert!((n.length() - 1.0).abs() < 1e-15);
+        assert!(Vec3::ZERO.normalized().is_none());
+        assert_eq!(Vec3::ZERO.normalized_or(Vec3::UNIT_X), Vec3::UNIT_X);
+    }
+
+    #[test]
+    fn axis_indexing() {
+        let mut v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v[Axis::X], 1.0);
+        assert_eq!(v[Axis::Y], 2.0);
+        assert_eq!(v[Axis::Z], 3.0);
+        v[Axis::Z] = 9.0;
+        assert_eq!(v[2], 9.0);
+        for (i, a) in Axis::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+            assert_eq!(Axis::from_index(i), *a);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_out_of_range_panics() {
+        let v = Vec3::ZERO;
+        let _ = v[3];
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Vec3::new(1.0, -5.0, 3.0);
+        let b = Vec3::new(0.0, 2.0, 4.0);
+        assert_eq!(a.min(b), Vec3::new(0.0, -5.0, 3.0));
+        assert_eq!(a.max(b), Vec3::new(1.0, 2.0, 4.0));
+        assert_eq!(a.abs(), Vec3::new(1.0, 5.0, 3.0));
+        assert_eq!(a.max_component(), 3.0);
+        assert_eq!(a.min_component(), -5.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn any_perpendicular_is_perpendicular_and_unit() {
+        for v in [
+            Vec3::UNIT_X,
+            Vec3::UNIT_Y,
+            Vec3::UNIT_Z,
+            Vec3::new(1.0, 1.0, 1.0),
+            Vec3::new(-0.3, 12.0, 0.001),
+        ] {
+            let p = v.any_perpendicular();
+            assert!(p.dot(v).abs() < 1e-9 * v.length().max(1.0));
+            assert!((p.length() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        let p = v.project_onto(Vec3::UNIT_X * 10.0);
+        assert_eq!(p, Vec3::new(3.0, 0.0, 0.0));
+        assert_eq!(v.project_onto(Vec3::ZERO), Vec3::ZERO);
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let v = Vec3::new(1.5, -2.5, 3.25);
+        assert_eq!(Vec3::from_array(v.to_array()), v);
+    }
+}

@@ -1,0 +1,163 @@
+//! Four-component `f64` vector (homogeneous coordinates).
+
+use crate::vec3::Vec3;
+use std::ops::{Add, Div, Index, Mul, Neg, Sub};
+
+/// A four-component double-precision vector, used for homogeneous
+/// coordinates in the projection pipeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec4 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+    /// w (homogeneous) component.
+    pub w: f64,
+}
+
+impl Vec4 {
+    /// The zero vector.
+    pub const ZERO: Vec4 = Vec4 { x: 0.0, y: 0.0, z: 0.0, w: 0.0 };
+
+    /// Constructs a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64, w: f64) -> Vec4 {
+        Vec4 { x, y, z, w }
+    }
+
+    /// Homogeneous *point*: `(v, 1)`.
+    #[inline]
+    pub fn from_point(v: Vec3) -> Vec4 {
+        Vec4::new(v.x, v.y, v.z, 1.0)
+    }
+
+    /// Homogeneous *direction*: `(v, 0)`.
+    #[inline]
+    pub fn from_direction(v: Vec3) -> Vec4 {
+        Vec4::new(v.x, v.y, v.z, 0.0)
+    }
+
+    /// The xyz part, ignoring w.
+    #[inline]
+    pub fn xyz(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Perspective divide: `(x/w, y/w, z/w)`. Returns `None` when |w| is
+    /// (near-)zero, i.e. the point is at infinity.
+    #[inline]
+    pub fn project(self) -> Option<Vec3> {
+        if self.w.abs() <= 1e-300 {
+            None
+        } else {
+            Some(self.xyz() / self.w)
+        }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec4) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z + self.w * o.w
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+}
+
+impl Add for Vec4 {
+    type Output = Vec4;
+    #[inline]
+    fn add(self, o: Vec4) -> Vec4 {
+        Vec4::new(self.x + o.x, self.y + o.y, self.z + o.z, self.w + o.w)
+    }
+}
+
+impl Sub for Vec4 {
+    type Output = Vec4;
+    #[inline]
+    fn sub(self, o: Vec4) -> Vec4 {
+        Vec4::new(self.x - o.x, self.y - o.y, self.z - o.z, self.w - o.w)
+    }
+}
+
+impl Mul<f64> for Vec4 {
+    type Output = Vec4;
+    #[inline]
+    fn mul(self, s: f64) -> Vec4 {
+        Vec4::new(self.x * s, self.y * s, self.z * s, self.w * s)
+    }
+}
+
+impl Div<f64> for Vec4 {
+    type Output = Vec4;
+    #[inline]
+    fn div(self, s: f64) -> Vec4 {
+        Vec4::new(self.x / s, self.y / s, self.z / s, self.w / s)
+    }
+}
+
+impl Neg for Vec4 {
+    type Output = Vec4;
+    #[inline]
+    fn neg(self) -> Vec4 {
+        Vec4::new(-self.x, -self.y, -self.z, -self.w)
+    }
+}
+
+impl Index<usize> for Vec4 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            3 => &self.w,
+            _ => panic!("Vec4 index out of range: {i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_and_direction_construction() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Vec4::from_point(v).w, 1.0);
+        assert_eq!(Vec4::from_direction(v).w, 0.0);
+        assert_eq!(Vec4::from_point(v).xyz(), v);
+    }
+
+    #[test]
+    fn perspective_divide() {
+        let v = Vec4::new(2.0, 4.0, 6.0, 2.0);
+        assert_eq!(v.project().unwrap(), Vec3::new(1.0, 2.0, 3.0));
+        assert!(Vec4::new(1.0, 1.0, 1.0, 0.0).project().is_none());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec4::new(1.0, 2.0, 3.0, 4.0);
+        let b = Vec4::new(0.5, 0.5, 0.5, 0.5);
+        assert_eq!(a + b, Vec4::new(1.5, 2.5, 3.5, 4.5));
+        assert_eq!(a - b, Vec4::new(0.5, 1.5, 2.5, 3.5));
+        assert_eq!(a * 2.0, Vec4::new(2.0, 4.0, 6.0, 8.0));
+        assert_eq!(a / 2.0, Vec4::new(0.5, 1.0, 1.5, 2.0));
+        assert_eq!(-a, Vec4::new(-1.0, -2.0, -3.0, -4.0));
+        assert_eq!(a.dot(b), 0.5 + 1.0 + 1.5 + 2.0);
+        assert_eq!(a[0], 1.0);
+        assert_eq!(a[3], 4.0);
+    }
+
+    #[test]
+    fn length() {
+        assert_eq!(Vec4::new(2.0, 0.0, 0.0, 0.0).length(), 2.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the linear-algebra core.
+
+use accelviz_math::{approx_eq, Aabb, Mat4, Quat, Ray, Vec3};
+use proptest::prelude::*;
+
+fn arb_vec3(range: f64) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_rotation() -> impl Strategy<Value = Quat> {
+    (arb_vec3(1.0), -3.0..3.0f64).prop_filter_map("nonzero axis", |(axis, angle)| {
+        if axis.length() < 1e-3 {
+            None
+        } else {
+            Some(Quat::from_axis_angle(axis, angle))
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Invertible transform chains invert exactly.
+    #[test]
+    fn mat4_inverse_roundtrips(
+        t in arb_vec3(10.0),
+        angle in -3.0..3.0f64,
+        s in 0.1..5.0f64,
+        p in arb_vec3(10.0),
+    ) {
+        let m = Mat4::translation(t) * Mat4::rotation_y(angle) * Mat4::scale(Vec3::splat(s));
+        let inv = m.inverse().expect("composed TRS is invertible");
+        let q = inv.transform_point(m.transform_point(p));
+        prop_assert!(q.distance(p) < 1e-6 * (1.0 + p.length()), "{q} vs {p}");
+    }
+
+    /// Rotations preserve lengths and dot products.
+    #[test]
+    fn quaternion_rotation_is_an_isometry(
+        q in arb_rotation(),
+        a in arb_vec3(10.0),
+        b in arb_vec3(10.0),
+    ) {
+        let ra = q.rotate(a);
+        let rb = q.rotate(b);
+        prop_assert!(approx_eq(ra.length(), a.length(), 1e-9));
+        prop_assert!(approx_eq(ra.dot(rb), a.dot(b), 1e-6));
+    }
+
+    /// Quaternion → matrix and direct rotation agree.
+    #[test]
+    fn quat_matrix_consistency(q in arb_rotation(), v in arb_vec3(5.0)) {
+        let direct = q.rotate(v);
+        let via_matrix = q.to_mat4().transform_point(v);
+        prop_assert!(direct.distance(via_matrix) < 1e-9 * (1.0 + v.length()));
+    }
+
+    /// Composition order: (a·b) rotates like b-then-a.
+    #[test]
+    fn quat_composition(a in arb_rotation(), b in arb_rotation(), v in arb_vec3(5.0)) {
+        let composed = (a * b).rotate(v);
+        let sequential = a.rotate(b.rotate(v));
+        prop_assert!(composed.distance(sequential) < 1e-9 * (1.0 + v.length()));
+    }
+
+    /// Ray-box slab intersection: reported interval endpoints really lie
+    /// on/in the box, and misses really miss.
+    #[test]
+    fn ray_box_interval_is_sound(
+        bmin in arb_vec3(5.0),
+        size in (0.1..5.0f64, 0.1..5.0f64, 0.1..5.0f64),
+        origin in arb_vec3(10.0),
+        dir in arb_vec3(1.0),
+    ) {
+        prop_assume!(dir.length() > 1e-3);
+        let b = Aabb::new(bmin, bmin + Vec3::new(size.0, size.1, size.2));
+        let ray = Ray::new(origin, dir);
+        if let Some((t0, t1)) = b.intersect_ray(&ray) {
+            prop_assert!(t0 <= t1);
+            prop_assert!(t0 >= 0.0);
+            let eps = 1e-6 * (1.0 + origin.length() + b.longest_edge());
+            let grown = Aabb::new(
+                b.min - Vec3::splat(eps),
+                b.max + Vec3::splat(eps),
+            );
+            prop_assert!(grown.contains(ray.at(t0)), "entry point off the box");
+            prop_assert!(grown.contains(ray.at(t1)), "exit point off the box");
+            // Midpoint of the interval is inside.
+            prop_assert!(grown.contains(ray.at((t0 + t1) / 2.0)));
+        } else {
+            // A miss means sampling along the ray never lands inside.
+            for i in 0..50 {
+                let t = i as f64 * 0.5;
+                prop_assert!(
+                    !b.contains_half_open(ray.at(t)),
+                    "reported miss but ray enters at t = {t}"
+                );
+            }
+        }
+    }
+
+    /// lerp is exact at endpoints and monotone between them.
+    #[test]
+    fn vec_lerp_endpoints(a in arb_vec3(10.0), b in arb_vec3(10.0), t in 0.0..1.0f64) {
+        prop_assert!(a.lerp(b, 0.0).distance(a) < 1e-12);
+        prop_assert!(a.lerp(b, 1.0).distance(b) < 1e-12);
+        let m = a.lerp(b, t);
+        // The interpolant lies within the bounding box of the endpoints.
+        let bb = Aabb::from_points([a, b]);
+        let grown = Aabb::new(bb.min - Vec3::splat(1e-9), bb.max + Vec3::splat(1e-9));
+        prop_assert!(grown.contains(m));
+    }
+
+    /// Welford merge equals sequential accumulation for any split.
+    #[test]
+    fn online_stats_merge_any_split(
+        data in prop::collection::vec(-100.0..100.0f64, 2..60),
+        split_frac in 0.0..1.0f64,
+    ) {
+        use accelviz_math::OnlineStats;
+        let split = ((data.len() as f64 * split_frac) as usize).min(data.len());
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..split] {
+            a.push(x);
+        }
+        for &x in &data[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!(approx_eq(a.mean(), whole.mean(), 1e-9));
+        prop_assert!(approx_eq(a.variance(), whole.variance(), 1e-6));
+    }
+}

@@ -1,0 +1,239 @@
+//! Low-resolution density grids: the "volume texture" side of the hybrid
+//! representation.
+//!
+//! The hybrid method renders high-density regions with "fast
+//! low-resolution volume rendering" (§2.2); this module bins particles
+//! into a regular grid of point density that the software volume renderer
+//! consumes as a 3-D texture.
+
+use crate::plots::PlotType;
+use accelviz_beam::particle::Particle;
+use accelviz_math::{trilinear, Aabb, Vec3};
+use rayon::prelude::*;
+
+/// A regular 3-D grid of particle density over a bounding box.
+#[derive(Clone, Debug)]
+pub struct DensityGrid {
+    dims: [usize; 3],
+    bounds: Aabb,
+    /// Density values, x-fastest layout (`data[x + dims0*(y + dims1*z)]`),
+    /// in particles per cell.
+    data: Vec<f32>,
+    max_value: f32,
+}
+
+impl DensityGrid {
+    /// Bins projected particles into a `dims`-resolution grid over
+    /// `bounds`. Counts are per cell; out-of-bounds particles are ignored.
+    pub fn from_particles(
+        particles: &[Particle],
+        plot: PlotType,
+        bounds: Aabb,
+        dims: [usize; 3],
+    ) -> DensityGrid {
+        assert!(dims.iter().all(|&d| d > 0), "grid dims must be positive");
+        let n = dims[0] * dims[1] * dims[2];
+
+        // Parallel binning: per-thread chunks produce partial histograms
+        // that are then reduced. For the grid sizes used here (≤ 256³) a
+        // chunked fold keeps memory reasonable.
+        let chunk = (particles.len() / rayon::current_num_threads().max(1)).max(1024);
+        let data = particles
+            .par_chunks(chunk)
+            .fold(
+                || vec![0.0f32; n],
+                |mut acc, ps| {
+                    for p in ps {
+                        let q = plot.project(p);
+                        if let Some(idx) = cell_index(&bounds, dims, q) {
+                            acc[idx] += 1.0;
+                        }
+                    }
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0.0f32; n],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        let max_value = data.iter().copied().fold(0.0f32, f32::max);
+        DensityGrid { dims, bounds, data, max_value }
+    }
+
+    /// An all-zero grid (useful for incremental accumulation in tests).
+    pub fn zeros(bounds: Aabb, dims: [usize; 3]) -> DensityGrid {
+        assert!(dims.iter().all(|&d| d > 0));
+        DensityGrid {
+            dims,
+            bounds,
+            data: vec![0.0; dims[0] * dims[1] * dims[2]],
+            max_value: 0.0,
+        }
+    }
+
+    /// Grid resolution.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Bounds the grid covers.
+    pub fn bounds(&self) -> &Aabb {
+        &self.bounds
+    }
+
+    /// Raw cell values (x-fastest layout).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Largest cell value.
+    pub fn max_value(&self) -> f32 {
+        self.max_value
+    }
+
+    /// Total of all cells (= number of binned particles).
+    pub fn total(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+
+    /// Cell value at integer coordinates (clamped to the grid).
+    pub fn at(&self, x: usize, y: usize, z: usize) -> f32 {
+        let x = x.min(self.dims[0] - 1);
+        let y = y.min(self.dims[1] - 1);
+        let z = z.min(self.dims[2] - 1);
+        self.data[x + self.dims[0] * (y + self.dims[1] * z)]
+    }
+
+    /// Trilinearly interpolated, max-normalized density at a world-space
+    /// point (0 outside the grid, in [0, 1] inside). This is the "3-D
+    /// texture fetch" of the software volume renderer.
+    pub fn sample_normalized(&self, p: Vec3) -> f64 {
+        if self.max_value <= 0.0 {
+            return 0.0;
+        }
+        let t = self.bounds.normalized_coords(p);
+        if !(0.0..=1.0).contains(&t.x) || !(0.0..=1.0).contains(&t.y) || !(0.0..=1.0).contains(&t.z)
+        {
+            return 0.0;
+        }
+        // Cell-centered sampling.
+        let fx = (t.x * self.dims[0] as f64 - 0.5).clamp(0.0, (self.dims[0] - 1) as f64);
+        let fy = (t.y * self.dims[1] as f64 - 0.5).clamp(0.0, (self.dims[1] - 1) as f64);
+        let fz = (t.z * self.dims[2] as f64 - 0.5).clamp(0.0, (self.dims[2] - 1) as f64);
+        let (x0, y0, z0) = (fx.floor() as usize, fy.floor() as usize, fz.floor() as usize);
+        let (x1, y1, z1) = (
+            (x0 + 1).min(self.dims[0] - 1),
+            (y0 + 1).min(self.dims[1] - 1),
+            (z0 + 1).min(self.dims[2] - 1),
+        );
+        let c = [
+            self.at(x0, y0, z0) as f64,
+            self.at(x1, y0, z0) as f64,
+            self.at(x0, y1, z0) as f64,
+            self.at(x1, y1, z0) as f64,
+            self.at(x0, y0, z1) as f64,
+            self.at(x1, y0, z1) as f64,
+            self.at(x0, y1, z1) as f64,
+            self.at(x1, y1, z1) as f64,
+        ];
+        trilinear(&c, fx - x0 as f64, fy - y0 as f64, fz - z0 as f64) / self.max_value as f64
+    }
+
+    /// Size of this grid as a 3-D texture: one byte per voxel after the
+    /// transfer-function palette lookup (the paletted-texture mode the
+    /// paper's hardware used).
+    pub fn texture_bytes(&self) -> u64 {
+        (self.dims[0] * self.dims[1] * self.dims[2]) as u64
+    }
+}
+
+/// Flat cell index of a point, or `None` when outside the bounds.
+fn cell_index(bounds: &Aabb, dims: [usize; 3], p: Vec3) -> Option<usize> {
+    let t = bounds.normalized_coords(p);
+    if !(0.0..=1.0).contains(&t.x) || !(0.0..=1.0).contains(&t.y) || !(0.0..=1.0).contains(&t.z) {
+        return None;
+    }
+    let x = ((t.x * dims[0] as f64) as usize).min(dims[0] - 1);
+    let y = ((t.y * dims[1] as f64) as usize).min(dims[1] - 1);
+    let z = ((t.z * dims[2] as f64) as usize).min(dims[2] - 1);
+    Some(x + dims[0] * (y + dims[1] * z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelviz_beam::distribution::Distribution;
+
+    fn unit_bounds() -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::ONE)
+    }
+
+    #[test]
+    fn binning_counts_every_inside_particle() {
+        let ps = Distribution::default_beam().sample(5_000, 3);
+        let bounds = Aabb::from_points(ps.iter().map(|p| PlotType::XYZ.project(p)));
+        let grid = DensityGrid::from_particles(&ps, PlotType::XYZ, bounds, [16, 16, 16]);
+        assert_eq!(grid.total() as usize, 5_000);
+        assert!(grid.max_value() >= 1.0);
+    }
+
+    #[test]
+    fn out_of_bounds_particles_are_ignored() {
+        let ps = Distribution::default_beam().sample(1_000, 3);
+        let tiny = Aabb::new(Vec3::splat(10.0), Vec3::splat(11.0));
+        let grid = DensityGrid::from_particles(&ps, PlotType::XYZ, tiny, [4, 4, 4]);
+        assert_eq!(grid.total(), 0.0);
+        assert_eq!(grid.max_value(), 0.0);
+        assert_eq!(grid.sample_normalized(Vec3::splat(10.5)), 0.0);
+    }
+
+    #[test]
+    fn single_particle_lands_in_the_right_cell() {
+        let p = accelviz_beam::particle::Particle::at_rest(Vec3::new(0.9, 0.1, 0.5));
+        let grid = DensityGrid::from_particles(&[p], PlotType::XYZ, unit_bounds(), [2, 2, 2]);
+        // x = 0.9 → cell 1, y = 0.1 → cell 0, z = 0.5 → cell 1.
+        assert_eq!(grid.at(1, 0, 1), 1.0);
+        assert_eq!(grid.total(), 1.0);
+    }
+
+    #[test]
+    fn sample_normalized_is_in_unit_range_and_peaks_at_mass() {
+        let ps = Distribution::default_beam().sample(20_000, 3);
+        let bounds = Aabb::from_points(ps.iter().map(|p| PlotType::XYZ.project(p)));
+        let grid = DensityGrid::from_particles(&ps, PlotType::XYZ, bounds, [32, 32, 32]);
+        let center = grid.sample_normalized(bounds.center());
+        let corner = grid.sample_normalized(bounds.min);
+        assert!((0.0..=1.0).contains(&center));
+        assert!(center > corner, "gaussian beam peaks at center");
+    }
+
+    #[test]
+    fn texture_bytes_budget() {
+        let g64 = DensityGrid::zeros(unit_bounds(), [64, 64, 64]);
+        let g256 = DensityGrid::zeros(unit_bounds(), [256, 256, 256]);
+        assert_eq!(g64.texture_bytes(), 64 * 64 * 64);
+        // The paper's Figure 1 contrast: 256³ needs 64× the texture memory
+        // of 64³.
+        assert_eq!(g256.texture_bytes() / g64.texture_bytes(), 64);
+    }
+
+    #[test]
+    fn sampling_outside_returns_zero() {
+        let ps = Distribution::default_beam().sample(100, 3);
+        let bounds = unit_bounds();
+        let grid = DensityGrid::from_particles(&ps, PlotType::XYZ, bounds, [4, 4, 4]);
+        assert_eq!(grid.sample_normalized(Vec3::splat(2.0)), 0.0);
+        assert_eq!(grid.sample_normalized(Vec3::splat(-0.1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dims_panic() {
+        let _ = DensityGrid::zeros(unit_bounds(), [0, 4, 4]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Threshold extraction: the paper's fast second preprocessing step
+//! (§2.3).
+//!
+//! "The extraction program converts the partitioned data into the hybrid
+//! representation. It is given a partitioned frame and a threshold density.
+//! Particles in octree nodes below the threshold density are stored in the
+//! hybrid representation. All other points ... are discarded. ... Since the
+//! particle file is sorted in order of increasing density, all particles
+//! required for any hybrid representation are in a contiguous block at the
+//! beginning of the file. This portion of the particle data is just copied
+//! to the output; no computation is necessary for the particles, and
+//! discarded particles are never read from disk."
+
+use crate::sorted_store::PartitionedData;
+use accelviz_beam::io::BYTES_PER_PARTICLE;
+use accelviz_beam::particle::Particle;
+
+/// The result of extracting a hybrid representation at a threshold
+/// density: a borrowed prefix of the particle file (the point-rendered
+/// halo) plus bookkeeping for the paper's size/accuracy trade-off.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridExtract<'a> {
+    /// The kept particles — exactly the contiguous prefix of the sorted
+    /// particle file whose leaf densities are below the threshold.
+    pub particles: &'a [Particle],
+    /// The threshold density that was applied.
+    pub threshold: f64,
+    /// Number of leaves whose groups were kept.
+    pub leaves_kept: usize,
+    /// Number of particles discarded (never read in the on-disk model).
+    pub discarded: u64,
+}
+
+impl<'a> HybridExtract<'a> {
+    /// Size of the extracted point data in bytes.
+    pub fn point_bytes(&self) -> u64 {
+        self.particles.len() as u64 * BYTES_PER_PARTICLE
+    }
+
+    /// Fraction of the original particles kept.
+    pub fn kept_fraction(&self) -> f64 {
+        let total = self.particles.len() as u64 + self.discarded;
+        if total == 0 {
+            0.0
+        } else {
+            self.particles.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Extracts the hybrid point set at `threshold` density from a partitioned
+/// frame.
+///
+/// Runs in O(log L) in the number of leaves (binary search over the sorted
+/// leaf densities) — the extraction itself is a zero-copy prefix borrow,
+/// faithfully modeling "no computation is necessary for the particles".
+pub fn extract(data: &PartitionedData, threshold: f64) -> HybridExtract<'_> {
+    let leaves = data.sorted_leaves();
+    // partition_point: first leaf whose density is >= threshold.
+    let cut = leaves.partition_point(|&li| data.tree().nodes[li as usize].density < threshold);
+    let prefix_len = if cut == 0 {
+        0
+    } else {
+        let last = &data.tree().nodes[leaves[cut - 1] as usize];
+        (last.offset + last.len) as usize
+    };
+    HybridExtract {
+        particles: &data.particles()[..prefix_len],
+        threshold,
+        leaves_kept: cut,
+        discarded: (data.particles().len() - prefix_len) as u64,
+    }
+}
+
+/// Finds the threshold density that keeps (approximately, rounding up to a
+/// whole leaf group) the requested number of particles. Supports the
+/// paper's workflow of tuning output size: "the threshold density
+/// parameter ... allows the user to balance file size and visual
+/// accuracy".
+pub fn threshold_for_budget(data: &PartitionedData, max_particles: usize) -> f64 {
+    let leaves = data.sorted_leaves();
+    let mut kept = 0u64;
+    for &li in leaves {
+        let n = &data.tree().nodes[li as usize];
+        if kept + n.len > max_particles as u64 {
+            return n.density;
+        }
+        kept += n.len;
+    }
+    f64::INFINITY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{partition, BuildParams};
+    use crate::plots::PlotType;
+    use accelviz_beam::distribution::Distribution;
+
+    fn build(n: usize) -> PartitionedData {
+        let ps = Distribution::default_beam().sample(n, 21);
+        partition(&ps, PlotType::XYZ, BuildParams { max_depth: 4, leaf_capacity: 64, gradient_refinement: None })
+    }
+
+    #[test]
+    fn extraction_equals_filter_by_threshold() {
+        let data = build(5_000);
+        for threshold in [0.0, 1e3, 1e6, 1e9, f64::INFINITY] {
+            let ex = extract(&data, threshold);
+            // Reference: brute-force filter over leaves.
+            let expected: u64 = data
+                .sorted_leaves()
+                .iter()
+                .map(|&li| &data.tree().nodes[li as usize])
+                .filter(|n| n.density < threshold)
+                .map(|n| n.len)
+                .sum();
+            assert_eq!(ex.particles.len() as u64, expected, "threshold {threshold}");
+            assert_eq!(ex.discarded, data.particles().len() as u64 - expected);
+        }
+    }
+
+    #[test]
+    fn zero_threshold_keeps_nothing_infinite_keeps_everything() {
+        let data = build(2_000);
+        assert_eq!(extract(&data, 0.0).particles.len(), 0);
+        let all = extract(&data, f64::INFINITY);
+        assert_eq!(all.particles.len(), 2_000);
+        assert_eq!(all.discarded, 0);
+        assert!((all.kept_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extracted_particles_really_come_from_low_density_leaves() {
+        let data = build(5_000);
+        let leaves = data.sorted_leaves();
+        let mid = data.tree().nodes[leaves[leaves.len() / 2] as usize].density;
+        let ex = extract(&data, mid);
+        // Every kept particle must belong to a leaf with density < mid.
+        let mut covered = 0usize;
+        for &li in leaves {
+            let n = &data.tree().nodes[li as usize];
+            if n.density < mid {
+                covered += n.len as usize;
+            }
+        }
+        assert_eq!(ex.particles.len(), covered);
+    }
+
+    #[test]
+    fn higher_threshold_keeps_superset() {
+        let data = build(5_000);
+        let low = extract(&data, 1e5);
+        let high = extract(&data, 1e8);
+        assert!(high.particles.len() >= low.particles.len());
+        // Prefix property: the low extraction is literally a prefix of the
+        // high one.
+        assert_eq!(&high.particles[..low.particles.len()], low.particles);
+    }
+
+    #[test]
+    fn point_bytes_accounting() {
+        let data = build(1_000);
+        let ex = extract(&data, f64::INFINITY);
+        assert_eq!(ex.point_bytes(), 48_000);
+    }
+
+    #[test]
+    fn budget_threshold_respects_budget() {
+        let data = build(5_000);
+        for budget in [0usize, 10, 500, 2_500, 5_000, 10_000] {
+            let t = threshold_for_budget(&data, budget);
+            let ex = extract(&data, t);
+            assert!(
+                ex.particles.len() <= budget.max(ex.particles.len().min(budget)),
+                "budget {budget} exceeded: kept {}",
+                ex.particles.len()
+            );
+            assert!(ex.particles.len() <= budget || budget == 0);
+        }
+        // An over-generous budget keeps everything.
+        let t = threshold_for_budget(&data, usize::MAX);
+        assert_eq!(extract(&data, t).particles.len(), 5_000);
+    }
+
+    #[test]
+    fn empty_partition_extracts_empty() {
+        let data = partition(&[], PlotType::XYZ, BuildParams::default());
+        let ex = extract(&data, 1.0);
+        assert_eq!(ex.particles.len(), 0);
+        assert_eq!(ex.kept_fraction(), 0.0);
+    }
+}

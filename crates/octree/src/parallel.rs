@@ -1,0 +1,230 @@
+//! Domain-decomposed parallel partitioning.
+//!
+//! "If the data exceeds the amount of memory available on one node of the
+//! supercomputer, it can also be run on multiple nodes: the volume is
+//! divided up between nodes and particles are assigned to the
+//! corresponding node once they are read from disk" (§2.3). Here the
+//! "nodes" are Rayon tasks: the root's octants are built independently in
+//! parallel and grafted under a common root, producing the same tree shape
+//! as the serial build for the same parameters.
+
+use crate::builder::BuildParams;
+use crate::node::{Node, Octree};
+use crate::plots::PlotType;
+use crate::sorted_store::PartitionedData;
+use accelviz_beam::particle::Particle;
+use accelviz_math::{Aabb, Vec3};
+use rayon::prelude::*;
+
+/// Partitions a particle dump using the multi-node (domain-decomposed)
+/// strategy: the root volume is split into its 8 octants, particles are
+/// routed to their octant, each octant's subtree is built in parallel, and
+/// the pieces are merged into one density-sorted store.
+pub fn partition_parallel(
+    particles: &[Particle],
+    plot: PlotType,
+    params: BuildParams,
+) -> PartitionedData {
+    if particles.is_empty() || params.max_depth == 0 {
+        return crate::builder::partition(particles, plot, params);
+    }
+    let points: Vec<Vec3> = particles.iter().map(|p| plot.project(p)).collect();
+    let bounds = padded_bounds(&points);
+
+    // Route particles to root octants (the "assignment" phase).
+    let mut buckets: [Vec<u32>; 8] = Default::default();
+    for (i, &q) in points.iter().enumerate() {
+        buckets[bounds.octant_index(q)].push(i as u32);
+    }
+
+    // Build each octant subtree in parallel.
+    struct Piece {
+        nodes: Vec<Node>,
+        /// (local leaf node index, particle indices) per leaf.
+        leaves: Vec<(u32, Vec<u32>)>,
+    }
+    let pieces: Vec<Piece> = (0..8usize)
+        .into_par_iter()
+        .map(|oct| {
+            let sub_bounds = bounds.octant(oct);
+            let items = &buckets[oct];
+            let mut nodes = vec![Node::leaf(sub_bounds, 1)];
+            nodes[0].count = items.len() as u64;
+            let mut leaf_items: Vec<Vec<u32>> = vec![items.clone()];
+            let mut leaf_slots: Vec<u32> = vec![0];
+            let mut cursor = 0;
+            while cursor < leaf_slots.len() {
+                let node_idx = leaf_slots[cursor] as usize;
+                let (depth, nb, count) = {
+                    let n = &nodes[node_idx];
+                    (n.depth, n.bounds, n.count as usize)
+                };
+                if depth >= params.max_depth || count <= params.leaf_capacity {
+                    cursor += 1;
+                    continue;
+                }
+                let first_child = nodes.len() as u32;
+                for i in 0..8 {
+                    nodes.push(Node::leaf(nb.octant(i), depth + 1));
+                }
+                nodes[node_idx].set_children(first_child);
+                let its = std::mem::take(&mut leaf_items[cursor]);
+                let mut sub: [Vec<u32>; 8] = Default::default();
+                for idx in its {
+                    sub[nb.octant_index(points[idx as usize])].push(idx);
+                }
+                for (i, bucket) in sub.into_iter().enumerate() {
+                    nodes[first_child as usize + i].count = bucket.len() as u64;
+                    leaf_slots.push(first_child + i as u32);
+                    leaf_items.push(bucket);
+                }
+                cursor += 1;
+            }
+            let leaves = leaf_slots
+                .into_iter()
+                .zip(leaf_items)
+                .filter(|(slot, _)| nodes[*slot as usize].is_leaf())
+                .collect();
+            Piece { nodes, leaves }
+        })
+        .collect();
+
+    // Graft the 8 subtrees under one root, re-basing child pointers.
+    let mut nodes = vec![Node::leaf(bounds, 0)];
+    nodes[0].count = particles.len() as u64;
+    // The root's 8 children must be consecutive: reserve their slots first.
+    let first_child = nodes.len() as u32; // == 1
+    let mut piece_base = Vec::with_capacity(8);
+    let mut extra_base = first_child as usize + 8;
+    for piece in &pieces {
+        piece_base.push((extra_base, piece.nodes.len()));
+        extra_base += piece.nodes.len().saturating_sub(1);
+    }
+    nodes[0].set_children(first_child);
+    // Place each piece's root at slot first_child+oct and its remaining
+    // nodes at its reserved extra block.
+    let mut leaf_slots: Vec<u32> = Vec::new();
+    let mut leaf_items: Vec<Vec<u32>> = Vec::new();
+    for _ in 0..8 {
+        nodes.push(Node::leaf(bounds, 1)); // placeholders, fixed below
+    }
+    for (oct, piece) in pieces.iter().enumerate() {
+        let (base, _) = piece_base[oct];
+        let remap = |local: u32| -> u32 {
+            if local == 0 {
+                first_child + oct as u32
+            } else {
+                (base + local as usize - 1) as u32
+            }
+        };
+        for (local, n) in piece.nodes.iter().enumerate() {
+            let mut copy = *n;
+            if !n.is_leaf() {
+                // Children of `n` are 8 consecutive local slots starting at
+                // some local index c; after remapping, non-root locals stay
+                // consecutive because only slot 0 is relocated (and slot 0
+                // is never a *child*).
+                let c = n.child(0).unwrap();
+                copy.set_children(remap(c));
+            }
+            let global = remap(local as u32) as usize;
+            if global >= nodes.len() {
+                nodes.resize(global + 1, Node::leaf(bounds, 0));
+            }
+            nodes[global] = copy;
+        }
+        for (slot, items) in &piece.leaves {
+            leaf_slots.push(remap(*slot));
+            leaf_items.push(items.clone());
+        }
+    }
+
+    let tree = Octree { nodes, bounds, max_depth: params.max_depth };
+    PartitionedData::from_build(tree, leaf_slots, leaf_items, particles, plot)
+}
+
+fn padded_bounds(points: &[Vec3]) -> Aabb {
+    let raw = Aabb::from_points(points.iter().copied());
+    if raw.is_empty() {
+        return Aabb::new(Vec3::ZERO, Vec3::ONE);
+    }
+    let size = raw.size();
+    let pad = Vec3::new(
+        (size.x * 1e-9).max(1e-12),
+        (size.y * 1e-9).max(1e-12),
+        (size.z * 1e-9).max(1e-12),
+    );
+    Aabb::new(raw.min, raw.max + pad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extraction::extract;
+    use accelviz_beam::distribution::Distribution;
+
+    #[test]
+    fn parallel_build_covers_all_particles() {
+        let ps = Distribution::default_beam().sample(4_000, 13);
+        let params = BuildParams { max_depth: 4, leaf_capacity: 64, gradient_refinement: None };
+        let data = partition_parallel(&ps, PlotType::XYZ, params);
+        data.validate().unwrap();
+        assert_eq!(data.particles().len(), ps.len());
+    }
+
+    #[test]
+    fn parallel_matches_serial_leaf_statistics() {
+        let ps = Distribution::default_beam().sample(3_000, 17);
+        let params = BuildParams { max_depth: 4, leaf_capacity: 32, gradient_refinement: None };
+        let serial = crate::builder::partition(&ps, PlotType::XYZ, params);
+        let par = partition_parallel(&ps, PlotType::XYZ, params);
+        // Same number of particles, same multiset of (density, len) leaf
+        // groups (node layout may differ).
+        let mut a: Vec<(u64, u64)> = serial
+            .sorted_leaves()
+            .iter()
+            .map(|&li| {
+                let n = &serial.tree().nodes[li as usize];
+                (n.density.to_bits(), n.len)
+            })
+            .filter(|&(_, len)| len > 0)
+            .collect();
+        let mut b: Vec<(u64, u64)> = par
+            .sorted_leaves()
+            .iter()
+            .map(|&li| {
+                let n = &par.tree().nodes[li as usize];
+                (n.density.to_bits(), n.len)
+            })
+            .filter(|&(_, len)| len > 0)
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_extraction_matches_serial() {
+        let ps = Distribution::default_beam().sample(3_000, 19);
+        let params = BuildParams { max_depth: 4, leaf_capacity: 32, gradient_refinement: None };
+        let serial = crate::builder::partition(&ps, PlotType::XYZ, params);
+        let par = partition_parallel(&ps, PlotType::XYZ, params);
+        for t in [1e3, 1e6, 1e9] {
+            assert_eq!(
+                extract(&serial, t).particles.len(),
+                extract(&par, t).particles.len(),
+                "threshold {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let data = partition_parallel(&[], PlotType::XYZ, BuildParams::default());
+        assert_eq!(data.particles().len(), 0);
+        let ps = Distribution::default_beam().sample(5, 1);
+        let data = partition_parallel(&ps, PlotType::XYZ, BuildParams::default());
+        data.validate().unwrap();
+        assert_eq!(data.particles().len(), 5);
+    }
+}

@@ -1,0 +1,98 @@
+//! Plot-type projections: choosing 3 of the 6 phase-space coordinates.
+//!
+//! "Since there are six parameters per point, there are a variety of 3-D
+//! plots that can be generated" (§2.3). The paper's Figure 2 shows four:
+//! (x, y, z), (x, px, y), (x, px, z), and (px, py, pz). The partitioning
+//! program takes the plot type as an input, so each plot type gets its own
+//! octree.
+
+use accelviz_beam::particle::{Particle, PhaseCoord};
+use accelviz_math::Vec3;
+
+/// A 3-D plot projection of 6-D phase space: which coordinate is mapped to
+/// each spatial axis of the visualization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlotType {
+    /// The phase coordinates mapped to the (x, y, z) axes of the plot.
+    pub coords: [PhaseCoord; 3],
+}
+
+impl PlotType {
+    /// Configuration space (x, y, z) — Figures 4 and 5.
+    pub const XYZ: PlotType = PlotType {
+        coords: [PhaseCoord::X, PhaseCoord::Y, PhaseCoord::Z],
+    };
+    /// Phase plot (x, pₓ, y) — Figures 1 and 2.
+    pub const X_PX_Y: PlotType = PlotType {
+        coords: [PhaseCoord::X, PhaseCoord::Px, PhaseCoord::Y],
+    };
+    /// Phase plot (x, pₓ, z) — Figure 2.
+    pub const X_PX_Z: PlotType = PlotType {
+        coords: [PhaseCoord::X, PhaseCoord::Px, PhaseCoord::Z],
+    };
+    /// Momentum space (pₓ, p_y, p_z) — Figure 2.
+    pub const MOMENTUM: PlotType = PlotType {
+        coords: [PhaseCoord::Px, PhaseCoord::Py, PhaseCoord::Pz],
+    };
+
+    /// The four distributions shown in the paper's Figure 2, in figure
+    /// order.
+    pub const FIGURE2: [PlotType; 4] = [
+        PlotType::XYZ,
+        PlotType::X_PX_Y,
+        PlotType::X_PX_Z,
+        PlotType::MOMENTUM,
+    ];
+
+    /// Projects a particle into plot space.
+    #[inline]
+    pub fn project(&self, p: &Particle) -> Vec3 {
+        Vec3::new(
+            p.coord(self.coords[0]),
+            p.coord(self.coords[1]),
+            p.coord(self.coords[2]),
+        )
+    }
+
+    /// Human-readable name like `"x-px-y"`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}-{}-{}",
+            self.coords[0].name(),
+            self.coords[1].name(),
+            self.coords[2].name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projections_pick_the_right_coords() {
+        let p = Particle::from_array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(PlotType::XYZ.project(&p), Vec3::new(1.0, 3.0, 5.0));
+        assert_eq!(PlotType::X_PX_Y.project(&p), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(PlotType::X_PX_Z.project(&p), Vec3::new(1.0, 2.0, 5.0));
+        assert_eq!(PlotType::MOMENTUM.project(&p), Vec3::new(2.0, 4.0, 6.0));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(PlotType::XYZ.name(), "x-y-z");
+        assert_eq!(PlotType::X_PX_Y.name(), "x-px-y");
+        assert_eq!(PlotType::MOMENTUM.name(), "px-py-pz");
+    }
+
+    #[test]
+    fn figure2_has_four_distinct_plots() {
+        let f = PlotType::FIGURE2;
+        assert_eq!(f.len(), 4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(f[i], f[j]);
+            }
+        }
+    }
+}

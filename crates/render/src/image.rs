@@ -1,0 +1,54 @@
+//! Image output (binary PPM) for the example binaries.
+
+use crate::framebuffer::Framebuffer;
+use accelviz_math::Rgba;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Encodes the framebuffer as a binary PPM (P6) image, compositing over
+/// the given background color.
+pub fn encode_ppm(fb: &Framebuffer, background: Rgba) -> Vec<u8> {
+    let mut out = Vec::with_capacity(fb.width() * fb.height() * 3 + 32);
+    out.extend_from_slice(format!("P6\n{} {}\n255\n", fb.width(), fb.height()).as_bytes());
+    for c in fb.pixels() {
+        let composed = c.over(background);
+        let [r, g, b, _] = composed.to_srgb8();
+        out.push(r);
+        out.push(g);
+        out.push(b);
+    }
+    out
+}
+
+/// Writes the framebuffer to a PPM file.
+pub fn write_ppm(fb: &Framebuffer, background: Rgba, path: &Path) -> io::Result<()> {
+    let data = encode_ppm(fb, background);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_header_and_size() {
+        let mut fb = Framebuffer::new(3, 2);
+        fb.clear(Rgba::WHITE);
+        let data = encode_ppm(&fb, Rgba::BLACK);
+        assert!(data.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(data.len(), b"P6\n3 2\n255\n".len() + 3 * 2 * 3);
+        // White pixels encode to 255.
+        assert_eq!(data[data.len() - 1], 255);
+    }
+
+    #[test]
+    fn background_shows_through_transparency() {
+        let fb = Framebuffer::new(1, 1); // fully transparent
+        let data = encode_ppm(&fb, Rgba::rgb(1.0, 0.0, 0.0));
+        let n = data.len();
+        assert_eq!(data[n - 3], 255, "red background");
+        assert_eq!(data[n - 2], 0);
+        assert_eq!(data[n - 1], 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Texture-memory budget model.
+//!
+//! The paper's interactivity argument depends on what fits in video
+//! memory: "the size of volumes that can be efficiently visualized in this
+//! manner are limited by the amount of available texture memory" (§2), and
+//! in the viewer "the volume texture and display lists are already loaded
+//! into video memory, or can be quickly swapped in by the display driver"
+//! (§2.5). This module models a fixed-capacity texture memory with LRU
+//! eviction and an upload-bandwidth cost, which the viewer and the FIG1/
+//! FIG5 experiments query.
+
+use std::collections::HashMap;
+
+/// Result of requesting a texture to be resident.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UploadResult {
+    /// The texture was already resident (zero-cost bind).
+    pub was_resident: bool,
+    /// Bytes uploaded by this request (0 when resident).
+    pub bytes_uploaded: u64,
+    /// Modeled upload time in seconds.
+    pub upload_seconds: f64,
+    /// Number of textures evicted to make room.
+    pub evicted: usize,
+}
+
+/// A fixed-capacity texture memory with LRU eviction.
+#[derive(Clone, Debug)]
+pub struct TextureMemory {
+    capacity: u64,
+    bandwidth: f64,
+    used: u64,
+    resident: HashMap<u64, u64>,
+    /// LRU order: front = least recently used.
+    lru: Vec<u64>,
+    uploads: u64,
+    hits: u64,
+}
+
+impl TextureMemory {
+    /// The paper-era card: 64 MB of texture memory, ~1 GB/s upload over
+    /// AGP 4×.
+    pub fn geforce_class() -> TextureMemory {
+        TextureMemory::new(64 << 20, 1.0e9)
+    }
+
+    /// Texture memory with `capacity` bytes and `bandwidth` bytes/second
+    /// upload speed.
+    pub fn new(capacity: u64, bandwidth: f64) -> TextureMemory {
+        assert!(capacity > 0 && bandwidth > 0.0);
+        TextureMemory {
+            capacity,
+            bandwidth,
+            used: 0,
+            resident: HashMap::new(),
+            lru: Vec::new(),
+            uploads: 0,
+            hits: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of resident textures.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// `true` if texture `id` is resident.
+    pub fn is_resident(&self, id: u64) -> bool {
+        self.resident.contains_key(&id)
+    }
+
+    /// Total upload operations performed.
+    pub fn upload_count(&self) -> u64 {
+        self.uploads
+    }
+
+    /// Total requests satisfied without an upload.
+    pub fn hit_count(&self) -> u64 {
+        self.hits
+    }
+
+    /// Requests texture `id` of `bytes` bytes to be resident, uploading
+    /// and LRU-evicting as needed. Textures larger than the whole capacity
+    /// are rejected with `None` (the caller must downsample — exactly the
+    /// constraint that drives the hybrid method's low-res volumes).
+    pub fn request(&mut self, id: u64, bytes: u64) -> Option<UploadResult> {
+        if bytes > self.capacity {
+            return None;
+        }
+        if let Some(&sz) = self.resident.get(&id) {
+            debug_assert_eq!(sz, bytes, "texture {id} resized without eviction");
+            self.touch(id);
+            self.hits += 1;
+            return Some(UploadResult {
+                was_resident: true,
+                bytes_uploaded: 0,
+                upload_seconds: 0.0,
+                evicted: 0,
+            });
+        }
+        let mut evicted = 0;
+        while self.used + bytes > self.capacity {
+            let victim = self.lru.remove(0);
+            let sz = self.resident.remove(&victim).expect("lru entry must be resident");
+            self.used -= sz;
+            evicted += 1;
+        }
+        self.resident.insert(id, bytes);
+        self.lru.push(id);
+        self.used += bytes;
+        self.uploads += 1;
+        Some(UploadResult {
+            was_resident: false,
+            bytes_uploaded: bytes,
+            upload_seconds: bytes as f64 / self.bandwidth,
+            evicted,
+        })
+    }
+
+    /// Removes a texture explicitly.
+    pub fn evict(&mut self, id: u64) {
+        if let Some(sz) = self.resident.remove(&id) {
+            self.used -= sz;
+            self.lru.retain(|&x| x != id);
+        }
+    }
+
+    fn touch(&mut self, id: u64) {
+        if let Some(pos) = self.lru.iter().position(|&x| x == id) {
+            let v = self.lru.remove(pos);
+            self.lru.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_request_uploads_second_hits() {
+        let mut tm = TextureMemory::new(1000, 1000.0);
+        let r1 = tm.request(1, 400).unwrap();
+        assert!(!r1.was_resident);
+        assert_eq!(r1.bytes_uploaded, 400);
+        assert!((r1.upload_seconds - 0.4).abs() < 1e-12);
+        let r2 = tm.request(1, 400).unwrap();
+        assert!(r2.was_resident);
+        assert_eq!(r2.bytes_uploaded, 0);
+        assert_eq!(tm.hit_count(), 1);
+        assert_eq!(tm.upload_count(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut tm = TextureMemory::new(1000, 1e9);
+        tm.request(1, 400).unwrap();
+        tm.request(2, 400).unwrap();
+        // Touch 1 so 2 becomes LRU.
+        tm.request(1, 400).unwrap();
+        let r = tm.request(3, 400).unwrap();
+        assert_eq!(r.evicted, 1);
+        assert!(tm.is_resident(1));
+        assert!(!tm.is_resident(2), "texture 2 was least recently used");
+        assert!(tm.is_resident(3));
+        assert_eq!(tm.used(), 800);
+    }
+
+    #[test]
+    fn oversized_textures_are_rejected() {
+        let mut tm = TextureMemory::new(1 << 20, 1e9);
+        assert!(tm.request(1, 2 << 20).is_none());
+        assert_eq!(tm.resident_count(), 0);
+    }
+
+    #[test]
+    fn paper_scale_volume_textures() {
+        // A 256³ paletted volume (16.7 MB) fits a 64 MB card; four do not,
+        // while dozens of 64³ volumes (256 KB each) do — the storage logic
+        // behind the hybrid method's low-res volume choice.
+        let mut tm = TextureMemory::geforce_class();
+        let vol256 = 256u64 * 256 * 256;
+        let vol64 = 64u64 * 64 * 64;
+        let mut evictions = 0;
+        for i in 0..5 {
+            evictions += tm.request(i, vol256).unwrap().evicted;
+        }
+        assert!(evictions > 0, "five 256³ volumes must not fit simultaneously");
+        let mut tm2 = TextureMemory::geforce_class();
+        let mut evictions2 = 0;
+        for i in 0..10 {
+            evictions2 += tm2.request(i, vol64).unwrap().evicted;
+        }
+        assert_eq!(evictions2, 0, "ten 64³ volumes fit comfortably");
+        assert_eq!(tm2.resident_count(), 10);
+    }
+
+    #[test]
+    fn explicit_evict() {
+        let mut tm = TextureMemory::new(1000, 1e9);
+        tm.request(7, 500).unwrap();
+        tm.evict(7);
+        assert!(!tm.is_resident(7));
+        assert_eq!(tm.used(), 0);
+        // Evicting a non-resident id is a no-op.
+        tm.evict(42);
+    }
+}

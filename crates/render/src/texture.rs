@@ -1,0 +1,213 @@
+//! 2-D textures and the procedural texture generators used by the
+//! self-orienting surfaces: the tube bump map (cross-section normals), the
+//! halo map (dark rims), and the line-density ribbon textures of the
+//! paper's Figure 6(e).
+
+use accelviz_math::Rgba;
+
+/// A 2-D RGBA texture with bilinear sampling and repeat wrapping in u,
+/// clamp in v (strips repeat along their length, never across).
+#[derive(Clone, Debug)]
+pub struct Texture2 {
+    width: usize,
+    height: usize,
+    data: Vec<Rgba>,
+}
+
+impl Texture2 {
+    /// Texture from raw pixels (row-major, `width * height` entries).
+    pub fn new(width: usize, height: usize, data: Vec<Rgba>) -> Texture2 {
+        assert!(width > 0 && height > 0, "texture must be non-empty");
+        assert_eq!(data.len(), width * height, "pixel count mismatch");
+        Texture2 { width, height, data }
+    }
+
+    /// Procedural texture from a function of (u, v) ∈ [0,1)².
+    pub fn from_fn(width: usize, height: usize, f: impl Fn(f64, f64) -> Rgba) -> Texture2 {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let u = (x as f64 + 0.5) / width as f64;
+                let v = (y as f64 + 0.5) / height as f64;
+                data.push(f(u, v));
+            }
+        }
+        Texture2::new(width, height, data)
+    }
+
+    /// Width in texels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in texels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Texture size in bytes (RGBA8 on the modeled hardware).
+    pub fn bytes(&self) -> u64 {
+        (self.width * self.height * 4) as u64
+    }
+
+    #[inline]
+    fn texel(&self, x: usize, y: usize) -> Rgba {
+        self.data[y.min(self.height - 1) * self.width + x.min(self.width - 1)]
+    }
+
+    /// Bilinear sample; u wraps (repeat), v clamps.
+    pub fn sample(&self, u: f64, v: f64) -> Rgba {
+        let u = u.rem_euclid(1.0);
+        let v = v.clamp(0.0, 1.0);
+        let fx = (u * self.width as f64 - 0.5).rem_euclid(self.width as f64);
+        let fy = (v * self.height as f64 - 0.5).clamp(0.0, (self.height - 1) as f64);
+        let x0 = fx.floor() as usize % self.width;
+        let x1 = (x0 + 1) % self.width;
+        let y0 = fy.floor() as usize;
+        let y1 = (y0 + 1).min(self.height - 1);
+        let tx = (fx - fx.floor()) as f32;
+        let ty = (fy - fy.floor()) as f32;
+        let top = self.texel(x0, y0).lerp(self.texel(x1, y0), tx);
+        let bot = self.texel(x0, y1).lerp(self.texel(x1, y1), tx);
+        top.lerp(bot, ty)
+    }
+}
+
+/// The tube cross-section *bump map*: encodes, across the strip (v ∈
+/// [0,1]), the surface normal a polygonal tube would have at that point of
+/// its silhouette. Channels: r = n_side (−1..1 mapped to 0..1), g =
+/// n_toward_viewer (0..1), b unused, a = coverage (0 outside the circular
+/// silhouette).
+///
+/// This is the texture that lets a flat, view-facing strip "effectively
+/// capture the same surface normal vectors that a polygonal tube would
+/// have, so for self-orienting surfaces the lighting appears exact"
+/// (§3.3.2).
+pub fn tube_bump_map(resolution: usize) -> Texture2 {
+    Texture2::from_fn(1, resolution.max(2), |_, v| {
+        // s spans the cross-section in [-1, 1].
+        let s = v * 2.0 - 1.0;
+        let s2 = s * s;
+        if s2 > 1.0 {
+            return Rgba::new(0.5, 0.0, 0.0, 0.0);
+        }
+        let nz = (1.0 - s2).sqrt();
+        Rgba::new(((s + 1.0) / 2.0) as f32, nz as f32, 0.0, 1.0)
+    })
+}
+
+/// The halo map: opacity profile across the strip that renders an opaque
+/// core with dark borders, clarifying "the spatial relationships between
+/// overlapping lines" (§3.3.2). `halo_fraction` is the fraction of the
+/// half-width occupied by the black rim.
+pub fn halo_map(resolution: usize, halo_fraction: f64) -> Texture2 {
+    let hf = halo_fraction.clamp(0.0, 0.9);
+    Texture2::from_fn(1, resolution.max(2), |_, v| {
+        let s = (v * 2.0 - 1.0).abs();
+        if s > 1.0 {
+            Rgba::TRANSPARENT
+        } else if s > 1.0 - hf {
+            // The rim: opaque black halo.
+            Rgba::new(0.0, 0.0, 0.0, 1.0)
+        } else {
+            Rgba::new(1.0, 1.0, 1.0, 1.0)
+        }
+    })
+}
+
+/// Line-density ribbon texture (Figure 6(e)): `lines` dark strands across
+/// the ribbon width, with spacing modulating perceived field density.
+pub fn ribbon_density_map(resolution: usize, lines: usize) -> Texture2 {
+    let lines = lines.max(1);
+    Texture2::from_fn(1, resolution.max(4), |_, v| {
+        let phase = (v * lines as f64).fract();
+        if phase < 0.4 {
+            Rgba::new(1.0, 1.0, 1.0, 1.0)
+        } else {
+            Rgba::new(0.0, 0.0, 0.0, 0.0)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_sample_roundtrip() {
+        let t = Texture2::from_fn(4, 4, |u, v| Rgba::new(u as f32, v as f32, 0.0, 1.0));
+        // Sampling at texel centers reproduces the function.
+        let c = t.sample(0.125, 0.125);
+        assert!((c.r - 0.125).abs() < 1e-6);
+        assert!((c.g - 0.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn u_wraps_v_clamps() {
+        let t = Texture2::from_fn(4, 4, |u, v| Rgba::new(u as f32, v as f32, 0.0, 1.0));
+        let wrapped = t.sample(1.125, 0.5);
+        let direct = t.sample(0.125, 0.5);
+        assert!((wrapped.r - direct.r).abs() < 1e-6);
+        let clamped = t.sample(0.5, 5.0);
+        let edge = t.sample(0.5, 1.0);
+        assert!((clamped.g - edge.g).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tube_bump_normals_are_unit_and_cover_silhouette() {
+        let t = tube_bump_map(64);
+        // Center of the strip: normal points straight at the viewer.
+        let c = t.sample(0.0, 0.5);
+        assert!(c.g > 0.98, "center normal ≈ (0, 1): {c:?}");
+        assert!(c.a > 0.99);
+        // Normals decode to (approximately) unit length across the strip.
+        for i in 1..16 {
+            let v = i as f64 / 16.0;
+            let s = t.sample(0.0, v);
+            if s.a > 0.5 {
+                let nx = s.r as f64 * 2.0 - 1.0;
+                let nz = s.g as f64;
+                let len = (nx * nx + nz * nz).sqrt();
+                assert!((len - 1.0).abs() < 0.1, "v={v}: |n|={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn halo_map_is_dark_at_rims_bright_in_core() {
+        let t = halo_map(64, 0.3);
+        assert!(t.sample(0.0, 0.5).luminance() > 0.9, "core is bright");
+        assert!(t.sample(0.0, 0.02).luminance() < 0.1, "rim is dark");
+        assert!(t.sample(0.0, 0.98).luminance() < 0.1, "rim is dark");
+        // Rim is still opaque (it occludes; that's what a halo does).
+        assert!(t.sample(0.0, 0.02).a > 0.9);
+    }
+
+    #[test]
+    fn ribbon_density_has_requested_strand_count() {
+        let t = ribbon_density_map(256, 4);
+        // Count bright→dark transitions scanning across v.
+        let mut transitions = 0;
+        let mut last_bright = t.sample(0.0, 0.0).a > 0.5;
+        for i in 1..256 {
+            let bright = t.sample(0.0, i as f64 / 256.0).a > 0.5;
+            if bright != last_bright {
+                transitions += 1;
+            }
+            last_bright = bright;
+        }
+        // 4 strands → 8 edges (±1 for the clamped ends).
+        assert!((7..=9).contains(&transitions), "transitions = {transitions}");
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        assert_eq!(Texture2::from_fn(8, 4, |_, _| Rgba::BLACK).bytes(), 8 * 4 * 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_data_panics() {
+        let _ = Texture2::new(2, 2, vec![Rgba::BLACK; 3]);
+    }
+}

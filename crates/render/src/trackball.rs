@@ -1,0 +1,101 @@
+//! Trackball camera control: the mouse-driven orbiting of the paper's
+//! interactive viewers ("interactivity is the key to insightful
+//! visualization", §3).
+
+use crate::camera::Camera;
+use accelviz_math::Vec3;
+
+/// An orbit-style trackball: azimuth/elevation/distance driven by mouse
+/// drags and scroll zoom.
+#[derive(Clone, Copy, Debug)]
+pub struct Trackball {
+    /// Orbit center.
+    pub center: Vec3,
+    /// Azimuth (radians around +y).
+    pub theta: f64,
+    /// Elevation (radians; clamped short of the poles).
+    pub phi: f64,
+    /// Distance from the center.
+    pub distance: f64,
+    /// Radians per pixel of drag.
+    pub sensitivity: f64,
+}
+
+impl Trackball {
+    /// A trackball framing a bounding sphere of radius `r` at `center`.
+    pub fn framing(center: Vec3, r: f64) -> Trackball {
+        Trackball {
+            center,
+            theta: 0.5,
+            phi: 0.35,
+            distance: (r * 2.4).max(1e-6),
+            sensitivity: 0.01,
+        }
+    }
+
+    /// Applies a mouse drag of (dx, dy) pixels.
+    pub fn drag(&mut self, dx: f64, dy: f64) {
+        self.theta += dx * self.sensitivity;
+        self.phi = (self.phi + dy * self.sensitivity).clamp(-1.45, 1.45);
+    }
+
+    /// Zooms by a multiplicative factor (> 1 moves away).
+    pub fn zoom(&mut self, factor: f64) {
+        assert!(factor > 0.0);
+        self.distance = (self.distance * factor).max(1e-9);
+    }
+
+    /// The camera for the current pose.
+    pub fn camera(&self, aspect: f64) -> Camera {
+        Camera::orbit(self.center, self.distance, self.theta, self.phi, aspect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drag_orbits_while_keeping_distance() {
+        let mut tb = Trackball::framing(Vec3::ZERO, 1.0);
+        let before = tb.camera(1.0).eye;
+        tb.drag(120.0, -40.0);
+        let after = tb.camera(1.0).eye;
+        assert!(before.distance(after) > 1e-3, "the eye must move");
+        assert!(
+            (after.length() - before.length()).abs() < 1e-9,
+            "orbiting must keep the distance"
+        );
+        assert_eq!(tb.camera(1.0).target, Vec3::ZERO);
+    }
+
+    #[test]
+    fn elevation_clamps_at_the_poles() {
+        let mut tb = Trackball::framing(Vec3::ZERO, 1.0);
+        tb.drag(0.0, 100_000.0);
+        assert!(tb.phi <= 1.45);
+        tb.drag(0.0, -200_000.0);
+        assert!(tb.phi >= -1.45);
+        // Even at the clamp the camera is usable (up vector not parallel
+        // to the view direction).
+        let c = tb.camera(1.0);
+        assert!(c.forward().cross(c.up).length() > 1e-3);
+    }
+
+    #[test]
+    fn zoom_scales_distance() {
+        let mut tb = Trackball::framing(Vec3::new(1.0, 2.0, 3.0), 2.0);
+        let d0 = tb.distance;
+        tb.zoom(0.5);
+        assert!((tb.distance - d0 * 0.5).abs() < 1e-12);
+        tb.zoom(4.0);
+        assert!((tb.distance - d0 * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonpositive_zoom_panics() {
+        let mut tb = Trackball::framing(Vec3::ZERO, 1.0);
+        tb.zoom(0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Electromagnetic cavity visualization: the full §3 workflow.
+//!
+//! Reproduces the workflow behind Figures 6–10: solve the time-domain
+//! fields of a driven 3-cell linac structure, seed field lines with
+//! density proportional to |E|, render them as self-orienting surfaces
+//! (and the baselines), write an incremental-loading sequence, and report
+//! the compact-storage saving.
+//!
+//! Run: `cargo run --release --example accelerator_cavity`
+
+use accelviz::core::scene::{render_line_set, LineRepresentation};
+use accelviz::emsim::cavity::{CavityGeometry, CavitySpec};
+use accelviz::emsim::energy::total_energy;
+use accelviz::emsim::fdtd::{FdtdSim, FdtdSpec};
+use accelviz::emsim::sample::{FieldKind, FieldSampler, VectorField3};
+use accelviz::fieldlines::compact::{compact_bytes, serialize_lines};
+use accelviz::fieldlines::integrate::TraceParams;
+use accelviz::fieldlines::line::FieldLine;
+use accelviz::fieldlines::seeding::{density_correlation, seed_lines, SeedingParams};
+use accelviz::fieldlines::style::LineStyle;
+use accelviz::math::Rgba;
+use accelviz::render::camera::Camera;
+use accelviz::render::framebuffer::Framebuffer;
+use accelviz::render::image::write_ppm;
+use std::path::PathBuf;
+
+fn main() {
+    // Solve the driven 3-cell structure to a ringing state.
+    let geometry = CavityGeometry::new(CavitySpec::three_cell());
+    let mut sim = FdtdSim::new(FdtdSpec::for_geometry(geometry, 16));
+    println!(
+        "3-cell structure: {:?} grid, {} vacuum elements, dt = {:.3e}",
+        sim.dims(),
+        sim.vacuum_cell_count(),
+        sim.dt()
+    );
+    sim.run(800);
+    println!("ran {} steps, field energy {:.3e}", sim.steps(), total_energy(&sim));
+
+    // Capture E and seed field lines, density ∝ |E|.
+    let field = FieldSampler::capture(&sim, FieldKind::Electric);
+    let lines = seed_lines(
+        &field,
+        &SeedingParams {
+            n_lines: 400,
+            trace: TraceParams {
+                step: 0.04,
+                max_steps: 250,
+                min_magnitude: 1e-6 * field.max_magnitude(),
+                bidirectional: true,
+            },
+            seed: 3,
+            min_magnitude_frac: 1e-3,
+        },
+    );
+    println!(
+        "seeded {} E-field lines; density-magnitude correlation r = {:.3}",
+        lines.len(),
+        density_correlation(&field, &lines, lines.len())
+    );
+
+    let bounds = field.bounds();
+    let cam = Camera::orbit(bounds.center(), bounds.longest_edge() * 1.7, 0.9, 0.35, 1.0);
+    let style = LineStyle::electric(field.max_magnitude());
+    let all: Vec<FieldLine> = lines.iter().map(|sl| sl.line.clone()).collect();
+
+    // Figure 6: the representation gallery.
+    for (name, rep) in [
+        ("lines", LineRepresentation::FlatLines),
+        ("illuminated", LineRepresentation::Illuminated),
+        ("streamtubes", LineRepresentation::Streamtubes),
+        ("sos", LineRepresentation::SelfOrientingSurfaces),
+        ("transparent", LineRepresentation::TransparentSos),
+    ] {
+        let mut fb = Framebuffer::new(512, 512);
+        let stats = render_line_set(&mut fb, &cam, &all, rep, &style, 0.012);
+        let path = PathBuf::from(format!("cavity_{name}.ppm"));
+        write_ppm(&fb, Rgba::BLACK, &path).expect("write image");
+        println!(
+            "wrote {} ({} triangles, {} fragments)",
+            path.display(),
+            stats.triangles,
+            stats.fragments
+        );
+    }
+
+    // Figures 7/10: incremental loading with magnitude styling.
+    for frac in [0.1, 0.3, 1.0] {
+        let prefix = ((all.len() as f64 * frac) as usize).max(1);
+        let subset = &all[..prefix];
+        let mut fb = Framebuffer::new(512, 512);
+        render_line_set(
+            &mut fb,
+            &cam,
+            subset,
+            LineRepresentation::SelfOrientingSurfaces,
+            &style,
+            0.012,
+        );
+        let path = PathBuf::from(format!("cavity_incremental_{:03}pct.ppm", (frac * 100.0) as u32));
+        write_ppm(&fb, Rgba::BLACK, &path).expect("write image");
+        println!("wrote {} ({prefix} lines)", path.display());
+    }
+
+    // §3.4: the compact-storage saving.
+    let mut buf = Vec::new();
+    serialize_lines(&mut buf, &all).expect("serialize");
+    let elements = sim.vacuum_cell_count() as u64;
+    let raw = accelviz::emsim::io::snapshot_bytes(elements);
+    println!(
+        "storage: raw E+B over {} elements = {:.2} MB; {} compact lines = {:.3} MB \
+         (factor {:.2}x at this toy mesh scale)",
+        elements,
+        raw as f64 / 1e6,
+        all.len(),
+        compact_bytes(&all) as f64 / 1e6,
+        raw as f64 / buf.len() as f64
+    );
+    println!(
+        "at the paper's 1.6 M-element mesh these same lines would save \
+         {:.0}x (paper reports ~25x at its line budget)",
+        accelviz::fieldlines::compact::saving_factor(&all, 1_600_000)
+    );
+}

@@ -1,0 +1,96 @@
+//! Time-varying field-line animation (§3.4, Figure 8's workflow): capture
+//! the driven cavity's E field at several time steps, pre-integrate field
+//! lines for each step in parallel, render an animation filmstrip, and
+//! report the storage economics of keeping lines instead of fields.
+//!
+//! Run: `cargo run --release --example field_animation`
+
+use accelviz::core::scene::{render_line_set, LineRepresentation};
+use accelviz::emsim::cavity::{CavityGeometry, CavitySpec};
+use accelviz::emsim::energy::energy_in_z_range;
+use accelviz::emsim::fdtd::{FdtdSim, FdtdSpec};
+use accelviz::emsim::sample::{FieldKind, FieldSampler, VectorField3};
+use accelviz::fieldlines::integrate::TraceParams;
+use accelviz::fieldlines::seeding::SeedingParams;
+use accelviz::fieldlines::temporal::precompute_animation;
+use accelviz::fieldlines::style::LineStyle;
+use accelviz::math::Rgba;
+use accelviz::render::camera::Camera;
+use accelviz::render::framebuffer::Framebuffer;
+use accelviz::render::image::write_ppm;
+use std::path::PathBuf;
+
+fn main() {
+    let geometry = CavityGeometry::new(CavitySpec::three_cell());
+    let mut sim = FdtdSim::new(FdtdSpec::for_geometry(geometry, 14));
+    let len = sim.spec().geometry.spec.total_length();
+
+    // Capture the field at regular intervals while the RF fills the
+    // structure (Figure 8's selected time steps).
+    println!("running the 3-cell structure and capturing 6 time steps…");
+    sim.run(200);
+    let mut fields = Vec::new();
+    let mut step_labels = Vec::new();
+    for _ in 0..6 {
+        sim.run(150);
+        fields.push(FieldSampler::capture(&sim, FieldKind::Electric));
+        step_labels.push(sim.steps());
+        println!(
+            "  step {:5}: far-cell energy {:.3e}",
+            sim.steps(),
+            energy_in_z_range(&sim, 2.0 * len / 3.0, len)
+        );
+    }
+
+    // Parallel pre-integration across the captured steps.
+    let max_mag = fields.iter().map(|f| f.max_magnitude()).fold(0.0, f64::max);
+    let params = SeedingParams {
+        n_lines: 250,
+        trace: TraceParams {
+            step: 0.04,
+            max_steps: 250,
+            min_magnitude: 1e-6 * max_mag,
+            bidirectional: true,
+        },
+        seed: 5,
+        min_magnitude_frac: 1e-3,
+    };
+    let t0 = std::time::Instant::now();
+    let animation = precompute_animation(&fields, &params);
+    println!(
+        "pre-integrated {} steps x ~{} lines in {:.2} s",
+        animation.len(),
+        animation.steps[0].len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Render one frame per step: the temporal evolution of the RF wave.
+    let b = fields[0].bounds();
+    let cam = Camera::orbit(b.center(), b.longest_edge() * 1.7, 0.9, 0.35, 1.0);
+    let style = LineStyle::electric(max_mag);
+    for (i, lines) in animation.steps.iter().enumerate() {
+        let mut fb = Framebuffer::new(384, 384);
+        render_line_set(
+            &mut fb,
+            &cam,
+            lines,
+            LineRepresentation::SelfOrientingSurfaces,
+            &style,
+            0.012,
+        );
+        let path = PathBuf::from(format!("field_anim_step{:06}.ppm", step_labels[i]));
+        write_ppm(&fb, Rgba::BLACK, &path).expect("write image");
+        println!("wrote {} ({} lines)", path.display(), lines.len());
+    }
+
+    // The storage argument for animation: many steps of lines fit where
+    // few steps of raw fields would.
+    println!(
+        "animation storage: {:.2} MB for {} steps; at the paper's 1.6 M-element \
+         mesh this saves {:.0}x over raw per-step fields ({:.1} MB each)",
+        animation.total_bytes() as f64 / 1e6,
+        animation.len(),
+        animation.saving_factor(1_600_000),
+        accelviz::emsim::io::snapshot_bytes(1_600_000) as f64 / 1e6
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: simulate a small beam, build a hybrid representation, and
+//! render it to `quickstart.ppm` — the whole §2 pipeline in ~40 lines.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use accelviz::beam::simulation::{BeamConfig, BeamSimulation};
+use accelviz::core::hybrid::HybridFrame;
+use accelviz::core::scene::{render_hybrid_frame, RenderMode};
+use accelviz::core::transfer::TransferFunctionPair;
+use accelviz::math::Rgba;
+use accelviz::octree::builder::{partition, BuildParams};
+use accelviz::octree::extraction::threshold_for_budget;
+use accelviz::octree::plots::PlotType;
+use accelviz::render::camera::Camera;
+use accelviz::render::framebuffer::Framebuffer;
+use accelviz::render::image::write_ppm;
+use accelviz::render::points::PointStyle;
+use accelviz::render::volume::VolumeStyle;
+
+fn main() {
+    // 1. Simulate: an intense, mismatched beam in a FODO quadrupole
+    //    channel develops the low-density halo the hybrid method is for.
+    let mut sim = BeamSimulation::new(BeamConfig::halo_study(50_000, 42));
+    for _ in 0..32 * 30 {
+        sim.step();
+    }
+    let snapshot = sim.snapshot(30);
+    println!("simulated {} particles over 30 cells", snapshot.particles.len());
+
+    // 2. Partition: density-sorted octree (the expensive one-time step).
+    let data = partition(
+        &snapshot.particles,
+        PlotType::XYZ,
+        BuildParams { max_depth: 6, leaf_capacity: 256, gradient_refinement: None },
+    );
+    println!(
+        "partitioned into {} leaves; particle file {:.1} MB",
+        data.tree().leaf_count(),
+        data.particle_file_bytes() as f64 / 1e6
+    );
+
+    // 3. Extract: keep the 4 000 lowest-density particles as points, bin
+    //    everything into a 64³ volume texture.
+    let threshold = threshold_for_budget(&data, 4_000);
+    let frame = HybridFrame::from_partition(&data, 30, threshold, [64, 64, 64]);
+    println!(
+        "hybrid frame: {} halo points + 64³ volume = {:.2} MB ({:.1}x smaller than raw)",
+        frame.points.len(),
+        frame.total_bytes() as f64 / 1e6,
+        frame.compression_factor()
+    );
+
+    // 4. Render: volume + points through the linked transfer functions.
+    let camera = Camera::orbit(
+        frame.bounds.center(),
+        frame.bounds.longest_edge() * 2.2,
+        0.6,
+        0.3,
+        1.0,
+    );
+    let tfs = TransferFunctionPair::linked_at(0.04, 0.015);
+    let mut fb = Framebuffer::new(512, 512);
+    let stats = render_hybrid_frame(
+        &mut fb,
+        &camera,
+        &frame,
+        &tfs,
+        RenderMode::Hybrid,
+        &VolumeStyle::default(),
+        &PointStyle::default(),
+    );
+    println!(
+        "rendered: {} volume samples, {} points drawn",
+        stats.volume_samples, stats.points_drawn
+    );
+
+    let path = std::path::Path::new("quickstart.ppm");
+    write_ppm(&fb, Rgba::BLACK, path).expect("write image");
+    println!("wrote {}", path.display());
+}

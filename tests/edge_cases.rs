@@ -1,0 +1,180 @@
+//! Cross-crate edge cases: degenerate geometry, boundary semantics, and
+//! budget extremes that the main suites don't reach.
+
+use accelviz::fieldlines::line::FieldLine;
+use accelviz::fieldlines::sos::{sos_strip, SosParams};
+use accelviz::fieldlines::tube::{tube_triangles, TubeParams};
+use accelviz::math::Vec3;
+
+#[test]
+fn extraction_threshold_is_strictly_exclusive() {
+    // Particles in leaves with density exactly equal to the threshold are
+    // DISCARDED ("particles in octree nodes below the threshold density
+    // are stored") — the boundary matters for reproducibility.
+    use accelviz::beam::distribution::Distribution;
+    use accelviz::octree::builder::{partition, BuildParams};
+    use accelviz::octree::extraction::extract;
+    use accelviz::octree::plots::PlotType;
+    let ps = Distribution::default_beam().sample(2_000, 3);
+    let data = partition(&ps, PlotType::XYZ, BuildParams::default());
+    // Pick an actual leaf density as the threshold.
+    let leaves = data.sorted_leaves();
+    let mid_density = data.tree().nodes[leaves[leaves.len() / 2] as usize].density;
+    let ex = extract(&data, mid_density);
+    for &li in leaves {
+        let n = &data.tree().nodes[li as usize];
+        if n.density == mid_density && n.len > 0 {
+            // The group at exactly the threshold is not in the prefix.
+            assert!(
+                n.offset >= ex.particles.len() as u64,
+                "threshold-equal leaf must be excluded"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_particles_in_one_cell_still_renders() {
+    use accelviz::octree::density::DensityGrid;
+    use accelviz::octree::plots::PlotType;
+    use accelviz::beam::particle::Particle;
+    use accelviz::math::Aabb;
+    // A degenerate "beam": every particle at the same point.
+    let ps: Vec<Particle> = (0..500)
+        .map(|_| Particle::at_rest(Vec3::new(0.5, 0.5, 0.5)))
+        .collect();
+    let bounds = Aabb::new(Vec3::ZERO, Vec3::ONE);
+    let grid = DensityGrid::from_particles(&ps, PlotType::XYZ, bounds, [8, 8, 8]);
+    assert_eq!(grid.total() as usize, 500);
+    assert_eq!(grid.max_value(), 500.0);
+    // (0.5, 0.5, 0.5) is the lower corner of cell (4,4,4): its center is
+    // at 0.5625, where the max-normalized sample is 1; at the shared
+    // corner trilinear interpolation gives 1/8.
+    assert!((grid.sample_normalized(Vec3::splat(0.5625)) - 1.0).abs() < 1e-9);
+    assert!((grid.sample_normalized(Vec3::splat(0.5)) - 0.125).abs() < 1e-9);
+    assert!(grid.sample_normalized(Vec3::new(0.06, 0.06, 0.06)) < 0.01);
+}
+
+#[test]
+fn frame_cache_admits_oversized_frames_without_deadlock() {
+    use accelviz::core::viewer::FrameCache;
+    use accelviz::render::texmem::TextureMemory;
+    // One frame larger than the whole budget: the cache evicts everything
+    // and still loads it (the viewer must show *something*), then the next
+    // request evicts it in turn.
+    let cache = FrameCache::new(
+        vec![(1000, 10), (200, 10)],
+        500,
+        1e6,
+        TextureMemory::new(1 << 20, 1e9),
+    );
+    let big = cache.step_to(0);
+    assert!(!big.cache_hit);
+    assert_eq!(big.bytes_loaded, 1000);
+    assert_eq!(cache.resident_count(), 1);
+    let small = cache.step_to(1);
+    assert!(!small.cache_hit);
+    // The oversized frame was evicted to fit within budget again.
+    assert_eq!(cache.resident_count(), 1);
+}
+
+#[test]
+fn sos_strip_tolerates_duplicate_points() {
+    // Stagnation regions can emit repeated vertices; the strip must stay
+    // finite (no NaN side vectors) and keep its 2-per-point structure.
+    let mut line = FieldLine::new();
+    line.push(Vec3::ZERO, Vec3::UNIT_X, 1.0);
+    line.push(Vec3::ZERO, Vec3::UNIT_X, 1.0); // duplicate
+    line.push(Vec3::new(0.1, 0.0, 0.0), Vec3::UNIT_X, 1.0);
+    let verts = sos_strip(&line, Vec3::new(0.0, 0.0, 5.0), &SosParams::default());
+    assert_eq!(verts.len(), 6);
+    for v in &verts {
+        assert!(v.pos.is_finite());
+        assert!(v.uv.0.is_finite() && v.uv.1.is_finite());
+    }
+}
+
+#[test]
+fn tube_tolerates_sharp_reversals() {
+    // A hairpin: the parallel-transported frame must not blow up where
+    // the tangent flips.
+    let mut line = FieldLine::new();
+    for i in 0..5 {
+        line.push(Vec3::new(i as f64 * 0.1, 0.0, 0.0), Vec3::UNIT_X, 1.0);
+    }
+    for i in (0..5).rev() {
+        line.push(Vec3::new(i as f64 * 0.1, 0.01, 0.0), -Vec3::UNIT_X, 1.0);
+    }
+    let tris = tube_triangles(&line, Vec3::new(0.0, 0.0, 5.0), &TubeParams::default());
+    assert!(!tris.is_empty());
+    for tri in &tris {
+        for v in tri {
+            assert!(v.pos.is_finite(), "tube vertex must stay finite");
+            assert!(v.color.r.is_finite());
+        }
+    }
+}
+
+#[test]
+fn transfer_pair_with_zero_ramp_is_a_hard_switch() {
+    use accelviz::core::transfer::TransferFunctionPair;
+    let pair = TransferFunctionPair::linked_at(0.5, 0.0);
+    assert_eq!(pair.point.fraction(0.4999), 1.0);
+    assert_eq!(pair.point.fraction(0.5001), 0.0);
+    assert_eq!(pair.volume.weight(0.4999), 0.0);
+    assert_eq!(pair.volume.weight(0.5001), 1.0);
+    // Inverse invariant holds even at the discontinuity's two sides.
+    assert!((pair.coverage(0.4999) - 1.0).abs() < 1e-12);
+    assert!((pair.coverage(0.5001) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn seeding_budget_of_zero_and_one() {
+    use accelviz::emsim::sample::FieldSampler;
+    use accelviz::fieldlines::seeding::{seed_lines, SeedingParams};
+    use accelviz::math::Aabb;
+    let field = FieldSampler::from_vectors(
+        [4, 4, 4],
+        Aabb::new(Vec3::ZERO, Vec3::ONE),
+        vec![Vec3::UNIT_Z; 64],
+    );
+    let zero = seed_lines(&field, &SeedingParams { n_lines: 0, ..Default::default() });
+    assert!(zero.is_empty());
+    let one = seed_lines(&field, &SeedingParams { n_lines: 1, ..Default::default() });
+    assert_eq!(one.len(), 1);
+    assert!(!one[0].line.is_empty());
+}
+
+#[test]
+fn cavity_with_single_cell_and_no_ports_is_simply_connected() {
+    use accelviz::emsim::cavity::{CavityGeometry, CavitySpec};
+    let g = CavityGeometry::new(CavitySpec {
+        cells: 1,
+        with_ports: false,
+        ..CavitySpec::three_cell()
+    });
+    // No iris planes exist in a single cell: the entire cylinder interior
+    // is vacuum.
+    assert!(g.inside(Vec3::new(0.0, 0.0, 0.4)));
+    assert!(g.inside(Vec3::new(0.9, 0.0, 0.4)));
+    assert!(g.inside(Vec3::new(0.9, 0.0, 0.01)));
+    assert!(!g.inside(Vec3::new(0.0, 1.05, 0.4)), "no port punches the wall");
+}
+
+#[test]
+fn resampled_lines_survive_compact_roundtrip() {
+    use accelviz::fieldlines::compact::{deserialize_lines, serialize_lines};
+    let mut line = FieldLine::new();
+    for i in 0..100 {
+        let a = i as f64 * 0.1;
+        line.push(Vec3::new(a.cos(), a.sin(), 0.05 * a), Vec3::UNIT_X, 1.0);
+    }
+    let coarse = line.resample(0.3);
+    let mut buf = Vec::new();
+    serialize_lines(&mut buf, std::slice::from_ref(&coarse)).unwrap();
+    let back = deserialize_lines(&mut buf.as_slice()).unwrap();
+    assert_eq!(back[0].len(), coarse.len());
+    for (a, b) in coarse.points.iter().zip(&back[0].points) {
+        assert!(a.distance(*b) < 1e-5);
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end test of the §2 pipeline: simulate → partition → extract →
+//! render, crossing every beam-side crate boundary.
+
+use accelviz::beam::diagnostics::BeamDiagnostics;
+use accelviz::beam::io::{read_snapshot, snapshot_to_vec};
+use accelviz::beam::simulation::{BeamConfig, BeamSimulation};
+use accelviz::core::hybrid::HybridFrame;
+use accelviz::core::pipeline::{process_run, PipelineParams};
+use accelviz::core::scene::{render_hybrid_frame, RenderMode};
+use accelviz::core::transfer::TransferFunctionPair;
+use accelviz::core::viewer::FrameCache;
+use accelviz::math::Rgba;
+use accelviz::octree::builder::{partition, BuildParams};
+use accelviz::octree::extraction::{extract, threshold_for_budget};
+use accelviz::octree::plots::PlotType;
+use accelviz::render::camera::Camera;
+use accelviz::render::framebuffer::Framebuffer;
+use accelviz::render::points::PointStyle;
+use accelviz::render::volume::VolumeStyle;
+
+fn small_run() -> Vec<accelviz::beam::simulation::Snapshot> {
+    let mut sim = BeamSimulation::new(BeamConfig::zero_current(3_000, 17));
+    sim.run(4, 4)
+}
+
+#[test]
+fn simulate_partition_extract_render_roundtrip() {
+    let snaps = small_run();
+    let last = snaps.last().unwrap();
+
+    // IO roundtrip of the raw snapshot.
+    let bytes = snapshot_to_vec(last.step as u64, &last.particles);
+    let (step, particles) = read_snapshot(&mut bytes.as_slice()).unwrap();
+    assert_eq!(step, last.step as u64);
+    assert_eq!(particles, last.particles);
+
+    // Partition and extract.
+    let data = partition(
+        &particles,
+        PlotType::XYZ,
+        BuildParams { max_depth: 5, leaf_capacity: 128, gradient_refinement: None },
+    );
+    data.validate().unwrap();
+    let threshold = threshold_for_budget(&data, 800);
+    let ex = extract(&data, threshold);
+    assert!(ex.particles.len() <= 800);
+
+    // Hybrid frame renders something visible.
+    let frame = HybridFrame::from_partition(&data, last.step, threshold, [32, 32, 32]);
+    let cam = Camera::orbit(
+        frame.bounds.center(),
+        frame.bounds.longest_edge() * 2.2,
+        0.5,
+        0.3,
+        1.0,
+    );
+    let tfs = TransferFunctionPair::linked_at(0.05, 0.02);
+    let mut fb = Framebuffer::new(128, 128);
+    let stats = render_hybrid_frame(
+        &mut fb,
+        &cam,
+        &frame,
+        &tfs,
+        RenderMode::Hybrid,
+        &VolumeStyle { steps: 32, ..Default::default() },
+        &PointStyle::default(),
+    );
+    assert!(stats.volume_samples > 0);
+    assert!(fb.lit_pixel_count(0.005) > 0, "rendered image must show the beam");
+}
+
+#[test]
+fn pipeline_and_viewer_agree_on_sizes() {
+    let snaps = small_run();
+    let params = PipelineParams {
+        plot: PlotType::XYZ,
+        build: BuildParams { max_depth: 5, leaf_capacity: 128, gradient_refinement: None },
+        point_budget: 500,
+        volume_dims: [16, 16, 16],
+    };
+    let frames = process_run(&snaps, &params);
+    assert_eq!(frames.len(), snaps.len());
+
+    // Every frame fits the budget and its byte accounting is exact.
+    for f in &frames {
+        assert!(f.points.len() <= 500);
+        assert_eq!(f.total_bytes(), f.point_bytes() + f.volume_bytes());
+        assert_eq!(f.point_bytes(), f.points.len() as u64 * 48);
+    }
+
+    // The viewer holds what the budget allows, and cached stepping is
+    // free.
+    let sizes: Vec<(u64, u64)> = frames.iter().map(|f| (f.total_bytes(), f.volume_bytes())).collect();
+    let budget = sizes.iter().map(|s| s.0).sum::<u64>();
+    let cache = FrameCache::new(
+        sizes,
+        budget, // everything fits
+        10e6,
+        accelviz::render::texmem::TextureMemory::geforce_class(),
+    );
+    for i in 0..frames.len() {
+        assert!(!cache.step_to(i).cache_hit);
+    }
+    for i in 0..frames.len() {
+        let load = cache.step_to(i);
+        assert!(load.cache_hit);
+        assert_eq!(load.bytes_loaded, 0);
+    }
+}
+
+#[test]
+fn hybrid_preserves_halo_particles_exactly() {
+    // The extracted points must be exactly the particles of the
+    // lowest-density octree leaves — bit-identical, not resampled.
+    let snaps = small_run();
+    let data = partition(
+        &snaps[0].particles,
+        PlotType::XYZ,
+        BuildParams { max_depth: 5, leaf_capacity: 128, gradient_refinement: None },
+    );
+    let threshold = threshold_for_budget(&data, 600);
+    let frame = HybridFrame::from_partition(&data, 0, threshold, [8, 8, 8]);
+    let ex = extract(&data, threshold);
+    assert_eq!(frame.points.as_slice(), ex.particles);
+    // And they really are low-density leaves: every kept particle's node
+    // density is below the threshold.
+    for &d in &frame.point_densities {
+        assert!((0.0..=1.0).contains(&d));
+    }
+}
+
+#[test]
+fn zero_current_series_conserves_emittance_through_the_pipeline() {
+    // Crossing crates: the physics invariant survives snapshotting,
+    // serialization, and partitioning (which must not mutate particles).
+    let snaps = small_run();
+    let d0 = BeamDiagnostics::of(&snaps[0].particles);
+    let d1 = BeamDiagnostics::of(&snaps.last().unwrap().particles);
+    assert!((d1.emittance_x / d0.emittance_x - 1.0).abs() < 1e-9);
+    let data = partition(
+        &snaps.last().unwrap().particles,
+        PlotType::XYZ,
+        BuildParams::default(),
+    );
+    let d2 = BeamDiagnostics::of(data.particles());
+    assert!((d2.emittance_x / d1.emittance_x - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn fig4_decomposition_composes() {
+    // VolumeOnly and PointsOnly each draw a subset; Hybrid draws at least
+    // as many lit pixels as either part alone.
+    let snaps = small_run();
+    let data = partition(&snaps[0].particles, PlotType::XYZ, BuildParams::default());
+    let t = threshold_for_budget(&data, 1_000);
+    let frame = HybridFrame::from_partition(&data, 0, t, [16, 16, 16]);
+    let cam = Camera::orbit(
+        frame.bounds.center(),
+        frame.bounds.longest_edge() * 2.2,
+        0.5,
+        0.3,
+        1.0,
+    );
+    let tfs = TransferFunctionPair::linked_at(0.05, 0.02);
+    let vs = VolumeStyle { steps: 24, ..Default::default() };
+    let ps = PointStyle { color: Rgba::WHITE, ..Default::default() };
+
+    let lit = |mode| {
+        let mut fb = Framebuffer::new(96, 96);
+        render_hybrid_frame(&mut fb, &cam, &frame, &tfs, mode, &vs, &ps);
+        fb.lit_pixel_count(0.003)
+    };
+    let vol = lit(RenderMode::VolumeOnly);
+    let pts = lit(RenderMode::PointsOnly);
+    let both = lit(RenderMode::Hybrid);
+    assert!(vol > 0 && pts > 0);
+    assert!(both >= vol.max(pts), "combined ({both}) ⊇ parts ({vol}, {pts})");
+}

@@ -1,0 +1,147 @@
+//! End-to-end test of the §3 pipeline: EM solve → field capture → seeding
+//! → self-orienting surfaces → render, crossing every field-side crate.
+
+use accelviz::core::scene::{render_line_set, LineRepresentation};
+use accelviz::emsim::cavity::{CavityGeometry, CavitySpec};
+use accelviz::emsim::energy::total_energy;
+use accelviz::emsim::fdtd::{FdtdSim, FdtdSpec};
+use accelviz::emsim::sample::{FieldKind, FieldSampler, VectorField3};
+use accelviz::fieldlines::compact::{deserialize_lines, serialize_lines};
+use accelviz::fieldlines::integrate::TraceParams;
+use accelviz::fieldlines::line::FieldLine;
+use accelviz::fieldlines::seeding::{seed_lines, SeedingParams};
+use accelviz::fieldlines::style::LineStyle;
+use accelviz::render::camera::Camera;
+use accelviz::render::framebuffer::Framebuffer;
+
+fn driven_sim() -> FdtdSim {
+    let geometry = CavityGeometry::new(CavitySpec::three_cell());
+    let mut sim = FdtdSim::new(FdtdSpec::for_geometry(geometry, 10));
+    sim.run(400);
+    sim
+}
+
+fn lines_of(field: &FieldSampler, n: usize) -> Vec<FieldLine> {
+    seed_lines(
+        field,
+        &SeedingParams {
+            n_lines: n,
+            trace: TraceParams {
+                step: 0.05,
+                max_steps: 150,
+                min_magnitude: 1e-6 * field.max_magnitude().max(1e-300),
+                bidirectional: true,
+            },
+            seed: 5,
+            min_magnitude_frac: 1e-3,
+        },
+    )
+    .into_iter()
+    .map(|sl| sl.line)
+    .collect()
+}
+
+#[test]
+fn solve_seed_render_roundtrip() {
+    let sim = driven_sim();
+    assert!(total_energy(&sim) > 0.0, "driven structure must be energized");
+    let field = FieldSampler::capture(&sim, FieldKind::Electric);
+    let lines = lines_of(&field, 80);
+    assert!(!lines.is_empty());
+
+    // Every traced point lies inside the domain and in vacuum-reachable
+    // space (the field is zero in metal, so lines cannot enter it).
+    for line in &lines {
+        for p in &line.points {
+            assert!(field.bounds().contains(*p));
+        }
+    }
+
+    // Render as self-orienting surfaces: visible output.
+    let b = field.bounds();
+    let cam = Camera::orbit(b.center(), b.longest_edge() * 1.8, 0.9, 0.35, 1.0);
+    let style = LineStyle::electric(field.max_magnitude());
+    let mut fb = Framebuffer::new(128, 128);
+    let stats = render_line_set(
+        &mut fb,
+        &cam,
+        &lines,
+        LineRepresentation::SelfOrientingSurfaces,
+        &style,
+        0.015,
+    );
+    assert!(stats.triangles > 0);
+    assert!(fb.lit_pixel_count(0.01) > 0, "field lines must be visible");
+}
+
+#[test]
+fn compact_roundtrip_preserves_renderability() {
+    // The paper stores pre-integrated lines instead of raw fields; the
+    // deserialized lines must render the same silhouette.
+    let sim = driven_sim();
+    let field = FieldSampler::capture(&sim, FieldKind::Electric);
+    let lines = lines_of(&field, 50);
+    let mut buf = Vec::new();
+    serialize_lines(&mut buf, &lines).unwrap();
+    let restored = deserialize_lines(&mut buf.as_slice()).unwrap();
+    assert_eq!(restored.len(), lines.len());
+
+    let b = field.bounds();
+    let cam = Camera::orbit(b.center(), b.longest_edge() * 1.8, 0.9, 0.35, 1.0);
+    let style = LineStyle::electric(field.max_magnitude());
+    let mut fb_orig = Framebuffer::new(96, 96);
+    let mut fb_rest = Framebuffer::new(96, 96);
+    render_line_set(&mut fb_orig, &cam, &lines, LineRepresentation::FlatLines, &style, 0.015);
+    render_line_set(&mut fb_rest, &cam, &restored, LineRepresentation::FlatLines, &style, 0.015);
+    // f32 quantization moves vertices sub-pixel: images are close.
+    assert!(
+        fb_orig.mse(&fb_rest) < 1e-3,
+        "restored lines must render nearly identically: mse {}",
+        fb_orig.mse(&fb_rest)
+    );
+}
+
+#[test]
+fn electric_and_magnetic_fields_are_linked() {
+    // Faraday's law in the solver: a ringing E field implies a ringing B
+    // field of comparable energy scale (normalized units).
+    let sim = driven_sim();
+    let e = FieldSampler::capture(&sim, FieldKind::Electric);
+    let b = FieldSampler::capture(&sim, FieldKind::Magnetic);
+    assert!(e.max_magnitude() > 0.0);
+    assert!(b.max_magnitude() > 0.0);
+    let ratio = e.max_magnitude() / b.max_magnitude();
+    assert!(
+        (0.02..50.0).contains(&ratio),
+        "E/B magnitude ratio implausible: {ratio}"
+    );
+}
+
+#[test]
+fn incremental_prefixes_render_monotonically_more() {
+    let sim = driven_sim();
+    let field = FieldSampler::capture(&sim, FieldKind::Electric);
+    let lines = lines_of(&field, 120);
+    let b = field.bounds();
+    let cam = Camera::orbit(b.center(), b.longest_edge() * 1.8, 0.9, 0.35, 1.0);
+    let style = LineStyle::electric(field.max_magnitude());
+    let mut prev_lit = 0;
+    for frac in [0.25, 0.5, 1.0] {
+        let prefix = ((lines.len() as f64 * frac) as usize).max(1);
+        let mut fb = Framebuffer::new(128, 128);
+        render_line_set(
+            &mut fb,
+            &cam,
+            &lines[..prefix],
+            LineRepresentation::SelfOrientingSurfaces,
+            &style,
+            0.015,
+        );
+        let lit = fb.lit_pixel_count(0.01);
+        assert!(
+            lit >= prev_lit,
+            "more lines must never shrink coverage: {lit} < {prev_lit}"
+        );
+        prev_lit = lit;
+    }
+}

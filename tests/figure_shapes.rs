@@ -1,0 +1,141 @@
+//! Fast, end-to-end "shape of the result" checks: the qualitative
+//! direction of each figure's comparison, at scales small enough for
+//! debug builds. (EXPERIMENTS.md records the full-scale magnitudes.)
+
+use accelviz::core::hybrid::HybridFrame;
+use accelviz::core::scene::{render_hybrid_frame, render_line_set, LineRepresentation, RenderMode};
+use accelviz::core::transfer::TransferFunctionPair;
+use accelviz::emsim::cavity::{CavityGeometry, CavitySpec};
+use accelviz::emsim::fdtd::{FdtdSim, FdtdSpec};
+use accelviz::emsim::sample::{FieldKind, FieldSampler};
+use accelviz::fieldlines::integrate::TraceParams;
+use accelviz::fieldlines::line::FieldLine;
+use accelviz::fieldlines::seeding::{seed_lines, SeedingParams};
+use accelviz::fieldlines::style::LineStyle;
+use accelviz::octree::builder::{partition, BuildParams};
+use accelviz::octree::extraction::threshold_for_budget;
+use accelviz::octree::plots::PlotType;
+use accelviz::render::camera::Camera;
+use accelviz::render::framebuffer::Framebuffer;
+use accelviz::render::points::PointStyle;
+use accelviz::render::volume::VolumeStyle;
+use accelviz::math::Vec3;
+
+fn small_frame(volume_dims: [usize; 3], budget: usize) -> HybridFrame {
+    use accelviz::beam::distribution::Distribution;
+    let ps = Distribution::default_beam().sample(3_000, 7);
+    let data = partition(&ps, PlotType::XYZ, BuildParams::default());
+    let t = threshold_for_budget(&data, budget);
+    HybridFrame::from_partition(&data, 0, t, volume_dims)
+}
+
+/// Figure 1's direction: at matched image size, the hybrid rendering
+/// costs fewer field samples than the brute-force high-resolution volume
+/// rendering.
+#[test]
+fn fig1_shape_hybrid_samples_fewer() {
+    let hires = small_frame([64, 64, 64], 0);
+    let hybrid = small_frame([16, 16, 16], 600);
+    let cam = Camera::orbit(
+        hybrid.bounds.center(),
+        hybrid.bounds.longest_edge() * 2.2,
+        0.5,
+        0.3,
+        1.0,
+    );
+    let tfs = TransferFunctionPair::linked_at(0.04, 0.02);
+    let ps = PointStyle::default();
+    let mut fb = Framebuffer::new(96, 96);
+    let vol = render_hybrid_frame(
+        &mut fb,
+        &cam,
+        &hires,
+        &tfs,
+        RenderMode::VolumeOnly,
+        &VolumeStyle { steps: 64, ..Default::default() },
+        &ps,
+    );
+    let mut fb = Framebuffer::new(96, 96);
+    let hyb = render_hybrid_frame(
+        &mut fb,
+        &cam,
+        &hybrid,
+        &tfs,
+        RenderMode::Hybrid,
+        &VolumeStyle { steps: 16, ..Default::default() },
+        &ps,
+    );
+    assert!(
+        vol.volume_samples > 2 * hyb.volume_samples,
+        "hybrid must sample far less: {} vs {}",
+        vol.volume_samples,
+        hyb.volume_samples
+    );
+    assert!(hyb.points_drawn > 0, "and still show the halo as points");
+    // And the hybrid frame is much smaller than the hi-res texture.
+    assert!(hybrid.total_bytes() * 4 < hires.volume_bytes());
+}
+
+/// Figure 6's direction: streamtubes cost an order of magnitude more
+/// triangles than self-orienting surfaces for the same lines.
+#[test]
+fn fig6_shape_tubes_cost_more() {
+    let lines: Vec<FieldLine> = (0..4)
+        .map(|i| {
+            let mut l = FieldLine::new();
+            for j in 0..10 {
+                l.push(
+                    Vec3::new(j as f64 * 0.1 - 0.5, i as f64 * 0.1 - 0.15, 0.0),
+                    Vec3::UNIT_X,
+                    0.5,
+                );
+            }
+            l
+        })
+        .collect();
+    let cam = Camera::look_at(Vec3::new(0.0, 0.0, 3.0), Vec3::ZERO, 1.0);
+    let style = LineStyle::electric(1.0);
+    let mut fb = Framebuffer::new(96, 96);
+    let sos = render_line_set(&mut fb, &cam, &lines, LineRepresentation::SelfOrientingSurfaces, &style, 0.02);
+    let mut fb = Framebuffer::new(96, 96);
+    let tubes = render_line_set(&mut fb, &cam, &lines, LineRepresentation::Streamtubes, &style, 0.02);
+    assert!(tubes.triangles >= 6 * sos.triangles);
+}
+
+/// Figures 7/8's direction on a quick driven cavity: the strongest-field
+/// lines load first, and the RF energy actually reaches the structure.
+#[test]
+fn fig7_fig8_shape_strong_regions_first() {
+    let geometry = CavityGeometry::new(CavitySpec::three_cell());
+    let mut sim = FdtdSim::new(FdtdSpec::for_geometry(geometry, 8));
+    sim.run(300);
+    assert!(accelviz::emsim::energy::total_energy(&sim) > 0.0);
+    let field = FieldSampler::capture(&sim, FieldKind::Electric);
+    let lines = seed_lines(
+        &field,
+        &SeedingParams {
+            n_lines: 60,
+            trace: TraceParams {
+                step: 0.06,
+                max_steps: 120,
+                min_magnitude: 1e-6 * field.max_magnitude(),
+                bidirectional: true,
+            },
+            seed: 3,
+            min_magnitude_frac: 1e-3,
+        },
+    );
+    assert!(lines.len() >= 20, "seeding must produce lines: {}", lines.len());
+    let k = lines.len() / 4;
+    let first: f64 =
+        lines[..k].iter().map(|l| l.line.mean_magnitude()).sum::<f64>() / k as f64;
+    let last: f64 = lines[lines.len() - k..]
+        .iter()
+        .map(|l| l.line.mean_magnitude())
+        .sum::<f64>()
+        / k as f64;
+    assert!(
+        first > last,
+        "first quartile of seeded lines must sit in stronger field: {first:.3e} vs {last:.3e}"
+    );
+}

@@ -1,0 +1,126 @@
+//! The paper's quantitative claims, each as an executable assertion.
+//! These are the headline numbers recorded in EXPERIMENTS.md.
+
+use accelviz::emsim::courant::{cell_size_for_steps, courant_dt, steps_for_duration};
+use accelviz::fieldlines::sos::sos_triangle_count;
+use accelviz::fieldlines::tube::tube_triangle_count;
+
+#[test]
+fn claim_5gb_per_100m_particle_step() {
+    // §2.1: "The primary simulation, consisting of 100 million particles,
+    // requires 5 GB of storage per time step."
+    let gb = accelviz::beam::io::snapshot_bytes(100_000_000) as f64 / 1e9;
+    assert!((4.5..5.1).contains(&gb), "{gb} GB");
+}
+
+#[test]
+fn claim_48gb_per_billion_particle_step() {
+    // §2.1: "the initial time step of a billion point simulation requires
+    // 48 GB of storage."
+    let gb = accelviz::beam::io::snapshot_bytes(1_000_000_000) as f64 / 1e9;
+    assert!((47.9..48.2).contains(&gb), "{gb} GB");
+}
+
+#[test]
+fn claim_sos_uses_5_to_6_times_fewer_triangles() {
+    // §3.1: self-orienting strips use "about five to six times less than a
+    // typical streamtube representation would require". A 10–12-sided
+    // tube costs 10–12× the strip's triangles; even a minimal 6-sided
+    // tube costs 6×.
+    for n in [10usize, 50, 500] {
+        let sos = sos_triangle_count(n);
+        assert!(tube_triangle_count(n, 6) >= 6 * sos);
+        assert!(tube_triangle_count(n, 12) == 12 * sos);
+    }
+}
+
+#[test]
+fn claim_40ns_is_326700_steps() {
+    // §3.4: "simulation of this 12-cell structure reaches steady state at
+    // about 40 nanoseconds, which corresponds to 326,700 time steps."
+    let dx = cell_size_for_steps(40e-9, 326_700, 0.99);
+    let dt = courant_dt(dx, dx, dx, 0.99);
+    let steps = steps_for_duration(40e-9, dt);
+    assert!((steps as i64 - 326_700).abs() <= 1, "{steps} steps");
+}
+
+#[test]
+fn claim_80mb_per_field_step_26tb_total() {
+    // §3.4: "about 80 megabytes of storage space to save one time step of
+    // the electric and magnetic fields together, over 26 terabytes ...
+    // for the overall data set."
+    let mb = accelviz::emsim::io::snapshot_bytes(1_600_000) as f64 / 1e6;
+    assert!((70.0..85.0).contains(&mb), "{mb} MB");
+    let tb = accelviz::emsim::io::run_bytes(1_600_000, 326_700) as f64 / 1e12;
+    assert!((24.0..27.0).contains(&tb), "{tb} TB");
+}
+
+#[test]
+fn claim_field_line_storage_saving_of_25x() {
+    // §3.4: "The typical saving is about a factor of 25." A paper-typical
+    // budget of a few thousand pre-integrated lines versus the 1.6
+    // M-element raw dump.
+    use accelviz::fieldlines::compact::saving_factor;
+    use accelviz::fieldlines::line::FieldLine;
+    use accelviz::math::Vec3;
+    let lines: Vec<FieldLine> = (0..4_000)
+        .map(|_| {
+            let mut l = FieldLine::new();
+            for i in 0..47 {
+                l.push(Vec3::new(i as f64, 0.0, 0.0), Vec3::UNIT_X, 1.0);
+            }
+            l
+        })
+        .collect();
+    let f = saving_factor(&lines, 1_600_000);
+    assert!((20.0..32.0).contains(&f), "saving factor {f}");
+}
+
+#[test]
+fn claim_10s_load_for_100mb_frame() {
+    // §2.5: "If a frame is not in memory, it is loaded from disk, a
+    // process that takes around 10 seconds for a 100 MB time step."
+    use accelviz::core::viewer::FrameCache;
+    let cache = FrameCache::paper_desktop(vec![(100 << 20, 64 * 64 * 64)]);
+    let load = cache.step_to(0);
+    assert!(!load.cache_hit);
+    assert!((9.0..12.0).contains(&load.seconds), "{} s", load.seconds);
+}
+
+#[test]
+fn claim_ten_frames_fit_in_memory() {
+    // §2.5: "a high-end PC is capable of holding around 10 time steps in
+    // memory at once" (100 MB frames, ~1 GB of usable memory).
+    use accelviz::core::viewer::FrameCache;
+    let cache = FrameCache::paper_desktop(vec![(100 << 20, 64 * 64 * 64); 30]);
+    for f in 0..30 {
+        cache.step_to(f);
+    }
+    assert_eq!(cache.resident_count(), 10);
+}
+
+#[test]
+fn claim_256cubed_is_64x_the_texture_of_64cubed() {
+    // Figure 1's two volume resolutions: the texture-memory ratio that
+    // forces the low-res choice on commodity hardware.
+    use accelviz::octree::density::DensityGrid;
+    use accelviz::math::{Aabb, Vec3};
+    let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+    let hi = DensityGrid::zeros(b, [256, 256, 256]);
+    let lo = DensityGrid::zeros(b, [64, 64, 64]);
+    assert_eq!(hi.texture_bytes() / lo.texture_bytes(), 64);
+    // And the 256³ texture alone eats a quarter of a 64 MB card.
+    assert!(hi.texture_bytes() * 4 >= (64 << 20));
+}
+
+#[test]
+fn claim_wide_area_transfer_becomes_practical() {
+    // §2.1: hybrid data "can be more efficiently transferred from the
+    // computer where it was generated to a remote computer ... thousands
+    // of miles away": a 100 MB hybrid frame moves in seconds where the
+    // raw 5 GB step takes minutes.
+    use accelviz::core::remote::TransferModel;
+    let wan = TransferModel::wide_area();
+    assert!(wan.seconds_for(5_000_000_000) > 300.0);
+    assert!(wan.seconds_for(100_000_000) < 10.0);
+}

@@ -1,0 +1,226 @@
+//! Property-based tests (proptest) of the core invariants the paper's
+//! pipeline rests on, across randomized inputs.
+
+use accelviz::beam::particle::Particle;
+use accelviz::core::transfer::TransferFunctionPair;
+use accelviz::math::{Aabb, Rgba, Vec3};
+use accelviz::octree::builder::{partition, BuildParams};
+use accelviz::octree::extraction::{extract, threshold_for_budget};
+use accelviz::octree::plots::PlotType;
+use proptest::prelude::*;
+
+fn arb_particle() -> impl Strategy<Value = Particle> {
+    (
+        -1.0e-2..1.0e-2f64,
+        -1.0e-3..1.0e-3f64,
+        -1.0e-2..1.0e-2f64,
+        -1.0e-3..1.0e-3f64,
+        -5.0e-2..5.0e-2f64,
+        -1.0e-3..1.0e-3f64,
+    )
+        .prop_map(|(x, px, y, py, z, pz)| Particle::from_array([x, px, y, py, z, pz]))
+}
+
+fn arb_particles(max: usize) -> impl Strategy<Value = Vec<Particle>> {
+    prop::collection::vec(arb_particle(), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Partitioning conserves the particle multiset and its store
+    /// invariants for arbitrary clouds.
+    #[test]
+    fn partition_conserves_particles(
+        particles in arb_particles(600),
+        max_depth in 1u32..5,
+        leaf_capacity in 1usize..64,
+    ) {
+        let data = partition(
+            &particles,
+            PlotType::XYZ,
+            BuildParams { max_depth, leaf_capacity, gradient_refinement: None },
+        );
+        prop_assert!(data.validate().is_ok());
+        prop_assert_eq!(data.particles().len(), particles.len());
+        // Multiset equality via sorted bit patterns.
+        let key = |p: &Particle| p.to_array().map(f64::to_bits);
+        let mut a: Vec<_> = particles.iter().map(key).collect();
+        let mut b: Vec<_> = data.particles().iter().map(key).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Extraction at any threshold equals the brute-force filter and
+    /// respects the prefix property.
+    #[test]
+    fn extraction_is_a_threshold_filter(
+        particles in arb_particles(400),
+        threshold_exp in -3.0..12.0f64,
+    ) {
+        let data = partition(&particles, PlotType::XYZ, BuildParams::default());
+        let threshold = 10f64.powf(threshold_exp);
+        let ex = extract(&data, threshold);
+        let expected: u64 = data
+            .sorted_leaves()
+            .iter()
+            .map(|&li| &data.tree().nodes[li as usize])
+            .filter(|n| n.density < threshold)
+            .map(|n| n.len)
+            .sum();
+        prop_assert_eq!(ex.particles.len() as u64, expected);
+        // Prefix property: a smaller threshold keeps a prefix of this.
+        let smaller = extract(&data, threshold / 10.0);
+        prop_assert!(smaller.particles.len() <= ex.particles.len());
+        prop_assert_eq!(
+            &ex.particles[..smaller.particles.len()],
+            smaller.particles
+        );
+    }
+
+    /// The budgeted threshold never exceeds its budget.
+    #[test]
+    fn budget_is_respected(
+        particles in arb_particles(500),
+        budget in 0usize..600,
+    ) {
+        let data = partition(&particles, PlotType::XYZ, BuildParams::default());
+        let t = threshold_for_budget(&data, budget);
+        prop_assert!(extract(&data, t).particles.len() <= budget);
+    }
+
+    /// The linked transfer-function pair keeps point + volume coverage at
+    /// exactly 1 for any boundary and any density.
+    #[test]
+    fn linked_tfs_always_sum_to_one(
+        threshold in 0.0..1.0f64,
+        ramp in 0.0..0.5f64,
+        density in 0.0..1.0f64,
+    ) {
+        let pair = TransferFunctionPair::linked_at(threshold, ramp);
+        prop_assert!((pair.coverage(density) - 1.0).abs() < 1e-12);
+    }
+
+    /// Front-to-back premultiplied compositing matches back-to-front
+    /// `over` chaining for arbitrary sample stacks.
+    #[test]
+    fn compositing_orders_agree(
+        samples in prop::collection::vec(
+            (0.0..1.0f32, 0.0..1.0f32, 0.0..1.0f32, 0.0..1.0f32),
+            0..12,
+        )
+    ) {
+        let samples: Vec<Rgba> = samples
+            .into_iter()
+            .map(|(r, g, b, a)| Rgba::new(r, g, b, a))
+            .collect();
+        let mut acc = Rgba::TRANSPARENT;
+        for s in &samples {
+            acc = Rgba::front_to_back(acc, *s);
+        }
+        let ftb = acc.unpremultiply();
+        let mut btf = Rgba::TRANSPARENT;
+        for s in samples.iter().rev() {
+            btf = s.over(btf);
+        }
+        prop_assert!(ftb.max_channel_diff(btf) < 1e-4, "{ftb:?} vs {btf:?}");
+    }
+
+    /// Octant decomposition tiles any box: every point belongs to exactly
+    /// the octant reported by `octant_index`.
+    #[test]
+    fn octants_tile_boxes(
+        cx in -10.0..10.0f64,
+        cy in -10.0..10.0f64,
+        cz in -10.0..10.0f64,
+        half in 0.1..10.0f64,
+        px in 0.0..1.0f64,
+        py in 0.0..1.0f64,
+        pz in 0.0..1.0f64,
+    ) {
+        let b = Aabb::cube(Vec3::new(cx, cy, cz), half);
+        let p = b.min + Vec3::new(
+            px * b.size().x,
+            py * b.size().y,
+            pz * b.size().z,
+        );
+        let idx = b.octant_index(p);
+        prop_assert!(b.octant(idx).contains(p));
+        // Volumes of the octants sum to the parent volume.
+        let vol: f64 = (0..8).map(|i| b.octant(i).volume()).sum();
+        prop_assert!((vol - b.volume()).abs() < 1e-9 * b.volume());
+    }
+
+    /// Snapshot IO roundtrips arbitrary particle data bit-exactly.
+    #[test]
+    fn snapshot_io_roundtrip(particles in arb_particles(200), step in 0u64..1000) {
+        let bytes = accelviz::beam::io::snapshot_to_vec(step, &particles);
+        let (s, back) = accelviz::beam::io::read_snapshot(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(s, step);
+        prop_assert_eq!(back, particles);
+    }
+
+    /// Seeding on arbitrary random fields: never panics, lines stay in
+    /// bounds, the incremental order is consecutive, and the run is
+    /// deterministic.
+    #[test]
+    fn seeding_is_robust_on_random_fields(
+        vectors in prop::collection::vec(
+            (-1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64),
+            64..=64,
+        ),
+        n_lines in 1usize..30,
+        seed in 0u64..1000,
+    ) {
+        use accelviz::emsim::sample::FieldSampler;
+        use accelviz::fieldlines::integrate::TraceParams;
+        use accelviz::fieldlines::seeding::{seed_lines, SeedingParams};
+        let bounds = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let vecs: Vec<Vec3> = vectors.into_iter().map(|(x, y, z)| Vec3::new(x, y, z)).collect();
+        let field = FieldSampler::from_vectors([4, 4, 4], bounds, vecs);
+        let params = SeedingParams {
+            n_lines,
+            trace: TraceParams { step: 0.05, max_steps: 60, ..Default::default() },
+            seed,
+            min_magnitude_frac: 1e-6,
+        };
+        let lines = seed_lines(&field, &params);
+        prop_assert!(lines.len() <= n_lines);
+        for (i, sl) in lines.iter().enumerate() {
+            prop_assert_eq!(sl.order, i);
+            for p in &sl.line.points {
+                prop_assert!(bounds.contains(*p));
+                prop_assert!(p.is_finite());
+            }
+        }
+        let again = seed_lines(&field, &params);
+        prop_assert_eq!(lines.len(), again.len());
+        for (a, b) in lines.iter().zip(&again) {
+            prop_assert_eq!(&a.line.points, &b.line.points);
+        }
+    }
+
+    /// Compact line serialization roundtrips within f32 precision.
+    #[test]
+    fn compact_lines_roundtrip(
+        points in prop::collection::vec(
+            (-10.0..10.0f64, -10.0..10.0f64, -10.0..10.0f64, 0.0..5.0f64),
+            2..40,
+        )
+    ) {
+        use accelviz::fieldlines::line::FieldLine;
+        let mut line = FieldLine::new();
+        for (x, y, z, m) in points {
+            line.push(Vec3::new(x, y, z), Vec3::UNIT_X, m);
+        }
+        let lines = vec![line];
+        let mut buf = Vec::new();
+        accelviz::fieldlines::compact::serialize_lines(&mut buf, &lines).unwrap();
+        let back = accelviz::fieldlines::compact::deserialize_lines(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), 1);
+        for (a, b) in lines[0].points.iter().zip(&back[0].points) {
+            prop_assert!(a.distance(*b) < 1e-4);
+        }
+    }
+}
