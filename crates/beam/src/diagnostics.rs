@@ -123,7 +123,11 @@ impl BeamDiagnostics {
             emittance_x,
             emittance_y,
             halo_fraction: halo_count as f64 / n,
-            max_radius_ratio: if rms_r > 0.0 { r2_max.sqrt() / rms_r } else { 0.0 },
+            max_radius_ratio: if rms_r > 0.0 {
+                r2_max.sqrt() / rms_r
+            } else {
+                0.0
+            },
             profile_parameter: if r2_mean > 0.0 {
                 r4_mean / (r2_mean * r2_mean) - 2.0
             } else {
@@ -176,10 +180,7 @@ pub fn four_fold_symmetry(particles: &[Particle]) -> f64 {
     let expected = counted as f64 / 4.0;
     // Normalized total absolute deviation from equal occupancy; the worst
     // case (everything in one quadrant) has deviation 2·(3/4)·counted.
-    let dev: f64 = quadrants
-        .iter()
-        .map(|&c| (c as f64 - expected).abs())
-        .sum();
+    let dev: f64 = quadrants.iter().map(|&c| (c as f64 - expected).abs()).sum();
     (1.0 - dev / (1.5 * counted as f64)).clamp(0.0, 1.0)
 }
 
@@ -251,7 +252,11 @@ mod tests {
         assert!(d.halo_fraction < 5e-3, "halo {}", d.halo_fraction);
         assert!(d.max_radius_ratio < 6.0);
         // Profile parameter near 0 for a Gaussian transverse profile.
-        assert!(d.profile_parameter.abs() < 0.3, "h = {}", d.profile_parameter);
+        assert!(
+            d.profile_parameter.abs() < 0.3,
+            "h = {}",
+            d.profile_parameter
+        );
     }
 
     #[test]
@@ -274,19 +279,15 @@ mod tests {
 
     #[test]
     fn four_fold_symmetry_of_symmetric_and_lopsided_bunches() {
-        let sym: Vec<Particle> = [
-            (1.0, 1.0),
-            (-1.0, 1.0),
-            (1.0, -1.0),
-            (-1.0, -1.0),
-        ]
-        .iter()
-        .map(|&(x, y)| Particle::at_rest(Vec3::new(x, y, 0.0)))
-        .collect();
+        let sym: Vec<Particle> = [(1.0, 1.0), (-1.0, 1.0), (1.0, -1.0), (-1.0, -1.0)]
+            .iter()
+            .map(|&(x, y)| Particle::at_rest(Vec3::new(x, y, 0.0)))
+            .collect();
         assert!((four_fold_symmetry(&sym) - 1.0).abs() < 1e-12);
 
-        let lop: Vec<Particle> =
-            (0..100).map(|_| Particle::at_rest(Vec3::new(1.0, 1.0, 0.0))).collect();
+        let lop: Vec<Particle> = (0..100)
+            .map(|_| Particle::at_rest(Vec3::new(1.0, 1.0, 0.0)))
+            .collect();
         assert!(four_fold_symmetry(&lop) < 0.01);
     }
 

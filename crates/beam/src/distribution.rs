@@ -43,7 +43,11 @@ pub struct Distribution {
 impl Distribution {
     /// A distribution with uniform transverse/longitudinal sizes.
     pub fn new(kind: DistributionKind, sigma_pos: Vec3, sigma_mom: Vec3) -> Distribution {
-        Distribution { kind, sigma_pos, sigma_mom }
+        Distribution {
+            kind,
+            sigma_pos,
+            sigma_mom,
+        }
     }
 
     /// The matched-beam default used across examples and benches: a round
@@ -294,11 +298,7 @@ mod tests {
         let ps = d.sample(40_000, 9);
         let k = 8.0f64.sqrt() * 1.0e-3;
         for p in &ps {
-            let r2: f64 = p
-                .to_array()
-                .iter()
-                .map(|c| (c / k) * (c / k))
-                .sum();
+            let r2: f64 = p.to_array().iter().map(|c| (c / k) * (c / k)).sum();
             assert!(r2 <= 1.0 + 1e-9, "waterbag point outside ellipsoid: {r2}");
         }
         let rx = rms_of(&ps, |p| p.position.x);

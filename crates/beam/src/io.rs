@@ -141,8 +141,14 @@ mod tests {
         let hundred_million = snapshot_bytes(100_000_000);
         assert_eq!(hundred_million, 24 + 100_000_000 * 48);
         let gib = hundred_million as f64 / 1e9;
-        assert!((gib - 4.8).abs() < 0.01, "≈5 GB per 100 M-particle step: {gib}");
+        assert!(
+            (gib - 4.8).abs() < 0.01,
+            "≈5 GB per 100 M-particle step: {gib}"
+        );
         let billion = snapshot_bytes(1_000_000_000) as f64 / 1e9;
-        assert!((billion - 48.0).abs() < 0.1, "≈48 GB per 1 B-particle step: {billion}");
+        assert!(
+            (billion - 48.0).abs() < 0.1,
+            "≈48 GB per 1 B-particle step: {billion}"
+        );
     }
 }

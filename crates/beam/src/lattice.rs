@@ -54,11 +54,20 @@ impl Lattice {
     /// * `drift_len` — drift length (m)
     /// * `k` — focusing strength (m⁻²)
     pub fn fodo_cell(quad_len: f64, drift_len: f64, k: f64) -> Lattice {
-        assert!(quad_len > 0.0 && drift_len > 0.0, "element lengths must be positive");
+        assert!(
+            quad_len > 0.0 && drift_len > 0.0,
+            "element lengths must be positive"
+        );
         Lattice::new(vec![
-            Element::Quad { length: quad_len, k },
+            Element::Quad {
+                length: quad_len,
+                k,
+            },
             Element::Drift { length: drift_len },
-            Element::Quad { length: quad_len, k: -k },
+            Element::Quad {
+                length: quad_len,
+                k: -k,
+            },
             Element::Drift { length: drift_len },
         ])
     }

@@ -77,7 +77,10 @@ impl Particle {
     /// Particle at rest at a point.
     #[inline]
     pub fn at_rest(position: Vec3) -> Particle {
-        Particle { position, momentum: Vec3::ZERO }
+        Particle {
+            position,
+            momentum: Vec3::ZERO,
+        }
     }
 
     /// Value of one phase-space coordinate.

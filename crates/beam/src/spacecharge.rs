@@ -91,14 +91,23 @@ impl CoreEnvelope {
     /// Envelope starting from semi-axes with zero slope.
     pub fn stationary(a: f64, b: f64) -> CoreEnvelope {
         assert!(a > 0.0 && b > 0.0, "core semi-axes must be positive");
-        CoreEnvelope { a, ap: 0.0, b, bp: 0.0 }
+        CoreEnvelope {
+            a,
+            ap: 0.0,
+            b,
+            bp: 0.0,
+        }
     }
 
     /// Envelope derivative at path position `s`.
     fn derivative(&self, lattice: &Lattice, model: &SpaceChargeModel, s: f64) -> [f64; 4] {
         let k = lattice.k_at(s);
         let sum = self.a + self.b;
-        let sc = if sum > 1e-12 { 2.0 * model.perveance / sum } else { 0.0 };
+        let sc = if sum > 1e-12 {
+            2.0 * model.perveance / sum
+        } else {
+            0.0
+        };
         let ex2 = model.emittance_x * model.emittance_x;
         let ey2 = model.emittance_y * model.emittance_y;
         [
@@ -206,7 +215,10 @@ mod tests {
         let (a, b) = (1.0e-3, 1.0e-3);
         let (fx1, _) = m.field(0.2e-3, 0.0, a, b);
         let (fx2, _) = m.field(0.4e-3, 0.0, a, b);
-        assert!((fx2 / fx1 - 2.0).abs() < 1e-9, "interior field must be linear");
+        assert!(
+            (fx2 / fx1 - 2.0).abs() < 1e-9,
+            "interior field must be linear"
+        );
     }
 
     #[test]
@@ -215,7 +227,10 @@ mod tests {
         let (a, b) = (1.0e-3, 1.0e-3);
         let (f1, _) = m.field(2.0e-3, 0.0, a, b);
         let (f2, _) = m.field(4.0e-3, 0.0, a, b);
-        assert!((f1 / f2 - 2.0).abs() < 1e-9, "exterior field must fall as 1/r");
+        assert!(
+            (f1 / f2 - 2.0).abs() < 1e-9,
+            "exterior field must fall as 1/r"
+        );
     }
 
     #[test]
@@ -240,7 +255,11 @@ mod tests {
 
     #[test]
     fn zero_perveance_means_no_kick() {
-        let m = SpaceChargeModel { perveance: 0.0, emittance_x: 1e-6, emittance_y: 1e-6 };
+        let m = SpaceChargeModel {
+            perveance: 0.0,
+            emittance_x: 1e-6,
+            emittance_y: 1e-6,
+        };
         assert_eq!(m.field(1.0, 1.0, 1e-3, 1e-3), (0.0, 0.0));
     }
 
@@ -268,7 +287,11 @@ mod tests {
         let lattice = crate::lattice::Lattice::default_fodo();
         let m = model();
         let (env, residual) = match_envelope(&lattice, &m, 1.2e-3, 400, 64);
-        assert!(residual < 0.05 * env.a, "matching failed: residual {residual}, a {}", env.a);
+        assert!(
+            residual < 0.05 * env.a,
+            "matching failed: residual {residual}, a {}",
+            env.a
+        );
     }
 
     #[test]
@@ -306,7 +329,10 @@ mod tests {
         };
         let a_first = osc(first);
         let a_last = osc(last);
-        assert!(a_first > 0.05 * matched.a, "mismatch must excite breathing: {a_first}");
+        assert!(
+            a_first > 0.05 * matched.a,
+            "mismatch must excite breathing: {a_first}"
+        );
         assert!(
             a_last > 0.4 * a_first,
             "breathing must persist: {a_first} → {a_last}"

@@ -19,11 +19,15 @@ pub struct Map2 {
 
 impl Map2 {
     /// Identity map.
-    pub const IDENTITY: Map2 = Map2 { m: [[1.0, 0.0], [0.0, 1.0]] };
+    pub const IDENTITY: Map2 = Map2 {
+        m: [[1.0, 0.0], [0.0, 1.0]],
+    };
 
     /// Drift of length `l`.
     pub fn drift(l: f64) -> Map2 {
-        Map2 { m: [[1.0, l], [0.0, 1.0]] }
+        Map2 {
+            m: [[1.0, l], [0.0, 1.0]],
+        }
     }
 
     /// Thick focusing lens: `u'' = -k u` with `k > 0`, length `l`.
@@ -31,7 +35,9 @@ impl Map2 {
         assert!(k > 0.0);
         let w = k.sqrt();
         let (s, c) = (w * l).sin_cos();
-        Map2 { m: [[c, s / w], [-w * s, c]] }
+        Map2 {
+            m: [[c, s / w], [-w * s, c]],
+        }
     }
 
     /// Thick defocusing lens: `u'' = +k u` with `k > 0`, length `l`.
@@ -39,7 +45,9 @@ impl Map2 {
         assert!(k > 0.0);
         let w = k.sqrt();
         let (s, c) = ((w * l).sinh(), (w * l).cosh());
-        Map2 { m: [[c, s / w], [w * s, c]] }
+        Map2 {
+            m: [[c, s / w], [w * s, c]],
+        }
     }
 
     /// Map for motion `u'' + k u = 0` over length `l`, any sign of `k`.
@@ -244,7 +252,10 @@ mod tests {
 
     #[test]
     fn quad_focuses_one_plane_defocuses_other() {
-        let e = Element::Quad { length: 0.5, k: 4.0 };
+        let e = Element::Quad {
+            length: 0.5,
+            k: 4.0,
+        };
         let m = ElementMap::of(&e, 0.5);
         // Particle offset in x with no slope: focusing quad bends it inward
         // (px < 0); same offset in y is bent outward (py > 0).

@@ -41,7 +41,11 @@ impl Twiss {
         }
         let beta = m.m[0][1] / sin_mu;
         let alpha = (m.m[0][0] - m.m[1][1]) / (2.0 * sin_mu);
-        Some(Twiss { beta, alpha, mu: sin_mu.atan2(cos_mu).abs() })
+        Some(Twiss {
+            beta,
+            alpha,
+            mu: sin_mu.atan2(cos_mu).abs(),
+        })
     }
 
     /// Propagates the Twiss parameters through an element map:
@@ -49,12 +53,14 @@ impl Twiss {
     pub fn propagate(&self, m: &Map2) -> Twiss {
         let (m11, m12) = (m.m[0][0], m.m[0][1]);
         let (m21, m22) = (m.m[1][0], m.m[1][1]);
-        let beta =
-            m11 * m11 * self.beta - 2.0 * m11 * m12 * self.alpha + m12 * m12 * self.gamma();
-        let alpha = -m11 * m21 * self.beta
-            + (m11 * m22 + m12 * m21) * self.alpha
+        let beta = m11 * m11 * self.beta - 2.0 * m11 * m12 * self.alpha + m12 * m12 * self.gamma();
+        let alpha = -m11 * m21 * self.beta + (m11 * m22 + m12 * m21) * self.alpha
             - m12 * m22 * self.gamma();
-        Twiss { beta, alpha, mu: self.mu }
+        Twiss {
+            beta,
+            alpha,
+            mu: self.mu,
+        }
     }
 
     /// The matched rms beam size for an rms emittance ε: σ = √(εβ).
@@ -125,7 +131,11 @@ mod tests {
         // Mirror-symmetric cell: the x-plane phase advance equals y's.
         assert!(approx_eq(tx.mu, ty.mu, 1e-9));
         // γβ − α² = 1 (the Courant–Snyder identity).
-        assert!(approx_eq(tx.gamma() * tx.beta - tx.alpha * tx.alpha, 1.0, 1e-12));
+        assert!(approx_eq(
+            tx.gamma() * tx.beta - tx.alpha * tx.alpha,
+            1.0,
+            1e-12
+        ));
     }
 
     #[test]
@@ -164,7 +174,7 @@ mod tests {
             .map(|(s, _, by)| (s, by, 0.0))
             .unwrap();
         // QF occupies [0, 0.2], QD occupies [0.5, 0.7].
-        assert!(sx_max < 0.3 || sx_max > 0.9, "βx max at {sx_max}");
+        assert!(!(0.3..=0.9).contains(&sx_max), "βx max at {sx_max}");
         assert!((0.4..0.8).contains(&sy_max), "βy max at {sy_max}");
     }
 
@@ -183,15 +193,19 @@ mod tests {
         let emit = 1e-6;
         // Sample the matched Gaussian: u = √(εβ)·g1, u′ = √(ε/β)·(g2 − α·g1).
         let mut rng = StdRng::seed_from_u64(5);
-        let mut normal = move |rng: &mut StdRng| -> f64 {
+        let normal = move |rng: &mut StdRng| -> f64 {
             let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
             (-2.0 * u1.ln()).sqrt() * u2.cos()
         };
         let mut particles: Vec<Particle> = (0..20_000)
             .map(|_| {
-                let (g1, g2, g3, g4) =
-                    (normal(&mut rng), normal(&mut rng), normal(&mut rng), normal(&mut rng));
+                let (g1, g2, g3, g4) = (
+                    normal(&mut rng),
+                    normal(&mut rng),
+                    normal(&mut rng),
+                    normal(&mut rng),
+                );
                 let x = (emit * tx.beta).sqrt() * g1;
                 let xp = (emit / tx.beta).sqrt() * (g2 - tx.alpha * g1);
                 let y = (emit * ty.beta).sqrt() * g3;
@@ -248,7 +262,11 @@ mod tests {
 
     #[test]
     fn matched_sigma_helpers() {
-        let t = Twiss { beta: 4.0, alpha: 0.0, mu: 1.0 };
+        let t = Twiss {
+            beta: 4.0,
+            alpha: 0.0,
+            mu: 1.0,
+        };
         assert!(approx_eq(t.matched_sigma(1e-6), 2e-3, 1e-12));
         assert!(approx_eq(t.matched_sigma_prime(1e-6), 0.5e-3, 1e-12));
     }

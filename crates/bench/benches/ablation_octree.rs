@@ -18,7 +18,11 @@ fn bench(c: &mut Criterion) {
                 partition(
                     &snap.particles,
                     PlotType::XYZ,
-                    BuildParams { max_depth: depth, leaf_capacity: 64, gradient_refinement: None },
+                    BuildParams {
+                        max_depth: depth,
+                        leaf_capacity: 64,
+                        gradient_refinement: None,
+                    },
                 )
                 .tree()
                 .nodes
@@ -36,7 +40,11 @@ fn bench(c: &mut Criterion) {
                 partition(
                     &snap.particles,
                     PlotType::XYZ,
-                    BuildParams { max_depth: 6, leaf_capacity: cap, gradient_refinement: None },
+                    BuildParams {
+                        max_depth: 6,
+                        leaf_capacity: cap,
+                        gradient_refinement: None,
+                    },
                 )
                 .tree()
                 .nodes
@@ -53,7 +61,11 @@ fn bench(c: &mut Criterion) {
             partition(
                 &snap.particles,
                 PlotType::XYZ,
-                BuildParams { max_depth: 4, leaf_capacity: 64, gradient_refinement: None },
+                BuildParams {
+                    max_depth: 4,
+                    leaf_capacity: 64,
+                    gradient_refinement: None,
+                },
             )
             .tree()
             .nodes
@@ -84,7 +96,11 @@ fn bench(c: &mut Criterion) {
             partition(
                 &snap.particles,
                 PlotType::XYZ,
-                BuildParams { max_depth: 6, leaf_capacity: 64, gradient_refinement: None },
+                BuildParams {
+                    max_depth: 6,
+                    leaf_capacity: 64,
+                    gradient_refinement: None,
+                },
             )
             .tree()
             .nodes

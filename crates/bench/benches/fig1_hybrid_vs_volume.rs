@@ -23,14 +23,28 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1");
     g.sample_size(10);
     g.bench_function("volume_only_256", |b| {
-        let vs = VolumeStyle { steps: 192, ..Default::default() };
+        let vs = VolumeStyle {
+            steps: 192,
+            ..Default::default()
+        };
         b.iter(|| {
             let mut fb = Framebuffer::new(256, 256);
-            render_hybrid_frame(&mut fb, &cam, &hires, &tfs, RenderMode::VolumeOnly, &vs, &ps)
+            render_hybrid_frame(
+                &mut fb,
+                &cam,
+                &hires,
+                &tfs,
+                RenderMode::VolumeOnly,
+                &vs,
+                &ps,
+            )
         })
     });
     g.bench_function("hybrid_64_plus_points", |b| {
-        let vs = VolumeStyle { steps: 48, ..Default::default() };
+        let vs = VolumeStyle {
+            steps: 48,
+            ..Default::default()
+        };
         b.iter(|| {
             let mut fb = Framebuffer::new(256, 256);
             render_hybrid_frame(&mut fb, &cam, &hybrid, &tfs, RenderMode::Hybrid, &vs, &ps)

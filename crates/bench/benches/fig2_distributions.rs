@@ -16,9 +16,11 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2_partition");
     g.sample_size(10);
     for plot in PlotType::FIGURE2 {
-        g.bench_with_input(BenchmarkId::from_parameter(plot.name()), &plot, |b, &plot| {
-            b.iter(|| workloads::partitioned(&snap, plot))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(plot.name()),
+            &plot,
+            |b, &plot| b.iter(|| workloads::partitioned(&snap, plot)),
+        );
     }
     g.finish();
 
@@ -29,20 +31,27 @@ fn bench(c: &mut Criterion) {
         let frame = workloads::hybrid_frame(&data, 0, 3_000, [64, 64, 64]);
         let cam = workloads::frame_camera(&frame, 1.0);
         let tfs = TransferFunctionPair::linked_at(0.03, 0.01);
-        g.bench_with_input(BenchmarkId::from_parameter(plot.name()), &frame, |b, frame| {
-            b.iter(|| {
-                let mut fb = Framebuffer::new(192, 192);
-                render_hybrid_frame(
-                    &mut fb,
-                    &cam,
-                    frame,
-                    &tfs,
-                    RenderMode::Hybrid,
-                    &VolumeStyle { steps: 48, ..Default::default() },
-                    &PointStyle::default(),
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(plot.name()),
+            &frame,
+            |b, frame| {
+                b.iter(|| {
+                    let mut fb = Framebuffer::new(192, 192);
+                    render_hybrid_frame(
+                        &mut fb,
+                        &cam,
+                        frame,
+                        &tfs,
+                        RenderMode::Hybrid,
+                        &VolumeStyle {
+                            steps: 48,
+                            ..Default::default()
+                        },
+                        &PointStyle::default(),
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }

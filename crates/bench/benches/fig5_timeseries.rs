@@ -12,7 +12,11 @@ fn bench(c: &mut Criterion) {
     let series = workloads::halo_series(10_000, 8, 11);
     let params = PipelineParams {
         plot: PlotType::XYZ,
-        build: BuildParams { max_depth: 5, leaf_capacity: 256, gradient_refinement: None },
+        build: BuildParams {
+            max_depth: 5,
+            leaf_capacity: 256,
+            gradient_refinement: None,
+        },
         point_budget: 1_000,
         volume_dims: [32, 32, 32],
     };

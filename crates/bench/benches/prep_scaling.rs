@@ -19,7 +19,11 @@ fn bench(c: &mut Criterion) {
                 partition(
                     &snap.particles,
                     PlotType::XYZ,
-                    BuildParams { max_depth: 6, leaf_capacity: 256, gradient_refinement: None },
+                    BuildParams {
+                        max_depth: 6,
+                        leaf_capacity: 256,
+                        gradient_refinement: None,
+                    },
                 )
             })
         });
@@ -28,7 +32,11 @@ fn bench(c: &mut Criterion) {
                 partition_parallel(
                     &snap.particles,
                     PlotType::XYZ,
-                    BuildParams { max_depth: 6, leaf_capacity: 256, gradient_refinement: None },
+                    BuildParams {
+                        max_depth: 6,
+                        leaf_capacity: 256,
+                        gradient_refinement: None,
+                    },
                 )
             })
         });

@@ -67,21 +67,39 @@ pub fn fig1(n_particles: usize) {
 
     let cam = workloads::frame_camera(&hybrid, 1.0);
     let tfs = TransferFunctionPair::linked_at(0.03, 0.01);
-    let vs = VolumeStyle { steps: 192, ..Default::default() };
+    let vs = VolumeStyle {
+        steps: 192,
+        ..Default::default()
+    };
     let ps = PointStyle::default();
 
     let mut fb_vol = Framebuffer::new(512, 512);
     let t0 = Instant::now();
     let stats_vol = render_hybrid_frame(
-        &mut fb_vol, &cam, &hires, &tfs, RenderMode::VolumeOnly, &vs, &ps,
+        &mut fb_vol,
+        &cam,
+        &hires,
+        &tfs,
+        RenderMode::VolumeOnly,
+        &vs,
+        &ps,
     );
     let vol_ms = ms(t0);
 
     let mut fb_hyb = Framebuffer::new(512, 512);
-    let vs_low = VolumeStyle { steps: 48, ..Default::default() };
+    let vs_low = VolumeStyle {
+        steps: 48,
+        ..Default::default()
+    };
     let t0 = Instant::now();
     let stats_hyb = render_hybrid_frame(
-        &mut fb_hyb, &cam, &hybrid, &tfs, RenderMode::Hybrid, &vs_low, &ps,
+        &mut fb_hyb,
+        &cam,
+        &hybrid,
+        &tfs,
+        RenderMode::Hybrid,
+        &vs_low,
+        &ps,
     );
     let hyb_ms = ms(t0);
 
@@ -130,8 +148,15 @@ pub fn fig2(n_particles: usize) {
         let mut fb = Framebuffer::new(256, 256);
         let t0 = Instant::now();
         let stats = render_hybrid_frame(
-            &mut fb, &cam, &frame, &tfs, RenderMode::Hybrid,
-            &VolumeStyle { steps: 48, ..Default::default() },
+            &mut fb,
+            &cam,
+            &frame,
+            &tfs,
+            RenderMode::Hybrid,
+            &VolumeStyle {
+                steps: 48,
+                ..Default::default()
+            },
             &PointStyle::default(),
         );
         println!(
@@ -168,8 +193,7 @@ pub fn fig3() {
     pair.edit_volume_threshold(0.18);
     let max_dev = (0..=100)
         .map(|i| (pair.coverage(i as f64 / 100.0) - 1.0).abs())
-        .fold(0.0, f64::max)
-        ;
+        .fold(0.0, f64::max);
     println!("after dragging the boundary to 0.18: max |coverage − 1| = {max_dev:.2e}");
 }
 
@@ -188,13 +212,23 @@ pub fn fig4(n_particles: usize) {
         Vec3::ZERO,
     );
     let particles = dist.sample(n_particles, 21);
-    let snap = accelviz_beam::simulation::Snapshot { step: 0, s: 0.0, particles };
+    let snap = accelviz_beam::simulation::Snapshot {
+        step: 0,
+        s: 0.0,
+        particles,
+    };
     let data = workloads::partitioned(&snap, PlotType::XYZ);
     let frame = workloads::hybrid_frame(&data, 0, n_particles / 10, [32, 32, 32]);
     let cam = workloads::frame_camera(&frame, 1.0);
     let tfs = TransferFunctionPair::linked_at(0.2, 0.05);
-    let vs = VolumeStyle { steps: 64, ..Default::default() };
-    let ps = PointStyle { color: Rgba::WHITE, ..Default::default() };
+    let vs = VolumeStyle {
+        steps: 64,
+        ..Default::default()
+    };
+    let ps = PointStyle {
+        color: Rgba::WHITE,
+        ..Default::default()
+    };
     for (label, mode) in [
         ("volume part ", RenderMode::VolumeOnly),
         ("combined    ", RenderMode::Hybrid),
@@ -222,17 +256,29 @@ pub fn fig5(n_particles: usize, recorded_steps: usize) {
     );
     let t0 = Instant::now();
     let series = workloads::halo_series(n_particles, recorded_steps, 11);
-    println!("simulated {} recorded steps in {:.1} s", series.len(), t0.elapsed().as_secs_f64());
+    println!(
+        "simulated {} recorded steps in {:.1} s",
+        series.len(),
+        t0.elapsed().as_secs_f64()
+    );
 
     let params = accelviz_core::pipeline::PipelineParams {
         plot: PlotType::XYZ,
-        build: BuildParams { max_depth: 5, leaf_capacity: 256, gradient_refinement: None },
+        build: BuildParams {
+            max_depth: 5,
+            leaf_capacity: 256,
+            gradient_refinement: None,
+        },
         point_budget: n_particles / 20,
         volume_dims: [32, 32, 32],
     };
     let t0 = Instant::now();
     let frames = accelviz_core::pipeline::process_run(&series, &params);
-    println!("partition+extract of {} frames: {:.1} s total", frames.len(), t0.elapsed().as_secs_f64());
+    println!(
+        "partition+extract of {} frames: {:.1} s total",
+        frames.len(),
+        t0.elapsed().as_secs_f64()
+    );
 
     let d0 = BeamDiagnostics::of(&series[0].particles);
     let r0 = (d0.rms_x * d0.rms_x + d0.rms_y * d0.rms_y).sqrt();
@@ -256,8 +302,12 @@ pub fn fig5(n_particles: usize, recorded_steps: usize) {
         .map(|f| (100 << 20, f.volume_bytes()))
         .collect();
     let cache = FrameCache::paper_desktop(sizes);
-    let first_pass: f64 = (0..frames.len().min(10)).map(|f| cache.step_to(f).seconds).sum();
-    let second_pass: f64 = (0..frames.len().min(10)).map(|f| cache.step_to(f).seconds).sum();
+    let first_pass: f64 = (0..frames.len().min(10))
+        .map(|f| cache.step_to(f).seconds)
+        .sum();
+    let second_pass: f64 = (0..frames.len().min(10))
+        .map(|f| cache.step_to(f).seconds)
+        .sum();
     println!(
         "viewer: first pass over 10 frames {first_pass:.1} s (cold), second pass \
          {second_pass:.3} s (cached); resident {}",
@@ -303,7 +353,11 @@ pub fn prep() {
     }
     // Parallel (multi-node model) build agreement.
     let snap = workloads::halo_snapshot(100_000, 5, 3);
-    let params = BuildParams { max_depth: 6, leaf_capacity: 256, gradient_refinement: None };
+    let params = BuildParams {
+        max_depth: 6,
+        leaf_capacity: 256,
+        gradient_refinement: None,
+    };
     let t0 = Instant::now();
     let serial = partition(&snap.particles, PlotType::XYZ, params);
     let t_serial = t0.elapsed().as_secs_f64();
@@ -397,7 +451,10 @@ pub fn fig6(res: usize, n_lines: usize) {
         ("(a) flat lines     ", LineRepresentation::FlatLines),
         ("(b) illuminated    ", LineRepresentation::Illuminated),
         ("(c) streamtubes    ", LineRepresentation::Streamtubes),
-        ("(d) self-orienting ", LineRepresentation::SelfOrientingSurfaces),
+        (
+            "(d) self-orienting ",
+            LineRepresentation::SelfOrientingSurfaces,
+        ),
         ("(e) ribbons        ", LineRepresentation::Ribbons),
         ("(f) enhanced light ", LineRepresentation::EnhancedLighting),
         ("    haloed SOS     ", LineRepresentation::HaloedSos),
@@ -419,15 +476,19 @@ pub fn fig6(res: usize, n_lines: usize) {
     let cut: Vec<FieldLine> = lines
         .iter()
         .filter(|l| {
-            let mean_x: f64 =
-                l.points.iter().map(|p| p.x).sum::<f64>() / l.len().max(1) as f64;
+            let mean_x: f64 = l.points.iter().map(|p| p.x).sum::<f64>() / l.len().max(1) as f64;
             mean_x < 0.0
         })
         .cloned()
         .collect();
     let mut fb = Framebuffer::new(384, 384);
     let stats = render_line_set(
-        &mut fb, &cam, &cut, LineRepresentation::SelfOrientingSurfaces, &style, 0.012,
+        &mut fb,
+        &cam,
+        &cut,
+        LineRepresentation::SelfOrientingSurfaces,
+        &style,
+        0.012,
     );
     println!(
         "(h) cutaway (front half removed): {} of {} lines, {} tris",
@@ -464,7 +525,10 @@ pub fn fig7(res: usize, n_lines: usize) {
     // Strong regions load first: mean magnitude of the first decile beats
     // the last decile.
     let decile = (lines.len() / 10).max(1);
-    let first: f64 = lines[..decile].iter().map(|l| l.line.mean_magnitude()).sum::<f64>()
+    let first: f64 = lines[..decile]
+        .iter()
+        .map(|l| l.line.mean_magnitude())
+        .sum::<f64>()
         / decile as f64;
     let last: f64 = lines[lines.len() - decile..]
         .iter()
@@ -500,7 +564,11 @@ pub fn fig7(res: usize, n_lines: usize) {
     let wrapped: Vec<SeededLine> = uniform
         .into_iter()
         .enumerate()
-        .map(|(i, line)| SeededLine { order: i, seed_element: 0, line })
+        .map(|(i, line)| SeededLine {
+            order: i,
+            seed_element: 0,
+            line,
+        })
         .collect();
     let r_uniform = density_correlation(&field, &wrapped, wrapped.len());
     println!(
@@ -562,8 +630,8 @@ pub fn fig9(compute_res: usize) {
     let total_cells: usize = dims.iter().product();
     // Estimate vacuum fraction from a coarse rasterization.
     let coarse = FdtdSim::new(FdtdSpec::for_geometry(geometry.clone(), 12));
-    let vac_frac = coarse.vacuum_cell_count() as f64
-        / coarse.dims().iter().product::<usize>() as f64;
+    let vac_frac =
+        coarse.vacuum_cell_count() as f64 / coarse.dims().iter().product::<usize>() as f64;
     println!(
         "mesh scale: grid {:?} = {} cells x vacuum fraction {:.2} ≈ {:.2} M elements \
          (paper: 1.6 M)",
@@ -670,7 +738,10 @@ pub fn fig10(res: usize, n_lines: usize) {
     let integrate_ms = ms(t0);
     let cam = workloads::cavity_camera(&field, 1.0);
     let style = LineStyle::electric(field.max_magnitude());
-    let params = SosParams { half_width: 0.012, ..Default::default() };
+    let params = SosParams {
+        half_width: 0.012,
+        ..Default::default()
+    };
 
     // Build strips once; restyle in place (the interactive path).
     let mut strips: Vec<(FieldLine, Vec<accelviz_render::rasterizer::Vertex>)> = seeded
@@ -697,12 +768,12 @@ pub fn fig10(res: usize, n_lines: usize) {
     );
     // Opacity tracks magnitude.
     let (line, verts) = &strips[0];
-    let hi = line
+    let hi = line.magnitudes.iter().cloned().fold(0.0f64, f64::max);
+    let lo = line
         .magnitudes
         .iter()
         .cloned()
-        .fold(0.0f64, f64::max);
-    let lo = line.magnitudes.iter().cloned().fold(f64::INFINITY, f64::min);
+        .fold(f64::INFINITY, f64::min);
     println!(
         "first line: |E| range [{lo:.2e}, {hi:.2e}], vertex alpha range \
          [{:.2}, {:.2}] (monotone in |E|)",
@@ -734,7 +805,10 @@ pub fn volume_resolution_sweep(n_particles: usize) {
             &cam,
             &field,
             &move |d| vtf.sample(d),
-            &VolumeStyle { steps: res.max(48), ..Default::default() },
+            &VolumeStyle {
+                steps: res.max(48),
+                ..Default::default()
+            },
         );
         println!(
             "{res:3}³ texture ({:6.2} MB): {:7.1} ms, {samples} samples",
@@ -774,7 +848,11 @@ pub fn ablate(n_particles: usize) {
     for (label, params) in [
         (
             "depth 4, no refinement    ",
-            BuildParams { max_depth: 4, leaf_capacity: 64, gradient_refinement: None },
+            BuildParams {
+                max_depth: 4,
+                leaf_capacity: 64,
+                gradient_refinement: None,
+            },
         ),
         (
             "depth 4 + selective (+2)  ",
@@ -789,7 +867,11 @@ pub fn ablate(n_particles: usize) {
         ),
         (
             "depth 6 global            ",
-            BuildParams { max_depth: 6, leaf_capacity: 64, gradient_refinement: None },
+            BuildParams {
+                max_depth: 6,
+                leaf_capacity: 64,
+                gradient_refinement: None,
+            },
         ),
     ] {
         let t0 = Instant::now();

@@ -35,7 +35,11 @@ pub fn partitioned(snapshot: &Snapshot, plot: PlotType) -> PartitionedData {
     partition(
         &snapshot.particles,
         plot,
-        BuildParams { max_depth: 6, leaf_capacity: 256, gradient_refinement: None },
+        BuildParams {
+            max_depth: 6,
+            leaf_capacity: 256,
+            gradient_refinement: None,
+        },
     )
 }
 

@@ -3,15 +3,15 @@
 
 use accelviz_beam::io::BYTES_PER_PARTICLE;
 use accelviz_beam::particle::Particle;
+use accelviz_math::{Aabb, Vec3};
 use accelviz_octree::density::DensityGrid;
 use accelviz_octree::extraction::extract;
 use accelviz_octree::plots::PlotType;
 use accelviz_octree::sorted_store::PartitionedData;
-use accelviz_math::{Aabb, Vec3};
 
 /// One time step in hybrid form: the low-density particles kept for point
 /// rendering plus the density volume for texture-based volume rendering.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HybridFrame {
     /// Recorded step index this frame came from.
     pub step: usize,
@@ -44,8 +44,7 @@ impl HybridFrame {
     ) -> HybridFrame {
         let ex = extract(data, threshold);
         let bounds = data.tree().bounds;
-        let grid =
-            DensityGrid::from_particles(data.particles(), data.plot(), bounds, volume_dims);
+        let grid = DensityGrid::from_particles(data.particles(), data.plot(), bounds, volume_dims);
 
         // Per-particle normalized node densities (for the point TF): walk
         // the kept leaves in order; their groups tile the kept prefix.
@@ -117,7 +116,15 @@ mod tests {
 
     fn partitioned(n: usize) -> PartitionedData {
         let ps = Distribution::default_beam().sample(n, 33);
-        partition(&ps, PlotType::XYZ, BuildParams { max_depth: 4, leaf_capacity: 64, gradient_refinement: None })
+        partition(
+            &ps,
+            PlotType::XYZ,
+            BuildParams {
+                max_depth: 4,
+                leaf_capacity: 64,
+                gradient_refinement: None,
+            },
+        )
     }
 
     #[test]
@@ -149,8 +156,7 @@ mod tests {
     #[test]
     fn byte_accounting() {
         let data = partitioned(2_000);
-        let frame =
-            HybridFrame::from_partition(&data, 0, f64::INFINITY, [16, 16, 16]);
+        let frame = HybridFrame::from_partition(&data, 0, f64::INFINITY, [16, 16, 16]);
         assert_eq!(frame.point_bytes(), 2_000 * 48);
         assert_eq!(frame.volume_bytes(), 16 * 16 * 16);
         assert_eq!(frame.total_bytes(), 2_000 * 48 + 4_096);
@@ -159,18 +165,10 @@ mod tests {
     #[test]
     fn tighter_threshold_compresses_more() {
         let data = partitioned(5_000);
-        let loose = HybridFrame::from_partition(
-            &data,
-            0,
-            threshold_for_budget(&data, 4_000),
-            [16, 16, 16],
-        );
-        let tight = HybridFrame::from_partition(
-            &data,
-            0,
-            threshold_for_budget(&data, 200),
-            [16, 16, 16],
-        );
+        let loose =
+            HybridFrame::from_partition(&data, 0, threshold_for_budget(&data, 4_000), [16, 16, 16]);
+        let tight =
+            HybridFrame::from_partition(&data, 0, threshold_for_budget(&data, 200), [16, 16, 16]);
         assert!(tight.total_bytes() < loose.total_bytes());
         assert!(tight.compression_factor() > loose.compression_factor());
         assert!(tight.compression_factor() > 1.0);

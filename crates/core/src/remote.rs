@@ -19,12 +19,18 @@ pub struct TransferModel {
 impl TransferModel {
     /// A paper-era wide-area research link: ~100 Mbit/s usable.
     pub fn wide_area() -> TransferModel {
-        TransferModel { bandwidth: 12.5e6, latency: 0.05 }
+        TransferModel {
+            bandwidth: 12.5e6,
+            latency: 0.05,
+        }
     }
 
     /// A paper-era desktop LAN: ~1 Gbit/s.
     pub fn local_area() -> TransferModel {
-        TransferModel { bandwidth: 125.0e6, latency: 0.001 }
+        TransferModel {
+            bandwidth: 125.0e6,
+            latency: 0.001,
+        }
     }
 
     /// Transfer time for a payload.
@@ -71,7 +77,10 @@ mod tests {
 
     #[test]
     fn transfer_time_is_linear_in_size_plus_latency() {
-        let m = TransferModel { bandwidth: 1e6, latency: 0.5 };
+        let m = TransferModel {
+            bandwidth: 1e6,
+            latency: 0.5,
+        };
         assert!((m.seconds_for(0) - 0.5).abs() < 1e-12);
         assert!((m.seconds_for(1_000_000) - 1.5).abs() < 1e-12);
         assert!((m.seconds_for(2_000_000) - 2.5).abs() < 1e-12);

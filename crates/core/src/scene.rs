@@ -8,6 +8,7 @@ use accelviz_fieldlines::line::FieldLine;
 use accelviz_fieldlines::sos::{sos_strip, SosParams};
 use accelviz_fieldlines::style::LineStyle;
 use accelviz_fieldlines::tube::{tube_triangles, TubeParams};
+use accelviz_math::{Aabb, Rgba, Vec3};
 use accelviz_octree::density::DensityGrid;
 use accelviz_render::camera::Camera;
 use accelviz_render::framebuffer::Framebuffer;
@@ -17,7 +18,6 @@ use accelviz_render::shading::{shade_tube_fragment, Material};
 use accelviz_render::texture::tube_bump_map;
 use accelviz_render::transparency::TransparentQueue;
 use accelviz_render::volume::{render_volume, ScalarField3, VolumeStyle};
-use accelviz_math::{Aabb, Rgba, Vec3};
 
 /// Adapter: a [`DensityGrid`] as the volume renderer's scalar field.
 pub struct GridField<'a>(pub &'a DensityGrid);
@@ -185,7 +185,9 @@ pub fn render_points_by_attribute(
         .collect();
     let (lo, hi) = values
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     let span = (hi - lo).max(1e-300);
     let (w, h) = (fb.width(), fb.height());
     let mut drawn = 0;
@@ -257,7 +259,10 @@ pub fn render_line_set(
     let eye = camera.eye;
     let material = Material::default();
     let bump = tube_bump_map(64);
-    let sos_params = SosParams { half_width, ..Default::default() };
+    let sos_params = SosParams {
+        half_width,
+        ..Default::default()
+    };
 
     match representation {
         LineRepresentation::FlatLines | LineRepresentation::Illuminated => {
@@ -270,11 +275,7 @@ pub fn render_line_set(
                 // GL_LINES rasterizes at a 1-pixel minimum; give the thin
                 // strip at least ~1 px of world-space width at the line's
                 // distance so it cannot vanish between pixel centers.
-                let dist = line
-                    .points
-                    .first()
-                    .map(|p| p.distance(eye))
-                    .unwrap_or(1.0);
+                let dist = line.points.first().map(|p| p.distance(eye)).unwrap_or(1.0);
                 let px_world = 1.0 / camera.pixels_per_world_unit(dist, fb.height()).max(1e-9);
                 let thin = SosParams {
                     half_width: (half_width * 0.25).max(0.6 * px_world),
@@ -289,7 +290,8 @@ pub fn render_line_set(
                         }
                     }
                     _ => {
-                        let segs = illuminated_segments(line, eye, style.color_for(line.mean_magnitude()));
+                        let segs =
+                            illuminated_segments(line, eye, style.color_for(line.mean_magnitude()));
                         for (i, v) in verts.iter_mut().enumerate() {
                             let si = (i / 2).min(segs.len().saturating_sub(1));
                             if !segs.is_empty() {
@@ -299,7 +301,8 @@ pub fn render_line_set(
                     }
                 }
                 let shader = |_u: f64, _v: f64, c: Rgba| Some(c);
-                let (t, f) = draw_triangle_strip(fb, camera, &verts, &shader, RasterOptions::default());
+                let (t, f) =
+                    draw_triangle_strip(fb, camera, &verts, &shader, RasterOptions::default());
                 stats.triangles += t;
                 stats.fragments += f;
             }
@@ -324,7 +327,8 @@ pub fn render_line_set(
             for line in lines {
                 let verts = style.styled_strip(line, eye, &sos_params);
                 let shader = |_u: f64, v: f64, c: Rgba| shade_tube_fragment(&bump, &material, c, v);
-                let (t, f) = draw_triangle_strip(fb, camera, &verts, &shader, RasterOptions::default());
+                let (t, f) =
+                    draw_triangle_strip(fb, camera, &verts, &shader, RasterOptions::default());
                 stats.triangles += t;
                 stats.fragments += f;
             }
@@ -337,7 +341,8 @@ pub fn render_line_set(
                 let shader = |_u: f64, v: f64, c: Rgba| {
                     accelviz_render::shading::shade_tube_fragment_enhanced(&bump, &material, c, v)
                 };
-                let (t, f) = draw_triangle_strip(fb, camera, &verts, &shader, RasterOptions::default());
+                let (t, f) =
+                    draw_triangle_strip(fb, camera, &verts, &shader, RasterOptions::default());
                 stats.triangles += t;
                 stats.fragments += f;
             }
@@ -362,7 +367,8 @@ pub fn render_line_set(
                         lit.a,
                     ))
                 };
-                let (t, f) = draw_triangle_strip(fb, camera, &verts, &shader, RasterOptions::default());
+                let (t, f) =
+                    draw_triangle_strip(fb, camera, &verts, &shader, RasterOptions::default());
                 stats.triangles += t;
                 stats.fragments += f;
             }
@@ -376,7 +382,10 @@ pub fn render_line_set(
                 .fold(0.0f64, f64::max)
                 .max(1e-300);
             let ribbon_params = accelviz_fieldlines::ribbon::RibbonParams {
-                strip: SosParams { half_width: half_width * 5.0, ..sos_params },
+                strip: SosParams {
+                    half_width: half_width * 5.0,
+                    ..sos_params
+                },
                 max_strands: 8,
                 max_magnitude: max_mag,
             };
@@ -402,7 +411,8 @@ pub fn render_line_set(
                     }
                     Some(c)
                 };
-                let (t, f) = draw_triangle_strip(fb, camera, &verts, &shader, RasterOptions::default());
+                let (t, f) =
+                    draw_triangle_strip(fb, camera, &verts, &shader, RasterOptions::default());
                 stats.triangles += t;
                 stats.fragments += f;
             }
@@ -481,8 +491,15 @@ mod tests {
 
     fn test_frame() -> HybridFrame {
         let ps = Distribution::default_beam().sample(4_000, 3);
-        let data =
-            partition(&ps, PlotType::XYZ, BuildParams { max_depth: 4, leaf_capacity: 64, gradient_refinement: None });
+        let data = partition(
+            &ps,
+            PlotType::XYZ,
+            BuildParams {
+                max_depth: 4,
+                leaf_capacity: 64,
+                gradient_refinement: None,
+            },
+        );
         let t = threshold_for_budget(&data, 1_500);
         HybridFrame::from_partition(&data, 0, t, [16, 16, 16])
     }
@@ -505,7 +522,10 @@ mod tests {
             &frame,
             &tfs,
             RenderMode::Hybrid,
-            &VolumeStyle { steps: 32, ..Default::default() },
+            &VolumeStyle {
+                steps: 32,
+                ..Default::default()
+            },
             &PointStyle::default(),
         );
         assert!(stats.volume_samples > 0);
@@ -518,14 +538,33 @@ mod tests {
         let frame = test_frame();
         let cam = camera_for(&frame);
         let tfs = TransferFunctionPair::linked_at(0.05, 0.02);
-        let vs = VolumeStyle { steps: 32, ..Default::default() };
+        let vs = VolumeStyle {
+            steps: 32,
+            ..Default::default()
+        };
         let ps = PointStyle::default();
         let mut fb = Framebuffer::new(64, 64);
-        let vol = render_hybrid_frame(&mut fb, &cam, &frame, &tfs, RenderMode::VolumeOnly, &vs, &ps);
+        let vol = render_hybrid_frame(
+            &mut fb,
+            &cam,
+            &frame,
+            &tfs,
+            RenderMode::VolumeOnly,
+            &vs,
+            &ps,
+        );
         assert!(vol.volume_samples > 0);
         assert_eq!(vol.points_drawn, 0);
         fb.clear(Rgba::TRANSPARENT);
-        let pts = render_hybrid_frame(&mut fb, &cam, &frame, &tfs, RenderMode::PointsOnly, &vs, &ps);
+        let pts = render_hybrid_frame(
+            &mut fb,
+            &cam,
+            &frame,
+            &tfs,
+            RenderMode::PointsOnly,
+            &vs,
+            &ps,
+        );
         assert_eq!(pts.volume_samples, 0);
         assert!(pts.points_drawn > 0);
     }
@@ -534,17 +573,34 @@ mod tests {
     fn point_tf_controls_points_drawn() {
         let frame = test_frame();
         let cam = camera_for(&frame);
-        let vs = VolumeStyle { steps: 8, ..Default::default() };
+        let vs = VolumeStyle {
+            steps: 8,
+            ..Default::default()
+        };
         let ps = PointStyle::default();
         let mut fb = Framebuffer::new(64, 64);
         // A pair whose point threshold is huge draws all kept points.
         let all = TransferFunctionPair::linked_at(2.0, 0.01);
-        let many =
-            render_hybrid_frame(&mut fb, &cam, &frame, &all, RenderMode::PointsOnly, &vs, &ps);
+        let many = render_hybrid_frame(
+            &mut fb,
+            &cam,
+            &frame,
+            &all,
+            RenderMode::PointsOnly,
+            &vs,
+            &ps,
+        );
         // A pair whose threshold is tiny draws almost none.
         let none = TransferFunctionPair::linked_at(1e-9, 1e-12);
-        let few =
-            render_hybrid_frame(&mut fb, &cam, &frame, &none, RenderMode::PointsOnly, &vs, &ps);
+        let few = render_hybrid_frame(
+            &mut fb,
+            &cam,
+            &frame,
+            &none,
+            RenderMode::PointsOnly,
+            &vs,
+            &ps,
+        );
         assert!(many.points_drawn > few.points_drawn);
         assert_eq!(few.points_drawn, 0);
     }
@@ -557,16 +613,29 @@ mod tests {
         let mut fb_r = Framebuffer::new(96, 96);
         let mut fb_m = Framebuffer::new(96, 96);
         let n_r = render_points_by_attribute(
-            &mut fb_r, &cam, &frame, PointAttribute::TransverseRadius, &heat, 1.0,
+            &mut fb_r,
+            &cam,
+            &frame,
+            PointAttribute::TransverseRadius,
+            &heat,
+            1.0,
         );
         let n_m = render_points_by_attribute(
-            &mut fb_m, &cam, &frame, PointAttribute::TransverseMomentum, &heat, 1.0,
+            &mut fb_m,
+            &cam,
+            &frame,
+            PointAttribute::TransverseMomentum,
+            &heat,
+            1.0,
         );
         // Same points drawn (same geometry), different colors (different
         // attribute) — the recoloring is purely dynamic.
         assert_eq!(n_r, n_m);
         assert!(n_r > 0);
-        assert!(fb_r.mse(&fb_m) > 0.0, "different attributes must yield different images");
+        assert!(
+            fb_r.mse(&fb_m) > 0.0,
+            "different attributes must yield different images"
+        );
     }
 
     #[test]
@@ -608,12 +677,29 @@ mod tests {
         let cam = Camera::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, 1.0);
         let style = LineStyle::electric(1.5);
         let mut fb = Framebuffer::new(96, 96);
-        let sos = render_line_set(&mut fb, &cam, &lines, LineRepresentation::SelfOrientingSurfaces, &style, 0.02);
+        let sos = render_line_set(
+            &mut fb,
+            &cam,
+            &lines,
+            LineRepresentation::SelfOrientingSurfaces,
+            &style,
+            0.02,
+        );
         fb.clear(Rgba::TRANSPARENT);
-        let tubes = render_line_set(&mut fb, &cam, &lines, LineRepresentation::Streamtubes, &style, 0.02);
+        let tubes = render_line_set(
+            &mut fb,
+            &cam,
+            &lines,
+            LineRepresentation::Streamtubes,
+            &style,
+            0.02,
+        );
         assert!(sos.triangles > 0 && tubes.triangles > 0);
         let ratio = tubes.triangles as f64 / sos.triangles as f64;
-        assert!(ratio > 5.0, "streamtubes must cost ≳5–6× the triangles (got {ratio:.1})");
+        assert!(
+            ratio > 5.0,
+            "streamtubes must cost ≳5–6× the triangles (got {ratio:.1})"
+        );
         assert!(sos.fragments > 0);
     }
 
@@ -623,7 +709,14 @@ mod tests {
         let cam = Camera::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, 1.0);
         let style = LineStyle::electric(1.5);
         let mut fb = Framebuffer::new(64, 64);
-        let stats = render_line_set(&mut fb, &cam, &lines, LineRepresentation::TransparentSos, &style, 0.03);
+        let stats = render_line_set(
+            &mut fb,
+            &cam,
+            &lines,
+            LineRepresentation::TransparentSos,
+            &style,
+            0.03,
+        );
         assert!(stats.fragments > 0);
         // No depth writes: the buffer depth stays at infinity everywhere.
         let mut any_depth = false;
@@ -664,8 +757,22 @@ mod tests {
         let style = LineStyle::electric(1.5);
         let mut plain = Framebuffer::new(128, 128);
         let mut haloed = Framebuffer::new(128, 128);
-        render_line_set(&mut plain, &cam, &lines, LineRepresentation::SelfOrientingSurfaces, &style, 0.08);
-        render_line_set(&mut haloed, &cam, &lines, LineRepresentation::HaloedSos, &style, 0.08);
+        render_line_set(
+            &mut plain,
+            &cam,
+            &lines,
+            LineRepresentation::SelfOrientingSurfaces,
+            &style,
+            0.08,
+        );
+        render_line_set(
+            &mut haloed,
+            &cam,
+            &lines,
+            LineRepresentation::HaloedSos,
+            &style,
+            0.08,
+        );
         let dark = |fb: &Framebuffer| {
             let mut n = 0;
             for y in 0..128 {
@@ -696,8 +803,22 @@ mod tests {
         let style = LineStyle::electric(1.5);
         let mut fb_many = Framebuffer::new(96, 96);
         let mut fb_few = Framebuffer::new(96, 96);
-        let s_many = render_line_set(&mut fb_many, &cam, &many, LineRepresentation::SelfOrientingSurfaces, &style, 0.01);
-        let s_few = render_line_set(&mut fb_few, &cam, &few, LineRepresentation::Ribbons, &style, 0.01);
+        let s_many = render_line_set(
+            &mut fb_many,
+            &cam,
+            &many,
+            LineRepresentation::SelfOrientingSurfaces,
+            &style,
+            0.01,
+        );
+        let s_few = render_line_set(
+            &mut fb_few,
+            &cam,
+            &few,
+            LineRepresentation::Ribbons,
+            &style,
+            0.01,
+        );
         assert!(s_few.triangles < s_many.triangles);
         assert!(
             fb_few.lit_pixel_count(0.005) * 2 > fb_many.lit_pixel_count(0.005),
@@ -719,8 +840,7 @@ mod tests {
             Vec3::new(10.0, 0.0, 10.0),
         ));
         let mut fb = Framebuffer::new(96, 96);
-        let (focus, ctx) =
-            render_focus_context(&mut fb, &cam, &lines, &region, &style, 0.03, 0.2);
+        let (focus, ctx) = render_focus_context(&mut fb, &cam, &lines, &region, &style, 0.03, 0.2);
         assert!(focus.triangles > 0, "some lines are in focus");
         assert!(ctx.triangles > 0, "some lines are context");
         // Context lines survive as translucent geometry (unlike cutaway).
@@ -730,7 +850,12 @@ mod tests {
         let cut = accelviz_fieldlines::roi::cutaway(&lines, &region);
         let mut fb_cut = Framebuffer::new(96, 96);
         render_line_set(
-            &mut fb_cut, &cam, &cut, LineRepresentation::SelfOrientingSurfaces, &style, 0.03,
+            &mut fb_cut,
+            &cam,
+            &cut,
+            LineRepresentation::SelfOrientingSurfaces,
+            &style,
+            0.03,
         );
         assert!(
             fb.lit_pixel_count(0.003) > fb_cut.lit_pixel_count(0.003),
@@ -744,9 +869,23 @@ mod tests {
         let cam = Camera::look_at(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, 1.0);
         let style = LineStyle::electric(1.5);
         let mut fb = Framebuffer::new(64, 64);
-        let flat = render_line_set(&mut fb, &cam, &lines, LineRepresentation::FlatLines, &style, 0.02);
+        let flat = render_line_set(
+            &mut fb,
+            &cam,
+            &lines,
+            LineRepresentation::FlatLines,
+            &style,
+            0.02,
+        );
         fb.clear(Rgba::TRANSPARENT);
-        let ill = render_line_set(&mut fb, &cam, &lines, LineRepresentation::Illuminated, &style, 0.02);
+        let ill = render_line_set(
+            &mut fb,
+            &cam,
+            &lines,
+            LineRepresentation::Illuminated,
+            &style,
+            0.02,
+        );
         assert!(flat.fragments > 0);
         assert!(ill.fragments > 0);
         assert_eq!(flat.triangles, ill.triangles, "same thin-strip geometry");

@@ -18,11 +18,12 @@
 use crate::hybrid::HybridFrame;
 use crate::scene::{render_hybrid_frame, RenderMode, SceneStats};
 use crate::transfer::TransferFunctionPair;
-use crate::viewer::{FrameCache, FrameLoad};
+use crate::viewer::{FrameSource, LocalFrames};
 use accelviz_render::camera::Camera;
 use accelviz_render::framebuffer::Framebuffer;
 use accelviz_render::points::PointStyle;
 use accelviz_render::volume::VolumeStyle;
+use std::sync::Arc;
 
 /// One user interaction.
 #[derive(Clone, Copy, Debug)]
@@ -50,12 +51,18 @@ pub struct OpCost {
     /// Whether a `SetBoundary` request was clamped to the preprocessing
     /// threshold.
     pub clamped: bool,
+    /// Whether a `StepTo` load failed (only remote sources can fail; the
+    /// session keeps showing the previous frame).
+    pub failed: bool,
 }
 
-/// An interactive viewing session over a hybrid frame series.
+/// An interactive viewing session over a hybrid frame series. The frames
+/// come from a [`FrameSource`] — local memory for the paper's desktop
+/// viewer, or a TCP connection to an `accelviz-serve` server; the session
+/// logic is identical either way.
 pub struct ViewerSession {
-    frames: Vec<HybridFrame>,
-    cache: FrameCache,
+    source: Box<dyn FrameSource>,
+    current_frame: Arc<HybridFrame>,
     /// The linked transfer functions (public for inspection; mutate via
     /// [`ViewerSession::apply`]).
     pub tfs: TransferFunctionPair,
@@ -67,14 +74,25 @@ pub struct ViewerSession {
 }
 
 impl ViewerSession {
-    /// Opens a session over a frame series with the paper-desktop cache.
+    /// Opens a session over an in-memory frame series with the
+    /// paper-desktop cache.
     pub fn open(frames: Vec<HybridFrame>) -> ViewerSession {
         assert!(!frames.is_empty(), "a session needs at least one frame");
-        let sizes: Vec<(u64, u64)> =
-            frames.iter().map(|f| (f.total_bytes(), f.volume_bytes())).collect();
+        ViewerSession::open_with(Box::new(LocalFrames::paper_desktop(frames)))
+    }
+
+    /// Opens a session over any frame source. Loads frame 0 eagerly so
+    /// the session always has a current frame; panics if the source is
+    /// empty or the initial load fails.
+    pub fn open_with(mut source: Box<dyn FrameSource>) -> ViewerSession {
+        assert!(
+            source.frame_count() > 0,
+            "a session needs at least one frame"
+        );
+        let (current_frame, _) = source.load(0).expect("initial frame load must succeed");
         ViewerSession {
-            frames,
-            cache: FrameCache::paper_desktop(sizes),
+            source,
+            current_frame,
             tfs: TransferFunctionPair::linked_at(0.05, 0.02),
             mode: RenderMode::Hybrid,
             current: 0,
@@ -91,33 +109,42 @@ impl ViewerSession {
 
     /// The current frame.
     pub fn frame(&self) -> &HybridFrame {
-        &self.frames[self.current]
+        &self.current_frame
     }
 
     /// Number of frames in the session.
     pub fn frame_count(&self) -> usize {
-        self.frames.len()
+        self.source.frame_count()
     }
 
     /// The maximum normalized density at which the current frame still
     /// has points — the preprocessing boundary the paper says the user
     /// cannot drag past.
     pub fn preprocessing_boundary(&self) -> f64 {
-        self.frame()
-            .point_densities
-            .last()
-            .copied()
-            .unwrap_or(0.0)
+        self.frame().point_densities.last().copied().unwrap_or(0.0)
     }
 
     /// Applies one interaction and reports its cost.
     pub fn apply(&mut self, op: SessionOp) -> OpCost {
         match op {
             SessionOp::StepTo(frame) => {
-                let frame = frame.min(self.frames.len() - 1);
-                let load: FrameLoad = self.cache.step_to(frame);
-                self.current = frame;
-                OpCost { io_seconds: load.seconds, ..Default::default() }
+                let frame = frame.min(self.source.frame_count() - 1);
+                match self.source.load(frame) {
+                    Ok((f, load)) => {
+                        self.current_frame = f;
+                        self.current = frame;
+                        OpCost {
+                            io_seconds: load.seconds,
+                            ..Default::default()
+                        }
+                    }
+                    // A failed load (remote transport error) leaves the
+                    // session on the previous frame.
+                    Err(_) => OpCost {
+                        failed: true,
+                        ..Default::default()
+                    },
+                }
             }
             SessionOp::SetBoundary(d) => {
                 let limit = self.preprocessing_boundary();
@@ -125,7 +152,10 @@ impl ViewerSession {
                 let applied = if clamped { limit } else { d };
                 let ramp = self.tfs.volume.ramp_width;
                 self.tfs.set_boundary(applied, ramp);
-                OpCost { clamped, ..Default::default() }
+                OpCost {
+                    clamped,
+                    ..Default::default()
+                }
             }
             SessionOp::Orbit(dtheta, dphi) => {
                 self.theta += dtheta;
@@ -160,7 +190,10 @@ impl ViewerSession {
             self.frame(),
             &self.tfs,
             self.mode,
-            &VolumeStyle { steps: 48, ..Default::default() },
+            &VolumeStyle {
+                steps: 48,
+                ..Default::default()
+            },
             &PointStyle::default(),
         )
     }
@@ -202,7 +235,10 @@ mod tests {
         s.apply(SessionOp::SetBoundary(s.preprocessing_boundary()));
         let mut fb = Framebuffer::new(64, 64);
         let many = s.render(&mut fb).points_drawn;
-        assert!(many > few, "boundary must control drawn points: {many} vs {few}");
+        assert!(
+            many > few,
+            "boundary must control drawn points: {many} vs {few}"
+        );
     }
 
     #[test]
@@ -211,7 +247,10 @@ mod tests {
         let limit = s.preprocessing_boundary();
         assert!(limit > 0.0);
         let cost = s.apply(SessionOp::SetBoundary(limit * 10.0));
-        assert!(cost.clamped, "no points exist beyond the preprocessing boundary");
+        assert!(
+            cost.clamped,
+            "no points exist beyond the preprocessing boundary"
+        );
         assert!((s.tfs.point.threshold - limit).abs() < 1e-12);
         // Inside the available range: no clamp.
         let cost = s.apply(SessionOp::SetBoundary(limit * 0.5));

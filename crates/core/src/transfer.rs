@@ -82,7 +82,10 @@ pub struct PointTransferFunction {
 
 impl Default for PointTransferFunction {
     fn default() -> PointTransferFunction {
-        PointTransferFunction { threshold: 0.05, ramp_width: 0.02 }
+        PointTransferFunction {
+            threshold: 0.05,
+            ramp_width: 0.02,
+        }
     }
 }
 
@@ -204,7 +207,10 @@ mod tests {
 
     #[test]
     fn hard_step_when_ramp_is_zero() {
-        let tf = VolumeTransferFunction { ramp_width: 0.0, ..Default::default() };
+        let tf = VolumeTransferFunction {
+            ramp_width: 0.0,
+            ..Default::default()
+        };
         assert_eq!(tf.weight(tf.threshold - 1e-9), 0.0);
         assert_eq!(tf.weight(tf.threshold + 1e-9), 1.0);
     }

@@ -10,8 +10,11 @@
 //! memory, it is loaded from disk, a process that takes around 10 seconds
 //! for a 100 MB time step."
 
+use crate::hybrid::HybridFrame;
 use accelviz_render::texmem::TextureMemory;
 use parking_lot::Mutex;
+use std::io;
+use std::sync::Arc;
 
 /// Result of stepping the viewer to a frame.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -27,6 +30,65 @@ pub struct FrameLoad {
     /// Whether the frame's volume texture was still resident in video
     /// memory.
     pub texture_resident: bool,
+}
+
+/// Where a viewing session gets its frames. The paper's desktop viewer
+/// reads hybrid frames from local disk ([`LocalFrames`]); the remote
+/// service serves the same frames over TCP (`accelviz-serve`'s
+/// `RemoteFrames`). A [`crate::session::ViewerSession`] runs unmodified
+/// over either.
+pub trait FrameSource: Send {
+    /// Number of frames available from this source.
+    fn frame_count(&self) -> usize;
+
+    /// Loads frame `index`, returning the frame and what the load cost.
+    /// `index` must be `< frame_count()`. Local sources are infallible;
+    /// remote sources surface transport errors here.
+    fn load(&mut self, index: usize) -> io::Result<(Arc<HybridFrame>, FrameLoad)>;
+}
+
+/// The in-memory frame series backing the paper's desktop viewer: frames
+/// held locally, with a [`FrameCache`] modeling which are resident and
+/// what a cold load costs.
+pub struct LocalFrames {
+    frames: Vec<Arc<HybridFrame>>,
+    cache: FrameCache,
+}
+
+impl LocalFrames {
+    /// A local source over `frames` with an explicit cache model.
+    pub fn new(frames: Vec<HybridFrame>, cache: FrameCache) -> LocalFrames {
+        LocalFrames {
+            frames: frames.into_iter().map(Arc::new).collect(),
+            cache,
+        }
+    }
+
+    /// A local source with the paper-era desktop cache (1 GB memory,
+    /// 10 MB/s disk, GeForce-class texture memory).
+    pub fn paper_desktop(frames: Vec<HybridFrame>) -> LocalFrames {
+        let sizes: Vec<(u64, u64)> = frames
+            .iter()
+            .map(|f| (f.total_bytes(), f.volume_bytes()))
+            .collect();
+        LocalFrames::new(frames, FrameCache::paper_desktop(sizes))
+    }
+
+    /// The underlying cache model (hit/miss statistics, residency).
+    pub fn cache(&self) -> &FrameCache {
+        &self.cache
+    }
+}
+
+impl FrameSource for LocalFrames {
+    fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn load(&mut self, index: usize) -> io::Result<(Arc<HybridFrame>, FrameLoad)> {
+        let load = self.cache.step_to(index);
+        Ok((Arc::clone(&self.frames[index]), load))
+    }
 }
 
 /// A frame cache over a sequence of hybrid frames with known sizes. Holds
@@ -116,7 +178,10 @@ impl FrameCache {
         // and survives the prefetch evictions.
         self.step_to(current.min(n - 1));
         for d in 1..=radius {
-            for idx in [current.checked_sub(d), Some(current + d)].into_iter().flatten() {
+            for idx in [current.checked_sub(d), Some(current + d)]
+                .into_iter()
+                .flatten()
+            {
                 if idx < n && !self.step_to_internal(idx, true).cache_hit {
                     loaded += 1;
                 }
@@ -174,7 +239,12 @@ impl FrameCache {
             None => false,
         };
 
-        FrameLoad { cache_hit, bytes_loaded, seconds, texture_resident }
+        FrameLoad {
+            cache_hit,
+            bytes_loaded,
+            seconds,
+            texture_resident,
+        }
     }
 }
 
@@ -194,11 +264,18 @@ mod tests {
         assert!(!first.cache_hit);
         assert_eq!(first.bytes_loaded, 100 << 20);
         // ~10 s for a 100 MB load at 10 MB/s — the paper's number.
-        assert!((first.seconds - 10.49).abs() < 0.2, "load took {}", first.seconds);
+        assert!(
+            (first.seconds - 10.49).abs() < 0.2,
+            "load took {}",
+            first.seconds
+        );
         let again = cache.step_to(2);
         assert!(again.cache_hit);
         assert_eq!(again.bytes_loaded, 0);
-        assert!(again.seconds < 1e-3, "cached frame displays instantaneously");
+        assert!(
+            again.seconds < 1e-3,
+            "cached frame displays instantaneously"
+        );
         assert!(again.texture_resident);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
@@ -243,7 +320,10 @@ mod tests {
         for f in 0..8 {
             total += cache.step_to(f).seconds;
         }
-        assert!(total < 1e-6, "stepping through resident frames cost {total}");
+        assert!(
+            total < 1e-6,
+            "stepping through resident frames cost {total}"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl CavitySpec {
 
     /// The 12-cell structure of Figure 9.
     pub fn twelve_cell() -> CavitySpec {
-        CavitySpec { cells: 12, ..CavitySpec::three_cell() }
+        CavitySpec {
+            cells: 12,
+            ..CavitySpec::three_cell()
+        }
     }
 
     /// Total structure length along z.
@@ -87,7 +90,11 @@ impl CavityGeometry {
         let r = spec.cavity_radius;
         let len = spec.total_length();
         let margin = 0.15 * r;
-        let top = if spec.with_ports { r + spec.port_height() } else { r };
+        let top = if spec.with_ports {
+            r + spec.port_height()
+        } else {
+            r
+        };
         let bounds = Aabb::new(
             Vec3::new(-r - margin, -top - margin, -margin),
             Vec3::new(r + margin, top + margin, len + margin),
@@ -107,7 +114,13 @@ impl CavityGeometry {
             Vec3::new(-p, 0.0, cell_last_mid - p),
             Vec3::new(p, top + margin, cell_last_mid + p),
         );
-        CavityGeometry { spec, bounds, input_port, input_port_lower, output_port }
+        CavityGeometry {
+            spec,
+            bounds,
+            input_port,
+            input_port_lower,
+            output_port,
+        }
     }
 
     /// `true` when `p` is inside the vacuum region (cavity cells, iris
@@ -200,7 +213,7 @@ mod tests {
     fn iris_blocks_off_axis_passage() {
         let g = CavityGeometry::new(CavitySpec::three_cell());
         let z_iris = 0.8; // first interior boundary
-        // On-axis through the iris hole: vacuum.
+                          // On-axis through the iris hole: vacuum.
         assert!(g.inside(Vec3::new(0.0, 0.0, z_iris)));
         // Off-axis at the same z (between iris radius and cavity radius,
         // away from the ports in x): metal.
@@ -213,18 +226,23 @@ mod tests {
     fn ports_punch_through_the_wall() {
         let g = CavityGeometry::new(CavitySpec::three_cell());
         let z_mid = 0.4; // middle of the first cell
-        // Above the cavity radius inside the input port: vacuum.
+                         // Above the cavity radius inside the input port: vacuum.
         assert!(g.inside(Vec3::new(0.0, 1.2, z_mid)));
         // Same point with ports disabled: metal.
-        let g2 = CavityGeometry::new(CavitySpec { with_ports: false, ..CavitySpec::three_cell() });
+        let g2 = CavityGeometry::new(CavitySpec {
+            with_ports: false,
+            ..CavitySpec::three_cell()
+        });
         assert!(!g2.inside(Vec3::new(0.0, 1.2, z_mid)));
     }
 
     #[test]
     fn ports_break_radial_symmetry() {
         let with = CavityGeometry::new(CavitySpec::three_cell());
-        let without =
-            CavityGeometry::new(CavitySpec { with_ports: false, ..CavitySpec::three_cell() });
+        let without = CavityGeometry::new(CavitySpec {
+            with_ports: false,
+            ..CavitySpec::three_cell()
+        });
         let a_with = with.radial_asymmetry(24);
         let a_without = without.radial_asymmetry(24);
         assert!(a_with > a_without, "{a_with} vs {a_without}");

@@ -16,7 +16,10 @@ pub const C_LIGHT: f64 = 2.997_924_58e8;
 ///
 /// `dt = cfl / (c · √(1/dx² + 1/dy² + 1/dz²))`
 pub fn courant_dt(dx: f64, dy: f64, dz: f64, cfl: f64) -> f64 {
-    assert!(dx > 0.0 && dy > 0.0 && dz > 0.0, "cell sizes must be positive");
+    assert!(
+        dx > 0.0 && dy > 0.0 && dz > 0.0,
+        "cell sizes must be positive"
+    );
     assert!(cfl > 0.0 && cfl <= 1.0, "cfl must be in (0, 1]");
     cfl / (C_LIGHT * (1.0 / (dx * dx) + 1.0 / (dy * dy) + 1.0 / (dz * dz)).sqrt())
 }

@@ -80,7 +80,10 @@ mod tests {
     use accelviz_math::Vec3;
 
     fn quiet_sim() -> FdtdSim {
-        let spec = CavitySpec { with_ports: false, ..CavitySpec::three_cell() };
+        let spec = CavitySpec {
+            with_ports: false,
+            ..CavitySpec::three_cell()
+        };
         let mut fspec = FdtdSpec::for_geometry(CavityGeometry::new(spec), 10);
         fspec.drive_amplitude = 0.0;
         fspec.sponge_strength = 0.0;
@@ -135,6 +138,9 @@ mod tests {
         let mean_flux = acc / window as f64;
         // Power enters the first cell and must on average flow toward the
         // output end (+z).
-        assert!(mean_flux > 0.0, "mean Poynting flux must point downstream: {mean_flux}");
+        assert!(
+            mean_flux > 0.0,
+            "mean Poynting flux must point downstream: {mean_flux}"
+        );
     }
 }

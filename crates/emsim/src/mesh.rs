@@ -62,11 +62,7 @@ impl HexMesh {
 
     /// Builds the mesh of all cells of a `dims` grid over `bounds` for
     /// which `keep(cell_center)` is true. Vertices are deduplicated.
-    pub fn from_grid_mask(
-        bounds: Aabb,
-        dims: [usize; 3],
-        keep: impl Fn(Vec3) -> bool,
-    ) -> HexMesh {
+    pub fn from_grid_mask(bounds: Aabb, dims: [usize; 3], keep: impl Fn(Vec3) -> bool) -> HexMesh {
         assert!(dims.iter().all(|&d| d > 0));
         let size = bounds.size();
         let d = Vec3::new(

@@ -29,7 +29,10 @@ impl ProbeRecord {
         let i = ((t.x * nx as f64) as usize).min(nx - 1);
         let j = ((t.y * ny as f64) as usize).min(ny - 1);
         let k = ((t.z * nz as f64) as usize).min(nz - 1);
-        let mut rec = ProbeRecord { dt: sim.dt(), samples: Vec::with_capacity(steps) };
+        let mut rec = ProbeRecord {
+            dt: sim.dt(),
+            samples: Vec::with_capacity(steps),
+        };
         for _ in 0..steps {
             sim.step();
             rec.samples.push(sim.e_at_cell(i, j, k).z);
@@ -103,14 +106,23 @@ mod tests {
             samples: (0..4000).map(|i| (omega * dt * i as f64).sin()).collect(),
         };
         let f = rec.dominant_frequency().unwrap();
-        assert!((f / omega - 1.0).abs() < 0.02, "estimated {f}, true {omega}");
+        assert!(
+            (f / omega - 1.0).abs() < 0.02,
+            "estimated {f}, true {omega}"
+        );
     }
 
     #[test]
     fn silence_and_short_records_give_none() {
-        let rec = ProbeRecord { dt: 0.01, samples: vec![0.0; 1000] };
+        let rec = ProbeRecord {
+            dt: 0.01,
+            samples: vec![0.0; 1000],
+        };
         assert!(rec.dominant_frequency().is_none());
-        let short = ProbeRecord { dt: 0.01, samples: vec![1.0, -1.0] };
+        let short = ProbeRecord {
+            dt: 0.01,
+            samples: vec![1.0, -1.0],
+        };
         assert!(short.dominant_frequency().is_none());
     }
 
@@ -161,14 +173,16 @@ mod tests {
             fspec.sponge_strength = 0.0;
             let mut sim = crate::fdtd::FdtdSim::new(fspec);
             sim.seed_ez_bump(Vec3::new(0.0, 0.0, 0.4 * radius), 0.5 * radius, 1.0);
-            let rec =
-                ProbeRecord::record_ez(&mut sim, Vec3::new(0.0, 0.0, 0.4 * radius), 2500);
+            let rec = ProbeRecord::record_ez(&mut sim, Vec3::new(0.0, 0.0, 0.4 * radius), 2500);
             rec.dominant_frequency().expect("must ring")
         };
         let f_big = freq_for(1.0);
         let f_small = freq_for(0.5);
         // ω ∝ 1/R for the pillbox family.
         let ratio = f_small / f_big;
-        assert!((1.6..2.4).contains(&ratio), "frequency scaling ratio {ratio}");
+        assert!(
+            (1.6..2.4).contains(&ratio),
+            "frequency scaling ratio {ratio}"
+        );
     }
 }

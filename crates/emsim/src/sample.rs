@@ -70,7 +70,12 @@ impl FieldSampler {
     pub fn from_vectors(dims: [usize; 3], bounds: Aabb, vectors: Vec<Vec3>) -> FieldSampler {
         assert_eq!(vectors.len(), dims[0] * dims[1] * dims[2]);
         let n = vectors.len();
-        FieldSampler { dims, bounds, vectors, vacuum: vec![true; n] }
+        FieldSampler {
+            dims,
+            bounds,
+            vectors,
+            vacuum: vec![true; n],
+        }
     }
 
     /// Grid dimensions.
@@ -122,8 +127,16 @@ impl VectorField3 for FieldSampler {
         let fx = (t.x * nx as f64 - 0.5).clamp(0.0, (nx - 1) as f64);
         let fy = (t.y * ny as f64 - 0.5).clamp(0.0, (ny - 1) as f64);
         let fz = (t.z * nz as f64 - 0.5).clamp(0.0, (nz - 1) as f64);
-        let (x0, y0, z0) = (fx.floor() as usize, fy.floor() as usize, fz.floor() as usize);
-        let (x1, y1, z1) = ((x0 + 1).min(nx - 1), (y0 + 1).min(ny - 1), (z0 + 1).min(nz - 1));
+        let (x0, y0, z0) = (
+            fx.floor() as usize,
+            fy.floor() as usize,
+            fz.floor() as usize,
+        );
+        let (x1, y1, z1) = (
+            (x0 + 1).min(nx - 1),
+            (y0 + 1).min(ny - 1),
+            (z0 + 1).min(nz - 1),
+        );
         let (u, v, w) = (fx - x0 as f64, fy - y0 as f64, fz - z0 as f64);
         let mut out = Vec3::ZERO;
         for c in 0..3 {
@@ -155,7 +168,11 @@ mod tests {
     #[test]
     fn constant_field_samples_constant() {
         let f = constant_field(Vec3::new(1.0, -2.0, 0.5));
-        for p in [Vec3::splat(0.5), Vec3::new(0.1, 0.9, 0.3), Vec3::splat(0.01)] {
+        for p in [
+            Vec3::splat(0.5),
+            Vec3::new(0.1, 0.9, 0.3),
+            Vec3::splat(0.01),
+        ] {
             assert!(f.sample(p).distance(Vec3::new(1.0, -2.0, 0.5)) < 1e-12);
         }
     }
@@ -183,7 +200,11 @@ mod tests {
         let f = FieldSampler::from_vectors([4, 1, 1], bounds, vectors);
         // Cell centers are at x = 0.5, 1.5, 2.5, 3.5.
         let v = f.sample(Vec3::new(2.0, 0.5, 0.5));
-        assert!((v.x - 1.5).abs() < 1e-12, "midpoint of cells 1 and 2: {}", v.x);
+        assert!(
+            (v.x - 1.5).abs() < 1e-12,
+            "midpoint of cells 1 and 2: {}",
+            v.x
+        );
     }
 
     #[test]

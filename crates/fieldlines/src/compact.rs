@@ -49,13 +49,19 @@ pub fn deserialize_lines<R: Read>(r: &mut R) -> io::Result<Vec<FieldLine>> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad line-set magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad line-set magic",
+        ));
     }
     let mut u64b = [0u8; 8];
     r.read_exact(&mut u64b)?;
     let n_lines = u64::from_le_bytes(u64b);
     if n_lines > (1 << 32) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible line count"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible line count",
+        ));
     }
     let mut f32b = [0u8; 4];
     let mut read_f32 = |r: &mut R| -> io::Result<f32> {
@@ -73,7 +79,11 @@ pub fn deserialize_lines<R: Read>(r: &mut R) -> io::Result<Vec<FieldLine>> {
             let y = read_f32(r)? as f64;
             let z = read_f32(r)? as f64;
             let m = read_f32(r)? as f64;
-            line.push(accelviz_math::Vec3::new(x, y, z), accelviz_math::Vec3::ZERO, m);
+            line.push(
+                accelviz_math::Vec3::new(x, y, z),
+                accelviz_math::Vec3::ZERO,
+                m,
+            );
         }
         // Rebuild tangents from the polyline.
         let n = line.len();

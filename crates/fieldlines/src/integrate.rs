@@ -125,7 +125,11 @@ mod tests {
     #[test]
     fn uniform_field_gives_straight_line() {
         let f = uniform_x();
-        let params = TraceParams { step: 0.05, max_steps: 100, ..Default::default() };
+        let params = TraceParams {
+            step: 0.05,
+            max_steps: 100,
+            ..Default::default()
+        };
         let line = trace(&f, Vec3::splat(0.5), &params);
         assert!(line.len() > 10);
         // All points share y = z = 0.5.
@@ -183,7 +187,12 @@ mod tests {
     #[test]
     fn magnitudes_are_recorded() {
         let f = circular(); // |F| = r
-        let params = TraceParams { step: 0.01, max_steps: 50, bidirectional: false, ..Default::default() };
+        let params = TraceParams {
+            step: 0.01,
+            max_steps: 50,
+            bidirectional: false,
+            ..Default::default()
+        };
         let line = trace(&f, Vec3::new(0.5, 0.0, 0.0), &params);
         for (p, &m) in line.points.iter().zip(&line.magnitudes) {
             let r = (p.x * p.x + p.y * p.y).sqrt();
@@ -202,7 +211,11 @@ mod tests {
     #[test]
     fn trace_stops_at_domain_boundary() {
         let f = uniform_x();
-        let params = TraceParams { step: 0.05, max_steps: 10_000, ..Default::default() };
+        let params = TraceParams {
+            step: 0.05,
+            max_steps: 10_000,
+            ..Default::default()
+        };
         let line = trace(&f, Vec3::splat(0.5), &params);
         for p in &line.points {
             assert!(f.bounds().contains(*p));
@@ -214,7 +227,10 @@ mod tests {
     #[should_panic]
     fn nonpositive_step_panics() {
         let f = uniform_x();
-        let params = TraceParams { step: 0.0, ..Default::default() };
+        let params = TraceParams {
+            step: 0.0,
+            ..Default::default()
+        };
         let _ = trace(&f, Vec3::splat(0.5), &params);
     }
 }

@@ -226,7 +226,12 @@ mod tests {
         assert!(coarse.len() < fine.len() / 3, "must actually decimate");
         assert!(coarse.points[0].distance(fine.points[0]) < 1e-12);
         assert!(
-            coarse.points.last().unwrap().distance(*fine.points.last().unwrap()) < 1e-12
+            coarse
+                .points
+                .last()
+                .unwrap()
+                .distance(*fine.points.last().unwrap())
+                < 1e-12
         );
         // Arc length is approximately preserved (chords shorten slightly).
         assert!((coarse.arc_length() / fine.arc_length() - 1.0).abs() < 0.05);

@@ -27,7 +27,10 @@ pub struct RibbonParams {
 impl Default for RibbonParams {
     fn default() -> RibbonParams {
         RibbonParams {
-            strip: SosParams { half_width: 0.06, ..Default::default() },
+            strip: SosParams {
+                half_width: 0.06,
+                ..Default::default()
+            },
             max_strands: 8,
             max_magnitude: 1.0,
         }
@@ -85,7 +88,8 @@ mod tests {
     #[test]
     fn strand_counts_track_magnitude() {
         let line = graded_line();
-        let (verts, strands) = ribbon_strip(&line, Vec3::new(0.0, 0.0, 5.0), &RibbonParams::default());
+        let (verts, strands) =
+            ribbon_strip(&line, Vec3::new(0.0, 0.0, 5.0), &RibbonParams::default());
         assert_eq!(verts.len(), strands.len());
         // Strand count is non-decreasing along this ramping line.
         for w in strands.windows(2) {
@@ -109,7 +113,10 @@ mod tests {
     #[test]
     fn zero_max_magnitude_degrades_gracefully() {
         let line = graded_line();
-        let params = RibbonParams { max_magnitude: 0.0, ..Default::default() };
+        let params = RibbonParams {
+            max_magnitude: 0.0,
+            ..Default::default()
+        };
         let (_, strands) = ribbon_strip(&line, Vec3::ZERO, &params);
         assert!(strands.iter().all(|&s| s == 1));
     }

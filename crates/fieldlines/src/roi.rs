@@ -81,7 +81,13 @@ pub fn cutaway(lines: &[FieldLine], region: &Region) -> Vec<FieldLine> {
 pub fn focus_alphas(lines: &[FieldLine], region: &Region, context_alpha: f32) -> Vec<f32> {
     lines
         .iter()
-        .map(|l| if region.coverage(l) > 0.0 { 1.0 } else { context_alpha })
+        .map(|l| {
+            if region.coverage(l) > 0.0 {
+                1.0
+            } else {
+                context_alpha
+            }
+        })
         .collect()
 }
 
@@ -99,13 +105,19 @@ mod tests {
 
     #[test]
     fn region_membership() {
-        let s = Region::Sphere { center: Vec3::ZERO, radius: 1.0 };
+        let s = Region::Sphere {
+            center: Vec3::ZERO,
+            radius: 1.0,
+        };
         assert!(s.contains(Vec3::new(0.5, 0.0, 0.0)));
         assert!(!s.contains(Vec3::new(1.5, 0.0, 0.0)));
         let b = Region::Box(Aabb::new(Vec3::ZERO, Vec3::ONE));
         assert!(b.contains(Vec3::splat(0.5)));
         assert!(!b.contains(Vec3::splat(1.5)));
-        let h = Region::HalfSpace { normal: Vec3::UNIT_X, offset: 0.0 };
+        let h = Region::HalfSpace {
+            normal: Vec3::UNIT_X,
+            offset: 0.0,
+        };
         assert!(h.contains(Vec3::new(1.0, -5.0, 3.0)));
         assert!(!h.contains(Vec3::new(-0.1, 0.0, 0.0)));
     }
@@ -115,7 +127,10 @@ mod tests {
         // A line crossing x = 0: the half-space cutaway keeps only the
         // non-negative-x run.
         let line = line_through(&[-2.0, -1.0, 0.5, 1.0, 2.0]);
-        let region = Region::HalfSpace { normal: Vec3::UNIT_X, offset: 0.0 };
+        let region = Region::HalfSpace {
+            normal: Vec3::UNIT_X,
+            offset: 0.0,
+        };
         let cut = cutaway(&[line], &region);
         assert_eq!(cut.len(), 1);
         assert_eq!(cut[0].len(), 3);
@@ -146,7 +161,10 @@ mod tests {
     fn focus_alphas_preserve_context() {
         let inside = line_through(&[0.0, 0.5]);
         let outside = line_through(&[5.0, 6.0]);
-        let region = Region::Sphere { center: Vec3::ZERO, radius: 1.0 };
+        let region = Region::Sphere {
+            center: Vec3::ZERO,
+            radius: 1.0,
+        };
         let alphas = focus_alphas(&[inside, outside], &region, 0.15);
         assert_eq!(alphas, vec![1.0, 0.15]);
         // Unlike cutaway, every line survives — "the global context is

@@ -184,11 +184,7 @@ pub fn seed_lines(field: &FieldSampler, params: &SeedingParams) -> Vec<SeededLin
     let [nx, ny, nz] = field.dims();
     let bounds = field.bounds();
     let size = bounds.size();
-    let cell_size = Vec3::new(
-        size.x / nx as f64,
-        size.y / ny as f64,
-        size.z / nz as f64,
-    );
+    let cell_size = Vec3::new(size.x / nx as f64, size.y / ny as f64, size.z / nz as f64);
     let mut desire = desired_counts(field, params);
     let mut heap: BinaryHeap<Entry> = desire
         .iter()
@@ -221,7 +217,10 @@ pub fn seed_lines(field: &FieldSampler, params: &SeedingParams) -> Vec<SeededLin
                     }
                     // Stale: re-push with the current desire if positive.
                     if desire[e.cell] > 0.0 {
-                        heap.push(Entry { desire: desire[e.cell], cell: e.cell });
+                        heap.push(Entry {
+                            desire: desire[e.cell],
+                            cell: e.cell,
+                        });
                     }
                 }
                 None => break None,
@@ -252,7 +251,10 @@ pub fn seed_lines(field: &FieldSampler, params: &SeedingParams) -> Vec<SeededLin
                 if c != last_cell {
                     desire[c] -= 1.0;
                     if desire[c] > 0.0 {
-                        heap.push(Entry { desire: desire[c], cell: c });
+                        heap.push(Entry {
+                            desire: desire[c],
+                            cell: c,
+                        });
                     }
                     last_cell = c;
                     visited_any = true;
@@ -265,7 +267,11 @@ pub fn seed_lines(field: &FieldSampler, params: &SeedingParams) -> Vec<SeededLin
             desire[cell] = 0.0;
             continue;
         }
-        out.push(SeededLine { order: out.len(), seed_element: cell, line });
+        out.push(SeededLine {
+            order: out.len(),
+            seed_element: cell,
+            line,
+        });
     }
     out
 }
@@ -343,7 +349,11 @@ mod tests {
     fn params(n_lines: usize) -> SeedingParams {
         SeedingParams {
             n_lines,
-            trace: TraceParams { step: 0.04, max_steps: 200, ..Default::default() },
+            trace: TraceParams {
+                step: 0.04,
+                max_steps: 200,
+                ..Default::default()
+            },
             seed: 7,
             min_magnitude_frac: 1e-6,
         }
@@ -460,7 +470,10 @@ mod tests {
         let f = graded_field();
         let lines = seed_lines(&f, &params(120));
         let r_full = density_correlation(&f, &lines, lines.len());
-        assert!(r_full > 0.55, "density ∝ magnitude at full budget: r = {r_full}");
+        assert!(
+            r_full > 0.55,
+            "density ∝ magnitude at full budget: r = {r_full}"
+        );
         // The incremental claim: even a modest prefix is already
         // positively correlated.
         let r_half = density_correlation(&f, &lines, lines.len() / 2);
@@ -476,8 +489,7 @@ mod tests {
         let f = graded_field();
         let lines = seed_lines(&f, &params(1_000));
         assert_eq!(lines.len(), 16 * 16);
-        let mut columns: Vec<usize> =
-            lines.iter().map(|sl| sl.seed_element % (16 * 16)).collect();
+        let mut columns: Vec<usize> = lines.iter().map(|sl| sl.seed_element % (16 * 16)).collect();
         columns.sort_unstable();
         columns.dedup();
         assert_eq!(columns.len(), 16 * 16, "each column seeded exactly once");

@@ -62,8 +62,16 @@ pub fn sos_strip(line: &FieldLine, eye: Vec3, params: &SosParams) -> Vec<Vertex>
         prev_side = Some(side);
         prev_point = Some(p);
         let offset = side * params.half_width;
-        verts.push(Vertex { pos: p - offset, uv: (u, 0.0), color: params.color });
-        verts.push(Vertex { pos: p + offset, uv: (u, 1.0), color: params.color });
+        verts.push(Vertex {
+            pos: p - offset,
+            uv: (u, 0.0),
+            color: params.color,
+        });
+        verts.push(Vertex {
+            pos: p + offset,
+            uv: (u, 1.0),
+            color: params.color,
+        });
     }
     verts
 }
@@ -121,11 +129,17 @@ mod tests {
         // the strip lies in the xy plane, facing the viewer.
         let line = straight_line(5);
         let eye = Vec3::new(0.2, 0.0, 5.0);
-        let params = SosParams { half_width: 0.05, ..Default::default() };
+        let params = SosParams {
+            half_width: 0.05,
+            ..Default::default()
+        };
         let verts = sos_strip(&line, eye, &params);
         for pair in verts.chunks(2) {
             let across = pair[1].pos - pair[0].pos;
-            assert!(across.z.abs() < 1e-9, "strip must be perpendicular to the view");
+            assert!(
+                across.z.abs() < 1e-9,
+                "strip must be perpendicular to the view"
+            );
             assert!((across.length() - 0.1).abs() < 1e-9, "width = 2·half_width");
         }
     }
@@ -134,7 +148,10 @@ mod tests {
     fn texture_v_spans_zero_to_one_u_accumulates() {
         let line = straight_line(5); // spacing 0.1
         let eye = Vec3::new(0.0, 0.0, 5.0);
-        let params = SosParams { u_period: 0.1, ..Default::default() };
+        let params = SosParams {
+            u_period: 0.1,
+            ..Default::default()
+        };
         let verts = sos_strip(&line, eye, &params);
         for (i, v) in verts.iter().enumerate() {
             assert_eq!(v.uv.1, if i % 2 == 0 { 0.0 } else { 1.0 });

@@ -63,12 +63,7 @@ impl LineStyle {
 
     /// Builds a styled self-orienting strip: geometry from [`sos_strip`],
     /// per-vertex colors from the local field magnitude.
-    pub fn styled_strip(
-        &self,
-        line: &FieldLine,
-        eye: Vec3,
-        params: &SosParams,
-    ) -> Vec<Vertex> {
+    pub fn styled_strip(&self, line: &FieldLine, eye: Vec3, params: &SosParams) -> Vec<Vertex> {
         let mut verts = sos_strip(line, eye, params);
         self.restyle_strip(line, &mut verts);
         verts

@@ -131,7 +131,11 @@ mod tests {
     fn params() -> SeedingParams {
         SeedingParams {
             n_lines: 20,
-            trace: TraceParams { step: 0.05, max_steps: 80, ..Default::default() },
+            trace: TraceParams {
+                step: 0.05,
+                max_steps: 80,
+                ..Default::default()
+            },
             seed: 3,
             min_magnitude_frac: 1e-6,
         }

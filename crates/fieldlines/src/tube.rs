@@ -24,7 +24,11 @@ pub struct TubeParams {
 
 impl Default for TubeParams {
     fn default() -> TubeParams {
-        TubeParams { radius: 0.01, sides: 12, color: Rgba::rgb(0.35, 0.55, 1.0) }
+        TubeParams {
+            radius: 0.01,
+            sides: 12,
+            color: Rgba::rgb(0.35, 0.55, 1.0),
+        }
     }
 }
 
@@ -67,7 +71,11 @@ pub fn tube_triangles(line: &FieldLine, eye: Vec3, params: &TubeParams) -> Vec<[
         )
         .clamped()
     };
-    let vert = |(pos, n): (Vec3, Vec3)| Vertex { pos, uv: (0.0, 0.0), color: lit(pos, n) };
+    let vert = |(pos, n): (Vec3, Vec3)| Vertex {
+        pos,
+        uv: (0.0, 0.0),
+        color: lit(pos, n),
+    };
 
     let mut tris = Vec::with_capacity(2 * params.sides * (n - 1));
     for i in 0..n - 1 {
@@ -125,8 +133,7 @@ mod tests {
         // paper's implied tessellation (sides ≈ 10–12 → ratio 10–12, i.e.
         // the strip is ≥5–6× cheaper even before vertex-data savings).
         for n in [10usize, 100] {
-            let ratio =
-                tube_triangle_count(n, 12) as f64 / sos_triangle_count(n) as f64;
+            let ratio = tube_triangle_count(n, 12) as f64 / sos_triangle_count(n) as f64;
             assert!((ratio - 12.0).abs() < 1e-9);
             assert!(ratio >= 5.0, "SOS must be at least 5–6× cheaper");
         }
@@ -135,7 +142,11 @@ mod tests {
     #[test]
     fn tube_points_lie_on_radius() {
         let line = straight_line(5);
-        let params = TubeParams { radius: 0.05, sides: 8, ..Default::default() };
+        let params = TubeParams {
+            radius: 0.05,
+            sides: 8,
+            ..Default::default()
+        };
         let tris = tube_triangles(&line, Vec3::new(0.0, 0.0, 5.0), &params);
         for tri in &tris {
             for v in tri {
@@ -150,7 +161,11 @@ mod tests {
     fn facing_side_is_brighter_than_silhouette() {
         let line = straight_line(5);
         let eye = Vec3::new(0.2, 0.0, 5.0);
-        let params = TubeParams { radius: 0.05, sides: 16, ..Default::default() };
+        let params = TubeParams {
+            radius: 0.05,
+            sides: 16,
+            ..Default::default()
+        };
         let tris = tube_triangles(&line, eye, &params);
         let mut brightest = 0.0f32;
         let mut dimmest = 1.0f32;
@@ -161,7 +176,10 @@ mod tests {
                 dimmest = dimmest.min(l);
             }
         }
-        assert!(brightest > 2.0 * dimmest, "Gouraud shading must vary: {dimmest}..{brightest}");
+        assert!(
+            brightest > 2.0 * dimmest,
+            "Gouraud shading must vary: {dimmest}..{brightest}"
+        );
     }
 
     #[test]
@@ -176,7 +194,10 @@ mod tests {
         let _ = tube_triangles(
             &straight_line(3),
             Vec3::ZERO,
-            &TubeParams { sides: 2, ..Default::default() },
+            &TubeParams {
+                sides: 2,
+                ..Default::default()
+            },
         );
     }
 }

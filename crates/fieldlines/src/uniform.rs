@@ -88,10 +88,7 @@ impl SeparationGrid {
         {
             return None;
         }
-        Some(
-            c[0] as usize
-                + self.dims[0] * (c[1] as usize + self.dims[1] * c[2] as usize),
-        )
+        Some(c[0] as usize + self.dims[0] * (c[1] as usize + self.dims[1] * c[2] as usize))
     }
 
     fn is_clear(&self, p: Vec3, separation: f64) -> bool {
@@ -204,7 +201,11 @@ mod tests {
         UniformSeedingParams {
             n_lines: n,
             separation: sep,
-            trace: TraceParams { step: 0.04, max_steps: 100, ..Default::default() },
+            trace: TraceParams {
+                step: 0.04,
+                max_steps: 100,
+                ..Default::default()
+            },
             seed: 7,
             max_candidates: 20_000,
         }
@@ -226,7 +227,12 @@ mod tests {
         let f = graded_field();
         let sparse = seed_lines_uniform(&f, &params(400, 0.15));
         let dense = seed_lines_uniform(&f, &params(400, 0.05));
-        assert!(dense.len() > sparse.len(), "{} vs {}", dense.len(), sparse.len());
+        assert!(
+            dense.len() > sparse.len(),
+            "{} vs {}",
+            dense.len(),
+            sparse.len()
+        );
     }
 
     #[test]
@@ -241,14 +247,22 @@ mod tests {
         let wrapped: Vec<SeededLine> = uniform
             .into_iter()
             .enumerate()
-            .map(|(i, line)| SeededLine { order: i, seed_element: 0, line })
+            .map(|(i, line)| SeededLine {
+                order: i,
+                seed_element: 0,
+                line,
+            })
             .collect();
         let r_uniform = density_correlation(&f, &wrapped, wrapped.len());
         let proportional = seed_lines(
             &f,
             &SeedingParams {
                 n_lines: 120,
-                trace: TraceParams { step: 0.04, max_steps: 200, ..Default::default() },
+                trace: TraceParams {
+                    step: 0.04,
+                    max_steps: 200,
+                    ..Default::default()
+                },
                 seed: 7,
                 min_magnitude_frac: 1e-6,
             },
@@ -258,7 +272,10 @@ mod tests {
             r_prop > r_uniform + 0.2,
             "magnitude-proportional (r = {r_prop:.3}) must beat uniform (r = {r_uniform:.3})"
         );
-        assert!(r_uniform.abs() < 0.35, "uniform placement should be ~uncorrelated: {r_uniform}");
+        assert!(
+            r_uniform.abs() < 0.35,
+            "uniform placement should be ~uncorrelated: {r_uniform}"
+        );
     }
 
     #[test]

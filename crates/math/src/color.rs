@@ -21,11 +21,26 @@ pub struct Rgba {
 
 impl Rgba {
     /// Fully transparent black.
-    pub const TRANSPARENT: Rgba = Rgba { r: 0.0, g: 0.0, b: 0.0, a: 0.0 };
+    pub const TRANSPARENT: Rgba = Rgba {
+        r: 0.0,
+        g: 0.0,
+        b: 0.0,
+        a: 0.0,
+    };
     /// Opaque black.
-    pub const BLACK: Rgba = Rgba { r: 0.0, g: 0.0, b: 0.0, a: 1.0 };
+    pub const BLACK: Rgba = Rgba {
+        r: 0.0,
+        g: 0.0,
+        b: 0.0,
+        a: 1.0,
+    };
     /// Opaque white.
-    pub const WHITE: Rgba = Rgba { r: 1.0, g: 1.0, b: 1.0, a: 1.0 };
+    pub const WHITE: Rgba = Rgba {
+        r: 1.0,
+        g: 1.0,
+        b: 1.0,
+        a: 1.0,
+    };
 
     /// Color from components (not clamped).
     #[inline]
@@ -42,7 +57,12 @@ impl Rgba {
     /// Grey level `v`, opaque.
     #[inline]
     pub const fn grey(v: f32) -> Rgba {
-        Rgba { r: v, g: v, b: v, a: 1.0 }
+        Rgba {
+            r: v,
+            g: v,
+            b: v,
+            a: 1.0,
+        }
     }
 
     /// Copy with a different alpha.

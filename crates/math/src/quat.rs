@@ -26,7 +26,12 @@ impl Default for Quat {
 
 impl Quat {
     /// The identity rotation.
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Quaternion from components.
     #[inline]

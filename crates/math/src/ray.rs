@@ -44,7 +44,9 @@ mod tests {
 
     #[test]
     fn normalized_direction_is_unit() {
-        let r = Ray::new(Vec3::ONE, Vec3::new(0.0, 3.0, 4.0)).normalized().unwrap();
+        let r = Ray::new(Vec3::ONE, Vec3::new(0.0, 3.0, 4.0))
+            .normalized()
+            .unwrap();
         assert!((r.dir.length() - 1.0).abs() < 1e-15);
         assert_eq!(r.origin, Vec3::ONE);
         assert!(Ray::new(Vec3::ZERO, Vec3::ZERO).normalized().is_none());

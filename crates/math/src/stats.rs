@@ -156,8 +156,16 @@ impl LinearFit {
         }
         let slope = sxy / sxx;
         let intercept = my - slope * mx;
-        let r_squared = if syy <= 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-        Some(LinearFit { slope, intercept, r_squared })
+        let r_squared = if syy <= 0.0 {
+            1.0
+        } else {
+            (sxy * sxy) / (sxx * syy)
+        };
+        Some(LinearFit {
+            slope,
+            intercept,
+            r_squared,
+        })
     }
 
     /// Fits `y = c * x^p` by regressing in log-log space and returns the
@@ -194,7 +202,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Bin index for a value (clamped to the edge bins).

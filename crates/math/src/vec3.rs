@@ -1,8 +1,9 @@
 //! Three-component `f64` vector and the [`Axis`] selector.
 
 use std::fmt;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub,
-               SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// One of the three Cartesian axes. Used to address vector components and to
 /// name the coordinates of phase-space plot projections.
@@ -58,15 +59,35 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// The all-ones vector.
-    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const ONE: Vec3 = Vec3 {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
     /// Unit vector along x.
-    pub const UNIT_X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const UNIT_X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit vector along y.
-    pub const UNIT_Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const UNIT_Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
     /// Unit vector along z.
-    pub const UNIT_Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const UNIT_Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Constructs a vector from components.
     #[inline]
@@ -212,7 +233,11 @@ impl Vec3 {
     ///
     /// Used when constructing streamtube cross-sections and ribbon frames.
     pub fn any_perpendicular(self) -> Vec3 {
-        let base = if self.x.abs() < 0.9 { Vec3::UNIT_X } else { Vec3::UNIT_Y };
+        let base = if self.x.abs() < 0.9 {
+            Vec3::UNIT_X
+        } else {
+            Vec3::UNIT_Y
+        };
         self.cross(base).normalized_or(Vec3::UNIT_Z)
     }
 

@@ -19,7 +19,12 @@ pub struct Vec4 {
 
 impl Vec4 {
     /// The zero vector.
-    pub const ZERO: Vec4 = Vec4 { x: 0.0, y: 0.0, z: 0.0, w: 0.0 };
+    pub const ZERO: Vec4 = Vec4 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+        w: 0.0,
+    };
 
     /// Constructs a vector from components.
     #[inline]

@@ -31,7 +31,10 @@ pub struct GradientRefinement {
 
 impl Default for GradientRefinement {
     fn default() -> GradientRefinement {
-        GradientRefinement { extra_depth: 2, contrast_threshold: 8.0 }
+        GradientRefinement {
+            extra_depth: 2,
+            contrast_threshold: 8.0,
+        }
     }
 }
 
@@ -71,8 +74,11 @@ pub fn partition(particles: &[Particle], plot: PlotType, params: BuildParams) ->
         let points: Vec<Vec3> = particles.iter().map(|p| plot.project(p)).collect();
         partition_projected(particles, points, plot, params)
     } else {
-        let finite: Vec<Particle> =
-            particles.iter().copied().filter(|p| p.is_finite()).collect();
+        let finite: Vec<Particle> = particles
+            .iter()
+            .copied()
+            .filter(|p| p.is_finite())
+            .collect();
         let points: Vec<Vec3> = finite.iter().map(|p| plot.project(p)).collect();
         partition_projected(&finite, points, plot, params)
     }
@@ -96,8 +102,7 @@ pub(crate) fn partition_projected(
     let mut leaf_slots: Vec<u32> = vec![0];
 
     // Breadth-first subdivision.
-    let hard_cap = params.max_depth
-        + params.gradient_refinement.map_or(0, |g| g.extra_depth);
+    let hard_cap = params.max_depth + params.gradient_refinement.map_or(0, |g| g.extra_depth);
     let mut cursor = 0;
     while cursor < leaf_slots.len() {
         let node_idx = leaf_slots[cursor] as usize;
@@ -149,7 +154,11 @@ pub(crate) fn partition_projected(
         cursor += 1;
     }
 
-    let tree = Octree { nodes, bounds, max_depth: params.max_depth };
+    let tree = Octree {
+        nodes,
+        bounds,
+        max_depth: params.max_depth,
+    };
     PartitionedData::from_build(tree, leaf_slots, leaf_items, particles, plot)
 }
 
@@ -195,7 +204,11 @@ mod tests {
     #[test]
     fn leaves_respect_depth_limit() {
         let ps = sample(5_000);
-        let params = BuildParams { max_depth: 3, leaf_capacity: 1, gradient_refinement: None };
+        let params = BuildParams {
+            max_depth: 3,
+            leaf_capacity: 1,
+            gradient_refinement: None,
+        };
         let data = partition(&ps, PlotType::XYZ, params);
         assert!(data.tree().deepest_level() <= 3);
     }
@@ -207,12 +220,23 @@ mod tests {
         // should deepen the tree but far less than raising max_depth
         // globally would.
         let ps = sample(20_000);
-        let base = BuildParams { max_depth: 3, leaf_capacity: 32, gradient_refinement: None };
+        let base = BuildParams {
+            max_depth: 3,
+            leaf_capacity: 32,
+            gradient_refinement: None,
+        };
         let refined = BuildParams {
-            gradient_refinement: Some(GradientRefinement { extra_depth: 2, contrast_threshold: 6.0 }),
+            gradient_refinement: Some(GradientRefinement {
+                extra_depth: 2,
+                contrast_threshold: 6.0,
+            }),
             ..base
         };
-        let global = BuildParams { max_depth: 5, leaf_capacity: 32, gradient_refinement: None };
+        let global = BuildParams {
+            max_depth: 5,
+            leaf_capacity: 32,
+            gradient_refinement: None,
+        };
         let d_base = partition(&ps, PlotType::XYZ, base);
         let d_ref = partition(&ps, PlotType::XYZ, refined);
         let d_glob = partition(&ps, PlotType::XYZ, global);
@@ -247,7 +271,11 @@ mod tests {
         let coarse = partition(
             &ps,
             PlotType::XYZ,
-            BuildParams { max_depth: 3, leaf_capacity: 32, gradient_refinement: None },
+            BuildParams {
+                max_depth: 3,
+                leaf_capacity: 32,
+                gradient_refinement: None,
+            },
         );
         let refined = partition(
             &ps,
@@ -266,8 +294,7 @@ mod tests {
             // Leaves just below and just above the cutoff: the visible
             // halo boundary.
             let leaves = d.sorted_leaves();
-            let cut = leaves
-                .partition_point(|&li| d.tree().nodes[li as usize].density < t);
+            let cut = leaves.partition_point(|&li| d.tree().nodes[li as usize].density < t);
             let window = 8.min(leaves.len() / 2);
             let lo = cut.saturating_sub(window);
             let hi = (cut + window).min(leaves.len());
@@ -317,7 +344,11 @@ mod tests {
     #[test]
     fn particles_lie_within_their_leaf_bounds() {
         let ps = sample(2_000);
-        let params = BuildParams { max_depth: 4, leaf_capacity: 32, gradient_refinement: None };
+        let params = BuildParams {
+            max_depth: 4,
+            leaf_capacity: 32,
+            gradient_refinement: None,
+        };
         let data = partition(&ps, PlotType::X_PX_Y, params);
         let tree = data.tree();
         for li in tree.leaf_indices() {
@@ -336,7 +367,15 @@ mod tests {
     #[test]
     fn subtree_counts_are_consistent() {
         let ps = sample(2_000);
-        let data = partition(&ps, PlotType::XYZ, BuildParams { max_depth: 4, leaf_capacity: 64, gradient_refinement: None });
+        let data = partition(
+            &ps,
+            PlotType::XYZ,
+            BuildParams {
+                max_depth: 4,
+                leaf_capacity: 64,
+                gradient_refinement: None,
+            },
+        );
         let tree = data.tree();
         for (i, n) in tree.nodes.iter().enumerate() {
             if !n.is_leaf() {
@@ -351,7 +390,15 @@ mod tests {
     #[test]
     fn children_tile_parent_bounds() {
         let ps = sample(2_000);
-        let data = partition(&ps, PlotType::XYZ, BuildParams { max_depth: 3, leaf_capacity: 64, gradient_refinement: None });
+        let data = partition(
+            &ps,
+            PlotType::XYZ,
+            BuildParams {
+                max_depth: 3,
+                leaf_capacity: 64,
+                gradient_refinement: None,
+            },
+        );
         let tree = data.tree();
         for n in &tree.nodes {
             if !n.is_leaf() {

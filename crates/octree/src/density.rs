@@ -12,7 +12,7 @@ use accelviz_math::{trilinear, Aabb, Vec3};
 use rayon::prelude::*;
 
 /// A regular 3-D grid of particle density over a bounding box.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DensityGrid {
     dims: [usize; 3],
     bounds: Aabb,
@@ -62,7 +62,12 @@ impl DensityGrid {
                 },
             );
         let max_value = data.iter().copied().fold(0.0f32, f32::max);
-        DensityGrid { dims, bounds, data, max_value }
+        DensityGrid {
+            dims,
+            bounds,
+            data,
+            max_value,
+        }
     }
 
     /// An all-zero grid (useful for incremental accumulation in tests).
@@ -73,6 +78,26 @@ impl DensityGrid {
             bounds,
             data: vec![0.0; dims[0] * dims[1] * dims[2]],
             max_value: 0.0,
+        }
+    }
+
+    /// Reconstructs a grid from previously computed cell values, e.g. when
+    /// decoding a grid that was serialized for network transfer. `data`
+    /// must be in x-fastest layout with exactly `dims[0]*dims[1]*dims[2]`
+    /// entries.
+    pub fn from_raw(bounds: Aabb, dims: [usize; 3], data: Vec<f32>) -> DensityGrid {
+        assert!(dims.iter().all(|&d| d > 0), "grid dims must be positive");
+        assert_eq!(
+            data.len(),
+            dims[0] * dims[1] * dims[2],
+            "cell data must match grid dims"
+        );
+        let max_value = data.iter().copied().fold(0.0f32, f32::max);
+        DensityGrid {
+            dims,
+            bounds,
+            data,
+            max_value,
         }
     }
 
@@ -125,7 +150,11 @@ impl DensityGrid {
         let fx = (t.x * self.dims[0] as f64 - 0.5).clamp(0.0, (self.dims[0] - 1) as f64);
         let fy = (t.y * self.dims[1] as f64 - 0.5).clamp(0.0, (self.dims[1] - 1) as f64);
         let fz = (t.z * self.dims[2] as f64 - 0.5).clamp(0.0, (self.dims[2] - 1) as f64);
-        let (x0, y0, z0) = (fx.floor() as usize, fy.floor() as usize, fz.floor() as usize);
+        let (x0, y0, z0) = (
+            fx.floor() as usize,
+            fy.floor() as usize,
+            fz.floor() as usize,
+        );
         let (x1, y1, z1) = (
             (x0 + 1).min(self.dims[0] - 1),
             (y0 + 1).min(self.dims[1] - 1),

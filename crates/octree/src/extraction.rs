@@ -99,7 +99,15 @@ mod tests {
 
     fn build(n: usize) -> PartitionedData {
         let ps = Distribution::default_beam().sample(n, 21);
-        partition(&ps, PlotType::XYZ, BuildParams { max_depth: 4, leaf_capacity: 64, gradient_refinement: None })
+        partition(
+            &ps,
+            PlotType::XYZ,
+            BuildParams {
+                max_depth: 4,
+                leaf_capacity: 64,
+                gradient_refinement: None,
+            },
+        )
     }
 
     #[test]

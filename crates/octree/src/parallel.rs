@@ -139,7 +139,11 @@ pub fn partition_parallel(
         }
     }
 
-    let tree = Octree { nodes, bounds, max_depth: params.max_depth };
+    let tree = Octree {
+        nodes,
+        bounds,
+        max_depth: params.max_depth,
+    };
     PartitionedData::from_build(tree, leaf_slots, leaf_items, particles, plot)
 }
 
@@ -166,7 +170,11 @@ mod tests {
     #[test]
     fn parallel_build_covers_all_particles() {
         let ps = Distribution::default_beam().sample(4_000, 13);
-        let params = BuildParams { max_depth: 4, leaf_capacity: 64, gradient_refinement: None };
+        let params = BuildParams {
+            max_depth: 4,
+            leaf_capacity: 64,
+            gradient_refinement: None,
+        };
         let data = partition_parallel(&ps, PlotType::XYZ, params);
         data.validate().unwrap();
         assert_eq!(data.particles().len(), ps.len());
@@ -175,7 +183,11 @@ mod tests {
     #[test]
     fn parallel_matches_serial_leaf_statistics() {
         let ps = Distribution::default_beam().sample(3_000, 17);
-        let params = BuildParams { max_depth: 4, leaf_capacity: 32, gradient_refinement: None };
+        let params = BuildParams {
+            max_depth: 4,
+            leaf_capacity: 32,
+            gradient_refinement: None,
+        };
         let serial = crate::builder::partition(&ps, PlotType::XYZ, params);
         let par = partition_parallel(&ps, PlotType::XYZ, params);
         // Same number of particles, same multiset of (density, len) leaf
@@ -206,7 +218,11 @@ mod tests {
     #[test]
     fn parallel_extraction_matches_serial() {
         let ps = Distribution::default_beam().sample(3_000, 19);
-        let params = BuildParams { max_depth: 4, leaf_capacity: 32, gradient_refinement: None };
+        let params = BuildParams {
+            max_depth: 4,
+            leaf_capacity: 32,
+            gradient_refinement: None,
+        };
         let serial = crate::builder::partition(&ps, PlotType::XYZ, params);
         let par = partition_parallel(&ps, PlotType::XYZ, params);
         for t in [1e3, 1e6, 1e9] {

@@ -70,7 +70,12 @@ impl PartitionedData {
             n.offset = offset;
             sorted_leaves.push(node_idx as u32);
         }
-        PartitionedData { tree, particles: sorted, sorted_leaves, plot }
+        PartitionedData {
+            tree,
+            particles: sorted,
+            sorted_leaves,
+            plot,
+        }
     }
 
     /// Reassembles a store from deserialized parts (the disk-read path):
@@ -94,7 +99,12 @@ impl PartitionedData {
             let n = &tree.nodes[li as usize];
             (n.offset, n.len > 0, li)
         });
-        let data = PartitionedData { tree, particles, sorted_leaves, plot };
+        let data = PartitionedData {
+            tree,
+            particles,
+            sorted_leaves,
+            plot,
+        };
         data.validate()?;
         Ok(data)
     }
@@ -200,7 +210,15 @@ mod tests {
 
     fn build(n: usize) -> PartitionedData {
         let ps = Distribution::default_beam().sample(n, 11);
-        partition(&ps, PlotType::XYZ, BuildParams { max_depth: 4, leaf_capacity: 64, gradient_refinement: None })
+        partition(
+            &ps,
+            PlotType::XYZ,
+            BuildParams {
+                max_depth: 4,
+                leaf_capacity: 64,
+                gradient_refinement: None,
+            },
+        )
     }
 
     #[test]
@@ -244,10 +262,7 @@ mod tests {
     fn storage_accounting() {
         let data = build(1_000);
         assert_eq!(data.particle_file_bytes(), 48_000);
-        assert_eq!(
-            data.node_file_bytes(),
-            data.tree().nodes.len() as u64 * 88
-        );
+        assert_eq!(data.node_file_bytes(), data.tree().nodes.len() as u64 * 88);
         assert_eq!(data.total_bytes(), 48_000 + data.node_file_bytes());
     }
 
@@ -255,15 +270,27 @@ mod tests {
     fn repartitioning_changes_plot_without_the_raw_dump() {
         let data = build(3_000);
         assert_eq!(data.plot(), PlotType::XYZ);
-        let converted =
-            data.repartition(PlotType::MOMENTUM, BuildParams { max_depth: 4, leaf_capacity: 64, gradient_refinement: None });
+        let converted = data.repartition(
+            PlotType::MOMENTUM,
+            BuildParams {
+                max_depth: 4,
+                leaf_capacity: 64,
+                gradient_refinement: None,
+            },
+        );
         converted.validate().unwrap();
         assert_eq!(converted.plot(), PlotType::MOMENTUM);
         assert_eq!(converted.particles().len(), data.particles().len());
         // The conversion is lossless: converting back reproduces the same
         // leaf statistics as the original build.
-        let back =
-            converted.repartition(PlotType::XYZ, BuildParams { max_depth: 4, leaf_capacity: 64, gradient_refinement: None });
+        let back = converted.repartition(
+            PlotType::XYZ,
+            BuildParams {
+                max_depth: 4,
+                leaf_capacity: 64,
+                gradient_refinement: None,
+            },
+        );
         let stats = |d: &PartitionedData| {
             let mut v: Vec<(u64, u64)> = d
                 .sorted_leaves()

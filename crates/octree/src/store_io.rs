@@ -74,11 +74,17 @@ pub fn read_node_file<R: Read>(r: &mut R) -> io::Result<(Octree, PlotType)> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if magic != NODE_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad node-file magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad node-file magic",
+        ));
     }
     let n_nodes = read_u64(r)?;
     if n_nodes > (1 << 32) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible node count"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible node count",
+        ));
     }
     let max_depth = read_u32(r)?;
     let mut coords = [0u8; 4];
@@ -116,7 +122,14 @@ pub fn read_node_file<R: Read>(r: &mut R) -> io::Result<(Octree, PlotType)> {
         }
         nodes.push(node);
     }
-    Ok((Octree { nodes, bounds, max_depth }, plot))
+    Ok((
+        Octree {
+            nodes,
+            bounds,
+            max_depth,
+        },
+        plot,
+    ))
 }
 
 /// Result of a disk-model extraction.
@@ -156,7 +169,10 @@ pub fn extract_from_files<R1: Read, R2: Read>(
     particle_r.read_exact(&mut header)?;
     let total = u64::from_le_bytes(header[16..24].try_into().unwrap());
     if prefix > total {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "prefix exceeds file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "prefix exceeds file",
+        ));
     }
     let mut particles = Vec::with_capacity(prefix as usize);
     let mut buf = [0u8; BYTES_PER_PARTICLE as usize];
@@ -218,7 +234,10 @@ fn read_aabb<R: Read>(r: &mut R) -> io::Result<Aabb> {
     if v[0] > v[3] || v[1] > v[4] || v[2] > v[5] || v.iter().any(|x| !x.is_finite()) {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "corrupt bounds"));
     }
-    Ok(Aabb::new(Vec3::new(v[0], v[1], v[2]), Vec3::new(v[3], v[4], v[5])))
+    Ok(Aabb::new(
+        Vec3::new(v[0], v[1], v[2]),
+        Vec3::new(v[3], v[4], v[5]),
+    ))
 }
 
 /// A reader wrapper counting consumed bytes (used by tests to prove the
@@ -298,8 +317,7 @@ mod tests {
         let expected = extract(&data, t);
 
         let mut counting = CountingReader::new(particle_file.as_slice());
-        let result =
-            extract_from_files(&mut node_file.as_slice(), &mut counting, t).unwrap();
+        let result = extract_from_files(&mut node_file.as_slice(), &mut counting, t).unwrap();
         assert_eq!(result.particles.as_slice(), expected.particles);
         assert_eq!(result.skipped, expected.discarded);
         // The headline claim, verified on real reads: bytes consumed =

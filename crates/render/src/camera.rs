@@ -80,7 +80,9 @@ impl Camera {
         width: usize,
         height: usize,
     ) -> Option<(f64, f64, f64)> {
-        let clip = self.view_projection().mul_vec4(accelviz_math::Vec4::from_point(p));
+        let clip = self
+            .view_projection()
+            .mul_vec4(accelviz_math::Vec4::from_point(p));
         if clip.w <= 0.0 {
             return None; // behind the eye
         }
@@ -118,14 +120,20 @@ mod tests {
 
     #[test]
     fn points_behind_eye_are_rejected() {
-        assert!(cam().project_to_pixel(Vec3::new(0.0, 0.0, 10.0), 100, 100).is_none());
+        assert!(cam()
+            .project_to_pixel(Vec3::new(0.0, 0.0, 10.0), 100, 100)
+            .is_none());
     }
 
     #[test]
     fn right_is_right_up_is_up() {
         let c = cam();
-        let (xr, _, _) = c.project_to_pixel(Vec3::new(1.0, 0.0, 0.0), 100, 100).unwrap();
-        let (_, yu, _) = c.project_to_pixel(Vec3::new(0.0, 1.0, 0.0), 100, 100).unwrap();
+        let (xr, _, _) = c
+            .project_to_pixel(Vec3::new(1.0, 0.0, 0.0), 100, 100)
+            .unwrap();
+        let (_, yu, _) = c
+            .project_to_pixel(Vec3::new(0.0, 1.0, 0.0), 100, 100)
+            .unwrap();
         assert!(xr > 50.0, "world +x must land right of center");
         assert!(yu < 50.0, "world +y must land above center (row 0 is top)");
     }
@@ -133,8 +141,12 @@ mod tests {
     #[test]
     fn nearer_points_have_smaller_depth() {
         let c = cam();
-        let (_, _, z_near) = c.project_to_pixel(Vec3::new(0.0, 0.0, 2.0), 100, 100).unwrap();
-        let (_, _, z_far) = c.project_to_pixel(Vec3::new(0.0, 0.0, -2.0), 100, 100).unwrap();
+        let (_, _, z_near) = c
+            .project_to_pixel(Vec3::new(0.0, 0.0, 2.0), 100, 100)
+            .unwrap();
+        let (_, _, z_far) = c
+            .project_to_pixel(Vec3::new(0.0, 0.0, -2.0), 100, 100)
+            .unwrap();
         assert!(z_near < z_far);
     }
 

@@ -95,7 +95,13 @@ impl DisplayList {
                         let dx = x as f64 + 0.5 - px;
                         let dy = y as f64 + 0.5 - py;
                         if dx * dx + dy * dy <= r * r {
-                            fb.blend_fragment(x as usize, y as usize, z as f32, color, opts.write_depth);
+                            fb.blend_fragment(
+                                x as usize,
+                                y as usize,
+                                z as f32,
+                                color,
+                                opts.write_depth,
+                            );
                             frags += 1;
                         }
                     }
@@ -129,13 +135,24 @@ mod tests {
     fn replay_matches_direct_rendering() {
         let verts = strip();
         let mut direct = Framebuffer::new(64, 64);
-        draw_triangle_strip(&mut direct, &cam(), &verts, &flat_shader, RasterOptions::default());
+        draw_triangle_strip(
+            &mut direct,
+            &cam(),
+            &verts,
+            &flat_shader,
+            RasterOptions::default(),
+        );
 
         let mut list = DisplayList::new();
         list.push_strip(verts);
         let mut replayed = Framebuffer::new(64, 64);
-        let (tris, frags) =
-            list.replay(&mut replayed, &cam(), &flat_shader, RasterOptions::default(), 1.0);
+        let (tris, frags) = list.replay(
+            &mut replayed,
+            &cam(),
+            &flat_shader,
+            RasterOptions::default(),
+            1.0,
+        );
         assert_eq!(tris, 4);
         assert!(frags > 0);
         assert_eq!(direct.mse(&replayed), 0.0, "replay must be bit-identical");
@@ -161,8 +178,7 @@ mod tests {
         let mut list = DisplayList::new();
         list.push_point(Vec3::ZERO, Rgba::WHITE);
         let mut fb = Framebuffer::new(65, 65);
-        let (_, frags) =
-            list.replay(&mut fb, &cam(), &flat_shader, RasterOptions::default(), 2.0);
+        let (_, frags) = list.replay(&mut fb, &cam(), &flat_shader, RasterOptions::default(), 2.0);
         assert!(frags > 0);
         assert!(fb.get(32, 32).luminance() > 0.5);
     }

@@ -129,13 +129,7 @@ impl Framebuffer {
     /// Luminance variance over a pixel rectangle — a contrast/detail proxy
     /// (more resolved stratification ⇒ higher variance). The rectangle is
     /// clamped to the framebuffer.
-    pub fn region_luminance_variance(
-        &self,
-        x0: usize,
-        y0: usize,
-        x1: usize,
-        y1: usize,
-    ) -> f64 {
+    pub fn region_luminance_variance(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> f64 {
         let x1 = x1.min(self.width);
         let y1 = y1.min(self.height);
         if x0 >= x1 || y0 >= y1 {

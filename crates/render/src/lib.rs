@@ -40,11 +40,11 @@ pub mod volume;
 
 pub use camera::Camera;
 pub use displaylist::DisplayList;
-pub use trackball::Trackball;
 pub use framebuffer::Framebuffer;
 pub use points::{splat_points, PointStyle};
 pub use rasterizer::{draw_triangle, draw_triangle_strip, Vertex};
 pub use texmem::TextureMemory;
 pub use texture::Texture2;
+pub use trackball::Trackball;
 pub use transparency::TransparentQueue;
 pub use volume::{render_volume, ScalarField3, VolumeStyle};

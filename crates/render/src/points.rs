@@ -126,7 +126,11 @@ mod tests {
     #[test]
     fn single_point_lights_center() {
         let mut fb = Framebuffer::new(65, 65);
-        let style = PointStyle { color: Rgba::WHITE, size_px: 2.0, ..Default::default() };
+        let style = PointStyle {
+            color: Rgba::WHITE,
+            size_px: 2.0,
+            ..Default::default()
+        };
         let n = splat_points(&mut fb, &cam(), &[Vec3::ZERO], &style);
         assert_eq!(n, 1);
         assert!(fb.get(32, 32).luminance() > 0.5);
@@ -148,10 +152,19 @@ mod tests {
     fn fraction_draws_the_right_share() {
         let mut fb = Framebuffer::new(64, 64);
         let pts: Vec<Vec3> = (0..10_000)
-            .map(|i| Vec3::new((i % 100) as f64 * 0.01 - 0.5, (i / 100) as f64 * 0.01 - 0.5, 0.0))
+            .map(|i| {
+                Vec3::new(
+                    (i % 100) as f64 * 0.01 - 0.5,
+                    (i / 100) as f64 * 0.01 - 0.5,
+                    0.0,
+                )
+            })
             .collect();
         for fraction in [0.25, 0.5, 0.75] {
-            let style = PointStyle { fraction, ..Default::default() };
+            let style = PointStyle {
+                fraction,
+                ..Default::default()
+            };
             let n = splat_points(&mut fb, &cam(), &pts, &style);
             let expect = fraction * pts.len() as f64;
             assert!(
@@ -189,21 +202,31 @@ mod tests {
         splat_points(&mut fb_far, &c, &[Vec3::new(0.0, 0.0, -4.0)], &style);
         let lit_near = fb_near.lit_pixel_count(0.01);
         let lit_far = fb_far.lit_pixel_count(0.01);
-        assert!(lit_near > lit_far, "near splat must cover more pixels ({lit_near} vs {lit_far})");
+        assert!(
+            lit_near > lit_far,
+            "near splat must cover more pixels ({lit_near} vs {lit_far})"
+        );
     }
 
     #[test]
     fn opaque_points_respect_depth() {
         let mut fb = Framebuffer::new(65, 65);
         let c = cam();
-        let mut front = PointStyle { color: Rgba::rgb(1.0, 0.0, 0.0), size_px: 3.0, ..Default::default() };
+        let mut front = PointStyle {
+            color: Rgba::rgb(1.0, 0.0, 0.0),
+            size_px: 3.0,
+            ..Default::default()
+        };
         front.write_depth = true;
         front.color = front.color.with_alpha(1.0);
         splat_points(&mut fb, &c, &[Vec3::new(0.0, 0.0, 1.0)], &front);
         let mut back = front;
         back.color = Rgba::rgb(0.0, 1.0, 0.0).with_alpha(1.0);
         splat_points(&mut fb, &c, &[Vec3::new(0.0, 0.0, -1.0)], &back);
-        assert!(fb.get(32, 32).r > 0.9, "front point must occlude back point");
+        assert!(
+            fb.get(32, 32).r > 0.9,
+            "front point must occlude back point"
+        );
     }
 
     #[test]

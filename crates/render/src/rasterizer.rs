@@ -19,7 +19,11 @@ pub struct Vertex {
 impl Vertex {
     /// Vertex with color only.
     pub fn colored(pos: Vec3, color: Rgba) -> Vertex {
-        Vertex { pos, uv: (0.0, 0.0), color }
+        Vertex {
+            pos,
+            uv: (0.0, 0.0),
+            color,
+        }
     }
 }
 
@@ -164,12 +168,30 @@ fn raster_clipped(
         return 0; // degenerate
     }
 
-    let min_x = p.iter().map(|q| q.x).fold(f64::INFINITY, f64::min).floor().max(0.0) as usize;
-    let max_x =
-        (p.iter().map(|q| q.x).fold(f64::NEG_INFINITY, f64::max).ceil() as isize).min(w as isize - 1);
-    let min_y = p.iter().map(|q| q.y).fold(f64::INFINITY, f64::min).floor().max(0.0) as usize;
-    let max_y =
-        (p.iter().map(|q| q.y).fold(f64::NEG_INFINITY, f64::max).ceil() as isize).min(h as isize - 1);
+    let min_x = p
+        .iter()
+        .map(|q| q.x)
+        .fold(f64::INFINITY, f64::min)
+        .floor()
+        .max(0.0) as usize;
+    let max_x = (p
+        .iter()
+        .map(|q| q.x)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .ceil() as isize)
+        .min(w as isize - 1);
+    let min_y = p
+        .iter()
+        .map(|q| q.y)
+        .fold(f64::INFINITY, f64::min)
+        .floor()
+        .max(0.0) as usize;
+    let max_y = (p
+        .iter()
+        .map(|q| q.y)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .ceil() as isize)
+        .min(h as isize - 1);
     if max_x < min_x as isize || max_y < min_y as isize {
         return 0;
     }
@@ -195,14 +217,26 @@ fn raster_clipped(
             let u = persp(verts[0].uv.0, verts[1].uv.0, verts[2].uv.0);
             let v = persp(verts[0].uv.1, verts[1].uv.1, verts[2].uv.1);
             let color = Rgba::new(
-                persp(verts[0].color.r as f64, verts[1].color.r as f64, verts[2].color.r as f64)
-                    as f32,
-                persp(verts[0].color.g as f64, verts[1].color.g as f64, verts[2].color.g as f64)
-                    as f32,
-                persp(verts[0].color.b as f64, verts[1].color.b as f64, verts[2].color.b as f64)
-                    as f32,
-                persp(verts[0].color.a as f64, verts[1].color.a as f64, verts[2].color.a as f64)
-                    as f32,
+                persp(
+                    verts[0].color.r as f64,
+                    verts[1].color.r as f64,
+                    verts[2].color.r as f64,
+                ) as f32,
+                persp(
+                    verts[0].color.g as f64,
+                    verts[1].color.g as f64,
+                    verts[2].color.g as f64,
+                ) as f32,
+                persp(
+                    verts[0].color.b as f64,
+                    verts[1].color.b as f64,
+                    verts[2].color.b as f64,
+                ) as f32,
+                persp(
+                    verts[0].color.a as f64,
+                    verts[1].color.a as f64,
+                    verts[2].color.a as f64,
+                ) as f32,
             );
             let z = (w0 * p[0].z + w1 * p[1].z + w2 * p[2].z) as f32;
             if let Some(out) = shader(u, v, color) {
@@ -282,14 +316,38 @@ mod tests {
         let mut fb = Framebuffer::new(64, 64);
         let c = cam();
         // Near red triangle (z = 2, closer to the eye at z = 5).
-        draw_triangle(&mut fb, &c, &tri_at(2.0, Rgba::rgb(1.0, 0.0, 0.0)), &flat_shader, RasterOptions::default());
+        draw_triangle(
+            &mut fb,
+            &c,
+            &tri_at(2.0, Rgba::rgb(1.0, 0.0, 0.0)),
+            &flat_shader,
+            RasterOptions::default(),
+        );
         // Far green triangle.
-        draw_triangle(&mut fb, &c, &tri_at(-2.0, Rgba::rgb(0.0, 1.0, 0.0)), &flat_shader, RasterOptions::default());
+        draw_triangle(
+            &mut fb,
+            &c,
+            &tri_at(-2.0, Rgba::rgb(0.0, 1.0, 0.0)),
+            &flat_shader,
+            RasterOptions::default(),
+        );
         assert!(fb.get(32, 32).r > 0.99, "near triangle must win");
         // Drawn in the other order the result is the same.
         let mut fb2 = Framebuffer::new(64, 64);
-        draw_triangle(&mut fb2, &c, &tri_at(-2.0, Rgba::rgb(0.0, 1.0, 0.0)), &flat_shader, RasterOptions::default());
-        draw_triangle(&mut fb2, &c, &tri_at(2.0, Rgba::rgb(1.0, 0.0, 0.0)), &flat_shader, RasterOptions::default());
+        draw_triangle(
+            &mut fb2,
+            &c,
+            &tri_at(-2.0, Rgba::rgb(0.0, 1.0, 0.0)),
+            &flat_shader,
+            RasterOptions::default(),
+        );
+        draw_triangle(
+            &mut fb2,
+            &c,
+            &tri_at(2.0, Rgba::rgb(1.0, 0.0, 0.0)),
+            &flat_shader,
+            RasterOptions::default(),
+        );
         assert!(fb2.get(32, 32).r > 0.99);
     }
 
@@ -297,7 +355,13 @@ mod tests {
     fn degenerate_triangle_writes_nothing() {
         let mut fb = Framebuffer::new(32, 32);
         let v = Vertex::colored(Vec3::ZERO, Rgba::WHITE);
-        let n = draw_triangle(&mut fb, &cam(), &[v, v, v], &flat_shader, RasterOptions::default());
+        let n = draw_triangle(
+            &mut fb,
+            &cam(),
+            &[v, v, v],
+            &flat_shader,
+            RasterOptions::default(),
+        );
         assert_eq!(n, 0);
     }
 
@@ -325,7 +389,13 @@ mod tests {
             Vertex::colored(Vec3::new(-1.0, -0.5, 0.0), Rgba::rgb(1.0, 0.0, 0.0)),
             Vertex::colored(Vec3::new(1.0, -0.5, 0.0), Rgba::rgb(1.0, 0.0, 0.0)),
         ];
-        let n = draw_triangle(&mut fb, &cam(), &verts, &flat_shader, RasterOptions::default());
+        let n = draw_triangle(
+            &mut fb,
+            &cam(),
+            &verts,
+            &flat_shader,
+            RasterOptions::default(),
+        );
         assert!(n > 0, "visible part must rasterize");
         // The visible fragment region lies in the lower half (toward the
         // two in-front vertices at y = -0.5).
@@ -345,10 +415,22 @@ mod tests {
         let mut with = Framebuffer::new(64, 64);
         let mut reference = Framebuffer::new(64, 64);
         let tri = tri_at(0.0, Rgba::rgb(0.1, 0.9, 0.4));
-        draw_triangle(&mut with, &cam(), &tri, &flat_shader, RasterOptions::default());
+        draw_triangle(
+            &mut with,
+            &cam(),
+            &tri,
+            &flat_shader,
+            RasterOptions::default(),
+        );
         // A fully visible triangle never enters the clip path; render
         // twice and compare for determinism of the clipped pipeline.
-        draw_triangle(&mut reference, &cam(), &tri, &flat_shader, RasterOptions::default());
+        draw_triangle(
+            &mut reference,
+            &cam(),
+            &tri,
+            &flat_shader,
+            RasterOptions::default(),
+        );
         assert_eq!(with.mse(&reference), 0.0);
     }
 
@@ -356,7 +438,13 @@ mod tests {
     fn shader_discard_kills_fragments() {
         let mut fb = Framebuffer::new(32, 32);
         let kill = |_u: f64, _v: f64, _c: Rgba| -> Option<Rgba> { None };
-        let n = draw_triangle(&mut fb, &cam(), &tri_at(0.0, Rgba::WHITE), &kill, RasterOptions::default());
+        let n = draw_triangle(
+            &mut fb,
+            &cam(),
+            &tri_at(0.0, Rgba::WHITE),
+            &kill,
+            RasterOptions::default(),
+        );
         assert_eq!(n, 0);
         assert_eq!(fb.get(16, 16), Rgba::TRANSPARENT);
     }
@@ -365,14 +453,31 @@ mod tests {
     fn uv_interpolation_spans_triangle() {
         let mut fb = Framebuffer::new(64, 64);
         // Color from uv: red = u.
-        let uv_shader =
-            |u: f64, _v: f64, _c: Rgba| Some(Rgba::new(u as f32, 0.0, 0.0, 1.0));
+        let uv_shader = |u: f64, _v: f64, _c: Rgba| Some(Rgba::new(u as f32, 0.0, 0.0, 1.0));
         let verts = [
-            Vertex { pos: Vec3::new(-2.0, -2.0, 0.0), uv: (0.0, 0.0), color: Rgba::WHITE },
-            Vertex { pos: Vec3::new(2.0, -2.0, 0.0), uv: (1.0, 0.0), color: Rgba::WHITE },
-            Vertex { pos: Vec3::new(0.0, 2.5, 0.0), uv: (0.5, 1.0), color: Rgba::WHITE },
+            Vertex {
+                pos: Vec3::new(-2.0, -2.0, 0.0),
+                uv: (0.0, 0.0),
+                color: Rgba::WHITE,
+            },
+            Vertex {
+                pos: Vec3::new(2.0, -2.0, 0.0),
+                uv: (1.0, 0.0),
+                color: Rgba::WHITE,
+            },
+            Vertex {
+                pos: Vec3::new(0.0, 2.5, 0.0),
+                uv: (0.5, 1.0),
+                color: Rgba::WHITE,
+            },
         ];
-        draw_triangle(&mut fb, &cam(), &verts, &uv_shader, RasterOptions::default());
+        draw_triangle(
+            &mut fb,
+            &cam(),
+            &verts,
+            &uv_shader,
+            RasterOptions::default(),
+        );
         // u increases left → right along the bottom edge.
         let left = fb.get(16, 50).r;
         let right = fb.get(48, 50).r;
@@ -389,12 +494,23 @@ mod tests {
                 Vertex::colored(Vec3::new(x, y, 0.0), Rgba::WHITE)
             })
             .collect();
-        let (tris, frags) =
-            draw_triangle_strip(&mut fb, &cam(), &verts, &flat_shader, RasterOptions::default());
+        let (tris, frags) = draw_triangle_strip(
+            &mut fb,
+            &cam(),
+            &verts,
+            &flat_shader,
+            RasterOptions::default(),
+        );
         assert_eq!(tris, 4);
         assert!(frags > 0);
         // Short strips are no-ops.
-        let (t0, f0) = draw_triangle_strip(&mut fb, &cam(), &verts[..2], &flat_shader, RasterOptions::default());
+        let (t0, f0) = draw_triangle_strip(
+            &mut fb,
+            &cam(),
+            &verts[..2],
+            &flat_shader,
+            RasterOptions::default(),
+        );
         assert_eq!((t0, f0), (0, 0));
     }
 }

@@ -25,7 +25,12 @@ pub struct Material {
 
 impl Default for Material {
     fn default() -> Material {
-        Material { ambient: 0.08, diffuse: 0.8, specular: 0.35, shininess: 24.0 }
+        Material {
+            ambient: 0.08,
+            diffuse: 0.8,
+            specular: 0.35,
+            shininess: 24.0,
+        }
     }
 }
 
@@ -91,8 +96,7 @@ pub fn shade_tube_fragment_enhanced(
     let (scale, spec) = headlight_phong(material, nz);
     // Offset light at ~45° to the side: direction (sin45, cos45) in the
     // cross-section plane.
-    let side =
-        ((nx + nz) * std::f32::consts::FRAC_1_SQRT_2).max(0.0);
+    let side = ((nx + nz) * std::f32::consts::FRAC_1_SQRT_2).max(0.0);
     let side_diffuse = 0.35 * material.diffuse * side;
     Some(
         Rgba::new(
@@ -117,7 +121,10 @@ mod tests {
         let (graze, spec_graze) = headlight_phong(&m, 0.0);
         assert!(head > graze);
         assert!(spec_head > spec_graze);
-        assert!((graze - m.ambient).abs() < 1e-6, "grazing leaves only ambient");
+        assert!(
+            (graze - m.ambient).abs() < 1e-6,
+            "grazing leaves only ambient"
+        );
         // Negative cosines clamp to ambient.
         let (back, _) = headlight_phong(&m, -0.5);
         assert!((back - m.ambient).abs() < 1e-6);

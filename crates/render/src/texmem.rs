@@ -111,7 +111,10 @@ impl TextureMemory {
         let mut evicted = 0;
         while self.used + bytes > self.capacity {
             let victim = self.lru.remove(0);
-            let sz = self.resident.remove(&victim).expect("lru entry must be resident");
+            let sz = self
+                .resident
+                .remove(&victim)
+                .expect("lru entry must be resident");
             self.used -= sz;
             evicted += 1;
         }
@@ -195,7 +198,10 @@ mod tests {
         for i in 0..5 {
             evictions += tm.request(i, vol256).unwrap().evicted;
         }
-        assert!(evictions > 0, "five 256³ volumes must not fit simultaneously");
+        assert!(
+            evictions > 0,
+            "five 256³ volumes must not fit simultaneously"
+        );
         let mut tm2 = TextureMemory::geforce_class();
         let mut evictions2 = 0;
         for i in 0..10 {

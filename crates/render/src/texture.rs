@@ -19,7 +19,11 @@ impl Texture2 {
     pub fn new(width: usize, height: usize, data: Vec<Rgba>) -> Texture2 {
         assert!(width > 0 && height > 0, "texture must be non-empty");
         assert_eq!(data.len(), width * height, "pixel count mismatch");
-        Texture2 { width, height, data }
+        Texture2 {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Procedural texture from a function of (u, v) ∈ [0,1)².
@@ -197,12 +201,18 @@ mod tests {
             last_bright = bright;
         }
         // 4 strands → 8 edges (±1 for the clamped ends).
-        assert!((7..=9).contains(&transitions), "transitions = {transitions}");
+        assert!(
+            (7..=9).contains(&transitions),
+            "transitions = {transitions}"
+        );
     }
 
     #[test]
     fn bytes_accounting() {
-        assert_eq!(Texture2::from_fn(8, 4, |_, _| Rgba::BLACK).bytes(), 8 * 4 * 4);
+        assert_eq!(
+            Texture2::from_fn(8, 4, |_, _| Rgba::BLACK).bytes(),
+            8 * 4 * 4
+        );
     }
 
     #[test]

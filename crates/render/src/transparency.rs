@@ -103,7 +103,11 @@ mod tests {
         q.push(&c, near);
         q.flush(&mut fb2, &c);
 
-        assert_eq!(fb1.mse(&fb2), 0.0, "sorted compositing must be order independent");
+        assert_eq!(
+            fb1.mse(&fb2),
+            0.0,
+            "sorted compositing must be order independent"
+        );
         // And the result is the correct near-over-far blend: red over blue.
         let px = fb1.get(32, 32);
         assert!(px.r > px.b, "near red layer dominates: {px:?}");
@@ -152,6 +156,9 @@ mod tests {
         q.push(&c, tri_at(-2.0, Rgba::new(1.0, 0.0, 0.0, 0.8)));
         q.flush(&mut fb, &c);
         let px = fb.get(32, 32);
-        assert!(px.g > 0.9 && px.r < 0.05, "occluded translucent must not bleed: {px:?}");
+        assert!(
+            px.g > 0.9 && px.r < 0.05,
+            "occluded translucent must not bleed: {px:?}"
+        );
     }
 }

@@ -29,7 +29,10 @@ pub struct VolumeStyle {
 
 impl Default for VolumeStyle {
     fn default() -> VolumeStyle {
-        VolumeStyle { steps: 128, early_termination: 0.98 }
+        VolumeStyle {
+            steps: 128,
+            early_termination: 0.98,
+        }
     }
 }
 
@@ -176,8 +179,26 @@ mod tests {
         let tf = |v: f64| Rgba::new(1.0, 1.0, 1.0, (v * 0.05) as f32);
         let mut small = Framebuffer::new(32, 32);
         let mut large = Framebuffer::new(64, 64);
-        let n_small = render_volume(&mut small, &cam(), &solid(), &tf, &VolumeStyle { steps: 32, early_termination: 1.1 });
-        let n_large = render_volume(&mut large, &cam(), &solid(), &tf, &VolumeStyle { steps: 128, early_termination: 1.1 });
+        let n_small = render_volume(
+            &mut small,
+            &cam(),
+            &solid(),
+            &tf,
+            &VolumeStyle {
+                steps: 32,
+                early_termination: 1.1,
+            },
+        );
+        let n_large = render_volume(
+            &mut large,
+            &cam(),
+            &solid(),
+            &tf,
+            &VolumeStyle {
+                steps: 128,
+                early_termination: 1.1,
+            },
+        );
         assert!(n_large > n_small * 10, "{n_large} vs {n_small}");
     }
 
@@ -186,8 +207,26 @@ mod tests {
         let tf = |v: f64| Rgba::new(1.0, 1.0, 1.0, v as f32); // opaque immediately
         let mut a = Framebuffer::new(32, 32);
         let mut b = Framebuffer::new(32, 32);
-        let with = render_volume(&mut a, &cam(), &solid(), &tf, &VolumeStyle { steps: 256, early_termination: 0.95 });
-        let without = render_volume(&mut b, &cam(), &solid(), &tf, &VolumeStyle { steps: 256, early_termination: 1.1 });
+        let with = render_volume(
+            &mut a,
+            &cam(),
+            &solid(),
+            &tf,
+            &VolumeStyle {
+                steps: 256,
+                early_termination: 0.95,
+            },
+        );
+        let without = render_volume(
+            &mut b,
+            &cam(),
+            &solid(),
+            &tf,
+            &VolumeStyle {
+                steps: 256,
+                early_termination: 1.1,
+            },
+        );
         assert!(with < without / 2, "{with} vs {without}");
     }
 
@@ -201,7 +240,16 @@ mod tests {
             bounds: Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)),
             value: 1.0,
         };
-        render_volume(&mut fb, &cam(), &field, &tf, &VolumeStyle { steps: 64, early_termination: 1.1 });
+        render_volume(
+            &mut fb,
+            &cam(),
+            &field,
+            &tf,
+            &VolumeStyle {
+                steps: 64,
+                early_termination: 1.1,
+            },
+        );
         let center = fb.get(64, 64).a;
         // Pixel at the very edge of the projected box face.
         let edge = fb.get(64, 42).a;
@@ -228,7 +276,10 @@ mod tests {
                 &cam(),
                 &field,
                 &tf,
-                &VolumeStyle { steps, early_termination: 1.1 },
+                &VolumeStyle {
+                    steps,
+                    early_termination: 1.1,
+                },
             );
             alphas.push(fb.get(16, 16).a);
         }
@@ -240,7 +291,11 @@ mod tests {
         }
         // And equal to the per-ray alpha itself (the ray crosses exactly
         // one unit of normalized depth).
-        assert!((alphas[2] - a).abs() < 0.05, "expected ≈{a}, got {}", alphas[2]);
+        assert!(
+            (alphas[2] - a).abs() < 0.05,
+            "expected ≈{a}, got {}",
+            alphas[2]
+        );
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! The server's shared extraction cache.
+//!
+//! Extraction is the expensive part of serving a frame request: walking
+//! the density-sorted store and binning the volume. Clients stepping
+//! through the same animation ask for the same `(frame, threshold)` pairs
+//! over and over, so the server keeps the most recent extractions keyed
+//! exactly that way.
+//!
+//! The cache holds one coarse `parking_lot::Mutex` across the *build* of
+//! a missing entry. That is deliberate: when several clients request the
+//! same cold `(frame, threshold)` at once, the first runs the extraction
+//! and the rest block until it lands, then hit — identical concurrent
+//! work is coalesced instead of duplicated. Distinct keys do serialize
+//! behind a build; for the paper's workload (extractions of a few ms,
+//! interactive request rates) that trade is the right one.
+
+use accelviz_core::hybrid::HybridFrame;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: frame index plus the exact threshold bits. Using `to_bits`
+/// sidesteps float equality — a client re-requesting the same dialed
+/// threshold hits; any different dial is a different extraction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Frame index.
+    pub frame: u32,
+    /// `f64::to_bits` of the extraction threshold.
+    pub threshold_bits: u64,
+}
+
+impl CacheKey {
+    /// Key for `frame` extracted at `threshold`.
+    pub fn new(frame: u32, threshold: f64) -> CacheKey {
+        CacheKey {
+            frame,
+            threshold_bits: threshold.to_bits(),
+        }
+    }
+}
+
+struct Inner {
+    capacity: usize,
+    /// LRU order, front = oldest.
+    order: Vec<CacheKey>,
+    entries: HashMap<CacheKey, Arc<HybridFrame>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// An LRU cache of extracted frames shared by all connection threads.
+pub struct ExtractionCache {
+    inner: Mutex<Inner>,
+}
+
+impl ExtractionCache {
+    /// A cache holding at most `capacity` extractions.
+    pub fn new(capacity: usize) -> ExtractionCache {
+        assert!(capacity > 0, "cache needs at least one slot");
+        ExtractionCache {
+            inner: Mutex::new(Inner {
+                capacity,
+                order: Vec::new(),
+                entries: HashMap::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Returns the cached frame for `key`, building it with `build` on a
+    /// miss. The returned flag is `true` on a hit. Concurrent calls with
+    /// the same cold key run `build` once: the lock is held across it.
+    pub fn get_or_build(
+        &self,
+        key: CacheKey,
+        build: impl FnOnce() -> HybridFrame,
+    ) -> (Arc<HybridFrame>, bool) {
+        let mut g = self.inner.lock();
+        if let Some(frame) = g.entries.get(&key).cloned() {
+            let pos = g.order.iter().position(|k| *k == key).unwrap();
+            let k = g.order.remove(pos);
+            g.order.push(k);
+            g.hits += 1;
+            return (frame, true);
+        }
+        g.misses += 1;
+        let frame = Arc::new(build());
+        while g.order.len() >= g.capacity {
+            let victim = g.order.remove(0);
+            g.entries.remove(&victim);
+        }
+        g.order.push(key);
+        g.entries.insert(key, Arc::clone(&frame));
+        (frame, false)
+    }
+
+    /// (hits, misses) so far.
+    pub fn counters(&self) -> (u64, u64) {
+        let g = self.inner.lock();
+        (g.hits, g.misses)
+    }
+
+    /// Extractions currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelviz_beam::distribution::Distribution;
+    use accelviz_octree::builder::{partition, BuildParams};
+    use accelviz_octree::plots::PlotType;
+
+    fn frame(step: usize) -> HybridFrame {
+        let ps = Distribution::default_beam().sample(500, step as u64 + 1);
+        let data = partition(&ps, PlotType::XYZ, BuildParams::default());
+        HybridFrame::from_partition(&data, step, f64::INFINITY, [4, 4, 4])
+    }
+
+    #[test]
+    fn second_request_hits_and_shares_the_arc() {
+        let cache = ExtractionCache::new(4);
+        let key = CacheKey::new(0, 0.5);
+        let (a, hit_a) = cache.get_or_build(key, || frame(0));
+        let (b, hit_b) = cache.get_or_build(key, || panic!("must not rebuild"));
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.counters(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_thresholds_are_distinct_entries() {
+        let cache = ExtractionCache::new(4);
+        cache.get_or_build(CacheKey::new(0, 0.25), || frame(0));
+        let (_, hit) = cache.get_or_build(CacheKey::new(0, 0.5), || frame(0));
+        assert!(!hit, "a different threshold is a different extraction");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest_untouched_key() {
+        let cache = ExtractionCache::new(2);
+        let (k0, k1, k2) = (
+            CacheKey::new(0, 1.0),
+            CacheKey::new(1, 1.0),
+            CacheKey::new(2, 1.0),
+        );
+        cache.get_or_build(k0, || frame(0));
+        cache.get_or_build(k1, || frame(1));
+        cache.get_or_build(k0, || panic!("k0 is resident")); // touch k0
+        cache.get_or_build(k2, || frame(2)); // evicts k1
+        assert!(cache.get_or_build(k0, || panic!("k0 survived")).1);
+        let (_, hit) = cache.get_or_build(k1, || frame(1));
+        assert!(!hit, "k1 was the LRU victim");
+    }
+}

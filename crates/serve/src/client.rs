@@ -1,0 +1,196 @@
+//! The client side: a thin connection handle plus [`RemoteFrames`], a
+//! [`FrameSource`] that lets an unmodified
+//! [`accelviz_core::session::ViewerSession`] run against a remote server.
+
+use crate::error::{Result, ServeError};
+use crate::protocol::{read_response, write_request, FrameInfo, Request, Response};
+use crate::stats::ServerStats;
+use crate::wire::VERSION;
+use accelviz_core::hybrid::HybridFrame;
+use accelviz_core::viewer::{FrameLoad, FrameSource};
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What one frame fetch actually cost on the wire — the measured numbers
+/// the `TransferModel` predicts analytically.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FetchMetrics {
+    /// Envelope bytes received for the frame reply.
+    pub wire_bytes: u64,
+    /// Wall-clock seconds from request write to decoded frame.
+    pub seconds: f64,
+}
+
+/// A connected client. One TCP stream, strict request/reply.
+pub struct Client {
+    stream: TcpStream,
+    frame_count: u32,
+}
+
+impl Client {
+    /// Connects and performs the `Hello` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr).map_err(ServeError::Io)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client {
+            stream,
+            frame_count: 0,
+        };
+        match client.call(&Request::Hello { version: VERSION })? {
+            Response::HelloAck { frame_count, .. } => {
+                client.frame_count = frame_count;
+                Ok(client)
+            }
+            other => Err(unexpected("HelloAck", &other)),
+        }
+    }
+
+    /// Frames the server advertised at handshake.
+    pub fn frame_count(&self) -> usize {
+        self.frame_count as usize
+    }
+
+    /// Fetches the frame catalog.
+    pub fn list_frames(&mut self) -> Result<Vec<FrameInfo>> {
+        match self.call(&Request::ListFrames)? {
+            Response::FrameList(frames) => Ok(frames),
+            other => Err(unexpected("FrameList", &other)),
+        }
+    }
+
+    /// Fetches one frame at one threshold, measuring the transfer.
+    pub fn fetch(&mut self, frame: u32, threshold: f64) -> Result<(HybridFrame, FetchMetrics)> {
+        let t0 = Instant::now();
+        write_request(
+            &mut self.stream,
+            &Request::RequestFrame { frame, threshold },
+        )?;
+        let (resp, wire_bytes) = read_response(&mut self.stream)?;
+        let seconds = t0.elapsed().as_secs_f64();
+        match resp {
+            Response::Frame(f) => Ok((
+                f,
+                FetchMetrics {
+                    wire_bytes,
+                    seconds,
+                },
+            )),
+            other => Err(unexpected("Frame", &other)),
+        }
+    }
+
+    /// Fetches the server's statistics snapshot.
+    pub fn stats(&mut self) -> Result<ServerStats> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response> {
+        write_request(&mut self.stream, req)?;
+        Ok(read_response(&mut self.stream)?.0)
+    }
+}
+
+/// Converts an in-band error reply to [`ServeError::Remote`]; anything
+/// else out of order is a protocol violation.
+fn unexpected(wanted: &str, got: &Response) -> ServeError {
+    match got {
+        Response::Error { code, message } => ServeError::Remote {
+            code: *code,
+            message: message.clone(),
+        },
+        other => ServeError::Protocol(format!("expected {wanted}, got {}", response_name(other))),
+    }
+}
+
+fn response_name(r: &Response) -> &'static str {
+    match r {
+        Response::HelloAck { .. } => "HelloAck",
+        Response::FrameList(_) => "FrameList",
+        Response::Frame(_) => "Frame",
+        Response::Stats(_) => "Stats",
+        Response::Error { .. } => "Error",
+    }
+}
+
+/// A network-backed [`FrameSource`]: frames come over TCP at a fixed
+/// extraction threshold, with a client-side resident set so revisited
+/// frames display without a round trip — the remote twin of the viewer's
+/// local [`accelviz_core::viewer::FrameCache`].
+pub struct RemoteFrames {
+    client: Client,
+    threshold: f64,
+    /// Frames the client may hold before evicting, LRU.
+    max_resident: usize,
+    resident: Vec<u32>,
+    frames: HashMap<u32, Arc<HybridFrame>>,
+    /// Wire bytes received across all fetches.
+    pub bytes_fetched: u64,
+}
+
+impl RemoteFrames {
+    /// A remote source fetching at `threshold`, holding up to
+    /// `max_resident` frames client-side.
+    pub fn new(client: Client, threshold: f64, max_resident: usize) -> RemoteFrames {
+        assert!(max_resident > 0, "need room for at least the current frame");
+        RemoteFrames {
+            client,
+            threshold,
+            max_resident,
+            resident: Vec::new(),
+            frames: HashMap::new(),
+            bytes_fetched: 0,
+        }
+    }
+
+    /// The connection, e.g. to pull server stats mid-session.
+    pub fn client(&mut self) -> &mut Client {
+        &mut self.client
+    }
+}
+
+impl FrameSource for RemoteFrames {
+    fn frame_count(&self) -> usize {
+        self.client.frame_count()
+    }
+
+    fn load(&mut self, index: usize) -> io::Result<(Arc<HybridFrame>, FrameLoad)> {
+        let key = index as u32;
+        if let Some(frame) = self.frames.get(&key).cloned() {
+            let pos = self.resident.iter().position(|&k| k == key).unwrap();
+            let k = self.resident.remove(pos);
+            self.resident.push(k);
+            let load = FrameLoad {
+                cache_hit: true,
+                bytes_loaded: 0,
+                seconds: 0.0,
+                texture_resident: true,
+            };
+            return Ok((frame, load));
+        }
+        let (frame, metrics) = self
+            .client
+            .fetch(key, self.threshold)
+            .map_err(io::Error::from)?;
+        let frame = Arc::new(frame);
+        while self.resident.len() >= self.max_resident {
+            let victim = self.resident.remove(0);
+            self.frames.remove(&victim);
+        }
+        self.resident.push(key);
+        self.frames.insert(key, Arc::clone(&frame));
+        self.bytes_fetched += metrics.wire_bytes;
+        let load = FrameLoad {
+            cache_hit: false,
+            bytes_loaded: metrics.wire_bytes,
+            seconds: metrics.seconds,
+            texture_resident: false,
+        };
+        Ok((frame, load))
+    }
+}

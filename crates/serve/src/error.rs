@@ -1,0 +1,134 @@
+//! Structured errors for the frame service.
+//!
+//! Every failure mode a client or server can hit on the wire — transport
+//! errors, framing corruption, protocol violations, and errors the server
+//! reports back in-band — is a variant here. Corrupt input must surface as
+//! an error, never a panic: the decode paths are written against this
+//! enum and the corruption tests in `tests/wire_corruption.rs` hold them
+//! to it.
+
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong speaking the accelviz-serve protocol.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An underlying transport error (connect, read, write).
+    Io(io::Error),
+    /// The stream did not start with the `AVWF` envelope magic.
+    BadMagic([u8; 4]),
+    /// The peer speaks an envelope version we do not.
+    UnsupportedVersion(u16),
+    /// The envelope kind byte names no known message.
+    UnknownKind(u8),
+    /// The envelope checksum did not match the received bytes.
+    ChecksumMismatch {
+        /// Checksum carried by the envelope.
+        expected: u64,
+        /// Checksum recomputed over the received bytes.
+        actual: u64,
+    },
+    /// The stream ended mid-envelope.
+    Truncated {
+        /// Bytes the decoder still needed.
+        needed: u64,
+        /// Bytes actually available.
+        got: u64,
+    },
+    /// The envelope framed correctly but its payload does not decode.
+    Corrupt(String),
+    /// The server answered with an in-band error reply.
+    Remote {
+        /// Machine-readable error code (see [`crate::protocol::error_code`]).
+        code: u16,
+        /// Human-readable server message.
+        message: String,
+    },
+    /// The peer sent a well-formed message that violates the protocol
+    /// state machine (e.g. a response where a request belongs).
+    Protocol(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "transport error: {e}"),
+            ServeError::BadMagic(m) => {
+                write!(f, "bad envelope magic {m:?} (expected \"AVWF\")")
+            }
+            ServeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v}")
+            }
+            ServeError::UnknownKind(k) => write!(f, "unknown message kind 0x{k:02x}"),
+            ServeError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: envelope says {expected:#018x}, stream hashes to {actual:#018x}"
+            ),
+            ServeError::Truncated { needed, got } => {
+                write!(f, "truncated stream: needed {needed} more bytes, got {got}")
+            }
+            ServeError::Corrupt(why) => write!(f, "corrupt payload: {why}"),
+            ServeError::Remote { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ServeError::Protocol(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+impl From<ServeError> for io::Error {
+    fn from(e: ServeError) -> io::Error {
+        match e {
+            ServeError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("checksum"), "{s}");
+        assert!(ServeError::BadMagic(*b"HTTP").to_string().contains("AVWF"));
+        assert!(ServeError::Remote {
+            code: 2,
+            message: "no such frame".into()
+        }
+        .to_string()
+        .contains("no such frame"));
+    }
+
+    #[test]
+    fn io_conversion_roundtrip_preserves_message() {
+        let e = ServeError::Truncated { needed: 8, got: 3 };
+        let io: io::Error = e.into();
+        assert_eq!(io.kind(), io::ErrorKind::InvalidData);
+        assert!(io.to_string().contains("truncated"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Remote visualization as a working service (§2.1's transfer story made
+//! real).
+//!
+//! The paper argues the hybrid representation's payoff is that compact
+//! frames "can be more efficiently transferred from the computer where it
+//! was generated to a remote computer on a scientist's desk thousands of
+//! miles away". The rest of the workspace models that with
+//! [`accelviz_core::remote::TransferModel`] arithmetic; this crate
+//! implements it: a TCP frame server that owns the partitioned stores,
+//! extracts hybrid frames on demand, and serves them to many concurrent
+//! viewers over a versioned, checksummed wire format.
+//!
+//! - [`wire`] — the envelope framing and the [`HybridFrame`] codec.
+//! - [`protocol`] — `Hello` / `ListFrames` / `RequestFrame` / `Stats`
+//!   requests and their replies, including structured errors.
+//! - [`cache`] — the server's shared LRU extraction cache, keyed by
+//!   `(frame, threshold)`.
+//! - [`server`] — the thread-per-connection [`server::FrameServer`].
+//! - [`client`] — [`client::Client`] and [`client::RemoteFrames`], a
+//!   [`accelviz_core::viewer::FrameSource`] so a `ViewerSession` runs
+//!   unmodified against a remote server.
+//! - [`stats`] — the per-request counters and latency histogram the
+//!   `Stats` reply carries.
+//!
+//! [`HybridFrame`]: accelviz_core::hybrid::HybridFrame
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+pub use client::{Client, FetchMetrics, RemoteFrames};
+pub use error::{Result, ServeError};
+pub use server::{FrameServer, ServerConfig};
+pub use stats::ServerStats;

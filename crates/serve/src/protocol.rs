@@ -1,0 +1,320 @@
+//! The request/response protocol spoken over envelopes.
+//!
+//! A connection is a strict request/reply loop: the client writes one
+//! request envelope, the server answers with exactly one response
+//! envelope. Request kinds live in `0x0_`, responses in `0x8_`; a server
+//! that cannot satisfy a request answers in-band with [`Response::Error`]
+//! rather than dropping the connection, so one malformed request does not
+//! kill an interactive session.
+
+use crate::error::{Result, ServeError};
+use crate::stats::{LatencyHistogram, ServerStats, LATENCY_BUCKETS};
+use crate::wire::{
+    decode_frame, encode_frame, read_envelope, write_envelope, PayloadReader, PayloadWriter,
+};
+use accelviz_core::hybrid::HybridFrame;
+use std::io::{Read, Write};
+
+/// Request kind: protocol handshake.
+pub const REQ_HELLO: u8 = 0x01;
+/// Request kind: frame catalog listing.
+pub const REQ_LIST: u8 = 0x02;
+/// Request kind: one frame at one extraction threshold.
+pub const REQ_FRAME: u8 = 0x03;
+/// Request kind: server statistics snapshot.
+pub const REQ_STATS: u8 = 0x04;
+
+/// Response kind: handshake acknowledgment.
+pub const RESP_HELLO_ACK: u8 = 0x81;
+/// Response kind: frame catalog.
+pub const RESP_LIST: u8 = 0x82;
+/// Response kind: an encoded hybrid frame.
+pub const RESP_FRAME: u8 = 0x83;
+/// Response kind: statistics snapshot.
+pub const RESP_STATS: u8 = 0x84;
+/// Response kind: structured error reply.
+pub const RESP_ERROR: u8 = 0x85;
+
+/// Error code: the request could not be understood.
+pub const ERR_BAD_REQUEST: u16 = 1;
+/// Error code: the requested frame index does not exist.
+pub const ERR_NO_SUCH_FRAME: u16 = 2;
+/// Error code: the server failed internally.
+pub const ERR_INTERNAL: u16 = 3;
+
+/// One catalog entry in a [`Response::FrameList`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrameInfo {
+    /// Frame index, the `frame` field of a [`Request::RequestFrame`].
+    pub frame: u32,
+    /// The simulation step the frame records.
+    pub step: u64,
+    /// Particles in the partitioned store behind this frame.
+    pub particles: u64,
+    /// The threshold the server suggests (its configured point budget).
+    pub default_threshold: f64,
+}
+
+/// A client-to-server message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Request {
+    /// Opens the session; carries the client's protocol version.
+    Hello {
+        /// The envelope version the client speaks.
+        version: u16,
+    },
+    /// Asks for the frame catalog.
+    ListFrames,
+    /// Asks for frame `frame` extracted at `threshold`.
+    RequestFrame {
+        /// Frame index from the catalog.
+        frame: u32,
+        /// Absolute extraction threshold (leaf density).
+        threshold: f64,
+    },
+    /// Asks for the server's statistics snapshot.
+    Stats,
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    HelloAck {
+        /// The version the server will speak.
+        version: u16,
+        /// Frames available.
+        frame_count: u32,
+    },
+    /// The frame catalog.
+    FrameList(Vec<FrameInfo>),
+    /// One hybrid frame.
+    Frame(HybridFrame),
+    /// Statistics snapshot.
+    Stats(ServerStats),
+    /// The request failed; the connection stays usable.
+    Error {
+        /// One of the `ERR_*` codes.
+        code: u16,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Writes one request; returns wire bytes written.
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<u64> {
+    let mut p = PayloadWriter::new();
+    let kind = match req {
+        Request::Hello { version } => {
+            p.put_u16(*version);
+            REQ_HELLO
+        }
+        Request::ListFrames => REQ_LIST,
+        Request::RequestFrame { frame, threshold } => {
+            p.put_u32(*frame);
+            p.put_f64(*threshold);
+            REQ_FRAME
+        }
+        Request::Stats => REQ_STATS,
+    };
+    write_envelope(w, kind, &p.into_bytes())
+}
+
+/// Reads one request envelope and decodes it.
+pub fn read_request<R: Read>(r: &mut R) -> Result<Request> {
+    let env = read_envelope(r)?;
+    let mut p = PayloadReader::new(&env.payload);
+    let req = match env.kind {
+        REQ_HELLO => Request::Hello { version: p.u16()? },
+        REQ_LIST => Request::ListFrames,
+        REQ_FRAME => Request::RequestFrame {
+            frame: p.u32()?,
+            threshold: p.f64()?,
+        },
+        REQ_STATS => Request::Stats,
+        other => return Err(ServeError::UnknownKind(other)),
+    };
+    p.finish()?;
+    Ok(req)
+}
+
+/// Writes one response; returns wire bytes written.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<u64> {
+    let mut p = PayloadWriter::new();
+    let kind = match resp {
+        Response::HelloAck {
+            version,
+            frame_count,
+        } => {
+            p.put_u16(*version);
+            p.put_u32(*frame_count);
+            RESP_HELLO_ACK
+        }
+        Response::FrameList(frames) => {
+            p.put_u32(frames.len() as u32);
+            for f in frames {
+                p.put_u32(f.frame);
+                p.put_u64(f.step);
+                p.put_u64(f.particles);
+                p.put_f64(f.default_threshold);
+            }
+            RESP_LIST
+        }
+        Response::Frame(frame) => {
+            return write_envelope(w, RESP_FRAME, &encode_frame(frame));
+        }
+        Response::Stats(s) => {
+            p.put_u64(s.requests);
+            p.put_u64(s.frames_served);
+            p.put_u64(s.bytes_sent);
+            p.put_u64(s.cache_hits);
+            p.put_u64(s.cache_misses);
+            for &c in &s.latency.counts {
+                p.put_u64(c);
+            }
+            RESP_STATS
+        }
+        Response::Error { code, message } => {
+            p.put_u16(*code);
+            p.put_str(message);
+            RESP_ERROR
+        }
+    };
+    write_envelope(w, kind, &p.into_bytes())
+}
+
+/// Reads one response envelope and decodes it. An in-band
+/// [`Response::Error`] is returned as `Ok` — deciding whether that is
+/// fatal belongs to the caller.
+pub fn read_response<R: Read>(r: &mut R) -> Result<(Response, u64)> {
+    let env = read_envelope(r)?;
+    let wire_bytes = env.wire_bytes();
+    let mut p = PayloadReader::new(&env.payload);
+    let resp = match env.kind {
+        RESP_HELLO_ACK => Response::HelloAck {
+            version: p.u16()?,
+            frame_count: p.u32()?,
+        },
+        RESP_LIST => {
+            let n = p.u32()? as usize;
+            let mut frames = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                frames.push(FrameInfo {
+                    frame: p.u32()?,
+                    step: p.u64()?,
+                    particles: p.u64()?,
+                    default_threshold: p.f64()?,
+                });
+            }
+            Response::FrameList(frames)
+        }
+        RESP_FRAME => {
+            let frame = decode_frame(&env.payload)?;
+            return Ok((Response::Frame(frame), wire_bytes));
+        }
+        RESP_STATS => {
+            let mut s = ServerStats {
+                requests: p.u64()?,
+                frames_served: p.u64()?,
+                bytes_sent: p.u64()?,
+                cache_hits: p.u64()?,
+                cache_misses: p.u64()?,
+                latency: LatencyHistogram::default(),
+            };
+            for i in 0..LATENCY_BUCKETS {
+                s.latency.counts[i] = p.u64()?;
+            }
+            Response::Stats(s)
+        }
+        RESP_ERROR => Response::Error {
+            code: p.u16()?,
+            message: p.str()?,
+        },
+        other => return Err(ServeError::UnknownKind(other)),
+    };
+    p.finish()?;
+    Ok((resp, wire_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) -> Request {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        read_request(&mut buf.as_slice()).unwrap()
+    }
+
+    fn roundtrip_response(resp: &Response) -> Response {
+        let mut buf = Vec::new();
+        write_response(&mut buf, resp).unwrap();
+        read_response(&mut buf.as_slice()).unwrap().0
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            Request::Hello { version: 1 },
+            Request::ListFrames,
+            Request::RequestFrame {
+                frame: 7,
+                threshold: 0.125,
+            },
+            Request::Stats,
+        ] {
+            assert_eq!(roundtrip_request(req), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let list = Response::FrameList(vec![
+            FrameInfo {
+                frame: 0,
+                step: 10,
+                particles: 5_000,
+                default_threshold: 0.5,
+            },
+            FrameInfo {
+                frame: 1,
+                step: 20,
+                particles: 5_000,
+                default_threshold: 0.25,
+            },
+        ]);
+        let mut stats = ServerStats {
+            requests: 9,
+            frames_served: 4,
+            bytes_sent: 123_456,
+            cache_hits: 2,
+            cache_misses: 2,
+            latency: LatencyHistogram::default(),
+        };
+        stats.latency.record(0.002);
+        for resp in [
+            Response::HelloAck {
+                version: 1,
+                frame_count: 3,
+            },
+            list,
+            Response::Stats(stats),
+            Response::Error {
+                code: ERR_NO_SUCH_FRAME,
+                message: "frame 9 of 3".into(),
+            },
+        ] {
+            assert_eq!(roundtrip_response(&resp), resp);
+        }
+    }
+
+    #[test]
+    fn unknown_request_kind_is_structured() {
+        let mut buf = Vec::new();
+        crate::wire::write_envelope(&mut buf, 0x7f, b"").unwrap();
+        match read_request(&mut buf.as_slice()) {
+            Err(ServeError::UnknownKind(0x7f)) => {}
+            other => panic!("expected UnknownKind, got {other:?}"),
+        }
+    }
+}

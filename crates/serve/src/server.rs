@@ -1,0 +1,282 @@
+//! The multi-client frame server.
+//!
+//! One thread accepts connections; each connection gets its own handler
+//! thread running a strict request/reply loop. All handlers share one
+//! [`ExtractionCache`] and one statistics block, both behind
+//! `parking_lot` locks. The server owns the *partitioned* data — the
+//! density-sorted stores produced by preprocessing — and extracts hybrid
+//! frames on demand at whatever threshold a client dials, which is
+//! exactly the paper's split: preprocessing near the simulation, compact
+//! hybrid frames shipped to the desktop.
+
+use crate::cache::{CacheKey, ExtractionCache};
+use crate::error::ServeError;
+use crate::protocol::{
+    write_response, FrameInfo, Request, Response, ERR_BAD_REQUEST, ERR_NO_SUCH_FRAME, RESP_FRAME,
+};
+use crate::stats::ServerStats;
+use crate::wire::{encode_frame, write_envelope, VERSION};
+use accelviz_core::hybrid::HybridFrame;
+use accelviz_octree::extraction::threshold_for_budget;
+use accelviz_octree::sorted_store::PartitionedData;
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Extractions the shared cache holds.
+    pub cache_capacity: usize,
+    /// Resolution of the density volume in served frames.
+    pub volume_dims: [usize; 3],
+    /// Point budget behind the catalog's suggested threshold.
+    pub point_budget: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            cache_capacity: 8,
+            volume_dims: [16, 16, 16],
+            point_budget: 1_000,
+        }
+    }
+}
+
+struct Shared {
+    data: Vec<PartitionedData>,
+    config: ServerConfig,
+    cache: ExtractionCache,
+    stats: Mutex<ServerStats>,
+    shutdown: AtomicBool,
+}
+
+/// A running frame server. Dropping it (or calling
+/// [`FrameServer::shutdown`]) stops the accept loop; handler threads end
+/// when their clients disconnect.
+pub struct FrameServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl FrameServer {
+    /// Binds a loopback server on an OS-assigned port — the test and
+    /// example topology. The partitioned stores are served in index
+    /// order; frame `i`'s step is `i`.
+    pub fn spawn_loopback(
+        data: Vec<PartitionedData>,
+        config: ServerConfig,
+    ) -> io::Result<FrameServer> {
+        FrameServer::spawn("127.0.0.1:0", data, config)
+    }
+
+    /// Binds `addr` and starts accepting clients.
+    pub fn spawn(
+        addr: &str,
+        data: Vec<PartitionedData>,
+        config: ServerConfig,
+    ) -> io::Result<FrameServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            data,
+            config,
+            cache: ExtractionCache::new(config.cache_capacity),
+            stats: Mutex::new(ServerStats::default()),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_shared = Arc::clone(&accept_shared);
+                std::thread::spawn(move || handle_connection(conn_shared, stream));
+            }
+        });
+        Ok(FrameServer {
+            shared,
+            addr: local,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A local snapshot of the statistics (the same data a client gets
+    /// from [`Request::Stats`]).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.lock().clone()
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FrameServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let req = match crate::protocol::read_request(&mut stream) {
+            Ok(req) => req,
+            // A clean disconnect shows up as EOF at an envelope boundary.
+            Err(ServeError::Truncated { got: 0, .. }) | Err(ServeError::Io(_)) => return,
+            Err(e) => {
+                // Malformed framing: answer in-band, then drop the
+                // connection — stream sync is gone.
+                let reply = Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    message: e.to_string(),
+                };
+                let _ = write_response(&mut stream, &reply);
+                return;
+            }
+        };
+        let t0 = Instant::now();
+        let (bytes, served_frame) = match respond(&shared, req, &mut stream) {
+            Ok(r) => r,
+            Err(_) => return, // client went away mid-reply
+        };
+        let mut stats = shared.stats.lock();
+        stats.requests += 1;
+        stats.bytes_sent += bytes;
+        if served_frame {
+            stats.frames_served += 1;
+        }
+        stats.latency.record(t0.elapsed().as_secs_f64());
+    }
+}
+
+/// Serves one request; returns (wire bytes written, was a frame reply).
+fn respond(
+    shared: &Shared,
+    req: Request,
+    stream: &mut TcpStream,
+) -> crate::error::Result<(u64, bool)> {
+    match req {
+        Request::Hello { version } => {
+            let reply = if version == VERSION {
+                Response::HelloAck {
+                    version: VERSION,
+                    frame_count: shared.data.len() as u32,
+                }
+            } else {
+                Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    message: format!("server speaks version {VERSION}, client sent {version}"),
+                }
+            };
+            Ok((write_response(stream, &reply)?, false))
+        }
+        Request::ListFrames => {
+            let frames = shared
+                .data
+                .iter()
+                .enumerate()
+                .map(|(i, d)| FrameInfo {
+                    frame: i as u32,
+                    step: i as u64,
+                    particles: d.particles().len() as u64,
+                    default_threshold: threshold_for_budget(d, shared.config.point_budget),
+                })
+                .collect();
+            Ok((write_response(stream, &Response::FrameList(frames))?, false))
+        }
+        Request::RequestFrame { frame, threshold } => {
+            if frame as usize >= shared.data.len() {
+                let reply = Response::Error {
+                    code: ERR_NO_SUCH_FRAME,
+                    message: format!("frame {frame} requested, {} available", shared.data.len()),
+                };
+                return Ok((write_response(stream, &reply)?, false));
+            }
+            let (extracted, hit) = shared
+                .cache
+                .get_or_build(CacheKey::new(frame, threshold), || {
+                    build_frame(shared, frame as usize, threshold)
+                });
+            {
+                let mut stats = shared.stats.lock();
+                if hit {
+                    stats.cache_hits += 1;
+                } else {
+                    stats.cache_misses += 1;
+                }
+            }
+            // Encode straight from the cached Arc — no frame clone.
+            let bytes = write_envelope(stream, RESP_FRAME, &encode_frame(&extracted))?;
+            Ok((bytes, true))
+        }
+        Request::Stats => {
+            let snapshot = shared.stats.lock().clone();
+            Ok((write_response(stream, &Response::Stats(snapshot))?, false))
+        }
+    }
+}
+
+fn build_frame(shared: &Shared, frame: usize, threshold: f64) -> HybridFrame {
+    HybridFrame::from_partition(
+        &shared.data[frame],
+        frame,
+        threshold,
+        shared.config.volume_dims,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelviz_beam::distribution::Distribution;
+    use accelviz_octree::builder::{partition, BuildParams};
+    use accelviz_octree::plots::PlotType;
+
+    fn stores(n: usize) -> Vec<PartitionedData> {
+        (0..n)
+            .map(|i| {
+                let ps = Distribution::default_beam().sample(800, i as u64 + 1);
+                partition(&ps, PlotType::XYZ, BuildParams::default())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn server_binds_an_ephemeral_loopback_port() {
+        let server = FrameServer::spawn_loopback(stores(1), ServerConfig::default()).unwrap();
+        assert!(server.addr().port() != 0);
+        assert!(server.addr().ip().is_loopback());
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_under_drop() {
+        let server = FrameServer::spawn_loopback(stores(1), ServerConfig::default()).unwrap();
+        drop(server); // Drop runs stop() after an explicit-path exercise elsewhere
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-request observability: counters and a latency histogram the server
+//! accumulates and reports through the `Stats` reply.
+
+/// Upper edges of the latency buckets, in microseconds. A request falls in
+/// the first bucket whose edge it does not exceed; slower requests land in
+/// the final overflow bucket.
+pub const LATENCY_EDGES_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Number of histogram buckets (the edges plus one overflow bucket).
+pub const LATENCY_BUCKETS: usize = LATENCY_EDGES_US.len() + 1;
+
+/// A fixed-bucket log-scale latency histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Request counts per bucket.
+    pub counts: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one request that took `seconds`.
+    pub fn record(&mut self, seconds: f64) {
+        let us = (seconds.max(0.0) * 1e6) as u64;
+        let bucket = LATENCY_EDGES_US
+            .iter()
+            .position(|&edge| us <= edge)
+            .unwrap_or(LATENCY_EDGES_US.len());
+        self.counts[bucket] += 1;
+    }
+
+    /// Total requests recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Human label for bucket `i`, e.g. `"<=1ms"` or `">10s"`.
+    pub fn label(i: usize) -> String {
+        fn us_text(us: u64) -> String {
+            if us >= 1_000_000 {
+                format!("{}s", us / 1_000_000)
+            } else if us >= 1_000 {
+                format!("{}ms", us / 1_000)
+            } else {
+                format!("{us}us")
+            }
+        }
+        if i < LATENCY_EDGES_US.len() {
+            format!("<={}", us_text(LATENCY_EDGES_US[i]))
+        } else {
+            format!(">{}", us_text(*LATENCY_EDGES_US.last().unwrap()))
+        }
+    }
+}
+
+/// A snapshot of the server's lifetime counters, as carried by the
+/// `Stats` reply.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServerStats {
+    /// Requests handled, across all clients and kinds.
+    pub requests: u64,
+    /// Frame replies sent.
+    pub frames_served: u64,
+    /// Payload + framing bytes written to clients.
+    pub bytes_sent: u64,
+    /// Frame requests answered from the extraction cache.
+    pub cache_hits: u64,
+    /// Frame requests that ran a fresh extraction.
+    pub cache_misses: u64,
+    /// Request service-time distribution.
+    pub latency: LatencyHistogram,
+}
+
+impl ServerStats {
+    /// Fraction of frame requests served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// A printable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "requests {}  frames {}  bytes {}  cache {}/{} ({:.0}% hit)\nlatency:",
+            self.requests,
+            self.frames_served,
+            self.bytes_sent,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.hit_rate() * 100.0,
+        );
+        for (i, &c) in self.latency.counts.iter().enumerate() {
+            if c > 0 {
+                s.push_str(&format!(" {}:{}", LatencyHistogram::label(i), c));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log_spaced() {
+        let mut h = LatencyHistogram::default();
+        h.record(50e-6); // 50 µs -> bucket 0
+        h.record(0.5e-3); // 0.5 ms -> bucket 1
+        h.record(5e-3); // 5 ms -> bucket 2
+        h.record(2.0); // 2 s -> bucket 5
+        h.record(60.0); // 60 s -> overflow
+        assert_eq!(h.counts, [1, 1, 1, 0, 0, 1, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn labels_read_naturally() {
+        assert_eq!(LatencyHistogram::label(0), "<=100us");
+        assert_eq!(LatencyHistogram::label(1), "<=1ms");
+        assert_eq!(LatencyHistogram::label(5), "<=10s");
+        assert_eq!(LatencyHistogram::label(6), ">10s");
+    }
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(ServerStats::default().hit_rate(), 0.0);
+        let s = ServerStats {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!(s.summary().contains("75% hit"));
+    }
+}

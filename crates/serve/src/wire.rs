@@ -1,0 +1,485 @@
+//! The versioned, checksummed binary wire format.
+//!
+//! Every message travels in one *envelope*:
+//!
+//! ```text
+//! offset size  field
+//! 0      4    magic "AVWF"
+//! 4      2    protocol version, little-endian u16
+//! 6      1    message kind (see `protocol`)
+//! 7      1    reserved, must be 0
+//! 8      8    payload length, little-endian u64
+//! 16     n    payload
+//! 16+n   8    FNV-1a 64 checksum over header + payload
+//! ```
+//!
+//! All integers are little-endian, matching the on-disk formats in
+//! `accelviz-octree::store_io` and `accelviz-beam::io`. Payload decoding
+//! is strict: trailing bytes, overruns, and out-of-range enum codes are
+//! [`ServeError::Corrupt`], never panics.
+
+use crate::error::{Result, ServeError};
+use accelviz_beam::particle::{Particle, PhaseCoord};
+use accelviz_core::hybrid::HybridFrame;
+use accelviz_math::{Aabb, Vec3};
+use accelviz_octree::density::DensityGrid;
+use accelviz_octree::plots::PlotType;
+use std::io::{Read, Write};
+
+/// Envelope magic: "accelviz wire format".
+pub const MAGIC: [u8; 4] = *b"AVWF";
+/// The protocol version this build speaks.
+pub const VERSION: u16 = 1;
+/// Envelope header size in bytes (before the payload).
+pub const HEADER_BYTES: u64 = 16;
+/// Checksum trailer size in bytes (after the payload).
+pub const CHECKSUM_BYTES: u64 = 8;
+/// Largest payload a peer may declare: 1 GiB, comfortably above the
+/// paper's ~100 MB frames but small enough to reject garbage lengths
+/// before allocating.
+pub const MAX_PAYLOAD: u64 = 1 << 30;
+
+/// FNV-1a 64-bit hash — the envelope checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One framed message: its kind byte and raw payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Message kind (request kinds are `0x0_`, responses `0x8_`).
+    pub kind: u8,
+    /// The message payload, still encoded.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Total bytes this envelope occupies on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        HEADER_BYTES + self.payload.len() as u64 + CHECKSUM_BYTES
+    }
+}
+
+/// Writes one envelope; returns the wire bytes written.
+pub fn write_envelope<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> Result<u64> {
+    let mut header = [0u8; 16];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[6] = kind;
+    header[7] = 0;
+    header[8..16].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+
+    let mut hash = fnv1a64(&header);
+    // Continue the FNV chain over the payload without concatenating.
+    for &b in payload {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // fnv1a64(header ++ payload) computed incrementally above.
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.write_all(&hash.to_le_bytes())?;
+    w.flush()?;
+    Ok(HEADER_BYTES + payload.len() as u64 + CHECKSUM_BYTES)
+}
+
+/// Reads exactly `buf.len()` bytes, reporting a short stream as
+/// [`ServeError::Truncated`] with how far it got.
+fn read_exact_or_truncated<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(ServeError::Truncated {
+                    needed: (buf.len() - filled) as u64,
+                    got: filled as u64,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads and validates one envelope: magic, version, length bound, and
+/// checksum, in that order.
+pub fn read_envelope<R: Read>(r: &mut R) -> Result<Envelope> {
+    let mut header = [0u8; 16];
+    read_exact_or_truncated(r, &mut header)?;
+
+    let magic: [u8; 4] = header[0..4].try_into().unwrap();
+    if magic != MAGIC {
+        return Err(ServeError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if version != VERSION {
+        return Err(ServeError::UnsupportedVersion(version));
+    }
+    let kind = header[6];
+    let len = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(ServeError::Corrupt(format!(
+            "declared payload of {len} bytes exceeds the {MAX_PAYLOAD} limit"
+        )));
+    }
+
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or_truncated(r, &mut payload)?;
+    let mut trailer = [0u8; 8];
+    read_exact_or_truncated(r, &mut trailer)?;
+    let expected = u64::from_le_bytes(trailer);
+
+    let mut actual = fnv1a64(&header);
+    for &b in &payload {
+        actual ^= b as u64;
+        actual = actual.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if actual != expected {
+        return Err(ServeError::ChecksumMismatch { expected, actual });
+    }
+    Ok(Envelope { kind, payload })
+}
+
+/// Little-endian payload builder.
+#[derive(Default)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// An empty payload.
+    pub fn new() -> PayloadWriter {
+        PayloadWriter::default()
+    }
+
+    /// The finished payload bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Strict little-endian payload cursor: every overrun is
+/// [`ServeError::Corrupt`].
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// A cursor over `buf`.
+    pub fn new(buf: &'a [u8]) -> PayloadReader<'a> {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(ServeError::Corrupt(format!(
+                "payload overrun: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f32(&mut self) -> Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ServeError::Corrupt("string is not UTF-8".into()))
+    }
+
+    /// A `count` sanity bound: rejects lengths that could not fit in the
+    /// remaining payload even at one byte per element.
+    pub fn bounded_count(&mut self, elem_bytes: usize) -> Result<usize> {
+        let count = self.u64()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if count
+            .checked_mul(elem_bytes)
+            .is_none_or(|total| total > remaining)
+        {
+            return Err(ServeError::Corrupt(format!(
+                "declared count {count} x {elem_bytes} B exceeds remaining {remaining} B"
+            )));
+        }
+        Ok(count)
+    }
+
+    /// Errors unless every payload byte was consumed.
+    pub fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(ServeError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Phase-coordinate wire code, matching `store_io`'s on-disk codes.
+fn coord_code(c: PhaseCoord) -> u8 {
+    match c {
+        PhaseCoord::X => 0,
+        PhaseCoord::Px => 1,
+        PhaseCoord::Y => 2,
+        PhaseCoord::Py => 3,
+        PhaseCoord::Z => 4,
+        PhaseCoord::Pz => 5,
+    }
+}
+
+fn coord_from_code(b: u8) -> Result<PhaseCoord> {
+    Ok(match b {
+        0 => PhaseCoord::X,
+        1 => PhaseCoord::Px,
+        2 => PhaseCoord::Y,
+        3 => PhaseCoord::Py,
+        4 => PhaseCoord::Z,
+        5 => PhaseCoord::Pz,
+        other => {
+            return Err(ServeError::Corrupt(format!(
+                "invalid phase-coord code {other}"
+            )))
+        }
+    })
+}
+
+fn put_aabb(w: &mut PayloadWriter, b: &Aabb) {
+    for v in [b.min, b.max] {
+        w.put_f64(v.x);
+        w.put_f64(v.y);
+        w.put_f64(v.z);
+    }
+}
+
+fn read_aabb(r: &mut PayloadReader<'_>) -> Result<Aabb> {
+    let min = Vec3::new(r.f64()?, r.f64()?, r.f64()?);
+    let max = Vec3::new(r.f64()?, r.f64()?, r.f64()?);
+    Ok(Aabb { min, max })
+}
+
+/// Encodes a [`HybridFrame`] payload (kind `RESP_FRAME` carries one).
+pub fn encode_frame(frame: &HybridFrame) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.put_u64(frame.step as u64);
+    for c in frame.plot.coords {
+        w.put_u8(coord_code(c));
+    }
+    put_aabb(&mut w, &frame.bounds);
+    w.put_f64(frame.threshold);
+    w.put_u64(frame.discarded);
+
+    w.put_u64(frame.points.len() as u64);
+    for p in &frame.points {
+        for v in p.to_array() {
+            w.put_f64(v);
+        }
+    }
+    for &d in &frame.point_densities {
+        w.put_f64(d);
+    }
+
+    let dims = frame.grid.dims();
+    for d in dims {
+        w.put_u64(d as u64);
+    }
+    put_aabb(&mut w, frame.grid.bounds());
+    for &v in frame.grid.data() {
+        w.put_f32(v);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a [`HybridFrame`] payload. The result compares equal
+/// (bit-identical fields) to the frame that was encoded.
+pub fn decode_frame(payload: &[u8]) -> Result<HybridFrame> {
+    let mut r = PayloadReader::new(payload);
+    let step = r.u64()? as usize;
+    let plot = PlotType {
+        coords: [
+            coord_from_code(r.u8()?)?,
+            coord_from_code(r.u8()?)?,
+            coord_from_code(r.u8()?)?,
+        ],
+    };
+    let bounds = read_aabb(&mut r)?;
+    let threshold = r.f64()?;
+    let discarded = r.u64()?;
+
+    // Points carry 48 B each plus an 8 B density; bound the count by the
+    // point part alone so a hostile count fails fast.
+    let n_points = r.bounded_count(48)?;
+    let mut points = Vec::with_capacity(n_points);
+    for _ in 0..n_points {
+        let mut a = [0.0f64; 6];
+        for v in &mut a {
+            *v = r.f64()?;
+        }
+        points.push(Particle::from_array(a));
+    }
+    let mut point_densities = Vec::with_capacity(n_points);
+    for _ in 0..n_points {
+        point_densities.push(r.f64()?);
+    }
+
+    let dims = [r.u64()? as usize, r.u64()? as usize, r.u64()? as usize];
+    let n_cells = dims[0]
+        .checked_mul(dims[1])
+        .and_then(|n| n.checked_mul(dims[2]))
+        .ok_or_else(|| ServeError::Corrupt("grid dims overflow".into()))?;
+    if dims.contains(&0) {
+        return Err(ServeError::Corrupt("grid dims must be positive".into()));
+    }
+    let grid_bounds = read_aabb(&mut r)?;
+    let remaining = r.buf.len() - r.pos;
+    if n_cells * 4 != remaining {
+        return Err(ServeError::Corrupt(format!(
+            "grid of {n_cells} cells needs {} B, payload has {remaining}",
+            n_cells * 4
+        )));
+    }
+    let mut data = Vec::with_capacity(n_cells);
+    for _ in 0..n_cells {
+        data.push(r.f32()?);
+    }
+    r.finish()?;
+
+    Ok(HybridFrame {
+        step,
+        plot,
+        bounds,
+        points,
+        point_densities,
+        grid: DensityGrid::from_raw(grid_bounds, dims, data),
+        threshold,
+        discarded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Known FNV-1a 64 values.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn envelope_roundtrips() {
+        let mut buf = Vec::new();
+        let n = write_envelope(&mut buf, 0x03, b"hello payload").unwrap();
+        assert_eq!(n as usize, buf.len());
+        let env = read_envelope(&mut buf.as_slice()).unwrap();
+        assert_eq!(env.kind, 0x03);
+        assert_eq!(env.payload, b"hello payload");
+        assert_eq!(env.wire_bytes(), n);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let mut buf = Vec::new();
+        write_envelope(&mut buf, 0x01, b"").unwrap();
+        let env = read_envelope(&mut buf.as_slice()).unwrap();
+        assert_eq!(env.kind, 0x01);
+        assert!(env.payload.is_empty());
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        write_envelope(&mut buf, 0x01, b"x").unwrap();
+        buf[8..16].copy_from_slice(&(u64::MAX).to_le_bytes());
+        match read_envelope(&mut buf.as_slice()) {
+            Err(ServeError::Corrupt(msg)) => assert!(msg.contains("limit"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_reader_rejects_overrun_and_trailing() {
+        let mut r = PayloadReader::new(&[1, 2, 3]);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(matches!(r.u64(), Err(ServeError::Corrupt(_))));
+        let r = PayloadReader::new(&[1, 2, 3]);
+        assert!(matches!(r.finish(), Err(ServeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn strings_roundtrip() {
+        let mut w = PayloadWriter::new();
+        w.put_str("x–px–y"); // non-ASCII on purpose
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.str().unwrap(), "x–px–y");
+        r.finish().unwrap();
+    }
+}

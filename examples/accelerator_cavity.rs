@@ -35,7 +35,11 @@ fn main() {
         sim.dt()
     );
     sim.run(800);
-    println!("ran {} steps, field energy {:.3e}", sim.steps(), total_energy(&sim));
+    println!(
+        "ran {} steps, field energy {:.3e}",
+        sim.steps(),
+        total_energy(&sim)
+    );
 
     // Capture E and seed field lines, density ∝ |E|.
     let field = FieldSampler::capture(&sim, FieldKind::Electric);
@@ -97,7 +101,10 @@ fn main() {
             &style,
             0.012,
         );
-        let path = PathBuf::from(format!("cavity_incremental_{:03}pct.ppm", (frac * 100.0) as u32));
+        let path = PathBuf::from(format!(
+            "cavity_incremental_{:03}pct.ppm",
+            (frac * 100.0) as u32
+        ));
         write_ppm(&fb, Rgba::BLACK, &path).expect("write image");
         println!("wrote {} ({prefix} lines)", path.display());
     }

@@ -46,7 +46,11 @@ fn main() {
     for plot in PlotType::FIGURE2 {
         let params = PipelineParams {
             plot,
-            build: BuildParams { max_depth: 6, leaf_capacity: 256, gradient_refinement: None },
+            build: BuildParams {
+                max_depth: 6,
+                leaf_capacity: 256,
+                gradient_refinement: None,
+            },
             point_budget: n_particles / 10,
             volume_dims: [64, 64, 64],
         };
@@ -67,18 +71,29 @@ fn main() {
             frame,
             &tfs,
             RenderMode::Hybrid,
-            &VolumeStyle { steps: 64, ..Default::default() },
+            &VolumeStyle {
+                steps: 64,
+                ..Default::default()
+            },
             &PointStyle::default(),
         );
         let path = PathBuf::from(format!("beam_halo_{}.ppm", plot.name()));
         write_ppm(&fb, Rgba::BLACK, &path).expect("write image");
-        println!("wrote {} ({} halo points)", path.display(), frame.points.len());
+        println!(
+            "wrote {} ({} halo points)",
+            path.display(),
+            frame.points.len()
+        );
     }
 
     // Figure 4: decomposition of the combined image.
     let params = PipelineParams {
         plot: PlotType::XYZ,
-        build: BuildParams { max_depth: 6, leaf_capacity: 256, gradient_refinement: None },
+        build: BuildParams {
+            max_depth: 6,
+            leaf_capacity: 256,
+            gradient_refinement: None,
+        },
         point_budget: n_particles / 10,
         volume_dims: [64, 64, 64],
     };
@@ -104,8 +119,14 @@ fn main() {
             frame,
             &tfs,
             mode,
-            &VolumeStyle { steps: 64, ..Default::default() },
-            &PointStyle { color: Rgba::WHITE.with_alpha(0.9), ..Default::default() },
+            &VolumeStyle {
+                steps: 64,
+                ..Default::default()
+            },
+            &PointStyle {
+                color: Rgba::WHITE.with_alpha(0.9),
+                ..Default::default()
+            },
         );
         let path = PathBuf::from(format!("beam_halo_decomposition_{suffix}.ppm"));
         write_ppm(&fb, Rgba::BLACK, &path).expect("write image");
@@ -117,7 +138,8 @@ fn main() {
         let frame = &frames[idx];
         // Look straight down z, "the beam's axis", as in the paper.
         let mut cam = Camera::look_at(
-            frame.bounds.center() + accelviz::math::Vec3::UNIT_Z * frame.bounds.longest_edge() * 2.5,
+            frame.bounds.center()
+                + accelviz::math::Vec3::UNIT_Z * frame.bounds.longest_edge() * 2.5,
             frame.bounds.center(),
             1.0,
         );
@@ -129,7 +151,10 @@ fn main() {
             frame,
             &tfs,
             RenderMode::Hybrid,
-            &VolumeStyle { steps: 48, ..Default::default() },
+            &VolumeStyle {
+                steps: 48,
+                ..Default::default()
+            },
             &PointStyle::default(),
         );
         let path = PathBuf::from(format!("beam_halo_step{idx:03}.ppm"));
@@ -138,7 +163,10 @@ fn main() {
     }
 
     // Viewer: step through the series with the paper's desktop model.
-    let sizes: Vec<(u64, u64)> = frames.iter().map(|f| (f.total_bytes(), f.volume_bytes())).collect();
+    let sizes: Vec<(u64, u64)> = frames
+        .iter()
+        .map(|f| (f.total_bytes(), f.volume_bytes()))
+        .collect();
     let cache = FrameCache::paper_desktop(sizes);
     let cold: f64 = (0..frames.len()).map(|f| cache.step_to(f).seconds).sum();
     let warm: f64 = (0..frames.len()).map(|f| cache.step_to(f).seconds).sum();

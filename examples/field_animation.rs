@@ -12,8 +12,8 @@ use accelviz::emsim::fdtd::{FdtdSim, FdtdSpec};
 use accelviz::emsim::sample::{FieldKind, FieldSampler, VectorField3};
 use accelviz::fieldlines::integrate::TraceParams;
 use accelviz::fieldlines::seeding::SeedingParams;
-use accelviz::fieldlines::temporal::precompute_animation;
 use accelviz::fieldlines::style::LineStyle;
+use accelviz::fieldlines::temporal::precompute_animation;
 use accelviz::math::Rgba;
 use accelviz::render::camera::Camera;
 use accelviz::render::framebuffer::Framebuffer;

@@ -25,13 +25,20 @@ fn main() {
         sim.step();
     }
     let snapshot = sim.snapshot(30);
-    println!("simulated {} particles over 30 cells", snapshot.particles.len());
+    println!(
+        "simulated {} particles over 30 cells",
+        snapshot.particles.len()
+    );
 
     // 2. Partition: density-sorted octree (the expensive one-time step).
     let data = partition(
         &snapshot.particles,
         PlotType::XYZ,
-        BuildParams { max_depth: 6, leaf_capacity: 256, gradient_refinement: None },
+        BuildParams {
+            max_depth: 6,
+            leaf_capacity: 256,
+            gradient_refinement: None,
+        },
     );
     println!(
         "partitioned into {} leaves; particle file {:.1} MB",

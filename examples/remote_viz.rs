@@ -1,9 +1,13 @@
 //! Remote visualization: why the hybrid representation makes desktop and
-//! wide-area visualization practical (§2.1, §2.5).
+//! wide-area visualization practical (§2.1, §2.5) — and the real frame
+//! service that implements it.
 //!
 //! Builds successively tighter hybrid representations of one beam
-//! snapshot and prints the transfer/load-time picture for each — the
-//! file-size-vs-accuracy dial the paper gives the user.
+//! snapshot and prints the transfer/load-time picture for each, then
+//! spins up an actual `accelviz-serve` server on loopback, fetches the
+//! same frames over TCP with a real client, and prints the *measured*
+//! wire size and transfer time next to the analytic `TransferModel`
+//! prediction.
 //!
 //! Run: `cargo run --release --example remote_viz`
 
@@ -11,10 +15,11 @@ use accelviz::beam::io::snapshot_bytes;
 use accelviz::beam::simulation::{BeamConfig, BeamSimulation};
 use accelviz::core::hybrid::HybridFrame;
 use accelviz::core::remote::{TransferModel, TransferReport};
-use accelviz::core::viewer::FrameCache;
+use accelviz::core::session::{SessionOp, ViewerSession};
 use accelviz::octree::builder::{partition, BuildParams};
 use accelviz::octree::extraction::threshold_for_budget;
 use accelviz::octree::plots::PlotType;
+use accelviz::serve::{Client, FrameServer, RemoteFrames, ServerConfig};
 
 fn main() {
     let n = 200_000usize;
@@ -26,7 +31,11 @@ fn main() {
     let data = partition(
         &snapshot.particles,
         PlotType::XYZ,
-        BuildParams { max_depth: 6, leaf_capacity: 256, gradient_refinement: None },
+        BuildParams {
+            max_depth: 6,
+            leaf_capacity: 256,
+            gradient_refinement: None,
+        },
     );
 
     println!("one time step of {n} particles:");
@@ -42,8 +51,12 @@ fn main() {
 
     let wan = TransferModel::wide_area();
     println!("\nthreshold dial (point budget → size → WAN transfer → disk load):");
-    println!("{:>10} {:>12} {:>12} {:>12} {:>10}", "points", "size MB", "compression", "WAN s", "load s");
-    for budget in [n, n / 5, n / 20, n / 100] {
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>10}",
+        "points", "size MB", "compression", "WAN s", "load s"
+    );
+    let budgets = [n, n / 5, n / 20, n / 100];
+    for budget in budgets {
         let t = threshold_for_budget(&data, budget);
         let frame = HybridFrame::from_partition(&data, 0, t, [64, 64, 64]);
         let bytes = frame.total_bytes();
@@ -72,13 +85,68 @@ fn main() {
         );
     }
 
-    // The interactive session: a remote scientist steps through 20 frames
-    // of 100 MB with a 1 GB frame cache.
-    let cache = FrameCache::paper_desktop(vec![(100 << 20, 64 * 64 * 64); 20]);
-    let cold: f64 = (0..20).map(|f| cache.step_to(f).seconds).sum();
-    let warm: f64 = (10..20).map(|f| cache.step_to(f).seconds).sum();
+    // Now the served version of the same story: the partitioned store
+    // stays on the "simulation" side, and a real TCP client pulls hybrid
+    // frames at whatever threshold the remote scientist dials.
+    let config = ServerConfig {
+        volume_dims: [64, 64, 64],
+        ..Default::default()
+    };
+    let thresholds: Vec<f64> = budgets
+        .iter()
+        .map(|&b| threshold_for_budget(&data, b))
+        .collect();
+    let server = FrameServer::spawn_loopback(vec![data], config).expect("loopback bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let lan = TransferModel::local_area();
+
+    println!("\nserved over TCP (loopback) — measured vs TransferModel prediction:");
     println!(
-        "\nviewer session: cold pass over 20 frames {cold:.0} s; re-stepping the \
-         resident 10 frames {warm:.4} s (instantaneous, as in §2.5)"
+        "{:>10} {:>12} {:>14} {:>14} {:>14}",
+        "points", "wire MB", "measured s", "LAN model s", "WAN model s"
     );
+    for &t in &thresholds {
+        let (frame, metrics) = client.fetch(0, t).expect("fetch");
+        println!(
+            "{:>10} {:>12.3} {:>14.4} {:>14.4} {:>14.2}",
+            frame.points.len(),
+            metrics.wire_bytes as f64 / 1e6,
+            metrics.seconds,
+            lan.seconds_for(metrics.wire_bytes),
+            wan.seconds_for(metrics.wire_bytes),
+        );
+    }
+    println!(
+        "  (loopback beats the modeled LAN: the models predict real links, \
+         the measurement validates the encode/transfer/decode path)"
+    );
+
+    // Refetch the tightest frame: the server's extraction cache answers.
+    let (_, warm) = client
+        .fetch(0, *thresholds.last().unwrap())
+        .expect("refetch");
+    println!(
+        "  warm refetch of the tightest frame: {:.4} s (server cache hit)",
+        warm.seconds
+    );
+    let stats = client.stats().expect("stats");
+    println!("\nserver stats after this session:\n  {}", stats.summary());
+
+    // A viewer session over the network source — the same session code
+    // the local viewer runs, with frames that now arrive over TCP.
+    use accelviz::core::viewer::FrameSource;
+    let remote_client = Client::connect(server.addr()).expect("connect");
+    let mut remote = RemoteFrames::new(remote_client, thresholds[1], 8);
+    let (_, cold) = remote.load(0).expect("cold remote load");
+    let mut session = ViewerSession::open_with(Box::new(remote));
+    let warm = session.apply(SessionOp::StepTo(0));
+    println!(
+        "\nremote viewer session: first frame {:.4} s over the wire \
+         ({} B), re-step {:.4} s ({} points on screen)",
+        cold.seconds,
+        cold.bytes_loaded,
+        warm.io_seconds,
+        session.frame().points.len()
+    );
+    server.shutdown();
 }

@@ -81,3 +81,4 @@ pub use accelviz_fieldlines as fieldlines;
 pub use accelviz_math as math;
 pub use accelviz_octree as octree;
 pub use accelviz_render as render;
+pub use accelviz_serve as serve;

@@ -35,10 +35,10 @@ fn extraction_threshold_is_strictly_exclusive() {
 
 #[test]
 fn all_particles_in_one_cell_still_renders() {
-    use accelviz::octree::density::DensityGrid;
-    use accelviz::octree::plots::PlotType;
     use accelviz::beam::particle::Particle;
     use accelviz::math::Aabb;
+    use accelviz::octree::density::DensityGrid;
+    use accelviz::octree::plots::PlotType;
     // A degenerate "beam": every particle at the same point.
     let ps: Vec<Particle> = (0..500)
         .map(|_| Particle::at_rest(Vec3::new(0.5, 0.5, 0.5)))
@@ -138,9 +138,21 @@ fn seeding_budget_of_zero_and_one() {
         Aabb::new(Vec3::ZERO, Vec3::ONE),
         vec![Vec3::UNIT_Z; 64],
     );
-    let zero = seed_lines(&field, &SeedingParams { n_lines: 0, ..Default::default() });
+    let zero = seed_lines(
+        &field,
+        &SeedingParams {
+            n_lines: 0,
+            ..Default::default()
+        },
+    );
     assert!(zero.is_empty());
-    let one = seed_lines(&field, &SeedingParams { n_lines: 1, ..Default::default() });
+    let one = seed_lines(
+        &field,
+        &SeedingParams {
+            n_lines: 1,
+            ..Default::default()
+        },
+    );
     assert_eq!(one.len(), 1);
     assert!(!one[0].line.is_empty());
 }
@@ -158,7 +170,10 @@ fn cavity_with_single_cell_and_no_ports_is_simply_connected() {
     assert!(g.inside(Vec3::new(0.0, 0.0, 0.4)));
     assert!(g.inside(Vec3::new(0.9, 0.0, 0.4)));
     assert!(g.inside(Vec3::new(0.9, 0.0, 0.01)));
-    assert!(!g.inside(Vec3::new(0.0, 1.05, 0.4)), "no port punches the wall");
+    assert!(
+        !g.inside(Vec3::new(0.0, 1.05, 0.4)),
+        "no port punches the wall"
+    );
 }
 
 #[test]

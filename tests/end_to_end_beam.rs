@@ -38,7 +38,11 @@ fn simulate_partition_extract_render_roundtrip() {
     let data = partition(
         &particles,
         PlotType::XYZ,
-        BuildParams { max_depth: 5, leaf_capacity: 128, gradient_refinement: None },
+        BuildParams {
+            max_depth: 5,
+            leaf_capacity: 128,
+            gradient_refinement: None,
+        },
     );
     data.validate().unwrap();
     let threshold = threshold_for_budget(&data, 800);
@@ -62,11 +66,17 @@ fn simulate_partition_extract_render_roundtrip() {
         &frame,
         &tfs,
         RenderMode::Hybrid,
-        &VolumeStyle { steps: 32, ..Default::default() },
+        &VolumeStyle {
+            steps: 32,
+            ..Default::default()
+        },
         &PointStyle::default(),
     );
     assert!(stats.volume_samples > 0);
-    assert!(fb.lit_pixel_count(0.005) > 0, "rendered image must show the beam");
+    assert!(
+        fb.lit_pixel_count(0.005) > 0,
+        "rendered image must show the beam"
+    );
 }
 
 #[test]
@@ -74,7 +84,11 @@ fn pipeline_and_viewer_agree_on_sizes() {
     let snaps = small_run();
     let params = PipelineParams {
         plot: PlotType::XYZ,
-        build: BuildParams { max_depth: 5, leaf_capacity: 128, gradient_refinement: None },
+        build: BuildParams {
+            max_depth: 5,
+            leaf_capacity: 128,
+            gradient_refinement: None,
+        },
         point_budget: 500,
         volume_dims: [16, 16, 16],
     };
@@ -90,7 +104,10 @@ fn pipeline_and_viewer_agree_on_sizes() {
 
     // The viewer holds what the budget allows, and cached stepping is
     // free.
-    let sizes: Vec<(u64, u64)> = frames.iter().map(|f| (f.total_bytes(), f.volume_bytes())).collect();
+    let sizes: Vec<(u64, u64)> = frames
+        .iter()
+        .map(|f| (f.total_bytes(), f.volume_bytes()))
+        .collect();
     let budget = sizes.iter().map(|s| s.0).sum::<u64>();
     let cache = FrameCache::new(
         sizes,
@@ -116,7 +133,11 @@ fn hybrid_preserves_halo_particles_exactly() {
     let data = partition(
         &snaps[0].particles,
         PlotType::XYZ,
-        BuildParams { max_depth: 5, leaf_capacity: 128, gradient_refinement: None },
+        BuildParams {
+            max_depth: 5,
+            leaf_capacity: 128,
+            gradient_refinement: None,
+        },
     );
     let threshold = threshold_for_budget(&data, 600);
     let frame = HybridFrame::from_partition(&data, 0, threshold, [8, 8, 8]);
@@ -162,8 +183,14 @@ fn fig4_decomposition_composes() {
         1.0,
     );
     let tfs = TransferFunctionPair::linked_at(0.05, 0.02);
-    let vs = VolumeStyle { steps: 24, ..Default::default() };
-    let ps = PointStyle { color: Rgba::WHITE, ..Default::default() };
+    let vs = VolumeStyle {
+        steps: 24,
+        ..Default::default()
+    };
+    let ps = PointStyle {
+        color: Rgba::WHITE,
+        ..Default::default()
+    };
 
     let lit = |mode| {
         let mut fb = Framebuffer::new(96, 96);
@@ -174,5 +201,8 @@ fn fig4_decomposition_composes() {
     let pts = lit(RenderMode::PointsOnly);
     let both = lit(RenderMode::Hybrid);
     assert!(vol > 0 && pts > 0);
-    assert!(both >= vol.max(pts), "combined ({both}) ⊇ parts ({vol}, {pts})");
+    assert!(
+        both >= vol.max(pts),
+        "combined ({both}) ⊇ parts ({vol}, {pts})"
+    );
 }

@@ -44,7 +44,10 @@ fn lines_of(field: &FieldSampler, n: usize) -> Vec<FieldLine> {
 #[test]
 fn solve_seed_render_roundtrip() {
     let sim = driven_sim();
-    assert!(total_energy(&sim) > 0.0, "driven structure must be energized");
+    assert!(
+        total_energy(&sim) > 0.0,
+        "driven structure must be energized"
+    );
     let field = FieldSampler::capture(&sim, FieldKind::Electric);
     let lines = lines_of(&field, 80);
     assert!(!lines.is_empty());
@@ -91,8 +94,22 @@ fn compact_roundtrip_preserves_renderability() {
     let style = LineStyle::electric(field.max_magnitude());
     let mut fb_orig = Framebuffer::new(96, 96);
     let mut fb_rest = Framebuffer::new(96, 96);
-    render_line_set(&mut fb_orig, &cam, &lines, LineRepresentation::FlatLines, &style, 0.015);
-    render_line_set(&mut fb_rest, &cam, &restored, LineRepresentation::FlatLines, &style, 0.015);
+    render_line_set(
+        &mut fb_orig,
+        &cam,
+        &lines,
+        LineRepresentation::FlatLines,
+        &style,
+        0.015,
+    );
+    render_line_set(
+        &mut fb_rest,
+        &cam,
+        &restored,
+        LineRepresentation::FlatLines,
+        &style,
+        0.015,
+    );
     // f32 quantization moves vertices sub-pixel: images are close.
     assert!(
         fb_orig.mse(&fb_rest) < 1e-3,

@@ -12,6 +12,7 @@ use accelviz::fieldlines::integrate::TraceParams;
 use accelviz::fieldlines::line::FieldLine;
 use accelviz::fieldlines::seeding::{seed_lines, SeedingParams};
 use accelviz::fieldlines::style::LineStyle;
+use accelviz::math::Vec3;
 use accelviz::octree::builder::{partition, BuildParams};
 use accelviz::octree::extraction::threshold_for_budget;
 use accelviz::octree::plots::PlotType;
@@ -19,7 +20,6 @@ use accelviz::render::camera::Camera;
 use accelviz::render::framebuffer::Framebuffer;
 use accelviz::render::points::PointStyle;
 use accelviz::render::volume::VolumeStyle;
-use accelviz::math::Vec3;
 
 fn small_frame(volume_dims: [usize; 3], budget: usize) -> HybridFrame {
     use accelviz::beam::distribution::Distribution;
@@ -52,7 +52,10 @@ fn fig1_shape_hybrid_samples_fewer() {
         &hires,
         &tfs,
         RenderMode::VolumeOnly,
-        &VolumeStyle { steps: 64, ..Default::default() },
+        &VolumeStyle {
+            steps: 64,
+            ..Default::default()
+        },
         &ps,
     );
     let mut fb = Framebuffer::new(96, 96);
@@ -62,7 +65,10 @@ fn fig1_shape_hybrid_samples_fewer() {
         &hybrid,
         &tfs,
         RenderMode::Hybrid,
-        &VolumeStyle { steps: 16, ..Default::default() },
+        &VolumeStyle {
+            steps: 16,
+            ..Default::default()
+        },
         &ps,
     );
     assert!(
@@ -96,9 +102,23 @@ fn fig6_shape_tubes_cost_more() {
     let cam = Camera::look_at(Vec3::new(0.0, 0.0, 3.0), Vec3::ZERO, 1.0);
     let style = LineStyle::electric(1.0);
     let mut fb = Framebuffer::new(96, 96);
-    let sos = render_line_set(&mut fb, &cam, &lines, LineRepresentation::SelfOrientingSurfaces, &style, 0.02);
+    let sos = render_line_set(
+        &mut fb,
+        &cam,
+        &lines,
+        LineRepresentation::SelfOrientingSurfaces,
+        &style,
+        0.02,
+    );
     let mut fb = Framebuffer::new(96, 96);
-    let tubes = render_line_set(&mut fb, &cam, &lines, LineRepresentation::Streamtubes, &style, 0.02);
+    let tubes = render_line_set(
+        &mut fb,
+        &cam,
+        &lines,
+        LineRepresentation::Streamtubes,
+        &style,
+        0.02,
+    );
     assert!(tubes.triangles >= 6 * sos.triangles);
 }
 
@@ -125,10 +145,17 @@ fn fig7_fig8_shape_strong_regions_first() {
             min_magnitude_frac: 1e-3,
         },
     );
-    assert!(lines.len() >= 20, "seeding must produce lines: {}", lines.len());
+    assert!(
+        lines.len() >= 20,
+        "seeding must produce lines: {}",
+        lines.len()
+    );
     let k = lines.len() / 4;
-    let first: f64 =
-        lines[..k].iter().map(|l| l.line.mean_magnitude()).sum::<f64>() / k as f64;
+    let first: f64 = lines[..k]
+        .iter()
+        .map(|l| l.line.mean_magnitude())
+        .sum::<f64>()
+        / k as f64;
     let last: f64 = lines[lines.len() - k..]
         .iter()
         .map(|l| l.line.mean_magnitude())

@@ -103,8 +103,8 @@ fn claim_ten_frames_fit_in_memory() {
 fn claim_256cubed_is_64x_the_texture_of_64cubed() {
     // Figure 1's two volume resolutions: the texture-memory ratio that
     // forces the low-res choice on commodity hardware.
-    use accelviz::octree::density::DensityGrid;
     use accelviz::math::{Aabb, Vec3};
+    use accelviz::octree::density::DensityGrid;
     let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
     let hi = DensityGrid::zeros(b, [256, 256, 256]);
     let lo = DensityGrid::zeros(b, [64, 64, 64]);

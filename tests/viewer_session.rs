@@ -51,7 +51,11 @@ fn scripted_session_stays_interactive() {
         io_total += cost.io_seconds;
         let mut fb = Framebuffer::new(48, 48);
         let stats = s.render(&mut fb);
-        assert!(stats.volume_samples > 0 || stats.points_drawn > 0 || matches!(op, SessionOp::SetMode(_)));
+        assert!(
+            stats.volume_samples > 0
+                || stats.points_drawn > 0
+                || matches!(op, SessionOp::SetMode(_))
+        );
     }
     // Only the two first visits of frames 1 and 2 cost disk time; the
     // revisit was free.

@@ -1,0 +1,249 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use: `Criterion`, `benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim (see `vendor/` in the repo root). It is a real —
+//! if statistically simple — harness: each benchmark is warmed up once,
+//! then timed over `sample_size` samples, and the per-iteration
+//! min/mean of the samples is printed. No HTML reports, outlier
+//! rejection, or regression tracking.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{parameter}", name.into()))
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Units processed per iteration, used to print a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration over the measured samples.
+    mean_s: f64,
+    /// Fastest sample, seconds per iteration.
+    min_s: f64,
+}
+
+impl Bencher {
+    /// Runs `f` once for warmup, then `samples` timed runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.mean_s = total.as_secs_f64() / self.samples as f64;
+        self.min_s = min.as_secs_f64();
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean_s: 0.0,
+            min_s: 0.0,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean_s: 0.0,
+            min_s: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.mean_s > 0.0 => {
+                format!("  {:12.0} elem/s", n as f64 / b.mean_s)
+            }
+            Some(Throughput::Bytes(n)) if b.mean_s > 0.0 => {
+                format!("  {:12.0} B/s", n as f64 / b.mean_s)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: mean {:>12} min {:>12} ({} samples){rate}",
+            self.name,
+            id.0,
+            format_seconds(b.mean_s),
+            format_seconds(b.min_s),
+            self.sample_size,
+        );
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = id.0.clone();
+        self.benchmark_group(name).bench_function(id, f);
+        self
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a benchmark group function callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, demo);
+
+    #[test]
+    fn harness_runs_and_measures() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("scale", 64).0, "scale/64");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

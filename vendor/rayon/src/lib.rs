@@ -1,0 +1,183 @@
+//! Offline stand-in for the subset of the `rayon` 1.10 API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim (see `vendor/` in the repo root). Every adapter
+//! here executes **sequentially** on the calling thread: `par_iter` et
+//! al. are plain iterators wrapped in [`Par`], and `fold`/`reduce`
+//! follow rayon's split-accumulator contract (fold produces
+//! accumulators, reduce combines them) so call sites behave
+//! identically, just without the parallel speedup. Swapping the real
+//! rayon back in is a one-line change in the workspace manifest.
+
+/// Number of worker threads rayon would use — here the machine's
+/// available parallelism (callers use it to pick chunk sizes).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator
+/// exposing the rayon adapter surface used in this workspace.
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    /// Maps each item.
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// Zips with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
+        Par(self.0.zip(other.0))
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Keeps items passing the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    /// Consumes every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Collects into any container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Rayon-style fold: produce per-split accumulators. Sequentially
+    /// there is exactly one split, so this yields a single accumulator.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        Par(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Rayon-style reduce: combine accumulators starting from the
+    /// identity.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+}
+
+/// Owned conversion into a parallel iterator (ranges, vectors, …).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Underlying sequential iterator.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Converts into a [`Par`].
+    fn into_par_iter(self) -> Par<Self::SeqIter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type SeqIter = T::IntoIter;
+    fn into_par_iter(self) -> Par<T::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// Shared-slice entry points (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T> {
+    /// Parallel shared iteration.
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+    /// Parallel fixed-size chunks.
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+}
+
+/// Mutable-slice entry points (`par_iter_mut`, `par_chunks_mut`).
+pub trait ParallelSliceMut<T> {
+    /// Parallel mutable iteration.
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+    /// Parallel mutable fixed-size chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+}
+
+/// The rayon prelude: everything call sites import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, Par, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_serial() {
+        let v: Vec<i64> = (0..100i64).into_par_iter().map(|x| x * x).collect();
+        let s: Vec<i64> = (0..100i64).map(|x| x * x).collect();
+        assert_eq!(v, s);
+    }
+
+    #[test]
+    fn fold_reduce_contract() {
+        let data: Vec<u32> = (1..=10).collect();
+        let total = data
+            .par_chunks(3)
+            .fold(|| 0u32, |acc, c| acc + c.iter().sum::<u32>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 55);
+    }
+
+    #[test]
+    fn zip_enumerate_for_each_mutates() {
+        let mut a = vec![0u32; 8];
+        let b = [2u32; 8];
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(x, &y)| *x += y);
+        assert_eq!(a, vec![2u32; 8]);
+        let mut rows = vec![0usize; 6];
+        rows.par_chunks_mut(2).enumerate().for_each(|(i, row)| {
+            for r in row {
+                *r = i;
+            }
+        });
+        assert_eq!(rows, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn sum_over_mapped_chunks() {
+        let mut px = [1u8; 10];
+        let total: u64 = px.par_chunks_mut(4).map(|c| c.len() as u64).sum();
+        assert_eq!(total, 10);
+    }
+}
