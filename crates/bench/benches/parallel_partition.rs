@@ -1,0 +1,38 @@
+//! Serial vs parallel partitioning at the pool size this process gets
+//! (`RAYON_NUM_THREADS` or all cores). For the 1/2/N-thread sweep with
+//! digest checks and the committed JSON artifact, run the companion bin:
+//! `cargo run -p accelviz-bench --release --bin parallel_partition`.
+
+use accelviz_bench::workloads;
+use accelviz_octree::builder::{partition, BuildParams};
+use accelviz_octree::parallel::partition_parallel;
+use accelviz_octree::plots::PlotType;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn params() -> BuildParams {
+    BuildParams {
+        max_depth: 6,
+        leaf_capacity: 256,
+        gradient_refinement: None,
+    }
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let threads = rayon::current_num_threads();
+    let mut g = c.benchmark_group("parallel_partition");
+    g.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        let snap = workloads::halo_snapshot(n, 40, 11);
+        g.bench_function(format!("serial/{n}"), |b| {
+            b.iter(|| partition(black_box(&snap.particles), PlotType::XYZ, params()))
+        });
+        g.bench_function(format!("parallel_t{threads}/{n}"), |b| {
+            b.iter(|| partition_parallel(black_box(&snap.particles), PlotType::XYZ, params()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! BENCH — serial vs parallel partitioning across pool sizes.
+//!
+//! The pool size is fixed per process (the global pool reads
+//! `RAYON_NUM_THREADS` once), so this harness re-executes itself as a
+//! child per thread count: 1, 2, and the machine's full parallelism.
+//! Every run digests its output store; the digests must match each other
+//! and the serial build bit for bit, so the speedup numbers are only
+//! reported for provably identical results.
+//!
+//! Usage:
+//!   cargo run -p accelviz-bench --release --bin parallel_partition
+//!
+//! Writes `BENCH_parallel_partition.json` into the current directory.
+
+use accelviz_bench::workloads;
+use accelviz_octree::builder::{partition, BuildParams};
+use accelviz_octree::parallel::partition_parallel;
+use accelviz_octree::plots::PlotType;
+use accelviz_octree::sorted_store::PartitionedData;
+use std::io::Write;
+use std::time::Instant;
+
+/// The Figure 2 partitioning workload: one developed-halo time step at
+/// 50k particles, depth-6 / capacity-256 build (same as `experiments`).
+const N_PARTICLES: usize = 50_000;
+const CELLS: usize = 40;
+const SEED: u64 = 11;
+const REPS: usize = 3;
+
+fn params() -> BuildParams {
+    BuildParams {
+        max_depth: 6,
+        leaf_capacity: 256,
+        gradient_refinement: None,
+    }
+}
+
+fn fnv1a64(digest: &mut u64, word: u64) {
+    for byte in word.to_le_bytes() {
+        *digest ^= byte as u64;
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Order-sensitive digest of the whole store: particle file bits, sorted
+/// leaf (density, len) sequence, node count.
+fn digest_store(data: &PartitionedData) -> u64 {
+    let mut d = 0xcbf2_9ce4_8422_2325u64;
+    for p in data.particles() {
+        for v in p.to_array() {
+            fnv1a64(&mut d, v.to_bits());
+        }
+    }
+    for &li in data.sorted_leaves() {
+        let n = &data.tree().nodes[li as usize];
+        fnv1a64(&mut d, n.density.to_bits());
+        fnv1a64(&mut d, n.len);
+    }
+    fnv1a64(&mut d, data.tree().nodes.len() as u64);
+    d
+}
+
+fn best_of<T>(reps: usize, mut run: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+/// One measured process: times both builds at the inherited pool size and
+/// prints machine-readable `key=value` lines.
+fn child() {
+    let snap = workloads::halo_snapshot(N_PARTICLES, CELLS, SEED);
+    let (serial_s, serial) = best_of(REPS, || partition(&snap.particles, PlotType::XYZ, params()));
+    let (parallel_s, par) = best_of(REPS, || {
+        partition_parallel(&snap.particles, PlotType::XYZ, params())
+    });
+    println!("threads={}", rayon::current_num_threads());
+    println!("serial_s={serial_s:.6}");
+    println!("parallel_s={parallel_s:.6}");
+    println!("serial_digest={:016x}", digest_store(&serial));
+    println!("parallel_digest={:016x}", digest_store(&par));
+    println!("nodes={}", par.tree().nodes.len());
+}
+
+struct Run {
+    threads: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    serial_digest: String,
+    parallel_digest: String,
+    nodes: u64,
+}
+
+fn parse_child(out: &str) -> Run {
+    let get = |key: &str| -> &str {
+        out.lines()
+            .find_map(|l| l.strip_prefix(key).and_then(|l| l.strip_prefix('=')))
+            .unwrap_or_else(|| panic!("child output missing {key}: {out}"))
+    };
+    Run {
+        threads: get("threads").parse().expect("threads"),
+        serial_s: get("serial_s").parse().expect("serial_s"),
+        parallel_s: get("parallel_s").parse().expect("parallel_s"),
+        serial_digest: get("serial_digest").to_string(),
+        parallel_digest: get("parallel_digest").to_string(),
+        nodes: get("nodes").parse().expect("nodes"),
+    }
+}
+
+fn parent() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize, 2, cores];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut runs = Vec::new();
+    for &t in &thread_counts {
+        let out = std::process::Command::new(&exe)
+            .arg("--child")
+            .env("RAYON_NUM_THREADS", t.to_string())
+            .output()
+            .expect("spawn child");
+        assert!(
+            out.status.success(),
+            "child at {t} threads failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let run = parse_child(&String::from_utf8_lossy(&out.stdout));
+        assert_eq!(run.threads, t, "child did not honor RAYON_NUM_THREADS");
+        println!(
+            "threads={:2}  serial={:.3}s  parallel={:.3}s  speedup={:.2}x  digest={}",
+            run.threads,
+            run.serial_s,
+            run.parallel_s,
+            run.serial_s / run.parallel_s,
+            run.parallel_digest,
+        );
+        runs.push(run);
+    }
+
+    // Bit-identical across every pool size, and vs the serial build.
+    let reference = &runs[0].serial_digest;
+    for run in &runs {
+        assert_eq!(
+            &run.serial_digest, reference,
+            "serial build must be reproducible"
+        );
+        assert_eq!(
+            &run.parallel_digest, reference,
+            "parallel store at {} threads diverged from serial",
+            run.threads
+        );
+    }
+    println!("all digests identical: {reference}");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"parallel_partition\",\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"figure\": 2, \"particles\": {N_PARTICLES}, \"cells\": {CELLS}, \"seed\": {SEED}, \"max_depth\": 6, \"leaf_capacity\": 256}},\n"
+    ));
+    json.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str(&format!("  \"store_digest\": \"{reference}\",\n"));
+    json.push_str(&format!("  \"nodes\": {},\n", runs[0].nodes));
+    json.push_str("  \"digests_match\": true,\n");
+    json.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            run.threads,
+            run.serial_s,
+            run.parallel_s,
+            run.serial_s / run.parallel_s,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = "BENCH_parallel_partition.json";
+    let mut f = std::fs::File::create(path).expect("create json");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--child") {
+        child();
+    } else {
+        parent();
+    }
+}

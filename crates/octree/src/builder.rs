@@ -93,12 +93,42 @@ pub(crate) fn partition_projected(
     params: BuildParams,
 ) -> PartitionedData {
     let bounds = padded_bounds(&points);
-    let mut nodes = vec![Node::leaf(bounds, 0)];
-    nodes[0].count = points.len() as u64;
+    let all: Vec<u32> = (0..points.len() as u32).collect();
+    let sub = grow_subtree(&points, bounds, 0, all, &params);
+    let (leaf_slots, leaf_items): (Vec<u32>, Vec<Vec<u32>>) = sub.leaves.into_iter().unzip();
+    let tree = Octree {
+        nodes: sub.nodes,
+        bounds,
+        max_depth: params.max_depth,
+    };
+    PartitionedData::from_build(tree, leaf_slots, leaf_items, particles, plot)
+}
+
+/// One grown subtree: nodes indexed locally (root at 0) plus the live
+/// leaves as `(local node index, particle indices)`.
+pub(crate) struct Subtree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) leaves: Vec<(u32, Vec<u32>)>,
+}
+
+/// Grows one subtree breadth-first from a root at `root_depth` holding
+/// `items`. This single routine serves both the serial build (root depth
+/// 0, all particles) and the parallel domain-decomposed build (one call
+/// per root octant at depth 1), so the two paths cannot diverge on
+/// splitting or gradient-refinement decisions.
+pub(crate) fn grow_subtree(
+    points: &[Vec3],
+    bounds: Aabb,
+    root_depth: u32,
+    items: Vec<u32>,
+    params: &BuildParams,
+) -> Subtree {
+    let mut nodes = vec![Node::leaf(bounds, root_depth)];
+    nodes[0].count = items.len() as u64;
 
     // Per-leaf particle index lists; `leaf_items[i]` belongs to `nodes`
     // entry `leaf_slots[i]`.
-    let mut leaf_items: Vec<Vec<u32>> = vec![(0..points.len() as u32).collect()];
+    let mut leaf_items: Vec<Vec<u32>> = vec![items];
     let mut leaf_slots: Vec<u32> = vec![0];
 
     // Breadth-first subdivision.
@@ -154,12 +184,12 @@ pub(crate) fn partition_projected(
         cursor += 1;
     }
 
-    let tree = Octree {
-        nodes,
-        bounds,
-        max_depth: params.max_depth,
-    };
-    PartitionedData::from_build(tree, leaf_slots, leaf_items, particles, plot)
+    let leaves = leaf_slots
+        .into_iter()
+        .zip(leaf_items)
+        .filter(|(slot, _)| nodes[*slot as usize].is_leaf())
+        .collect();
+    Subtree { nodes, leaves }
 }
 
 /// Smallest box around the points, padded so that points on the max faces

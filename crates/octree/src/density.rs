@@ -36,7 +36,11 @@ impl DensityGrid {
 
         // Parallel binning: per-thread chunks produce partial histograms
         // that are then reduced. For the grid sizes used here (≤ 256³) a
-        // chunked fold keeps memory reasonable.
+        // chunked fold keeps memory reasonable. The chunking (and thus
+        // the grouping of the f32 additions) depends on the pool size,
+        // but the result does not: cells hold integer counts, and f32
+        // sums of integers are exact far beyond any realistic per-cell
+        // occupancy, so every grouping produces identical bits.
         let chunk = (particles.len() / rayon::current_num_threads().max(1)).max(1024);
         let data = particles
             .par_chunks(chunk)

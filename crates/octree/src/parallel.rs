@@ -4,11 +4,19 @@
 //! supercomputer, it can also be run on multiple nodes: the volume is
 //! divided up between nodes and particles are assigned to the
 //! corresponding node once they are read from disk" (§2.3). Here the
-//! "nodes" are Rayon tasks: the root's octants are built independently in
-//! parallel and grafted under a common root, producing the same tree shape
-//! as the serial build for the same parameters.
+//! "nodes" are Rayon tasks: projection and octant assignment run as
+//! chunked parallel passes, the root's octants are built independently in
+//! parallel (sharing the serial builder's [`grow_subtree`] routine, so
+//! splitting and gradient-refinement decisions are identical by
+//! construction), and the pieces are grafted under a common root. The
+//! result is bit-identical to the serial build for the same parameters at
+//! every pool size: routing preserves ascending particle order, and the
+//! sorted store orders equal-density groups by leaf geometry rather than
+//! node layout.
+//!
+//! [`grow_subtree`]: crate::builder::grow_subtree
 
-use crate::builder::BuildParams;
+use crate::builder::{grow_subtree, BuildParams, Subtree};
 use crate::node::{Node, Octree};
 use crate::plots::PlotType;
 use crate::sorted_store::PartitionedData;
@@ -19,74 +27,78 @@ use rayon::prelude::*;
 /// Partitions a particle dump using the multi-node (domain-decomposed)
 /// strategy: the root volume is split into its 8 octants, particles are
 /// routed to their octant, each octant's subtree is built in parallel, and
-/// the pieces are merged into one density-sorted store.
+/// the pieces are merged into one density-sorted store. Produces the same
+/// store as [`crate::builder::partition`], bit for bit.
 pub fn partition_parallel(
     particles: &[Particle],
     plot: PlotType,
     params: BuildParams,
 ) -> PartitionedData {
-    if particles.is_empty() || params.max_depth == 0 {
+    // Match the serial builder: non-finite particles (lost particles some
+    // codes write as NaN/Inf) would poison bounds and octant assignment.
+    if particles.iter().all(|p| p.is_finite()) {
+        partition_parallel_finite(particles, plot, params)
+    } else {
+        let finite: Vec<Particle> = particles
+            .iter()
+            .copied()
+            .filter(|p| p.is_finite())
+            .collect();
+        partition_parallel_finite(&finite, plot, params)
+    }
+}
+
+fn partition_parallel_finite(
+    particles: &[Particle],
+    plot: PlotType,
+    params: BuildParams,
+) -> PartitionedData {
+    // Inputs the serial builder keeps as a single root leaf (or cannot
+    // subdivide at all) must not be fanned out into octants: the eager
+    // 8-way split would produce a different tree shape than the serial
+    // build for the same parameters.
+    if particles.len() <= params.leaf_capacity || params.max_depth == 0 {
         return crate::builder::partition(particles, plot, params);
     }
-    let points: Vec<Vec3> = particles.iter().map(|p| plot.project(p)).collect();
+
+    // Projection is embarrassingly parallel; collect preserves order.
+    let points: Vec<Vec3> = particles.par_iter().map(|p| plot.project(p)).collect();
     let bounds = padded_bounds(&points);
 
-    // Route particles to root octants (the "assignment" phase).
+    // Route particles to root octants (the "assignment" phase) in chunks:
+    // per-chunk histograms concatenated in chunk order leave every bucket
+    // in ascending particle order — exactly the order the serial builder's
+    // single pass produces.
+    let chunk = points
+        .len()
+        .div_ceil((rayon::current_num_threads() * 4).max(1))
+        .max(1024);
+    let partials: Vec<[Vec<u32>; 8]> = points
+        .par_chunks(chunk)
+        .enumerate()
+        .map(|(ci, ch)| {
+            let base = (ci * chunk) as u32;
+            let mut b: [Vec<u32>; 8] = Default::default();
+            for (j, &q) in ch.iter().enumerate() {
+                b[bounds.octant_index(q)].push(base + j as u32);
+            }
+            b
+        })
+        .collect();
     let mut buckets: [Vec<u32>; 8] = Default::default();
-    for (i, &q) in points.iter().enumerate() {
-        buckets[bounds.octant_index(q)].push(i as u32);
+    for part in partials {
+        for (o, v) in part.into_iter().enumerate() {
+            buckets[o].extend(v);
+        }
     }
 
-    // Build each octant subtree in parallel.
-    struct Piece {
-        nodes: Vec<Node>,
-        /// (local leaf node index, particle indices) per leaf.
-        leaves: Vec<(u32, Vec<u32>)>,
-    }
-    let pieces: Vec<Piece> = (0..8usize)
+    // Build each octant subtree in parallel with the serial builder's own
+    // subdivision routine (depths are global, so depth-limit and
+    // gradient-refinement decisions match the serial build exactly).
+    let pieces: Vec<Subtree> = buckets
         .into_par_iter()
-        .map(|oct| {
-            let sub_bounds = bounds.octant(oct);
-            let items = &buckets[oct];
-            let mut nodes = vec![Node::leaf(sub_bounds, 1)];
-            nodes[0].count = items.len() as u64;
-            let mut leaf_items: Vec<Vec<u32>> = vec![items.clone()];
-            let mut leaf_slots: Vec<u32> = vec![0];
-            let mut cursor = 0;
-            while cursor < leaf_slots.len() {
-                let node_idx = leaf_slots[cursor] as usize;
-                let (depth, nb, count) = {
-                    let n = &nodes[node_idx];
-                    (n.depth, n.bounds, n.count as usize)
-                };
-                if depth >= params.max_depth || count <= params.leaf_capacity {
-                    cursor += 1;
-                    continue;
-                }
-                let first_child = nodes.len() as u32;
-                for i in 0..8 {
-                    nodes.push(Node::leaf(nb.octant(i), depth + 1));
-                }
-                nodes[node_idx].set_children(first_child);
-                let its = std::mem::take(&mut leaf_items[cursor]);
-                let mut sub: [Vec<u32>; 8] = Default::default();
-                for idx in its {
-                    sub[nb.octant_index(points[idx as usize])].push(idx);
-                }
-                for (i, bucket) in sub.into_iter().enumerate() {
-                    nodes[first_child as usize + i].count = bucket.len() as u64;
-                    leaf_slots.push(first_child + i as u32);
-                    leaf_items.push(bucket);
-                }
-                cursor += 1;
-            }
-            let leaves = leaf_slots
-                .into_iter()
-                .zip(leaf_items)
-                .filter(|(slot, _)| nodes[*slot as usize].is_leaf())
-                .collect();
-            Piece { nodes, leaves }
-        })
+        .enumerate()
+        .map(|(oct, items)| grow_subtree(&points, bounds.octant(oct), 1, items, &params))
         .collect();
 
     // Graft the 8 subtrees under one root, re-basing child pointers.
@@ -108,7 +120,7 @@ pub fn partition_parallel(
     for _ in 0..8 {
         nodes.push(Node::leaf(bounds, 1)); // placeholders, fixed below
     }
-    for (oct, piece) in pieces.iter().enumerate() {
+    for (oct, piece) in pieces.into_iter().enumerate() {
         let (base, _) = piece_base[oct];
         let remap = |local: u32| -> u32 {
             if local == 0 {
@@ -133,9 +145,9 @@ pub fn partition_parallel(
             }
             nodes[global] = copy;
         }
-        for (slot, items) in &piece.leaves {
-            leaf_slots.push(remap(*slot));
-            leaf_items.push(items.clone());
+        for (slot, items) in piece.leaves {
+            leaf_slots.push(remap(slot));
+            leaf_items.push(items);
         }
     }
 
@@ -164,6 +176,7 @@ fn padded_bounds(points: &[Vec3]) -> Aabb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::GradientRefinement;
     use crate::extraction::extract;
     use accelviz_beam::distribution::Distribution;
 
@@ -216,6 +229,65 @@ mod tests {
     }
 
     #[test]
+    fn parallel_particle_file_is_bit_identical_to_serial() {
+        let ps = Distribution::default_beam().sample(6_000, 23);
+        let params = BuildParams {
+            max_depth: 5,
+            leaf_capacity: 32,
+            gradient_refinement: None,
+        };
+        let serial = crate::builder::partition(&ps, PlotType::XYZ, params);
+        let par = partition_parallel(&ps, PlotType::XYZ, params);
+        assert_eq!(serial.particles(), par.particles());
+        assert_eq!(serial.tree().nodes.len(), par.tree().nodes.len());
+        let dens = |d: &PartitionedData| -> Vec<(u64, u64)> {
+            d.sorted_leaves()
+                .iter()
+                .map(|&li| {
+                    let n = &d.tree().nodes[li as usize];
+                    (n.density.to_bits(), n.len)
+                })
+                .collect()
+        };
+        assert_eq!(dens(&serial), dens(&par));
+    }
+
+    #[test]
+    fn parallel_applies_gradient_refinement_like_serial() {
+        let ps = Distribution::default_beam().sample(20_000, 29);
+        let params = BuildParams {
+            max_depth: 3,
+            leaf_capacity: 32,
+            gradient_refinement: Some(GradientRefinement {
+                extra_depth: 2,
+                contrast_threshold: 6.0,
+            }),
+        };
+        let serial = crate::builder::partition(&ps, PlotType::XYZ, params);
+        let par = partition_parallel(&ps, PlotType::XYZ, params);
+        assert!(par.tree().deepest_level() > 3, "refinement must deepen");
+        assert_eq!(serial.tree().deepest_level(), par.tree().deepest_level());
+        assert_eq!(serial.tree().nodes.len(), par.tree().nodes.len());
+        assert_eq!(serial.particles(), par.particles());
+    }
+
+    #[test]
+    fn parallel_drops_non_finite_particles_like_serial() {
+        let mut ps = Distribution::default_beam().sample(2_000, 31);
+        ps[7].position.y = f64::NAN;
+        ps[600].momentum.x = f64::INFINITY;
+        let params = BuildParams {
+            max_depth: 4,
+            leaf_capacity: 32,
+            gradient_refinement: None,
+        };
+        let serial = crate::builder::partition(&ps, PlotType::XYZ, params);
+        let par = partition_parallel(&ps, PlotType::XYZ, params);
+        assert_eq!(par.particles().len(), 1_998);
+        assert_eq!(serial.particles(), par.particles());
+    }
+
+    #[test]
     fn parallel_extraction_matches_serial() {
         let ps = Distribution::default_beam().sample(3_000, 19);
         let params = BuildParams {
@@ -242,5 +314,8 @@ mod tests {
         let data = partition_parallel(&ps, PlotType::XYZ, BuildParams::default());
         data.validate().unwrap();
         assert_eq!(data.particles().len(), 5);
+        // Inputs under the leaf capacity stay a single root leaf, exactly
+        // like the serial build (the old fan-out split them into octants).
+        assert_eq!(data.tree().nodes.len(), 1);
     }
 }

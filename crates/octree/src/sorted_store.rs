@@ -48,14 +48,23 @@ impl PartitionedData {
             n.density = n.len as f64 / vol;
             order.push(slot_pos);
         }
-        // Sort leaf groups by increasing density (ties broken by node
-        // index for determinism).
+        // Sort leaf groups by increasing density. Ties are broken by leaf
+        // geometry (min corner, then depth) rather than node index: node
+        // layout differs between the serial and the grafted parallel
+        // build, and this keeps their stores bit-identical. Distinct
+        // leaves always have distinct min corners — two octree boxes
+        // sharing a corner are nested, and nested nodes cannot both be
+        // leaves.
         order.sort_by(|&a, &b| {
-            let da = tree.nodes[leaf_slots[a] as usize].density;
-            let db = tree.nodes[leaf_slots[b] as usize].density;
-            da.partial_cmp(&db)
+            let na = &tree.nodes[leaf_slots[a] as usize];
+            let nb = &tree.nodes[leaf_slots[b] as usize];
+            na.density
+                .partial_cmp(&nb.density)
                 .unwrap()
-                .then(leaf_slots[a].cmp(&leaf_slots[b]))
+                .then_with(|| na.bounds.min.x.partial_cmp(&nb.bounds.min.x).unwrap())
+                .then_with(|| na.bounds.min.y.partial_cmp(&nb.bounds.min.y).unwrap())
+                .then_with(|| na.bounds.min.z.partial_cmp(&nb.bounds.min.z).unwrap())
+                .then_with(|| na.depth.cmp(&nb.depth))
         });
 
         let mut sorted = Vec::with_capacity(particles.len());

@@ -1,0 +1,117 @@
+//! Property: the domain-decomposed parallel partitioner and the serial
+//! builder produce the *same* density-sorted store — bit-identical
+//! particle file, identical sorted leaf (density, len) sequence, equal
+//! node count — for arbitrary particle clouds, depth limits, leaf
+//! capacities, and gradient-refinement settings. This must hold at every
+//! pool size; the suite is additionally run under `RAYON_NUM_THREADS=1`
+//! and `4` in CI (and see `pool_size_one.rs` for an in-repo single-thread
+//! run).
+
+use accelviz_beam::particle::Particle;
+use accelviz_octree::builder::{partition, BuildParams, GradientRefinement};
+use accelviz_octree::parallel::partition_parallel;
+use accelviz_octree::plots::PlotType;
+use accelviz_octree::sorted_store::PartitionedData;
+use proptest::prelude::*;
+
+/// Clouds with real density contrast: a tight core plus a diffuse halo
+/// (uniform clouds rarely exercise deep subdivision or refinement).
+fn arb_cloud() -> impl Strategy<Value = Vec<Particle>> {
+    let core = prop::collection::vec(
+        (
+            -0.1..0.1f64,
+            -1.0..1.0f64,
+            -0.1..0.1f64,
+            -1.0..1.0f64,
+            -0.1..0.1f64,
+            -1.0..1.0f64,
+        ),
+        0..400,
+    );
+    let halo = prop::collection::vec(
+        (
+            -50.0..50.0f64,
+            -1.0..1.0f64,
+            -50.0..50.0f64,
+            -1.0..1.0f64,
+            -50.0..50.0f64,
+            -1.0..1.0f64,
+        ),
+        0..400,
+    );
+    (core, halo).prop_map(|(core, halo)| {
+        core.into_iter()
+            .chain(halo)
+            .map(|(x, px, y, py, z, pz)| Particle::from_array([x, px, y, py, z, pz]))
+            .collect()
+    })
+}
+
+fn arb_params() -> impl Strategy<Value = BuildParams> {
+    (1u32..5, 1usize..64, 0u32..3, 2.0..10.0f64).prop_map(
+        |(max_depth, leaf_capacity, extra_depth, contrast_threshold)| BuildParams {
+            max_depth,
+            leaf_capacity,
+            gradient_refinement: (extra_depth > 0).then_some(GradientRefinement {
+                extra_depth,
+                contrast_threshold,
+            }),
+        },
+    )
+}
+
+/// The equivalence the store guarantees: same particle file (bit for
+/// bit), same sorted (density, len) leaf sequence, same node count.
+fn assert_stores_equal(serial: &PartitionedData, par: &PartitionedData) {
+    assert_eq!(serial.particles(), par.particles(), "particle files differ");
+    assert_eq!(
+        serial.tree().nodes.len(),
+        par.tree().nodes.len(),
+        "node counts differ"
+    );
+    let leaf_seq = |d: &PartitionedData| -> Vec<(u64, u64)> {
+        d.sorted_leaves()
+            .iter()
+            .map(|&li| {
+                let n = &d.tree().nodes[li as usize];
+                (n.density.to_bits(), n.len)
+            })
+            .collect()
+    };
+    assert_eq!(leaf_seq(serial), leaf_seq(par), "sorted leaf groups differ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_store_is_bit_identical_to_serial(
+        cloud in arb_cloud(),
+        params in arb_params(),
+    ) {
+        let serial = partition(&cloud, PlotType::XYZ, params);
+        let par = partition_parallel(&cloud, PlotType::XYZ, params);
+        serial.validate().expect("serial store invariants");
+        par.validate().expect("parallel store invariants");
+        assert_stores_equal(&serial, &par);
+    }
+
+    #[test]
+    fn equivalence_survives_momentum_plots_and_duplicates(
+        cloud in arb_cloud(),
+        params in arb_params(),
+        dup in 0usize..8,
+    ) {
+        // Duplicated particles stress the tie-break: equal-density leaves
+        // and equal positions must still order identically.
+        let mut cloud = cloud;
+        let n = cloud.len();
+        for i in 0..dup.min(n) {
+            let p = cloud[i * n / dup.max(1) % n];
+            cloud.push(p);
+        }
+        let serial = partition(&cloud, PlotType::MOMENTUM, params);
+        let par = partition_parallel(&cloud, PlotType::MOMENTUM, params);
+        assert_stores_equal(&serial, &par);
+    }
+}

@@ -1,0 +1,53 @@
+//! Runs the parallel/serial equivalence check with the pool pinned to a
+//! single thread. Each integration-test file is its own process, so
+//! setting `RAYON_NUM_THREADS` here (before anything touches the pool)
+//! pins this whole binary to one worker regardless of the machine —
+//! covering the degenerate pool size without a separate CI job.
+
+use accelviz_beam::distribution::Distribution;
+use accelviz_octree::builder::{partition, BuildParams, GradientRefinement};
+use accelviz_octree::parallel::partition_parallel;
+use accelviz_octree::plots::PlotType;
+use std::sync::Once;
+
+static PIN: Once = Once::new();
+
+fn pin_single_thread() {
+    PIN.call_once(|| {
+        // Safe here: this runs before the pool exists, and the pool reads
+        // the variable exactly once at creation.
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+    });
+}
+
+#[test]
+fn pool_honors_the_env_override() {
+    pin_single_thread();
+    assert_eq!(rayon::current_num_threads(), 1);
+}
+
+#[test]
+fn one_thread_pool_matches_serial_build() {
+    pin_single_thread();
+    let ps = Distribution::default_beam().sample(8_000, 37);
+    for params in [
+        BuildParams {
+            max_depth: 4,
+            leaf_capacity: 32,
+            gradient_refinement: None,
+        },
+        BuildParams {
+            max_depth: 3,
+            leaf_capacity: 16,
+            gradient_refinement: Some(GradientRefinement {
+                extra_depth: 2,
+                contrast_threshold: 6.0,
+            }),
+        },
+    ] {
+        let serial = partition(&ps, PlotType::XYZ, params);
+        let par = partition_parallel(&ps, PlotType::XYZ, params);
+        assert_eq!(serial.particles(), par.particles());
+        assert_eq!(serial.tree().nodes.len(), par.tree().nodes.len());
+    }
+}

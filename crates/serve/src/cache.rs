@@ -6,18 +6,18 @@
 //! over and over, so the server keeps the most recent extractions keyed
 //! exactly that way.
 //!
-//! The cache holds one coarse `parking_lot::Mutex` across the *build* of
-//! a missing entry. That is deliberate: when several clients request the
-//! same cold `(frame, threshold)` at once, the first runs the extraction
-//! and the rest block until it lands, then hit — identical concurrent
-//! work is coalesced instead of duplicated. Distinct keys do serialize
-//! behind a build; for the paper's workload (extractions of a few ms,
-//! interactive request rates) that trade is the right one.
+//! Concurrency: the map lock is held only for bookkeeping, never across a
+//! build. A cold key is marked *building* and its extraction runs outside
+//! the lock, so distinct cold keys extract concurrently on their own
+//! connection threads; concurrent requests for the *same* cold key still
+//! coalesce — later arrivals block on that key's condition variable and
+//! count as hits when the first build lands. (The previous design held
+//! one coarse mutex across the build, serializing unrelated extractions.)
 
 use accelviz_core::hybrid::HybridFrame;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// Cache key: frame index plus the exact threshold bits. Using `to_bits`
 /// sidesteps float equality — a client re-requesting the same dialed
@@ -31,8 +31,11 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// Key for `frame` extracted at `threshold`.
+    /// Key for `frame` extracted at `threshold`. `-0.0` is normalized to
+    /// `0.0`: the two compare equal everywhere in extraction, so they
+    /// must not occupy two cache slots for the same result.
     pub fn new(frame: u32, threshold: f64) -> CacheKey {
+        let threshold = if threshold == 0.0 { 0.0 } else { threshold };
         CacheKey {
             frame,
             threshold_bits: threshold.to_bits(),
@@ -40,11 +43,25 @@ impl CacheKey {
     }
 }
 
+/// In-flight build of one key. Waiters block on `cv` until `done` holds
+/// the outcome; `Err(())` means the builder panicked and the key is free
+/// to rebuild.
+struct Pending {
+    done: StdMutex<Option<Result<Arc<HybridFrame>, ()>>>,
+    cv: Condvar,
+}
+
+enum Entry {
+    Ready(Arc<HybridFrame>),
+    Building(Arc<Pending>),
+}
+
 struct Inner {
     capacity: usize,
-    /// LRU order, front = oldest.
+    /// LRU order over *ready* keys, front = oldest. Building keys are not
+    /// listed and therefore cannot be evicted mid-build.
     order: Vec<CacheKey>,
-    entries: HashMap<CacheKey, Arc<HybridFrame>>,
+    entries: HashMap<CacheKey, Entry>,
     hits: u64,
     misses: u64,
 }
@@ -71,29 +88,102 @@ impl ExtractionCache {
 
     /// Returns the cached frame for `key`, building it with `build` on a
     /// miss. The returned flag is `true` on a hit. Concurrent calls with
-    /// the same cold key run `build` once: the lock is held across it.
+    /// the same cold key run `build` once (the rest wait for it and hit);
+    /// calls with distinct cold keys build concurrently.
     pub fn get_or_build(
         &self,
         key: CacheKey,
         build: impl FnOnce() -> HybridFrame,
     ) -> (Arc<HybridFrame>, bool) {
-        let mut g = self.inner.lock();
-        if let Some(frame) = g.entries.get(&key).cloned() {
-            let pos = g.order.iter().position(|k| *k == key).unwrap();
-            let k = g.order.remove(pos);
-            g.order.push(k);
-            g.hits += 1;
-            return (frame, true);
+        let mut build = Some(build);
+        loop {
+            enum Found {
+                Ready(Arc<HybridFrame>),
+                Building(Arc<Pending>),
+                Vacant,
+            }
+            let found = {
+                let mut g = self.inner.lock();
+                let found = match g.entries.get(&key) {
+                    Some(Entry::Ready(frame)) => Found::Ready(Arc::clone(frame)),
+                    Some(Entry::Building(p)) => Found::Building(Arc::clone(p)),
+                    None => Found::Vacant,
+                };
+                match &found {
+                    Found::Ready(_) => {
+                        let pos = g.order.iter().position(|k| *k == key).unwrap();
+                        let k = g.order.remove(pos);
+                        g.order.push(k);
+                        g.hits += 1;
+                    }
+                    // Coalesced into the in-flight build: a hit.
+                    Found::Building(_) => g.hits += 1,
+                    Found::Vacant => {
+                        g.misses += 1;
+                        let p = Arc::new(Pending {
+                            done: StdMutex::new(None),
+                            cv: Condvar::new(),
+                        });
+                        g.entries.insert(key, Entry::Building(Arc::clone(&p)));
+                        drop(g);
+                        return self.run_build(key, p, build.take().expect("build consumed once"));
+                    }
+                }
+                found
+            };
+            let pending = match found {
+                Found::Ready(frame) => return (frame, true),
+                Found::Building(p) => p,
+                Found::Vacant => unreachable!("vacant case returned above"),
+            };
+            // Wait outside every lock for the in-flight build.
+            let mut d = pending.done.lock().unwrap_or_else(|e| e.into_inner());
+            while d.is_none() {
+                d = pending.cv.wait(d).unwrap_or_else(|e| e.into_inner());
+            }
+            match d.as_ref().expect("outcome present") {
+                Ok(frame) => return (Arc::clone(frame), true),
+                // The builder panicked; the key was vacated — retry (this
+                // caller may become the new builder).
+                Err(()) => continue,
+            }
         }
-        g.misses += 1;
-        let frame = Arc::new(build());
-        while g.order.len() >= g.capacity {
-            let victim = g.order.remove(0);
-            g.entries.remove(&victim);
+    }
+
+    /// Runs `build` for a key this thread just marked as building, then
+    /// publishes the outcome to the map and to any coalesced waiters.
+    fn run_build(
+        &self,
+        key: CacheKey,
+        pending: Arc<Pending>,
+        build: impl FnOnce() -> HybridFrame,
+    ) -> (Arc<HybridFrame>, bool) {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(build)) {
+            Ok(frame) => {
+                let frame = Arc::new(frame);
+                {
+                    let mut g = self.inner.lock();
+                    while g.order.len() >= g.capacity {
+                        let victim = g.order.remove(0);
+                        g.entries.remove(&victim);
+                    }
+                    g.order.push(key);
+                    g.entries.insert(key, Entry::Ready(Arc::clone(&frame)));
+                }
+                *pending.done.lock().unwrap_or_else(|e| e.into_inner()) =
+                    Some(Ok(Arc::clone(&frame)));
+                pending.cv.notify_all();
+                (frame, false)
+            }
+            Err(payload) => {
+                // Vacate the key and release the waiters so the cache is
+                // not wedged by a failed extraction.
+                self.inner.lock().entries.remove(&key);
+                *pending.done.lock().unwrap_or_else(|e| e.into_inner()) = Some(Err(()));
+                pending.cv.notify_all();
+                std::panic::resume_unwind(payload)
+            }
         }
-        g.order.push(key);
-        g.entries.insert(key, Arc::clone(&frame));
-        (frame, false)
     }
 
     /// (hits, misses) so far.
@@ -102,7 +192,7 @@ impl ExtractionCache {
         (g.hits, g.misses)
     }
 
-    /// Extractions currently resident.
+    /// Extractions currently resident (including in-flight builds).
     pub fn len(&self) -> usize {
         self.inner.lock().entries.len()
     }
@@ -119,6 +209,9 @@ mod tests {
     use accelviz_beam::distribution::Distribution;
     use accelviz_octree::builder::{partition, BuildParams};
     use accelviz_octree::plots::PlotType;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+    use std::time::Duration;
 
     fn frame(step: usize) -> HybridFrame {
         let ps = Distribution::default_beam().sample(500, step as u64 + 1);
@@ -148,6 +241,16 @@ mod tests {
     }
 
     #[test]
+    fn negative_zero_threshold_shares_the_positive_zero_slot() {
+        assert_eq!(CacheKey::new(3, -0.0), CacheKey::new(3, 0.0));
+        let cache = ExtractionCache::new(4);
+        cache.get_or_build(CacheKey::new(0, 0.0), || frame(0));
+        let (_, hit) = cache.get_or_build(CacheKey::new(0, -0.0), || panic!("same slot"));
+        assert!(hit, "-0.0 and 0.0 request the same extraction");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
     fn lru_evicts_the_oldest_untouched_key() {
         let cache = ExtractionCache::new(2);
         let (k0, k1, k2) = (
@@ -162,5 +265,78 @@ mod tests {
         assert!(cache.get_or_build(k0, || panic!("k0 survived")).1);
         let (_, hit) = cache.get_or_build(k1, || frame(1));
         assert!(!hit, "k1 was the LRU victim");
+    }
+
+    #[test]
+    fn same_cold_key_builds_once_across_threads() {
+        let cache = Arc::new(ExtractionCache::new(4));
+        let builds = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(Barrier::new(4));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (cache, builds, barrier) = (
+                Arc::clone(&cache),
+                Arc::clone(&builds),
+                Arc::clone(&barrier),
+            );
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                cache.get_or_build(CacheKey::new(0, 0.5), || {
+                    builds.fetch_add(1, Ordering::SeqCst);
+                    // Long enough that the other threads arrive mid-build.
+                    std::thread::sleep(Duration::from_millis(50));
+                    frame(0)
+                })
+            }));
+        }
+        let results: Vec<(Arc<HybridFrame>, bool)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "build ran exactly once");
+        assert_eq!(results.iter().filter(|(_, hit)| !hit).count(), 1);
+        for (f, _) in &results[1..] {
+            assert!(Arc::ptr_eq(&results[0].0, f), "all callers share one Arc");
+        }
+    }
+
+    #[test]
+    fn distinct_cold_keys_build_concurrently() {
+        let cache = Arc::new(ExtractionCache::new(8));
+        let barrier = Arc::new(Barrier::new(2));
+        let in_build = Arc::new(Barrier::new(2));
+        let mut handles = Vec::new();
+        for i in 0..2u32 {
+            let (cache, barrier, in_build) = (
+                Arc::clone(&cache),
+                Arc::clone(&barrier),
+                Arc::clone(&in_build),
+            );
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                cache.get_or_build(CacheKey::new(i, 1.0), || {
+                    // Both builders must be inside their builds at the
+                    // same time for this rendezvous to pass; under the
+                    // old whole-build lock it would deadlock.
+                    in_build.wait();
+                    frame(i as usize)
+                });
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.counters(), (0, 2));
+    }
+
+    #[test]
+    fn panicking_build_vacates_the_key_for_retry() {
+        let cache = ExtractionCache::new(4);
+        let key = CacheKey::new(0, 0.5);
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_build(key, || panic!("extraction failed"));
+        }));
+        assert!(poisoned.is_err());
+        assert_eq!(cache.len(), 0, "failed build must not leave a residue");
+        let (_, hit) = cache.get_or_build(key, || frame(0));
+        assert!(!hit, "key is rebuildable after a failed build");
     }
 }

@@ -41,6 +41,10 @@ pub const ERR_BAD_REQUEST: u16 = 1;
 pub const ERR_NO_SUCH_FRAME: u16 = 2;
 /// Error code: the server failed internally.
 pub const ERR_INTERNAL: u16 = 3;
+/// Error code: the request carried a NaN extraction threshold. (±Inf are
+/// valid dials: `+Inf` serves everything — it is the catalog's own
+/// unlimited-budget sentinel — and `-Inf` serves an empty extraction.)
+pub const ERR_BAD_THRESHOLD: u16 = 4;
 
 /// One catalog entry in a [`Response::FrameList`].
 #[derive(Clone, Copy, Debug, PartialEq)]

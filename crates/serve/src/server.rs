@@ -12,7 +12,8 @@
 use crate::cache::{CacheKey, ExtractionCache};
 use crate::error::ServeError;
 use crate::protocol::{
-    write_response, FrameInfo, Request, Response, ERR_BAD_REQUEST, ERR_NO_SUCH_FRAME, RESP_FRAME,
+    write_response, FrameInfo, Request, Response, ERR_BAD_REQUEST, ERR_BAD_THRESHOLD,
+    ERR_NO_SUCH_FRAME, RESP_FRAME,
 };
 use crate::stats::ServerStats;
 use crate::wire::{encode_frame, write_envelope, VERSION};
@@ -25,7 +26,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -36,6 +37,13 @@ pub struct ServerConfig {
     pub volume_dims: [usize; 3],
     /// Point budget behind the catalog's suggested threshold.
     pub point_budget: usize,
+    /// How long a worker blocks reading a request before the connection
+    /// is dropped; `None` waits forever. Without a bound, a client that
+    /// connects and goes silent (or dribbles bytes) pins its
+    /// thread-per-connection worker indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Same bound for writes (a client that stops draining its socket).
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +52,8 @@ impl Default for ServerConfig {
             cache_capacity: 8,
             volume_dims: [16, 16, 16],
             point_budget: 1_000,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -143,6 +153,11 @@ impl Drop for FrameServer {
 
 fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
+    // A stalled or byte-dribbling client must not pin this worker forever:
+    // a timed-out read/write surfaces as an Io error below and the
+    // connection is dropped.
+    let _ = stream.set_read_timeout(shared.config.read_timeout);
+    let _ = stream.set_write_timeout(shared.config.write_timeout);
     loop {
         let req = match crate::protocol::read_request(&mut stream) {
             Ok(req) => req,
@@ -210,6 +225,19 @@ fn respond(
             Ok((write_response(stream, &Response::FrameList(frames))?, false))
         }
         Request::RequestFrame { frame, threshold } => {
+            if threshold.is_nan() {
+                // NaN has no place in the density order: extraction's
+                // partition_point would silently return an empty prefix,
+                // and the many NaN bit patterns would each occupy their
+                // own cache slot. Reject in-band. (±Inf stay valid dials:
+                // +Inf is the catalog's own "serve everything" sentinel,
+                // -Inf is an empty extraction.)
+                let reply = Response::Error {
+                    code: ERR_BAD_THRESHOLD,
+                    message: format!("threshold must not be NaN, got {threshold}"),
+                };
+                return Ok((write_response(stream, &reply)?, false));
+            }
             if frame as usize >= shared.data.len() {
                 let reply = Response::Error {
                     code: ERR_NO_SUCH_FRAME,

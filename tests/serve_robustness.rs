@@ -1,0 +1,144 @@
+//! Robustness of the frame service against misbehaving clients: stalled
+//! and byte-dribbling connections must not pin worker threads, and
+//! non-finite thresholds must be rejected in-band without killing the
+//! connection.
+
+use accelviz::beam::distribution::Distribution;
+use accelviz::octree::builder::{partition, BuildParams};
+use accelviz::octree::plots::PlotType;
+use accelviz::octree::sorted_store::PartitionedData;
+use accelviz::serve::protocol::ERR_BAD_THRESHOLD;
+use accelviz::serve::{Client, FrameServer, ServeError, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn stores(n: usize) -> Vec<PartitionedData> {
+    (0..n)
+        .map(|i| {
+            let ps = Distribution::default_beam().sample(800, i as u64 + 1);
+            partition(&ps, PlotType::XYZ, BuildParams::default())
+        })
+        .collect()
+}
+
+fn short_timeout_config() -> ServerConfig {
+    ServerConfig {
+        read_timeout: Some(Duration::from_millis(100)),
+        write_timeout: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    }
+}
+
+/// Reads until EOF or `deadline`; returns whether the peer closed.
+fn peer_closed_within(stream: &mut TcpStream, deadline: Duration) -> bool {
+    let start = Instant::now();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let mut buf = [0u8; 64];
+    while start.elapsed() < deadline {
+        match stream.read(&mut buf) {
+            Ok(0) => return true,
+            Ok(_) => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            // Reset also proves the worker gave up on us.
+            Err(_) => return true,
+        }
+    }
+    false
+}
+
+#[test]
+fn silent_client_is_disconnected_by_the_read_timeout() {
+    let server = FrameServer::spawn_loopback(stores(1), short_timeout_config()).unwrap();
+
+    // Connect and send nothing at all.
+    let mut mute = TcpStream::connect(server.addr()).unwrap();
+    assert!(
+        peer_closed_within(&mut mute, Duration::from_secs(5)),
+        "server must drop a client that never sends a request"
+    );
+
+    // The freed server still serves well-behaved clients.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (frame, _) = client.fetch(0, f64::INFINITY).unwrap();
+    assert_eq!(frame.step, 0);
+    server.shutdown();
+}
+
+#[test]
+fn byte_dribbling_client_cannot_pin_a_worker() {
+    let server = FrameServer::spawn_loopback(stores(1), short_timeout_config()).unwrap();
+
+    // Send a lone byte — the worker now blocks mid-envelope — then stall.
+    let mut dribble = TcpStream::connect(server.addr()).unwrap();
+    dribble.write_all(&[0x41]).unwrap();
+    assert!(
+        peer_closed_within(&mut dribble, Duration::from_secs(5)),
+        "server must drop a client stalled mid-request"
+    );
+
+    let client = Client::connect(server.addr()).unwrap();
+    assert_eq!(client.frame_count(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn nan_thresholds_are_rejected_in_band() {
+    let server = FrameServer::spawn_loopback(stores(1), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Both the canonical NaN and an arbitrary payload NaN: each bit
+    // pattern would otherwise occupy its own cache slot.
+    let payload_nan = f64::from_bits(f64::NAN.to_bits() ^ 0x5_5555);
+    assert!(payload_nan.is_nan());
+    for bad in [f64::NAN, payload_nan] {
+        match client.fetch(0, bad) {
+            Err(ServeError::Remote { code, message }) => {
+                assert_eq!(code, ERR_BAD_THRESHOLD);
+                assert!(message.contains("NaN"), "{message}");
+            }
+            other => panic!("NaN threshold: expected a remote error, got {other:?}"),
+        }
+        // The connection survives each rejection and keeps serving.
+        let (frame, _) = client.fetch(0, 1.0).unwrap();
+        assert_eq!(frame.step, 0);
+    }
+
+    // Rejected requests never reach the extraction cache.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_misses, 1, "only the threshold-1.0 extraction");
+    server.shutdown();
+}
+
+#[test]
+fn infinite_thresholds_remain_valid_dials() {
+    // +Inf is the catalog's own unlimited-budget sentinel ("serve
+    // everything"); -Inf dials an empty extraction. Neither is an error.
+    let server = FrameServer::spawn_loopback(stores(1), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (all, _) = client.fetch(0, f64::INFINITY).unwrap();
+    assert_eq!(all.points.len(), 800, "+Inf serves every particle");
+    let (none, _) = client.fetch(0, f64::NEG_INFINITY).unwrap();
+    assert!(none.points.is_empty(), "-Inf serves none");
+    server.shutdown();
+}
+
+#[test]
+fn negative_zero_threshold_hits_the_positive_zero_cache_slot() {
+    let server = FrameServer::spawn_loopback(stores(1), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (a, _) = client.fetch(0, 0.0).unwrap();
+    let (b, _) = client.fetch(0, -0.0).unwrap();
+    assert_eq!(a, b);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_misses, 1, "-0.0 must reuse the 0.0 extraction");
+    assert_eq!(stats.cache_hits, 1);
+    server.shutdown();
+}

@@ -1,133 +1,548 @@
 //! Offline stand-in for the subset of the `rayon` 1.10 API this
-//! workspace uses.
+//! workspace uses — now with **real parallelism**.
 //!
 //! The build environment has no access to crates.io, so the workspace
-//! vendors this shim (see `vendor/` in the repo root). Every adapter
-//! here executes **sequentially** on the calling thread: `par_iter` et
-//! al. are plain iterators wrapped in [`Par`], and `fold`/`reduce`
-//! follow rayon's split-accumulator contract (fold produces
-//! accumulators, reduce combines them) so call sites behave
-//! identically, just without the parallel speedup. Swapping the real
-//! rayon back in is a one-line change in the workspace manifest.
+//! vendors this shim (see `vendor/` in the repo root). Work runs on a
+//! lazily-created global work-stealing pool of
+//! `available_parallelism()` threads (override: `RAYON_NUM_THREADS`);
+//! see [`pool`]. The adapter layer mirrors rayon's producer model in
+//! miniature: every entry point (`par_iter`, `par_chunks`,
+//! `into_par_iter`, …) yields a [`Producer`] that knows its exact length
+//! and can split at an index; terminal operations cut the producer into
+//! `~4 × num_threads` contiguous pieces, run each piece as a pool job,
+//! and recombine the per-piece results **in input order**, so `collect`
+//! preserves ordering and `fold`/`reduce` follow rayon's
+//! split-accumulator contract (fold produces one accumulator per piece,
+//! reduce combines them left to right).
+//!
+//! Determinism: piece *boundaries* depend on the pool size, so — exactly
+//! as with upstream rayon — `fold`/`reduce` are only deterministic
+//! across pool sizes when the reduction is associative over the items.
+//! Order-preserving operations (`collect`, `for_each` effects keyed by
+//! item, `map`) are deterministic regardless of pool size. Swapping the
+//! real rayon back in is a one-line change in the workspace manifest.
 
-/// Number of worker threads rayon would use — here the machine's
-/// available parallelism (callers use it to pick chunk sizes).
+use std::sync::Arc;
+
+mod pool;
+
+pub use pool::{join, scope, Scope};
+
+/// Number of worker threads in the global pool (callers use it to pick
+/// chunk sizes). Honors `RAYON_NUM_THREADS` at first use.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    pool::global().num_threads()
 }
 
-/// A "parallel" iterator: a thin wrapper over a sequential iterator
-/// exposing the rayon adapter surface used in this workspace.
-pub struct Par<I>(I);
+/// Contiguous pieces handed to the pool per worker thread; >1 so the
+/// work-stealing deques can re-balance uneven pieces.
+const CHUNKS_PER_THREAD: usize = 4;
 
-impl<I: Iterator> Par<I> {
+/// A splittable, length-aware source of items — this shim's equivalent
+/// of rayon's `Producer` plumbing. Terminal operations split producers
+/// into contiguous pieces executed as pool jobs.
+pub trait Producer: Send + Sized {
+    /// Item produced.
+    type Item: Send;
+    /// Sequential iterator draining one piece.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Items remaining (chunked producers count chunks, not elements).
+    fn len(&self) -> usize;
+    /// Whether no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Splits into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Drains this piece sequentially.
+    fn into_seq(self) -> Self::SeqIter;
+}
+
+/// Splits `producer` into ordered pieces, runs `work` over each piece on
+/// the pool, and returns the per-piece results in input order. The
+/// backbone of every terminal operation.
+fn run_chunks<P: Producer, R: Send>(producer: P, work: &(impl Fn(P) -> R + Sync)) -> Vec<R> {
+    let n = producer.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads();
+    let k = threads.saturating_mul(CHUNKS_PER_THREAD).min(n);
+    if threads <= 1 || k <= 1 {
+        return vec![work(producer)];
+    }
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..k).map(|_| std::sync::Mutex::new(None)).collect();
+    pool::scope(|s| {
+        let mut rest = producer;
+        let mut start = 0;
+        for (j, slot) in slots.iter().enumerate() {
+            let end = (j + 1) * n / k;
+            let (piece, tail) = rest.split_at(end - start);
+            rest = tail;
+            start = end;
+            s.spawn(move || {
+                let r = work(piece);
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("pool piece completed without a result")
+        })
+        .collect()
+}
+
+/// A parallel iterator: a [`Producer`] plus the rayon adapter surface
+/// used in this workspace.
+pub struct Par<P>(P);
+
+impl<P: Producer> Par<P> {
     /// Maps each item.
-    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> Par<std::iter::Map<I, F>> {
-        Par(self.0.map(f))
-    }
-
-    /// Zips with another parallel iterator.
-    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
-        Par(self.0.zip(other.0))
-    }
-
-    /// Pairs each item with its index.
-    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-        Par(self.0.enumerate())
-    }
-
-    /// Keeps items passing the predicate.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
-        Par(self.0.filter(f))
-    }
-
-    /// Consumes every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// Collects into any container.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    /// Sums the items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    /// Rayon-style fold: produce per-split accumulators. Sequentially
-    /// there is exactly one split, so this yields a single accumulator.
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<std::iter::Once<T>>
+    pub fn map<R, F>(self, f: F) -> Par<MapProducer<P, F>>
     where
-        ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
+        R: Send,
+        F: Fn(P::Item) -> R + Send + Sync,
     {
-        Par(std::iter::once(self.0.fold(identity(), fold_op)))
+        Par(MapProducer {
+            base: self.0,
+            f: Arc::new(f),
+        })
     }
 
-    /// Rayon-style reduce: combine accumulators starting from the
-    /// identity.
-    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    /// Zips with another parallel iterator (stops at the shorter).
+    pub fn zip<Q: Producer>(self, other: Par<Q>) -> Par<ZipProducer<P, Q>> {
+        Par(ZipProducer {
+            a: self.0,
+            b: other.0,
+        })
+    }
+
+    /// Pairs each item with its global index.
+    pub fn enumerate(self) -> Par<EnumerateProducer<P>> {
+        Par(EnumerateProducer {
+            base: self.0,
+            offset: 0,
+        })
+    }
+
+    /// Keeps items passing the predicate (order among kept items is
+    /// preserved). The filtered iterator reports its pre-filter length
+    /// for splitting purposes; do not `zip`/`enumerate` after `filter`.
+    pub fn filter<F>(self, f: F) -> Par<FilterProducer<P, F>>
     where
-        ID: Fn() -> I::Item,
-        F: FnMut(I::Item, I::Item) -> I::Item,
+        F: Fn(&P::Item) -> bool + Send + Sync,
     {
-        self.0.fold(identity(), op)
+        Par(FilterProducer {
+            base: self.0,
+            f: Arc::new(f),
+        })
+    }
+
+    /// Consumes every item on the pool.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Sync,
+    {
+        run_chunks(self.0, &|piece: P| piece.into_seq().for_each(&f));
+    }
+
+    /// Collects into any container, preserving input order.
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        let parts = run_chunks(self.0, &|piece: P| piece.into_seq().collect::<Vec<_>>());
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Sums the items (per-piece partial sums, combined in order).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        let parts = run_chunks(self.0, &|piece: P| piece.into_seq().sum::<S>());
+        parts.into_iter().sum()
+    }
+
+    /// Rayon-style fold: produce per-piece accumulators. Yields one
+    /// accumulator per executed piece, in input order.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<VecProducer<T>>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, P::Item) -> T + Sync,
+    {
+        let parts = run_chunks(self.0, &|piece: P| {
+            piece.into_seq().fold(identity(), &fold_op)
+        });
+        Par(VecProducer { data: parts })
+    }
+
+    /// Rayon-style reduce: combine items starting from the identity.
+    /// `op` must be associative for the result to be independent of the
+    /// pool size (rayon's own contract).
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> P::Item
+    where
+        ID: Fn() -> P::Item + Sync,
+        F: Fn(P::Item, P::Item) -> P::Item + Sync,
+    {
+        let parts = run_chunks(self.0, &|piece: P| piece.into_seq().fold(identity(), &op));
+        parts.into_iter().fold(identity(), &op)
     }
 }
+
+// ---- entry-point producers ------------------------------------------------
+
+/// Shared-slice items (`par_iter`).
+pub struct SliceProducer<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (SliceProducer { slice: l }, SliceProducer { slice: r })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+/// Mutable-slice items (`par_iter_mut`).
+pub struct SliceMutProducer<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (SliceMutProducer { slice: l }, SliceMutProducer { slice: r })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter_mut()
+    }
+}
+
+/// Fixed-size shared chunks (`par_chunks`); length counts chunks.
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(mid);
+        (
+            ChunksProducer {
+                slice: l,
+                size: self.size,
+            },
+            ChunksProducer {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Fixed-size mutable chunks (`par_chunks_mut`); length counts chunks.
+pub struct ChunksMutProducer<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(mid);
+        (
+            ChunksMutProducer {
+                slice: l,
+                size: self.size,
+            },
+            ChunksMutProducer {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Owned items (`into_par_iter` on ranges, vectors, …). The source is
+/// materialized once up front so it can be split by index.
+pub struct VecProducer<T> {
+    data: Vec<T>,
+}
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.data.split_off(index);
+        (self, VecProducer { data: tail })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.data.into_iter()
+    }
+}
+
+// ---- adapter producers ----------------------------------------------------
+
+/// See [`Par::map`].
+pub struct MapProducer<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P: Producer, R: Send, F: Fn(P::Item) -> R + Send + Sync> Producer for MapProducer<P, F> {
+    type Item = R;
+    type SeqIter = MapSeq<P::SeqIter, F>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            MapProducer {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            MapProducer { base: r, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        MapSeq {
+            base: self.base.into_seq(),
+            f: self.f,
+        }
+    }
+}
+
+/// Sequential side of [`MapProducer`].
+pub struct MapSeq<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I: Iterator, R, F: Fn(I::Item) -> R> Iterator for MapSeq<I, F> {
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.base.next().map(|x| (self.f)(x))
+    }
+}
+
+/// See [`Par::filter`].
+pub struct FilterProducer<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P: Producer, F: Fn(&P::Item) -> bool + Send + Sync> Producer for FilterProducer<P, F> {
+    type Item = P::Item;
+    type SeqIter = FilterSeq<P::SeqIter, F>;
+    /// Pre-filter length: an upper bound used only for splitting.
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            FilterProducer {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            FilterProducer { base: r, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        FilterSeq {
+            base: self.base.into_seq(),
+            f: self.f,
+        }
+    }
+}
+
+/// Sequential side of [`FilterProducer`].
+pub struct FilterSeq<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I: Iterator, F: Fn(&I::Item) -> bool> Iterator for FilterSeq<I, F> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        self.base.find(|x| (self.f)(x))
+    }
+}
+
+/// See [`Par::enumerate`].
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    type SeqIter = EnumerateSeq<P::SeqIter>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            EnumerateProducer {
+                base: l,
+                offset: self.offset,
+            },
+            EnumerateProducer {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        EnumerateSeq {
+            base: self.base.into_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+/// Sequential side of [`EnumerateProducer`].
+pub struct EnumerateSeq<I> {
+    base: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<(usize, I::Item)> {
+        let x = self.base.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, x))
+    }
+}
+
+/// See [`Par::zip`].
+pub struct ZipProducer<P, Q> {
+    a: P,
+    b: Q,
+}
+
+impl<P: Producer, Q: Producer> Producer for ZipProducer<P, Q> {
+    type Item = (P::Item, Q::Item);
+    type SeqIter = std::iter::Zip<P::SeqIter, Q::SeqIter>;
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (ZipProducer { a: al, b: bl }, ZipProducer { a: ar, b: br })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+// ---- entry-point traits ---------------------------------------------------
 
 /// Owned conversion into a parallel iterator (ranges, vectors, …).
 pub trait IntoParallelIterator {
     /// Item type.
-    type Item;
-    /// Underlying sequential iterator.
-    type SeqIter: Iterator<Item = Self::Item>;
+    type Item: Send;
+    /// Producer the conversion yields.
+    type Producer: Producer<Item = Self::Item>;
     /// Converts into a [`Par`].
-    fn into_par_iter(self) -> Par<Self::SeqIter>;
+    fn into_par_iter(self) -> Par<Self::Producer>;
 }
 
-impl<T: IntoIterator> IntoParallelIterator for T {
+impl<T: IntoIterator> IntoParallelIterator for T
+where
+    T::Item: Send,
+{
     type Item = T::Item;
-    type SeqIter = T::IntoIter;
-    fn into_par_iter(self) -> Par<T::IntoIter> {
-        Par(self.into_iter())
+    type Producer = VecProducer<T::Item>;
+    fn into_par_iter(self) -> Par<VecProducer<T::Item>> {
+        Par(VecProducer {
+            data: self.into_iter().collect(),
+        })
     }
 }
 
 /// Shared-slice entry points (`par_iter`, `par_chunks`).
-pub trait ParallelSlice<T> {
+pub trait ParallelSlice<T: Sync> {
     /// Parallel shared iteration.
-    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+    fn par_iter(&self) -> Par<SliceProducer<'_, T>>;
     /// Parallel fixed-size chunks.
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksProducer<'_, T>>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
-        Par(self.iter())
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<SliceProducer<'_, T>> {
+        Par(SliceProducer { slice: self })
     }
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
-        Par(self.chunks(chunk_size))
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        Par(ChunksProducer {
+            slice: self,
+            size: chunk_size,
+        })
     }
 }
 
 /// Mutable-slice entry points (`par_iter_mut`, `par_chunks_mut`).
-pub trait ParallelSliceMut<T> {
+pub trait ParallelSliceMut<T: Send> {
     /// Parallel mutable iteration.
-    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+    fn par_iter_mut(&mut self) -> Par<SliceMutProducer<'_, T>>;
     /// Parallel mutable fixed-size chunks.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutProducer<'_, T>>;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
-        Par(self.iter_mut())
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<SliceMutProducer<'_, T>> {
+        Par(SliceMutProducer { slice: self })
     }
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-        Par(self.chunks_mut(chunk_size))
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        Par(ChunksMutProducer {
+            slice: self,
+            size: chunk_size,
+        })
     }
 }
 
@@ -139,6 +554,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn map_collect_matches_serial() {
@@ -179,5 +595,73 @@ mod tests {
         let mut px = [1u8; 10];
         let total: u64 = px.par_chunks_mut(4).map(|c| c.len() as u64).sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn large_collect_preserves_input_order() {
+        let n = 100_000u64;
+        let v: Vec<u64> = (0..n).into_par_iter().map(|x| x.wrapping_mul(31)).collect();
+        assert_eq!(v.len(), n as usize);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == (i as u64) * 31));
+    }
+
+    #[test]
+    fn for_each_visits_every_item_exactly_once() {
+        let data: Vec<u64> = (0..50_000).collect();
+        let sum = AtomicU64::new(0);
+        data.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 50_000 * 49_999 / 2);
+    }
+
+    #[test]
+    fn filter_keeps_order_among_kept_items() {
+        let v: Vec<u32> = (0..10_000u32)
+            .into_par_iter()
+            .filter(|x| x % 7 == 0)
+            .collect();
+        let s: Vec<u32> = (0..10_000u32).filter(|x| x % 7 == 0).collect();
+        assert_eq!(v, s);
+    }
+
+    #[test]
+    fn enumerate_indices_are_global_after_splitting() {
+        let data = vec![3u8; 10_001];
+        let pairs: Vec<(usize, u8)> = data.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert!(pairs
+            .iter()
+            .enumerate()
+            .all(|(i, &(j, x))| i == j && x == 3));
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x + 1).collect();
+        assert!(v.is_empty());
+        let empty: [f32; 0] = [];
+        let total = empty
+            .par_chunks(16)
+            .fold(|| 0.0f32, |a, c| a + c.iter().sum::<f32>())
+            .reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        // Outer par over rows, inner par inside each row's closure: every
+        // worker can end up waiting on an inner scope simultaneously.
+        let rows: Vec<u64> = (0..32u64)
+            .into_par_iter()
+            .map(|r| (0..1_000u64).into_par_iter().map(|x| x + r).sum::<u64>())
+            .collect();
+        for (r, &v) in rows.iter().enumerate() {
+            assert_eq!(v, 1_000 * 999 / 2 + 1_000 * r as u64);
+        }
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(crate::current_num_threads() >= 1);
     }
 }

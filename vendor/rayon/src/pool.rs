@@ -1,0 +1,388 @@
+//! The work-stealing thread pool behind the parallel adapters.
+//!
+//! One global pool is created lazily on first use with
+//! `available_parallelism()` workers, overridable through the
+//! `RAYON_NUM_THREADS` environment variable (read once, at pool
+//! creation). Each worker owns a deque: jobs spawned from inside the
+//! pool go to the spawning worker's deque and are popped LIFO for
+//! locality; jobs spawned from outside land on a shared injector; idle
+//! workers steal FIFO from the injector and from their peers.
+//!
+//! Blocking is cooperative: a thread waiting for a [`scope`] to finish
+//! does not park — it helps by executing pending jobs, so nested
+//! parallelism (a parallel iterator inside a pool job) cannot deadlock
+//! even when every worker is simultaneously waiting on an inner scope.
+//! To keep help-stacks bounded, a waiter only executes jobs **belonging
+//! to the scope it is waiting on** (jobs are tagged): inlining an
+//! unrelated stolen job could itself block and inline another, chaining
+//! arbitrarily many frames onto one stack. Restricted to own-scope jobs,
+//! inline depth tracks the computation's nesting depth, and progress is
+//! still guaranteed — a scope's queued jobs are always runnable by its
+//! own waiter, and non-queued jobs are being executed by some thread
+//! that is either computing or recursively waiting on a deeper scope.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// A queued job together with the identity of the scope that spawned it
+/// (the `Arc<ScopeState>` address), so scope waiters can help with
+/// exactly their own jobs.
+struct Tagged {
+    tag: usize,
+    job: Job,
+}
+
+/// Locks ignoring poison: a panicking job must not wedge the pool, and
+/// every queue operation is exception-safe on its own.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Removes one job with the given tag: the newest (back) when
+/// `newest_first` — the own-deque case, mirroring LIFO pops — else the
+/// oldest (front), mirroring FIFO steals.
+fn take_tagged(q: &Mutex<VecDeque<Tagged>>, tag: usize, newest_first: bool) -> Option<Job> {
+    let mut g = lock(q);
+    let pos = if newest_first {
+        g.iter().rposition(|t| t.tag == tag)
+    } else {
+        g.iter().position(|t| t.tag == tag)
+    };
+    pos.and_then(|i| g.remove(i)).map(|t| t.job)
+}
+
+struct Shared {
+    /// Jobs pushed from threads outside the pool.
+    injector: Mutex<VecDeque<Tagged>>,
+    /// One deque per worker; owners pop LIFO, thieves steal FIFO.
+    locals: Vec<Mutex<VecDeque<Tagged>>>,
+    /// Idle workers and waiting scopes sleep here (paired with the
+    /// `injector` mutex).
+    sleep: Condvar,
+}
+
+impl Shared {
+    /// Takes one pending job from anywhere: the calling worker's own
+    /// deque first (LIFO), then the injector, then the peers (FIFO).
+    fn find_any(&self) -> Option<Job> {
+        let me = WORKER.get();
+        if me < self.locals.len() {
+            if let Some(t) = lock(&self.locals[me]).pop_back() {
+                return Some(t.job);
+            }
+        }
+        if let Some(t) = lock(&self.injector).pop_front() {
+            return Some(t.job);
+        }
+        let n = self.locals.len();
+        let start = if me < n { me + 1 } else { 0 };
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if victim == me {
+                continue;
+            }
+            if let Some(t) = lock(&self.locals[victim]).pop_front() {
+                return Some(t.job);
+            }
+        }
+        None
+    }
+
+    /// Takes one pending job belonging to the given scope, scanning every
+    /// queue (a scope's jobs may have been pushed by any thread running
+    /// one of its jobs).
+    fn find_scoped(&self, tag: usize) -> Option<Job> {
+        let me = WORKER.get();
+        if me < self.locals.len() {
+            if let Some(job) = take_tagged(&self.locals[me], tag, true) {
+                return Some(job);
+            }
+        }
+        if let Some(job) = take_tagged(&self.injector, tag, false) {
+            return Some(job);
+        }
+        for (victim, local) in self.locals.iter().enumerate() {
+            if victim == me {
+                continue;
+            }
+            if let Some(job) = take_tagged(local, tag, false) {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Queues a job on the calling worker's deque (or the injector when
+    /// called from outside the pool) and wakes a sleeper.
+    fn push(&self, tag: usize, job: Job) {
+        let me = WORKER.get();
+        let tagged = Tagged { tag, job };
+        if me < self.locals.len() {
+            lock(&self.locals[me]).push_back(tagged);
+        } else {
+            lock(&self.injector).push_back(tagged);
+        }
+        self.sleep.notify_all();
+    }
+}
+
+pub(crate) struct ThreadPool {
+    shared: Arc<Shared>,
+    n_threads: usize,
+}
+
+thread_local! {
+    /// This thread's index in the global pool; `usize::MAX` outside it.
+    static WORKER: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+static POOL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The lazily-created global pool.
+pub(crate) fn global() -> &'static ThreadPool {
+    POOL.get_or_init(ThreadPool::from_env)
+}
+
+impl ThreadPool {
+    fn from_env() -> ThreadPool {
+        let n = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Condvar::new(),
+        });
+        for index in 0..n {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{index}"))
+                // Headroom for deeply nested joins (inline help frames
+                // scale with the computation's nesting depth).
+                .stack_size(8 * 1024 * 1024)
+                .spawn(move || worker_loop(shared, index))
+                .expect("failed to spawn pool worker");
+        }
+        ThreadPool {
+            shared,
+            n_threads: n,
+        }
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.n_threads
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    WORKER.set(index);
+    loop {
+        match shared.find_any() {
+            // Scope jobs catch their own panics; the extra guard keeps a
+            // stray panicking job from killing the worker.
+            Some(job) => drop(panic::catch_unwind(AssertUnwindSafe(job))),
+            None => {
+                let guard = lock(&shared.injector);
+                if guard.is_empty() {
+                    // The timeout bounds the one benign race: a peer
+                    // pushing to its local deque between our scan and
+                    // this wait (local pushes notify without holding the
+                    // injector lock).
+                    let _ = shared.sleep.wait_timeout(guard, Duration::from_millis(2));
+                }
+            }
+        }
+    }
+}
+
+struct ScopeState {
+    /// Spawned jobs not yet finished.
+    pending: AtomicUsize,
+    /// First panic payload out of any spawned job.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A spawn handle tied to the borrow region `'scope`, in the shape of
+/// `rayon::Scope`. Spawned closures may borrow anything that outlives
+/// the enclosing [`scope`] call.
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    /// Invariance over `'scope` (as in rayon): the region must not be
+    /// allowed to shrink behind the borrow checker's back.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+/// Runs `f` with a [`Scope`] and does not return until every job spawned
+/// on it has finished. While waiting, the calling thread executes pending
+/// pool jobs rather than parking. A panic in `f` or in any spawned job is
+/// resurfaced here (after all jobs finished, so borrows stay sound).
+pub fn scope<'scope, R>(f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    let state = Arc::new(ScopeState {
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+    });
+    let s = Scope {
+        state: Arc::clone(&state),
+        _marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+    let shared = &global().shared;
+    let tag = Arc::as_ptr(&state) as usize;
+    while state.pending.load(Ordering::Acquire) != 0 {
+        // Help with this scope's own jobs only — see the module docs for
+        // why inlining unrelated jobs here would unbound the stack.
+        match shared.find_scoped(tag) {
+            Some(job) => drop(panic::catch_unwind(AssertUnwindSafe(job))),
+            None => {
+                let guard = lock(&shared.injector);
+                if state.pending.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                let _ = shared.sleep.wait_timeout(guard, Duration::from_micros(500));
+            }
+        }
+    }
+    let job_panic = lock(&state.panic).take();
+    match result {
+        Err(p) => panic::resume_unwind(p),
+        Ok(r) => {
+            if let Some(p) = job_panic {
+                panic::resume_unwind(p);
+            }
+            r
+        }
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `f` on the pool. On a one-thread pool the job runs inline
+    /// (identical semantics, no cross-thread handoff).
+    pub fn spawn<F: FnOnce() + Send + 'scope>(&self, f: F) {
+        let pool = global();
+        if pool.num_threads() <= 1 {
+            if let Err(p) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = lock(&self.state.panic);
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+            }
+            return;
+        }
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: `scope` blocks until `pending` drops back to zero, so
+        // this job — and everything it borrows for 'scope — outlives its
+        // execution; the pool never holds it past scope exit.
+        let job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        let tag = Arc::as_ptr(&self.state) as usize;
+        pool.shared.push(
+            tag,
+            Box::new(move || {
+                if let Err(p) = panic::catch_unwind(AssertUnwindSafe(job)) {
+                    let mut slot = lock(&state.panic);
+                    if slot.is_none() {
+                        *slot = Some(p);
+                    }
+                }
+                state.pending.fetch_sub(1, Ordering::AcqRel);
+                global().shared.sleep.notify_all();
+            }),
+        );
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both results
+/// — rayon's fundamental primitive. The second closure is offered to the
+/// pool while the first runs on the calling thread.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = scope(|s| {
+        s.spawn(|| rb = Some(oper_b()));
+        oper_a()
+    });
+    (ra, rb.expect("join: second branch did not run"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_nests() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn scope_runs_every_spawn() {
+        let hits = AtomicU64::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_spawns_may_borrow_locals() {
+        let mut out = vec![0u64; 32];
+        scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move || *slot = (i * i) as u64);
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == (i * i) as u64));
+    }
+
+    #[test]
+    fn panicking_spawn_propagates_and_pool_survives() {
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|| panic!("boom in pool job"));
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool keeps working afterwards.
+        let (a, b) = join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+}
