@@ -16,7 +16,7 @@
 //! - [`lattice`] — drift/quadrupole elements and FODO channel builders.
 //! - [`transport`] — symplectic linear maps through lattice elements.
 //! - [`spacecharge`] — the particle-core model of Qiang & Ryne (the paper's
-//!   ref [10]): a breathing uniform-density core whose mismatch oscillations
+//!   ref \[10\]): a breathing uniform-density core whose mismatch oscillations
 //!   resonantly drive particles into a halo.
 //! - [`simulation`] — the time-stepping loop (Rayon-parallel particle
 //!   pushes) producing per-step snapshots.

@@ -1,5 +1,5 @@
 //! The particle-core space-charge model (Qiang & Ryne, *Phys. Rev. ST
-//! Accel. Beams* 3, 064201 — the paper's reference [10]).
+//! Accel. Beams* 3, 064201 — the paper's reference \[10\]).
 //!
 //! High-intensity beams develop a *halo*: a tenuous population thousands of
 //! times less dense than the core, driven out by the parametric resonance

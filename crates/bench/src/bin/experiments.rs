@@ -38,4 +38,9 @@ fn main() {
             run(a);
         }
     }
+    // With ACCELVIZ_TRACE set, the experiment run leaves a Chrome trace
+    // artifact next to the BENCH_*.json files.
+    if let Ok(Some(path)) = accelviz_trace::flush() {
+        println!("wrote pipeline trace to {}", path.display());
+    }
 }

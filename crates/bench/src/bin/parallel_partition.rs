@@ -86,6 +86,10 @@ fn child() {
     println!("serial_digest={:016x}", digest_store(&serial));
     println!("parallel_digest={:016x}", digest_store(&par));
     println!("nodes={}", par.tree().nodes.len());
+    // With ACCELVIZ_TRACE set, each child writes the trace artifact in
+    // turn; children run sequentially, so the last one (the full-core
+    // run) is what ends up next to BENCH_parallel_partition.json.
+    let _ = accelviz_trace::flush();
 }
 
 struct Run {

@@ -42,7 +42,14 @@ impl HybridFrame {
         threshold: f64,
         volume_dims: [usize; 3],
     ) -> HybridFrame {
+        let mut span = accelviz_trace::span("core.hybrid_frame");
         let ex = extract(data, threshold);
+        if span.is_active() {
+            span.arg("step", step as f64);
+            span.arg("threshold", threshold);
+            span.arg("points_kept", ex.particles.len() as f64);
+            span.arg("voxelized", ex.discarded as f64);
+        }
         let bounds = data.tree().bounds;
         let grid = DensityGrid::from_particles(data.particles(), data.plot(), bounds, volume_dims);
 

@@ -47,9 +47,16 @@ pub fn partition_snapshot(snapshot: &Snapshot, params: &PipelineParams) -> Parti
 /// Processes a whole run: partitions every snapshot in parallel and
 /// extracts one hybrid frame per snapshot at the configured point budget.
 pub fn process_run(snapshots: &[Snapshot], params: &PipelineParams) -> Vec<HybridFrame> {
+    let mut run_span = accelviz_trace::span("pipeline.process_run");
+    run_span.arg("frames", snapshots.len() as f64);
+    // Per-frame jobs run on pool workers; parent them to the run span
+    // explicitly so the logical hierarchy survives work stealing.
+    let run_id = run_span.id();
     snapshots
         .par_iter()
         .map(|snap| {
+            let mut span = accelviz_trace::span_child("pipeline.frame", run_id);
+            span.arg("step", snap.step as f64);
             let data = partition_snapshot(snap, params);
             let threshold = threshold_for_budget(&data, params.point_budget);
             HybridFrame::from_partition(&data, snap.step, threshold, params.volume_dims)

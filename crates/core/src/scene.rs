@@ -79,6 +79,7 @@ pub fn render_hybrid_frame(
     }
 
     if mode != RenderMode::VolumeOnly {
+        let mut span = accelviz_trace::span("render.points_pass");
         let positions = frame.point_positions();
         let (w, h) = (fb.width(), fb.height());
         for (i, &p) in positions.iter().enumerate() {
@@ -115,6 +116,10 @@ pub fn render_hybrid_frame(
                 }
             }
             stats.points_drawn += 1;
+        }
+        if span.is_active() {
+            span.arg("points_drawn", stats.points_drawn as f64);
+            span.arg("points_available", positions.len() as f64);
         }
     }
     stats
@@ -255,6 +260,7 @@ pub fn render_line_set(
     style: &LineStyle,
     half_width: f64,
 ) -> SceneStats {
+    let mut span = accelviz_trace::span("render.lines_pass");
     let mut stats = SceneStats::default();
     let eye = camera.eye;
     let material = Material::default();
@@ -431,6 +437,11 @@ pub fn render_line_set(
             }
             stats.fragments += queue.flush(fb, camera);
         }
+    }
+    if span.is_active() {
+        span.arg("lines", lines.len() as f64);
+        span.arg("triangles", stats.triangles as f64);
+        span.arg("fragments", stats.fragments as f64);
     }
     stats
 }

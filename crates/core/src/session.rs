@@ -183,8 +183,9 @@ impl ViewerSession {
 
     /// Renders the current state.
     pub fn render(&self, fb: &mut Framebuffer) -> SceneStats {
+        let mut span = accelviz_trace::span("session.render_frame");
         let cam = self.camera(fb.width() as f64 / fb.height() as f64);
-        render_hybrid_frame(
+        let stats = render_hybrid_frame(
             fb,
             &cam,
             self.frame(),
@@ -195,7 +196,24 @@ impl ViewerSession {
                 ..Default::default()
             },
             &PointStyle::default(),
-        )
+        );
+        if span.is_active() {
+            span.arg("frame", self.current as f64);
+            span.arg("volume_samples", stats.volume_samples as f64);
+            span.arg("points_drawn", stats.points_drawn as f64);
+        }
+        stats
+    }
+
+    /// Writes the whole-frame Chrome trace accumulated so far (every span
+    /// the pipeline recorded into the global registry — partition,
+    /// extraction, wire transfer, render) to `path`. Requires tracing to
+    /// be on (`ACCELVIZ_TRACE` set, or
+    /// [`accelviz_trace::registry::Registry::set_spans_enabled`] called on
+    /// the global registry); with tracing off the file is written but
+    /// contains no span events.
+    pub fn dump_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        accelviz_trace::chrome::write_trace(path, accelviz_trace::global())
     }
 }
 

@@ -1,6 +1,6 @@
 //! Time-domain electromagnetic field solver on hexahedral meshes — the
 //! substrate standing in for SLAC's Tau3P parallel field solver (§3,
-//! ref [16]).
+//! ref \[16\]).
 //!
 //! The paper's field data comes from "a parallel time domain
 //! electromagnetic field solver using unstructured hexahedral meshes"

@@ -1,5 +1,5 @@
 //! Illuminated field lines baseline (Figure 6(b); Stalling, Zöckler &
-//! Hege, the paper's ref [13]).
+//! Hege, the paper's ref \[13\]).
 //!
 //! Classic line-primitive illumination: the intensity of an infinitely
 //! thin line is computed from its tangent, `diffuse ∝ √(1 − (L·T)²)`,

@@ -2,7 +2,7 @@
 //! and the *self-orienting surfaces* representation (§3 of the paper;
 //! Schussman & Ma, Pacific Graphics 2002).
 //!
-//! - [`line`] — field-line polylines with tangents and local magnitudes.
+//! - [`mod@line`] — field-line polylines with tangents and local magnitudes.
 //! - [`integrate`] — RK4 streamline tracing through a
 //!   [`accelviz_emsim::sample::VectorField3`].
 //! - [`seeding`] — the paper's seeding strategy: per-element desired line
@@ -16,7 +16,7 @@
 //! - [`tube`] — the conventional streamtube baseline (2·m triangles per
 //!   segment for an m-gon cross-section) the paper compares against.
 //! - [`ribbon`] — the wide textured-ribbon variant of Figure 6(e).
-//! - [`illuminated`] — the illuminated-field-lines baseline [13].
+//! - [`illuminated`] — the illuminated-field-lines baseline \[13\].
 //! - [`compact`] — the compact pre-integrated line storage that buys the
 //!   paper's ~25× reduction over raw field dumps.
 //! - [`style`] — color/opacity mapping by field strength (Figure 10).

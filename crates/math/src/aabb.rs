@@ -191,7 +191,7 @@ impl Aabb {
         ]
     }
 
-    /// Normalized coordinates of `p` inside the box, each in [0,1] when the
+    /// Normalized coordinates of `p` inside the box, each in \[0,1\] when the
     /// point is inside. Degenerate axes map to 0.
     pub fn normalized_coords(&self, p: Vec3) -> Vec3 {
         let s = self.size();

@@ -9,13 +9,13 @@ use std::ops::{Add, Mul};
 /// paper targets.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Rgba {
-    /// Red, linear [0,1].
+    /// Red, linear \[0,1\].
     pub r: f32,
-    /// Green, linear [0,1].
+    /// Green, linear \[0,1\].
     pub g: f32,
-    /// Blue, linear [0,1].
+    /// Blue, linear \[0,1\].
     pub b: f32,
-    /// Opacity (alpha), [0,1].
+    /// Opacity (alpha), \[0,1\].
     pub a: f32,
 }
 
@@ -71,7 +71,7 @@ impl Rgba {
         Rgba { a, ..self }
     }
 
-    /// Component-wise clamp to [0,1].
+    /// Component-wise clamp to \[0,1\].
     #[inline]
     pub fn clamped(self) -> Rgba {
         Rgba::new(

@@ -67,6 +67,17 @@ impl Default for BuildParams {
 /// paper's pipeline; see [`crate::extraction`] for the fast repeatable
 /// step.
 pub fn partition(particles: &[Particle], plot: PlotType, params: BuildParams) -> PartitionedData {
+    let mut span = accelviz_trace::span("octree.partition");
+    span.arg("particles", particles.len() as f64);
+    let data = partition_impl(particles, plot, params);
+    let secs = span.elapsed_seconds();
+    if secs > 0.0 {
+        span.arg("particles_per_sec", particles.len() as f64 / secs);
+    }
+    data
+}
+
+fn partition_impl(particles: &[Particle], plot: PlotType, params: BuildParams) -> PartitionedData {
     // Production dumps occasionally contain non-finite particles (lost
     // particles written as NaN/Inf by some codes); they would poison the
     // bounds and octant assignment, so they are dropped here.

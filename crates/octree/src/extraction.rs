@@ -55,21 +55,37 @@ impl<'a> HybridExtract<'a> {
 /// leaf densities) — the extraction itself is a zero-copy prefix borrow,
 /// faithfully modeling "no computation is necessary for the particles".
 pub fn extract(data: &PartitionedData, threshold: f64) -> HybridExtract<'_> {
+    let mut span = accelviz_trace::span("octree.extract");
     let leaves = data.sorted_leaves();
-    // partition_point: first leaf whose density is >= threshold.
-    let cut = leaves.partition_point(|&li| data.tree().nodes[li as usize].density < threshold);
+    // partition_point: first leaf whose density is >= threshold. The
+    // comparator count is the real number of node visits the binary
+    // search performed — the instrumented evidence for the O(log L)
+    // claim above.
+    let visits = std::cell::Cell::new(0u64);
+    let cut = leaves.partition_point(|&li| {
+        visits.set(visits.get() + 1);
+        data.tree().nodes[li as usize].density < threshold
+    });
     let prefix_len = if cut == 0 {
         0
     } else {
         let last = &data.tree().nodes[leaves[cut - 1] as usize];
         (last.offset + last.len) as usize
     };
-    HybridExtract {
+    let result = HybridExtract {
         particles: &data.particles()[..prefix_len],
         threshold,
         leaves_kept: cut,
         discarded: (data.particles().len() - prefix_len) as u64,
+    };
+    if span.is_active() {
+        span.arg("threshold", threshold);
+        span.arg("node_visits", visits.get() as f64);
+        span.arg("leaves_kept", result.leaves_kept as f64);
+        span.arg("kept", result.particles.len() as f64);
+        span.arg("discarded", result.discarded as f64);
     }
+    result
 }
 
 /// Finds the threshold density that keeps (approximately, rounding up to a

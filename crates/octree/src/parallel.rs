@@ -6,7 +6,7 @@
 //! corresponding node once they are read from disk" (§2.3). Here the
 //! "nodes" are Rayon tasks: projection and octant assignment run as
 //! chunked parallel passes, the root's octants are built independently in
-//! parallel (sharing the serial builder's [`grow_subtree`] routine, so
+//! parallel (sharing the serial builder's `grow_subtree` routine, so
 //! splitting and gradient-refinement decisions are identical by
 //! construction), and the pieces are grafted under a common root. The
 //! result is bit-identical to the serial build for the same parameters at
@@ -14,7 +14,6 @@
 //! sorted store orders equal-density groups by leaf geometry rather than
 //! node layout.
 //!
-//! [`grow_subtree`]: crate::builder::grow_subtree
 
 use crate::builder::{grow_subtree, BuildParams, Subtree};
 use crate::node::{Node, Octree};
@@ -34,9 +33,12 @@ pub fn partition_parallel(
     plot: PlotType,
     params: BuildParams,
 ) -> PartitionedData {
+    let mut span = accelviz_trace::span("octree.parallel_partition");
+    span.arg("particles", particles.len() as f64);
+    span.arg("pool_threads", rayon::current_num_threads() as f64);
     // Match the serial builder: non-finite particles (lost particles some
     // codes write as NaN/Inf) would poison bounds and octant assignment.
-    if particles.iter().all(|p| p.is_finite()) {
+    let data = if particles.iter().all(|p| p.is_finite()) {
         partition_parallel_finite(particles, plot, params)
     } else {
         let finite: Vec<Particle> = particles
@@ -45,7 +47,12 @@ pub fn partition_parallel(
             .filter(|p| p.is_finite())
             .collect();
         partition_parallel_finite(&finite, plot, params)
+    };
+    let secs = span.elapsed_seconds();
+    if secs > 0.0 {
+        span.arg("particles_per_sec", particles.len() as f64 / secs);
     }
+    data
 }
 
 fn partition_parallel_finite(
@@ -62,13 +69,17 @@ fn partition_parallel_finite(
     }
 
     // Projection is embarrassingly parallel; collect preserves order.
-    let points: Vec<Vec3> = particles.par_iter().map(|p| plot.project(p)).collect();
+    let points: Vec<Vec3> = {
+        let _span = accelviz_trace::span("octree.project");
+        particles.par_iter().map(|p| plot.project(p)).collect()
+    };
     let bounds = padded_bounds(&points);
 
     // Route particles to root octants (the "assignment" phase) in chunks:
     // per-chunk histograms concatenated in chunk order leave every bucket
     // in ascending particle order — exactly the order the serial builder's
     // single pass produces.
+    let route_span = accelviz_trace::span("octree.route");
     let chunk = points
         .len()
         .div_ceil((rayon::current_num_threads() * 4).max(1))
@@ -91,15 +102,27 @@ fn partition_parallel_finite(
             buckets[o].extend(v);
         }
     }
+    drop(route_span);
 
     // Build each octant subtree in parallel with the serial builder's own
     // subdivision routine (depths are global, so depth-limit and
     // gradient-refinement decisions match the serial build exactly).
+    // The octant jobs run on pool worker threads, so each span names its
+    // logical parent (the fan-out span) explicitly — the worker's own
+    // thread-local span stack belongs to whatever it stole last.
+    let fanout = accelviz_trace::span("octree.build_octants");
+    let fanout_id = fanout.id();
     let pieces: Vec<Subtree> = buckets
         .into_par_iter()
         .enumerate()
-        .map(|(oct, items)| grow_subtree(&points, bounds.octant(oct), 1, items, &params))
+        .map(|(oct, items)| {
+            let mut span = accelviz_trace::span_child("octree.octant", fanout_id);
+            span.arg("octant", oct as f64);
+            span.arg("particles", items.len() as f64);
+            grow_subtree(&points, bounds.octant(oct), 1, items, &params)
+        })
         .collect();
+    drop(fanout);
 
     // Graft the 8 subtrees under one root, re-basing child pointers.
     let mut nodes = vec![Node::leaf(bounds, 0)];

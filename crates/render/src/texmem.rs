@@ -122,6 +122,7 @@ impl TextureMemory {
         self.lru.push(id);
         self.used += bytes;
         self.uploads += 1;
+        accelviz_trace::global().set_gauge("render.texture_bytes", self.used as f64);
         Some(UploadResult {
             was_resident: false,
             bytes_uploaded: bytes,
@@ -135,6 +136,7 @@ impl TextureMemory {
         if let Some(sz) = self.resident.remove(&id) {
             self.used -= sz;
             self.lru.retain(|&x| x != id);
+            accelviz_trace::global().set_gauge("render.texture_bytes", self.used as f64);
         }
     }
 

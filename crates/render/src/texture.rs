@@ -78,7 +78,7 @@ impl Texture2 {
 }
 
 /// The tube cross-section *bump map*: encodes, across the strip (v ∈
-/// [0,1]), the surface normal a polygonal tube would have at that point of
+/// \[0,1\]), the surface normal a polygonal tube would have at that point of
 /// its silhouette. Channels: r = n_side (−1..1 mapped to 0..1), g =
 /// n_toward_viewer (0..1), b unused, a = coverage (0 outside the circular
 /// silhouette).

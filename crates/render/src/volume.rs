@@ -49,6 +49,7 @@ pub fn render_volume(
     style: &VolumeStyle,
 ) -> u64 {
     assert!(style.steps > 0);
+    let mut span = accelviz_trace::span("render.volume_pass");
     let (w, h) = (fb.width(), fb.height());
     let bounds = field.bounds();
     let view_proj_inv = match camera.view_projection().inverse() {
@@ -113,6 +114,11 @@ pub fn render_volume(
             row_samples
         })
         .sum();
+    if span.is_active() {
+        span.arg("samples", samples_total as f64);
+        span.arg("pixels", (w * h) as f64);
+        span.arg("steps", style.steps as f64);
+    }
     samples_total
 }
 

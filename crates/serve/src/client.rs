@@ -63,6 +63,11 @@ impl Client {
 
     /// Fetches one frame at one threshold, measuring the transfer.
     pub fn fetch(&mut self, frame: u32, threshold: f64) -> Result<(HybridFrame, FetchMetrics)> {
+        // The wire-transfer span of the pipeline trace: request write to
+        // decoded reply, as seen from the viewer side.
+        let mut span = accelviz_trace::span("serve.fetch");
+        span.arg("frame", frame as f64);
+        span.arg("threshold", threshold);
         let t0 = Instant::now();
         write_request(
             &mut self.stream,
@@ -70,6 +75,7 @@ impl Client {
         )?;
         let (resp, wire_bytes) = read_response(&mut self.stream)?;
         let seconds = t0.elapsed().as_secs_f64();
+        span.arg("wire_bytes", wire_bytes as f64);
         match resp {
             Response::Frame(f) => Ok((
                 f,

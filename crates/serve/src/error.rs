@@ -39,7 +39,8 @@ pub enum ServeError {
     Corrupt(String),
     /// The server answered with an in-band error reply.
     Remote {
-        /// Machine-readable error code (see [`crate::protocol::error_code`]).
+        /// Machine-readable error code (one of the `ERR_*` constants in
+        /// [`crate::protocol`]).
         code: u16,
         /// Human-readable server message.
         message: String,

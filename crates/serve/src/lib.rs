@@ -24,6 +24,8 @@
 //!
 //! [`HybridFrame`]: accelviz_core::hybrid::HybridFrame
 
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod client;
 pub mod error;

@@ -2,8 +2,9 @@
 //!
 //! One thread accepts connections; each connection gets its own handler
 //! thread running a strict request/reply loop. All handlers share one
-//! [`ExtractionCache`] and one statistics block, both behind
-//! `parking_lot` locks. The server owns the *partitioned* data — the
+//! [`ExtractionCache`] and one per-server metrics
+//! [`Registry`] (counters under the `serve.*` names in [`crate::stats`]).
+//! The server owns the *partitioned* data — the
 //! density-sorted stores produced by preprocessing — and extracts hybrid
 //! frames on demand at whatever threshold a client dials, which is
 //! exactly the paper's split: preprocessing near the simulation, compact
@@ -15,12 +16,15 @@ use crate::protocol::{
     write_response, FrameInfo, Request, Response, ERR_BAD_REQUEST, ERR_BAD_THRESHOLD,
     ERR_NO_SUCH_FRAME, RESP_FRAME,
 };
-use crate::stats::ServerStats;
+use crate::stats::{
+    ServerStats, CTR_BYTES_SENT, CTR_CACHE_HITS, CTR_CACHE_MISSES, CTR_FRAMES_SERVED, CTR_REQUESTS,
+    HIST_LATENCY,
+};
 use crate::wire::{encode_frame, write_envelope, VERSION};
 use accelviz_core::hybrid::HybridFrame;
 use accelviz_octree::extraction::threshold_for_budget;
 use accelviz_octree::sorted_store::PartitionedData;
-use parking_lot::Mutex;
+use accelviz_trace::registry::Registry;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -62,7 +66,7 @@ struct Shared {
     data: Vec<PartitionedData>,
     config: ServerConfig,
     cache: ExtractionCache,
-    stats: Mutex<ServerStats>,
+    metrics: Registry,
     shutdown: AtomicBool,
 }
 
@@ -98,7 +102,7 @@ impl FrameServer {
             data,
             config,
             cache: ExtractionCache::new(config.cache_capacity),
-            stats: Mutex::new(ServerStats::default()),
+            metrics: Registry::new(),
             shutdown: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
@@ -127,7 +131,14 @@ impl FrameServer {
     /// A local snapshot of the statistics (the same data a client gets
     /// from [`Request::Stats`]).
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats.lock().clone()
+        ServerStats::from_registry(&self.shared.metrics)
+    }
+
+    /// This server's private metrics registry — the source the wire
+    /// `Stats` snapshot is assembled from. Exposed so tests (and embedding
+    /// applications) can assert on individual counters.
+    pub fn metrics(&self) -> &Registry {
+        &self.shared.metrics
     }
 
     /// Stops accepting connections and joins the accept thread.
@@ -175,17 +186,20 @@ fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
             }
         };
         let t0 = Instant::now();
+        let span = accelviz_trace::span("serve.request");
         let (bytes, served_frame) = match respond(&shared, req, &mut stream) {
             Ok(r) => r,
             Err(_) => return, // client went away mid-reply
         };
-        let mut stats = shared.stats.lock();
-        stats.requests += 1;
-        stats.bytes_sent += bytes;
+        drop(span);
+        shared.metrics.add(CTR_REQUESTS, 1);
+        shared.metrics.add(CTR_BYTES_SENT, bytes);
         if served_frame {
-            stats.frames_served += 1;
+            shared.metrics.add(CTR_FRAMES_SERVED, 1);
         }
-        stats.latency.record(t0.elapsed().as_secs_f64());
+        shared
+            .metrics
+            .record_seconds(HIST_LATENCY, t0.elapsed().as_secs_f64());
     }
 }
 
@@ -245,25 +259,37 @@ fn respond(
                 };
                 return Ok((write_response(stream, &reply)?, false));
             }
-            let (extracted, hit) = shared
-                .cache
-                .get_or_build(CacheKey::new(frame, threshold), || {
-                    build_frame(shared, frame as usize, threshold)
-                });
-            {
-                let mut stats = shared.stats.lock();
+            let (extracted, hit) = {
+                let mut span = accelviz_trace::span("serve.extract");
+                span.arg("frame", frame as f64);
+                span.arg("threshold", threshold);
+                let (extracted, hit) = shared
+                    .cache
+                    .get_or_build(CacheKey::new(frame, threshold), || {
+                        build_frame(shared, frame as usize, threshold)
+                    });
+                span.arg("cache_hit", hit as u64 as f64);
+                (extracted, hit)
+            };
+            shared.metrics.add(
                 if hit {
-                    stats.cache_hits += 1;
+                    CTR_CACHE_HITS
                 } else {
-                    stats.cache_misses += 1;
-                }
-            }
+                    CTR_CACHE_MISSES
+                },
+                1,
+            );
             // Encode straight from the cached Arc — no frame clone.
-            let bytes = write_envelope(stream, RESP_FRAME, &encode_frame(&extracted))?;
+            let bytes = {
+                let mut span = accelviz_trace::span("serve.send");
+                let bytes = write_envelope(stream, RESP_FRAME, &encode_frame(&extracted))?;
+                span.arg("bytes", bytes as f64);
+                bytes
+            };
             Ok((bytes, true))
         }
         Request::Stats => {
-            let snapshot = shared.stats.lock().clone();
+            let snapshot = ServerStats::from_registry(&shared.metrics);
             Ok((write_response(stream, &Response::Stats(snapshot))?, false))
         }
     }

@@ -1,55 +1,32 @@
 //! Per-request observability: counters and a latency histogram the server
 //! accumulates and reports through the `Stats` reply.
+//!
+//! The counters live in an [`accelviz_trace::registry::Registry`] owned by
+//! each server (so two servers in one process never mix numbers), under
+//! the `serve.*` names below; [`ServerStats::from_registry`] assembles the
+//! wire-shaped snapshot from it. The histogram type is the shared
+//! [`accelviz_trace::hist::LogHistogram`] — the bucket layout the `Stats`
+//! reply has always carried — re-exported under its historical name so the
+//! wire codec and existing callers are untouched.
 
-/// Upper edges of the latency buckets, in microseconds. A request falls in
-/// the first bucket whose edge it does not exceed; slower requests land in
-/// the final overflow bucket.
-pub const LATENCY_EDGES_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+use accelviz_trace::registry::Registry;
 
-/// Number of histogram buckets (the edges plus one overflow bucket).
-pub const LATENCY_BUCKETS: usize = LATENCY_EDGES_US.len() + 1;
+pub use accelviz_trace::hist::{
+    LogHistogram as LatencyHistogram, LATENCY_BUCKETS, LATENCY_EDGES_US,
+};
 
-/// A fixed-bucket log-scale latency histogram.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    /// Request counts per bucket.
-    pub counts: [u64; LATENCY_BUCKETS],
-}
-
-impl LatencyHistogram {
-    /// Records one request that took `seconds`.
-    pub fn record(&mut self, seconds: f64) {
-        let us = (seconds.max(0.0) * 1e6) as u64;
-        let bucket = LATENCY_EDGES_US
-            .iter()
-            .position(|&edge| us <= edge)
-            .unwrap_or(LATENCY_EDGES_US.len());
-        self.counts[bucket] += 1;
-    }
-
-    /// Total requests recorded.
-    pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
-    }
-
-    /// Human label for bucket `i`, e.g. `"<=1ms"` or `">10s"`.
-    pub fn label(i: usize) -> String {
-        fn us_text(us: u64) -> String {
-            if us >= 1_000_000 {
-                format!("{}s", us / 1_000_000)
-            } else if us >= 1_000 {
-                format!("{}ms", us / 1_000)
-            } else {
-                format!("{us}us")
-            }
-        }
-        if i < LATENCY_EDGES_US.len() {
-            format!("<={}", us_text(LATENCY_EDGES_US[i]))
-        } else {
-            format!(">{}", us_text(*LATENCY_EDGES_US.last().unwrap()))
-        }
-    }
-}
+/// Registry counter: requests handled, across all clients and kinds.
+pub const CTR_REQUESTS: &str = "serve.requests";
+/// Registry counter: frame replies sent.
+pub const CTR_FRAMES_SERVED: &str = "serve.frames_served";
+/// Registry counter: payload + framing bytes written to clients.
+pub const CTR_BYTES_SENT: &str = "serve.bytes_sent";
+/// Registry counter: frame requests answered from the extraction cache.
+pub const CTR_CACHE_HITS: &str = "serve.cache_hits";
+/// Registry counter: frame requests that ran a fresh extraction.
+pub const CTR_CACHE_MISSES: &str = "serve.cache_misses";
+/// Registry histogram: request service-time distribution.
+pub const HIST_LATENCY: &str = "serve.request_latency";
 
 /// A snapshot of the server's lifetime counters, as carried by the
 /// `Stats` reply.
@@ -70,6 +47,18 @@ pub struct ServerStats {
 }
 
 impl ServerStats {
+    /// Assembles the wire snapshot from a server's metrics registry.
+    pub fn from_registry(reg: &Registry) -> ServerStats {
+        ServerStats {
+            requests: reg.counter(CTR_REQUESTS),
+            frames_served: reg.counter(CTR_FRAMES_SERVED),
+            bytes_sent: reg.counter(CTR_BYTES_SENT),
+            cache_hits: reg.counter(CTR_CACHE_HITS),
+            cache_misses: reg.counter(CTR_CACHE_MISSES),
+            latency: reg.histogram(HIST_LATENCY).unwrap_or_default(),
+        }
+    }
+
     /// Fraction of frame requests served from the cache.
     pub fn hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -134,5 +123,32 @@ mod tests {
         };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert!(s.summary().contains("75% hit"));
+    }
+
+    #[test]
+    fn snapshot_mirrors_the_registry() {
+        let reg = Registry::new();
+        reg.add(CTR_REQUESTS, 5);
+        reg.add(CTR_FRAMES_SERVED, 3);
+        reg.add(CTR_BYTES_SENT, 9_000);
+        reg.add(CTR_CACHE_HITS, 2);
+        reg.add(CTR_CACHE_MISSES, 1);
+        reg.record_seconds(HIST_LATENCY, 0.002);
+        let s = ServerStats::from_registry(&reg);
+        assert_eq!(s.requests, 5);
+        assert_eq!(s.frames_served, 3);
+        assert_eq!(s.bytes_sent, 9_000);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.latency.total(), 1);
+        assert_eq!(s.latency.counts[2], 1);
+    }
+
+    #[test]
+    fn empty_registry_snapshots_as_default() {
+        assert_eq!(
+            ServerStats::from_registry(&Registry::new()),
+            ServerStats::default()
+        );
     }
 }

@@ -164,26 +164,32 @@ impl PayloadWriter {
         self.buf
     }
 
+    /// Appends one byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
+    /// Appends a `u16`, little-endian.
     pub fn put_u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends a `u32`, little-endian.
     pub fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends a `u64`, little-endian.
     pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends an `f32`, little-endian.
     pub fn put_f32(&mut self, v: f32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends an `f64`, little-endian.
     pub fn put_f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -221,26 +227,32 @@ impl<'a> PayloadReader<'a> {
         Ok(s)
     }
 
+    /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
+    /// Reads a `u16`, little-endian.
     pub fn u16(&mut self) -> Result<u16> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
+    /// Reads a `u32`, little-endian.
     pub fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
+    /// Reads a `u64`, little-endian.
     pub fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    /// Reads an `f32`, little-endian.
     pub fn f32(&mut self) -> Result<f32> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
+    /// Reads an `f64`, little-endian.
     pub fn f64(&mut self) -> Result<f64> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }

@@ -1,0 +1,436 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the `{"traceEvents":[...]}` object format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): one
+//! complete (`"ph":"X"`) event per finished span, thread-name metadata
+//! (`"ph":"M"`) events for every track seen, and counter (`"ph":"C"`)
+//! events snapshotting the registry's counters and gauges. Timestamps and
+//! durations are microseconds with sub-microsecond decimals, measured
+//! from the process-wide monotonic anchor.
+//!
+//! The module also carries a deliberately small JSON reader ([`parse_json`])
+//! — just enough to round-trip our own exports in golden tests without
+//! pulling a serde stack into a zero-dependency crate.
+
+use crate::registry::{track_names_snapshot, Registry, SpanRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders the registry as a Chrome trace-event JSON document.
+pub fn trace_json(reg: &Registry) -> String {
+    let spans = reg.spans();
+    let mut out = String::with_capacity(256 + spans.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, event: String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&event);
+    };
+
+    for (track, name) in track_names_snapshot() {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{track},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                json_string(&name)
+            ),
+        );
+    }
+
+    for span in &spans {
+        push(&mut out, span_event(span));
+    }
+
+    // Counters and gauges are point-in-time snapshots; stamp them at the
+    // export moment (the end of the latest span keeps them on-screen).
+    let stamp_ns = spans
+        .iter()
+        .map(|s| s.start_ns + s.dur_ns)
+        .max()
+        .unwrap_or(0);
+    for (name, value) in reg.counters() {
+        push(&mut out, counter_event(&name, value as f64, stamp_ns));
+    }
+    for (name, value) in reg.gauges() {
+        push(&mut out, counter_event(&name, value, stamp_ns));
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Writes [`trace_json`] to `path`.
+pub fn write_trace(path: &Path, reg: &Registry) -> io::Result<()> {
+    std::fs::write(path, trace_json(reg))
+}
+
+fn span_event(span: &SpanRecord) -> String {
+    let mut ev = format!(
+        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":{},\"cat\":\"accelviz\",\
+         \"ts\":{},\"dur\":{}",
+        span.track,
+        json_string(&span.name),
+        micros(span.start_ns),
+        micros(span.dur_ns),
+    );
+    // Parent identity rides in args: Chrome nests "X" events by time and
+    // track on its own, and the explicit ids let the summary reporter
+    // (and a human) reconstruct logical nesting across pool threads.
+    let _ = write!(ev, ",\"args\":{{\"span_id\":{}", span.id);
+    if span.parent != 0 {
+        let _ = write!(ev, ",\"parent_id\":{}", span.parent);
+    }
+    for (key, value) in &span.args {
+        let _ = write!(ev, ",{}:{}", json_string(key), json_number(*value));
+    }
+    ev.push_str("}}");
+    ev
+}
+
+fn counter_event(name: &str, value: f64, stamp_ns: u64) -> String {
+    format!(
+        "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":{},\"ts\":{},\
+         \"args\":{{\"value\":{}}}}}",
+        json_string(name),
+        micros(stamp_ns),
+        json_number(value)
+    )
+}
+
+fn micros(ns: u64) -> String {
+    // Microseconds with nanosecond precision kept as three decimals.
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    // JSON has no Infinity/NaN; the extraction threshold is legitimately
+    // +inf ("voxelize everything"), so non-finite values become strings.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        json_string(&format!("{v}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — for golden tests over our own output.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are `f64`; object keys keep source order
+/// irrelevant (a [`BTreeMap`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string literal.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value at `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document, rejecting trailing garbage.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos).map(Json::String),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{word}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Number)
+        .map_err(|e| format!("bad number `{text}` at byte {start}: {e}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar, not one byte.
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // past `[`
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            other => return Err(format!("expected `,` or `]`, got {other:?}")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // past `{`
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        map.insert(key, parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_scalars_arrays_objects() {
+        let v = parse_json(r#"{"a":[1,2.5,-3e2],"b":"x\"y","c":null,"d":true}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\"y"));
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        assert_eq!(v.get("d"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage() {
+        assert!(parse_json("{} junk").is_err());
+        assert!(parse_json("[1,]").is_err());
+    }
+
+    #[test]
+    fn exported_trace_round_trips_through_the_parser() {
+        let reg = Registry::with_spans();
+        {
+            let mut s = reg.span("stage.one");
+            s.arg("items", 10.0);
+            let _inner = reg.span("stage.two");
+        }
+        reg.add("frames", 2);
+        reg.set_gauge("bytes", 1024.0);
+        let doc = parse_json(&trace_json(&reg)).expect("export parses");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let phases: Vec<_> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert!(phases.contains(&"X".to_string()), "span events present");
+        assert!(phases.contains(&"C".to_string()), "counter events present");
+        assert!(phases.contains(&"M".to_string()), "thread metadata present");
+    }
+
+    #[test]
+    fn span_events_carry_parent_ids_and_args() {
+        let reg = Registry::with_spans();
+        {
+            let outer = reg.span("outer");
+            let mut child = reg.span_child("child", outer.id());
+            child.arg("threshold", f64::INFINITY);
+        }
+        let doc = parse_json(&trace_json(&reg)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let child = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("child"))
+            .unwrap();
+        let args = child.get("args").unwrap();
+        assert!(args.get("parent_id").unwrap().as_f64().unwrap() >= 1.0);
+        // Non-finite numbers must export as strings — JSON has no inf.
+        assert_eq!(args.get("threshold").unwrap().as_str(), Some("inf"));
+    }
+
+    #[test]
+    fn timestamps_are_monotone_nonnegative_micros() {
+        let reg = Registry::with_spans();
+        for i in 0..5 {
+            let mut s = reg.span("tick");
+            s.arg("i", i as f64);
+        }
+        let doc = parse_json(&trace_json(&reg)).unwrap();
+        let mut last = -1.0;
+        for e in doc.get("traceEvents").unwrap().as_array().unwrap() {
+            if e.get("ph").and_then(Json::as_str) != Some("X") {
+                continue;
+            }
+            let ts = e.get("ts").unwrap().as_f64().unwrap();
+            let dur = e.get("dur").unwrap().as_f64().unwrap();
+            assert!(ts >= 0.0 && dur >= 0.0);
+            assert!(
+                ts >= last,
+                "spans recorded in completion order stay monotone"
+            );
+            last = ts;
+        }
+    }
+}

@@ -128,4 +128,8 @@ fn main() {
          {:.0}x (paper reports ~25x at its line budget)",
         accelviz::fieldlines::compact::saving_factor(&all, 1_600_000)
     );
+
+    if let Some(path) = accelviz::trace::flush().expect("trace write") {
+        println!("wrote pipeline trace to {}", path.display());
+    }
 }

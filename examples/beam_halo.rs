@@ -176,4 +176,8 @@ fn main() {
         frames.len(),
         cache.resident_count()
     );
+
+    if let Some(path) = accelviz::trace::flush().expect("trace write") {
+        println!("wrote pipeline trace to {}", path.display());
+    }
 }

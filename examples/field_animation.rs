@@ -93,4 +93,8 @@ fn main() {
         animation.saving_factor(1_600_000),
         accelviz::emsim::io::snapshot_bytes(1_600_000) as f64 / 1e6
     );
+
+    if let Some(path) = accelviz::trace::flush().expect("trace write") {
+        println!("wrote pipeline trace to {}", path.display());
+    }
 }

@@ -84,4 +84,8 @@ fn main() {
     let path = std::path::Path::new("quickstart.ppm");
     write_ppm(&fb, Rgba::BLACK, path).expect("write image");
     println!("wrote {}", path.display());
+
+    if let Some(path) = accelviz::trace::flush().expect("trace write") {
+        println!("wrote pipeline trace to {}", path.display());
+    }
 }

@@ -10,6 +10,12 @@
 //! prediction.
 //!
 //! Run: `cargo run --release --example remote_viz`
+//!
+//! With `ACCELVIZ_TRACE=trace.json` set, the run also writes a Chrome
+//! trace-event file covering the whole pipeline — partition, extraction,
+//! wire transfer, and render spans — which opens directly in
+//! `chrome://tracing` or <https://ui.perfetto.dev>. See the "Reading a
+//! trace" section of the README.
 
 use accelviz::beam::io::snapshot_bytes;
 use accelviz::beam::simulation::{BeamConfig, BeamSimulation};
@@ -148,5 +154,18 @@ fn main() {
         warm.io_seconds,
         session.frame().points.len()
     );
+    // Render the remote frame so a captured trace covers the full
+    // pipeline: partition → extract → wire → render.
+    let mut fb = accelviz::render::framebuffer::Framebuffer::new(256, 256);
+    let scene = session.render(&mut fb);
+    println!(
+        "  rendered remotely-fetched frame: {} volume samples, {} points drawn",
+        scene.volume_samples, scene.points_drawn
+    );
     server.shutdown();
+
+    if let Some(path) = accelviz::trace::flush().expect("trace write") {
+        println!("\nwrote pipeline trace to {}", path.display());
+        println!("{}", accelviz::trace::summary());
+    }
 }

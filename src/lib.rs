@@ -19,6 +19,12 @@
 //!   incremental seeding, and self-orienting surfaces (paper §3).
 //! - [`core`] — the hybrid rendering pipeline, transfer functions, viewer
 //!   frame cache, and remote-visualization model (paper §2).
+//! - [`serve`] — the multi-client TCP frame service (§2.1's remote
+//!   transfer made real).
+//! - [`trace`] — spans, counters, and Chrome trace-event export; set
+//!   `ACCELVIZ_TRACE=trace.json` before running any example or benchmark
+//!   to capture a whole-pipeline trace, then call [`trace::flush`] (the
+//!   examples already do).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every figure.
@@ -82,3 +88,4 @@ pub use accelviz_math as math;
 pub use accelviz_octree as octree;
 pub use accelviz_render as render;
 pub use accelviz_serve as serve;
+pub use accelviz_trace as trace;

@@ -1,0 +1,170 @@
+//! End-to-end observability: the serve metrics registry, the wire `Stats`
+//! reply, and the server's local snapshot must all tell the same story,
+//! and a trace captured across the whole pipeline must export as valid,
+//! monotonic Chrome trace-event JSON.
+
+use accelviz::beam::distribution::Distribution;
+use accelviz::core::hybrid::HybridFrame;
+use accelviz::octree::builder::{partition, BuildParams};
+use accelviz::octree::extraction::threshold_for_budget;
+use accelviz::octree::plots::PlotType;
+use accelviz::octree::sorted_store::PartitionedData;
+use accelviz::serve::stats::{CTR_CACHE_HITS, CTR_CACHE_MISSES, CTR_FRAMES_SERVED, CTR_REQUESTS};
+use accelviz::serve::{Client, FrameServer, ServerConfig};
+use accelviz::trace::chrome::{parse_json, trace_json, Json};
+use accelviz::trace::registry::Registry;
+
+fn stores(n: usize, particles: usize) -> Vec<PartitionedData> {
+    (0..n)
+        .map(|i| {
+            let ps = Distribution::default_beam().sample(particles, i as u64 + 1);
+            partition(&ps, PlotType::XYZ, BuildParams::default())
+        })
+        .collect()
+}
+
+#[test]
+fn registry_cache_counts_match_wire_stats_and_cache_counters() {
+    let server = FrameServer::spawn_loopback(stores(2, 1_500), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // 2 distinct (frame, threshold) extractions, each refetched once.
+    let t0 = threshold_for_budget(&stores(1, 1_500)[0], 400);
+    for _ in 0..2 {
+        client.fetch(0, t0).unwrap();
+        client.fetch(1, f64::INFINITY).unwrap();
+    }
+
+    // The wire-reported snapshot...
+    let wire = client.stats().unwrap();
+    assert_eq!(wire.cache_misses, 2, "two distinct extractions");
+    assert_eq!(wire.cache_hits, 2, "each refetched once");
+    assert_eq!(wire.frames_served, 4);
+
+    // ...must equal the registry the server accumulates into...
+    let reg = server.metrics();
+    assert_eq!(reg.counter(CTR_CACHE_HITS), wire.cache_hits);
+    assert_eq!(reg.counter(CTR_CACHE_MISSES), wire.cache_misses);
+    assert_eq!(reg.counter(CTR_FRAMES_SERVED), wire.frames_served);
+    // (the Stats request itself lands in the counter only after its reply
+    // is on the wire, so the registry ends up one ahead of the snapshot;
+    // poll briefly since that final bump races with the client's return)
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while reg.counter(CTR_REQUESTS) != wire.requests + 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "request counter never settled"
+        );
+        std::thread::yield_now();
+    }
+
+    // ...and the local stats() accessor is the same snapshot source.
+    let local = server.stats();
+    assert_eq!(local.cache_hits, wire.cache_hits);
+    assert_eq!(local.cache_misses, wire.cache_misses);
+    assert_eq!(local.latency.total(), reg.counter(CTR_REQUESTS));
+
+    server.shutdown();
+}
+
+#[test]
+fn two_servers_in_one_process_keep_separate_metrics() {
+    let a = FrameServer::spawn_loopback(stores(1, 1_000), ServerConfig::default()).unwrap();
+    let b = FrameServer::spawn_loopback(stores(1, 1_000), ServerConfig::default()).unwrap();
+    let mut ca = Client::connect(a.addr()).unwrap();
+    ca.fetch(0, f64::INFINITY).unwrap();
+    ca.fetch(0, f64::INFINITY).unwrap();
+    // The counter bump trails the reply slightly; poll for it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while a.stats().frames_served != 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "frame counter never settled"
+        );
+        std::thread::yield_now();
+    }
+    assert_eq!(b.stats().frames_served, 0, "server B saw no traffic");
+    a.shutdown();
+    b.shutdown();
+}
+
+/// The golden trace test: run partition → extract → hybrid build with
+/// spans enabled on the global registry and validate the exported JSON —
+/// it parses, the expected pipeline spans are present, and every span's
+/// timestamps are non-negative with children contained in their parents.
+#[test]
+fn pipeline_trace_exports_valid_monotonic_chrome_json() {
+    // The global registry is shared across tests in this binary; use its
+    // explicit switch rather than the env var (reading ACCELVIZ_TRACE is
+    // once-per-process and other tests must stay un-traced by default).
+    let reg = accelviz::trace::global();
+    reg.set_spans_enabled(true);
+    let ps = Distribution::default_beam().sample(3_000, 7);
+    let data = partition(&ps, PlotType::XYZ, BuildParams::default());
+    let t = threshold_for_budget(&data, 500);
+    let _frame = HybridFrame::from_partition(&data, 0, t, [8, 8, 8]);
+    reg.set_spans_enabled(false);
+
+    let doc = parse_json(&trace_json(reg)).expect("export must parse");
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+
+    let span_events: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    let names: Vec<&str> = span_events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    for expected in ["octree.partition", "octree.extract", "core.hybrid_frame"] {
+        assert!(
+            names.contains(&expected),
+            "missing span {expected}: {names:?}"
+        );
+    }
+
+    // Timestamps: non-negative, and logical children contained within
+    // their parents' intervals.
+    let interval = |e: &Json| -> (f64, f64, f64, Option<f64>) {
+        let ts = e.get("ts").unwrap().as_f64().unwrap();
+        let dur = e.get("dur").unwrap().as_f64().unwrap();
+        let id = e
+            .get("args")
+            .unwrap()
+            .get("span_id")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let parent = e
+            .get("args")
+            .unwrap()
+            .get("parent_id")
+            .and_then(Json::as_f64);
+        (ts, dur, id, parent)
+    };
+    let intervals: Vec<_> = span_events.iter().map(|e| interval(e)).collect();
+    for &(ts, dur, _, _) in &intervals {
+        assert!(ts >= 0.0 && dur >= 0.0);
+    }
+    for &(ts, dur, _, parent) in &intervals {
+        let Some(pid) = parent else { continue };
+        let Some(&(pts, pdur, _, _)) = intervals.iter().find(|&&(_, _, id, _)| id == pid) else {
+            continue; // parent span may still have been open at export
+        };
+        assert!(
+            ts >= pts && ts + dur <= pts + pdur + 1e-6,
+            "child [{ts}, {}] escapes parent [{pts}, {}]",
+            ts + dur,
+            pts + pdur
+        );
+    }
+}
+
+#[test]
+fn private_registry_spans_do_not_leak_into_the_global_trace() {
+    let private = Registry::with_spans();
+    drop(private.span("private.only"));
+    let global_json = trace_json(accelviz::trace::global());
+    assert!(!global_json.contains("private.only"));
+    assert!(trace_json(&private).contains("private.only"));
+}

@@ -5,7 +5,7 @@
 //! vendors this shim (see `vendor/` in the repo root). Work runs on a
 //! lazily-created global work-stealing pool of
 //! `available_parallelism()` threads (override: `RAYON_NUM_THREADS`);
-//! see [`pool`]. The adapter layer mirrors rayon's producer model in
+//! see the `pool` module. The adapter layer mirrors rayon's producer model in
 //! miniature: every entry point (`par_iter`, `par_chunks`,
 //! `into_par_iter`, …) yields a [`Producer`] that knows its exact length
 //! and can split at an index; terminal operations cut the producer into
