@@ -54,6 +54,11 @@ pub struct OpCost {
     /// Whether a `StepTo` load failed (only remote sources can fail; the
     /// session keeps showing the previous frame).
     pub failed: bool,
+    /// Whether the source served a *stale* frame in place of the
+    /// requested one (remote retries exhausted, graceful degradation).
+    /// The session stays on its previous frame index and keeps
+    /// rendering; the UI should badge the display as stale.
+    pub degraded: bool,
 }
 
 /// An interactive viewing session over a hybrid frame series. The frames
@@ -130,6 +135,17 @@ impl ViewerSession {
             SessionOp::StepTo(frame) => {
                 let frame = frame.min(self.source.frame_count() - 1);
                 match self.source.load(frame) {
+                    // A degraded load hands back a stale resident frame:
+                    // keep rendering it, but do not pretend we moved —
+                    // `current` stays where the data actually is.
+                    Ok((f, load)) if load.degraded => {
+                        self.current_frame = f;
+                        OpCost {
+                            io_seconds: load.seconds,
+                            degraded: true,
+                            ..Default::default()
+                        }
+                    }
                     Ok((f, load)) => {
                         self.current_frame = f;
                         self.current = frame;

@@ -30,6 +30,11 @@ pub struct FrameLoad {
     /// Whether the frame's volume texture was still resident in video
     /// memory.
     pub texture_resident: bool,
+    /// Whether this is a *stale* frame served in place of the requested
+    /// one because the source's data path failed (remote retries
+    /// exhausted). Local sources never set this; the viewer should badge
+    /// the display rather than freeze it.
+    pub degraded: bool,
 }
 
 /// Where a viewing session gets its frames. The paper's desktop viewer
@@ -244,6 +249,7 @@ impl FrameCache {
             bytes_loaded,
             seconds,
             texture_resident,
+            degraded: false,
         }
     }
 }

@@ -14,6 +14,7 @@
 //! count as hits when the first build lands. (The previous design held
 //! one coarse mutex across the build, serializing unrelated extractions.)
 
+use crate::lru::LruOrder;
 use accelviz_core::hybrid::HybridFrame;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -58,12 +59,25 @@ enum Entry {
 
 struct Inner {
     capacity: usize,
-    /// LRU order over *ready* keys, front = oldest. Building keys are not
-    /// listed and therefore cannot be evicted mid-build.
-    order: Vec<CacheKey>,
+    /// LRU order over *ready* keys. Building keys are not listed and
+    /// therefore cannot be evicted mid-build.
+    order: LruOrder<CacheKey>,
     entries: HashMap<CacheKey, Entry>,
     hits: u64,
     misses: u64,
+}
+
+/// What [`ExtractionCache::probe`] found for a key — enough for the
+/// server's load-shedder to decide whether admitting a request would
+/// start a *new* extraction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    /// The extraction is cached; serving it is cheap.
+    Ready,
+    /// Another thread is building it right now; a request would coalesce.
+    Building,
+    /// Nothing cached or in flight; a request would start an extraction.
+    Vacant,
 }
 
 /// An LRU cache of extracted frames shared by all connection threads.
@@ -78,7 +92,7 @@ impl ExtractionCache {
         ExtractionCache {
             inner: Mutex::new(Inner {
                 capacity,
-                order: Vec::new(),
+                order: LruOrder::new(),
                 entries: HashMap::new(),
                 hits: 0,
                 misses: 0,
@@ -111,9 +125,7 @@ impl ExtractionCache {
                 };
                 match &found {
                     Found::Ready(_) => {
-                        let pos = g.order.iter().position(|k| *k == key).unwrap();
-                        let k = g.order.remove(pos);
-                        g.order.push(k);
+                        g.order.touch(key);
                         g.hits += 1;
                     }
                     // Coalesced into the in-flight build: a hit.
@@ -164,10 +176,11 @@ impl ExtractionCache {
                 {
                     let mut g = self.inner.lock();
                     while g.order.len() >= g.capacity {
-                        let victim = g.order.remove(0);
-                        g.entries.remove(&victim);
+                        if let Some(victim) = g.order.pop_oldest() {
+                            g.entries.remove(&victim);
+                        }
                     }
-                    g.order.push(key);
+                    g.order.touch(key);
                     g.entries.insert(key, Entry::Ready(Arc::clone(&frame)));
                 }
                 *pending.done.lock().unwrap_or_else(|e| e.into_inner()) =
@@ -183,6 +196,18 @@ impl ExtractionCache {
                 pending.cv.notify_all();
                 std::panic::resume_unwind(payload)
             }
+        }
+    }
+
+    /// A non-admitting peek at `key`: would a request hit, coalesce, or
+    /// start a fresh extraction? Does not touch the LRU order or the
+    /// hit/miss counters — the server's load-shedder calls this to
+    /// decide whether to admit a request *before* committing to build.
+    pub fn probe(&self, key: &CacheKey) -> Probe {
+        match self.inner.lock().entries.get(key) {
+            Some(Entry::Ready(_)) => Probe::Ready,
+            Some(Entry::Building(_)) => Probe::Building,
+            None => Probe::Vacant,
         }
     }
 
@@ -325,6 +350,32 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(cache.counters(), (0, 2));
+    }
+
+    #[test]
+    fn probe_sees_all_three_states_without_admitting() {
+        let cache = Arc::new(ExtractionCache::new(4));
+        let key = CacheKey::new(0, 0.5);
+        assert_eq!(cache.probe(&key), Probe::Vacant);
+
+        let gate = Arc::new(Barrier::new(2));
+        let builder = {
+            let (cache, gate) = (Arc::clone(&cache), Arc::clone(&gate));
+            std::thread::spawn(move || {
+                cache.get_or_build(key, || {
+                    gate.wait(); // probe happens while we are in here
+                    gate.wait();
+                    frame(0)
+                })
+            })
+        };
+        gate.wait();
+        assert_eq!(cache.probe(&key), Probe::Building);
+        gate.wait();
+        builder.join().unwrap();
+        assert_eq!(cache.probe(&key), Probe::Ready);
+        // Probing never counted as a hit or a miss beyond the one build.
+        assert_eq!(cache.counters(), (0, 1));
     }
 
     #[test]

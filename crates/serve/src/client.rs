@@ -1,18 +1,41 @@
-//! The client side: a thin connection handle plus [`RemoteFrames`], a
-//! [`FrameSource`] that lets an unmodified
+//! The client side: a resilient connection handle plus [`RemoteFrames`],
+//! a [`FrameSource`] that lets an unmodified
 //! [`accelviz_core::session::ViewerSession`] run against a remote server.
+//!
+//! Resilience model: the protocol is strict request/reply and every
+//! request (`Hello`, `ListFrames`, `RequestFrame`, `Stats`) is
+//! idempotent, so any transport failure — timeout, reset, truncation,
+//! corruption — can be healed by reconnecting, re-running the `Hello`
+//! handshake, and replaying the request. [`Client`] does exactly that,
+//! paced by a [`RetryPolicy`]; when retries are exhausted,
+//! [`RemoteFrames`] degrades to its most recent resident frame (flagged
+//! [`FrameLoad::degraded`]) so the viewer keeps rendering instead of
+//! freezing. Retries, reconnects, and degraded loads are counted on the
+//! global [`accelviz_trace`] registry under the `client.*` names below.
 
 use crate::error::{Result, ServeError};
+use crate::fault::{FaultScript, FaultyTransport};
+use crate::lru::LruOrder;
 use crate::protocol::{read_response, write_request, FrameInfo, Request, Response};
+use crate::retry::RetryPolicy;
 use crate::stats::ServerStats;
 use crate::wire::VERSION;
 use accelviz_core::hybrid::HybridFrame;
 use accelviz_core::viewer::{FrameLoad, FrameSource};
 use std::collections::HashMap;
-use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Global-registry counter: requests retried after a transient failure.
+pub const CTR_CLIENT_RETRIES: &str = "client.retries";
+/// Global-registry counter: connections re-established (including the
+/// `Hello` re-handshake).
+pub const CTR_CLIENT_RECONNECTS: &str = "client.reconnects";
+/// Global-registry counter: loads served from a stale resident frame
+/// after retries were exhausted.
+pub const CTR_CLIENT_DEGRADED: &str = "client.degraded_frames";
 
 /// What one frame fetch actually cost on the wire — the measured numbers
 /// the `TransferModel` predicts analytically.
@@ -20,48 +43,222 @@ use std::time::Instant;
 pub struct FetchMetrics {
     /// Envelope bytes received for the frame reply.
     pub wire_bytes: u64,
-    /// Wall-clock seconds from request write to decoded frame.
+    /// Wall-clock seconds from request write to decoded frame, including
+    /// any retries and reconnects in between.
     pub seconds: f64,
 }
 
-/// A connected client. One TCP stream, strict request/reply.
+/// A client connection stream. Anything `Read + Write` qualifies; the
+/// production transport is a `TcpStream`, tests substitute
+/// [`FaultyTransport`]-wrapped streams.
+pub trait Transport: Read + Write + Send {}
+
+impl<S: Read + Write + Send> Transport for S {}
+
+/// Produces fresh [`Transport`]s — called once at connect time and again
+/// on every reconnect. Implement it to put anything between the client
+/// and the server (the crate ships [`TcpConnector`] and
+/// [`FaultyConnector`]).
+pub trait Connector: Send {
+    /// Opens a new transport to the server.
+    fn connect(&mut self) -> Result<Box<dyn Transport>>;
+}
+
+/// Client-side resilience knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection; `None` uses the OS
+    /// default. Mirrors the server's 30 s worker timeouts.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on any single blocking read — a stalled or half-open server
+    /// must not hang the viewer forever.
+    pub read_timeout: Option<Duration>,
+    /// Same bound for writes.
+    pub write_timeout: Option<Duration>,
+    /// How transient failures are retried; `None` fails fast on the
+    /// first error (the pre-resilience behavior).
+    pub retry: Option<RetryPolicy>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(30)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            retry: Some(RetryPolicy::default()),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Timeouts on, retries off: any transport failure surfaces
+    /// immediately, like the client behaved before the resilience layer.
+    pub fn no_retry() -> ClientConfig {
+        ClientConfig {
+            retry: None,
+            ..ClientConfig::default()
+        }
+    }
+}
+
+/// Dials a TCP address with the configured timeouts.
+pub struct TcpConnector {
+    addrs: Vec<SocketAddr>,
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+}
+
+impl TcpConnector {
+    /// Resolves `addr` once and dials it (first address that answers)
+    /// with `config`'s timeouts on every connect.
+    pub fn new(addr: impl ToSocketAddrs, config: &ClientConfig) -> Result<TcpConnector> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(ServeError::Io)?.collect();
+        if addrs.is_empty() {
+            return Err(ServeError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )));
+        }
+        Ok(TcpConnector {
+            addrs,
+            connect_timeout: config.connect_timeout,
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+        })
+    }
+
+    fn dial(&self) -> Result<TcpStream> {
+        let mut last: Option<io::Error> = None;
+        for addr in &self.addrs {
+            let attempt = match self.connect_timeout {
+                Some(t) => TcpStream::connect_timeout(addr, t),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(self.read_timeout);
+                    let _ = stream.set_write_timeout(self.write_timeout);
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ServeError::Io(last.expect("addrs is non-empty")))
+    }
+}
+
+impl Connector for TcpConnector {
+    fn connect(&mut self) -> Result<Box<dyn Transport>> {
+        Ok(Box::new(self.dial()?))
+    }
+}
+
+/// A [`TcpConnector`] whose every transport is wrapped in a
+/// [`FaultyTransport`] drawing from one shared [`FaultScript`] — the
+/// chaos-test connector. Byte positions in the script are cumulative
+/// across reconnects, so one seeded plan describes the whole session.
+pub struct FaultyConnector {
+    inner: TcpConnector,
+    script: Arc<FaultScript>,
+}
+
+impl FaultyConnector {
+    /// Wraps `inner` so every connection it opens is faulted by `script`.
+    pub fn new(inner: TcpConnector, script: Arc<FaultScript>) -> FaultyConnector {
+        FaultyConnector { inner, script }
+    }
+}
+
+impl Connector for FaultyConnector {
+    fn connect(&mut self) -> Result<Box<dyn Transport>> {
+        let stream = self.inner.dial()?;
+        Ok(Box::new(FaultyTransport::new(
+            stream,
+            Arc::clone(&self.script),
+        )))
+    }
+}
+
+/// What the resilience layer has done on this client's behalf.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests retried after a transient failure.
+    pub retries: u64,
+    /// Connections re-established (each includes a `Hello` re-handshake).
+    pub reconnects: u64,
+    /// Operations that failed even after exhausting the retry policy.
+    pub giveups: u64,
+}
+
+/// A connected client. One transport at a time, strict request/reply;
+/// transparently reconnects and replays on transient failures when a
+/// [`RetryPolicy`] is configured.
 pub struct Client {
-    stream: TcpStream,
+    connector: Box<dyn Connector>,
+    config: ClientConfig,
+    transport: Option<Box<dyn Transport>>,
     frame_count: u32,
+    stats: ClientStats,
+    ever_connected: bool,
+    /// Wire bytes of the most recent successful reply (attempts that
+    /// failed partway do not count — their bytes never became a frame).
+    last_wire_bytes: u64,
 }
 
 impl Client {
-    /// Connects and performs the `Hello` handshake.
+    /// Connects with default resilience (30 s timeouts, default retry
+    /// policy) and performs the `Hello` handshake.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
-        let stream = TcpStream::connect(addr).map_err(ServeError::Io)?;
-        let _ = stream.set_nodelay(true);
-        let mut client = Client {
-            stream,
-            frame_count: 0,
-        };
-        match client.call(&Request::Hello { version: VERSION })? {
-            Response::HelloAck { frame_count, .. } => {
-                client.frame_count = frame_count;
-                Ok(client)
-            }
-            other => Err(unexpected("HelloAck", &other)),
-        }
+        Client::connect_with(addr, ClientConfig::default())
     }
 
-    /// Frames the server advertised at handshake.
+    /// Connects with explicit resilience knobs.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Client> {
+        let connector = TcpConnector::new(addr, &config)?;
+        Client::connect_via(Box::new(connector), config)
+    }
+
+    /// Connects through an arbitrary [`Connector`] — the entry point for
+    /// fault-injected transports.
+    pub fn connect_via(connector: Box<dyn Connector>, config: ClientConfig) -> Result<Client> {
+        let mut client = Client {
+            connector,
+            config,
+            transport: None,
+            frame_count: 0,
+            stats: ClientStats::default(),
+            ever_connected: false,
+            last_wire_bytes: 0,
+        };
+        // The initial connect gets the same retry treatment as any later
+        // operation: a server still coming up is a transient condition.
+        client.retry_loop(|_t| Ok(()))?;
+        Ok(client)
+    }
+
+    /// Frames the server advertised at the (most recent) handshake.
     pub fn frame_count(&self) -> usize {
         self.frame_count as usize
     }
 
+    /// What the resilience layer has done so far.
+    pub fn client_stats(&self) -> ClientStats {
+        self.stats
+    }
+
     /// Fetches the frame catalog.
     pub fn list_frames(&mut self) -> Result<Vec<FrameInfo>> {
-        match self.call(&Request::ListFrames)? {
+        match self.call(Request::ListFrames)? {
             Response::FrameList(frames) => Ok(frames),
             other => Err(unexpected("FrameList", &other)),
         }
     }
 
-    /// Fetches one frame at one threshold, measuring the transfer.
+    /// Fetches one frame at one threshold, measuring the transfer
+    /// (retries and reconnects included in the measured seconds).
     pub fn fetch(&mut self, frame: u32, threshold: f64) -> Result<(HybridFrame, FetchMetrics)> {
         // The wire-transfer span of the pipeline trace: request write to
         // decoded reply, as seen from the viewer side.
@@ -69,36 +266,122 @@ impl Client {
         span.arg("frame", frame as f64);
         span.arg("threshold", threshold);
         let t0 = Instant::now();
-        write_request(
-            &mut self.stream,
-            &Request::RequestFrame { frame, threshold },
-        )?;
-        let (resp, wire_bytes) = read_response(&mut self.stream)?;
+        let resp = self.call(Request::RequestFrame { frame, threshold })?;
         let seconds = t0.elapsed().as_secs_f64();
-        span.arg("wire_bytes", wire_bytes as f64);
         match resp {
-            Response::Frame(f) => Ok((
-                f,
-                FetchMetrics {
-                    wire_bytes,
-                    seconds,
-                },
-            )),
+            Response::Frame(f) => {
+                let wire_bytes = self.last_wire_bytes;
+                span.arg("wire_bytes", wire_bytes as f64);
+                Ok((
+                    f,
+                    FetchMetrics {
+                        wire_bytes,
+                        seconds,
+                    },
+                ))
+            }
             other => Err(unexpected("Frame", &other)),
         }
     }
 
     /// Fetches the server's statistics snapshot.
     pub fn stats(&mut self) -> Result<ServerStats> {
-        match self.call(&Request::Stats)? {
+        match self.call(Request::Stats)? {
             Response::Stats(s) => Ok(s),
             other => Err(unexpected("Stats", &other)),
         }
     }
 
-    fn call(&mut self, req: &Request) -> Result<Response> {
-        write_request(&mut self.stream, req)?;
-        Ok(read_response(&mut self.stream)?.0)
+    /// One request/reply exchange under the retry loop. An in-band
+    /// [`Response::Error`] becomes `Err(Remote)` *inside* the loop so
+    /// `ERR_BUSY` is retried with backoff like any transient failure;
+    /// non-retryable remote errors pass straight through.
+    fn call(&mut self, req: Request) -> Result<Response> {
+        let (resp, wire_bytes) = self.retry_loop(move |t| {
+            write_request(t, &req)?;
+            let (resp, wire_bytes) = read_response(t)?;
+            if let Response::Error { code, message } = resp {
+                return Err(ServeError::Remote { code, message });
+            }
+            Ok((resp, wire_bytes))
+        })?;
+        self.last_wire_bytes = wire_bytes;
+        Ok(resp)
+    }
+
+    /// Opens a fresh transport and re-runs the `Hello` handshake.
+    fn establish(&mut self) -> Result<Box<dyn Transport>> {
+        let mut t = self.connector.connect()?;
+        write_request(&mut t, &Request::Hello { version: VERSION })?;
+        let (resp, _) = read_response(&mut t)?;
+        match resp {
+            Response::HelloAck { frame_count, .. } => {
+                self.frame_count = frame_count;
+                if self.ever_connected {
+                    self.stats.reconnects += 1;
+                    accelviz_trace::global().add(CTR_CLIENT_RECONNECTS, 1);
+                }
+                self.ever_connected = true;
+                Ok(t)
+            }
+            other => Err(unexpected("HelloAck", &other)),
+        }
+    }
+
+    /// Runs `op` against a live transport, reconnecting and replaying on
+    /// transient failures as the retry policy allows. The idempotence of
+    /// every protocol request is what makes blind replay correct.
+    fn retry_loop<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Box<dyn Transport>) -> Result<T>,
+    ) -> Result<T> {
+        let start = Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            let result = match self.transport.take() {
+                Some(mut t) => match op(&mut t) {
+                    Ok(v) => {
+                        self.transport = Some(t);
+                        return Ok(v);
+                    }
+                    Err(e) => {
+                        // A Remote error arrived in a well-formed reply:
+                        // the stream is still in sync, keep it. Anything
+                        // else may have desynced the framing — drop the
+                        // transport so the next attempt reconnects.
+                        if matches!(e, ServeError::Remote { .. }) {
+                            self.transport = Some(t);
+                        }
+                        Err(e)
+                    }
+                },
+                None => self.establish().map(|t| {
+                    self.transport = Some(t);
+                }),
+            };
+            let err = match result {
+                Ok(()) => continue, // transport established; run op next
+                Err(e) => e,
+            };
+            let delay = match &self.config.retry {
+                Some(policy) if err.is_transient() => policy.next_delay(attempt, start.elapsed()),
+                _ => None,
+            };
+            match delay {
+                Some(d) => {
+                    self.stats.retries += 1;
+                    accelviz_trace::global().add(CTR_CLIENT_RETRIES, 1);
+                    std::thread::sleep(d);
+                    attempt += 1;
+                }
+                None => {
+                    if self.config.retry.is_some() && err.is_transient() {
+                        self.stats.giveups += 1;
+                    }
+                    return Err(err);
+                }
+            }
+        }
     }
 }
 
@@ -127,16 +410,23 @@ fn response_name(r: &Response) -> &'static str {
 /// A network-backed [`FrameSource`]: frames come over TCP at a fixed
 /// extraction threshold, with a client-side resident set so revisited
 /// frames display without a round trip — the remote twin of the viewer's
-/// local [`accelviz_core::viewer::FrameCache`].
+/// local [`accelviz_core::viewer::FrameCache`]. When a fetch fails even
+/// after the client's retries, the source *degrades* instead of erroring:
+/// it hands back its most recently displayed resident frame flagged
+/// [`FrameLoad::degraded`], so the viewer keeps rendering something
+/// honest rather than freezing.
 pub struct RemoteFrames {
     client: Client,
     threshold: f64,
     /// Frames the client may hold before evicting, LRU.
     max_resident: usize,
-    resident: Vec<u32>,
+    resident: LruOrder<u32>,
     frames: HashMap<u32, Arc<HybridFrame>>,
     /// Wire bytes received across all fetches.
     pub bytes_fetched: u64,
+    /// Loads answered with a stale resident frame after retries were
+    /// exhausted.
+    pub degraded_loads: u64,
 }
 
 impl RemoteFrames {
@@ -148,15 +438,34 @@ impl RemoteFrames {
             client,
             threshold,
             max_resident,
-            resident: Vec::new(),
+            resident: LruOrder::new(),
             frames: HashMap::new(),
             bytes_fetched: 0,
+            degraded_loads: 0,
         }
     }
 
     /// The connection, e.g. to pull server stats mid-session.
     pub fn client(&mut self) -> &mut Client {
         &mut self.client
+    }
+
+    /// The stale-frame fallback: most recently used resident frame.
+    fn fallback(&mut self) -> Option<(Arc<HybridFrame>, FrameLoad)> {
+        let key = *self.resident.newest()?;
+        let frame = Arc::clone(self.frames.get(&key)?);
+        self.degraded_loads += 1;
+        accelviz_trace::global().add(CTR_CLIENT_DEGRADED, 1);
+        Some((
+            frame,
+            FrameLoad {
+                cache_hit: true,
+                bytes_loaded: 0,
+                seconds: 0.0,
+                texture_resident: true,
+                degraded: true,
+            },
+        ))
     }
 }
 
@@ -168,27 +477,36 @@ impl FrameSource for RemoteFrames {
     fn load(&mut self, index: usize) -> io::Result<(Arc<HybridFrame>, FrameLoad)> {
         let key = index as u32;
         if let Some(frame) = self.frames.get(&key).cloned() {
-            let pos = self.resident.iter().position(|&k| k == key).unwrap();
-            let k = self.resident.remove(pos);
-            self.resident.push(k);
+            self.resident.touch(key);
             let load = FrameLoad {
                 cache_hit: true,
                 bytes_loaded: 0,
                 seconds: 0.0,
                 texture_resident: true,
+                degraded: false,
             };
             return Ok((frame, load));
         }
-        let (frame, metrics) = self
-            .client
-            .fetch(key, self.threshold)
-            .map_err(io::Error::from)?;
+        let (frame, metrics) = match self.client.fetch(key, self.threshold) {
+            Ok(r) => r,
+            Err(e) => {
+                // Retries (if configured) are exhausted. Degrade to the
+                // most recent resident frame if we have one; a session
+                // with no resident frame yet has nothing to show and the
+                // error must surface.
+                return match self.fallback() {
+                    Some(degraded) => Ok(degraded),
+                    None => Err(io::Error::from(e)),
+                };
+            }
+        };
         let frame = Arc::new(frame);
         while self.resident.len() >= self.max_resident {
-            let victim = self.resident.remove(0);
-            self.frames.remove(&victim);
+            if let Some(victim) = self.resident.pop_oldest() {
+                self.frames.remove(&victim);
+            }
         }
-        self.resident.push(key);
+        self.resident.touch(key);
         self.frames.insert(key, Arc::clone(&frame));
         self.bytes_fetched += metrics.wire_bytes;
         let load = FrameLoad {
@@ -196,6 +514,7 @@ impl FrameSource for RemoteFrames {
             bytes_loaded: metrics.wire_bytes,
             seconds: metrics.seconds,
             texture_resident: false,
+            degraded: false,
         };
         Ok((frame, load))
     }

@@ -86,18 +86,72 @@ impl std::error::Error for ServeError {
     }
 }
 
+impl ServeError {
+    /// Whether a retry (possibly over a fresh connection) has a real
+    /// chance of succeeding. Transport hiccups and framing desync are
+    /// transient — the strict request/reply protocol makes a reconnect +
+    /// re-handshake + replay safe. A version mismatch or a server-side
+    /// rejection of the request itself is not going to change on retry;
+    /// the one retryable in-band error is `ERR_BUSY`, the server's
+    /// explicit "come back shortly".
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ServeError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::Interrupted
+                    | io::ErrorKind::NotConnected
+            ),
+            // Stream desync or corruption: the connection is gone, but a
+            // reconnect starts from a clean envelope boundary.
+            ServeError::Truncated { .. }
+            | ServeError::ChecksumMismatch { .. }
+            | ServeError::Corrupt(_)
+            | ServeError::BadMagic(_)
+            | ServeError::UnknownKind(_)
+            | ServeError::Protocol(_) => true,
+            ServeError::UnsupportedVersion(_) => false,
+            ServeError::Remote { code, .. } => *code == crate::protocol::ERR_BUSY,
+        }
+    }
+}
+
 impl From<io::Error> for ServeError {
     fn from(e: io::Error) -> ServeError {
         ServeError::Io(e)
     }
 }
 
+/// Maps onto the closest [`io::ErrorKind`] instead of flattening
+/// everything to one kind, so `FrameSource` callers and the retry
+/// classifier can tell a timeout from corruption from a server
+/// rejection. The original [`ServeError`] rides along as the error's
+/// source, downcastable via [`io::Error::get_ref`].
 impl From<ServeError> for io::Error {
     fn from(e: ServeError) -> io::Error {
-        match e {
-            ServeError::Io(e) => e,
-            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
-        }
+        let kind = match &e {
+            ServeError::Io(_) => {
+                let ServeError::Io(inner) = e else {
+                    unreachable!()
+                };
+                return inner;
+            }
+            ServeError::Truncated { .. } => io::ErrorKind::UnexpectedEof,
+            ServeError::UnsupportedVersion(_) => io::ErrorKind::Unsupported,
+            ServeError::Remote { .. } => io::ErrorKind::Other,
+            ServeError::BadMagic(_)
+            | ServeError::UnknownKind(_)
+            | ServeError::ChecksumMismatch { .. }
+            | ServeError::Corrupt(_)
+            | ServeError::Protocol(_) => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, e)
     }
 }
 
@@ -129,7 +183,72 @@ mod tests {
     fn io_conversion_roundtrip_preserves_message() {
         let e = ServeError::Truncated { needed: 8, got: 3 };
         let io: io::Error = e.into();
-        assert_eq!(io.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(io.kind(), io::ErrorKind::UnexpectedEof);
         assert!(io.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn io_conversion_preserves_kinds() {
+        let timeout = ServeError::Io(io::Error::new(io::ErrorKind::TimedOut, "slow link"));
+        let io: io::Error = timeout.into();
+        assert_eq!(io.kind(), io::ErrorKind::TimedOut);
+
+        let cases: [(ServeError, io::ErrorKind); 4] = [
+            (
+                ServeError::ChecksumMismatch {
+                    expected: 1,
+                    actual: 2,
+                },
+                io::ErrorKind::InvalidData,
+            ),
+            (
+                ServeError::Truncated { needed: 4, got: 0 },
+                io::ErrorKind::UnexpectedEof,
+            ),
+            (
+                ServeError::UnsupportedVersion(9),
+                io::ErrorKind::Unsupported,
+            ),
+            (
+                ServeError::Remote {
+                    code: 3,
+                    message: "boom".into(),
+                },
+                io::ErrorKind::Other,
+            ),
+        ];
+        for (err, kind) in cases {
+            let io: io::Error = err.into();
+            assert_eq!(io.kind(), kind, "{io}");
+            // The structured error survives as the source.
+            assert!(io.get_ref().map(|s| s.is::<ServeError>()).unwrap_or(false));
+        }
+    }
+
+    #[test]
+    fn transient_classification_matches_the_retry_contract() {
+        assert!(ServeError::Io(io::Error::new(io::ErrorKind::TimedOut, "t")).is_transient());
+        assert!(ServeError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "r")).is_transient());
+        assert!(ServeError::Truncated { needed: 1, got: 0 }.is_transient());
+        assert!(ServeError::ChecksumMismatch {
+            expected: 1,
+            actual: 2
+        }
+        .is_transient());
+        assert!(!ServeError::UnsupportedVersion(2).is_transient());
+        assert!(!ServeError::Remote {
+            code: crate::protocol::ERR_NO_SUCH_FRAME,
+            message: "gone".into()
+        }
+        .is_transient());
+        assert!(ServeError::Remote {
+            code: crate::protocol::ERR_BUSY,
+            message: "shed".into()
+        }
+        .is_transient());
+        // Permission-style local errors are fatal.
+        assert!(
+            !ServeError::Io(io::Error::new(io::ErrorKind::PermissionDenied, "p")).is_transient()
+        );
     }
 }

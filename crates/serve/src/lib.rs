@@ -21,6 +21,16 @@
 //!   unmodified against a remote server.
 //! - [`stats`] — the per-request counters and latency histogram the
 //!   `Stats` reply carries.
+//! - [`retry`] — the deterministic backoff policy behind the client's
+//!   reconnect-and-replay resilience.
+//! - [`fault`] — seeded, scheduled fault injection for chaos testing
+//!   (delays, disconnects, truncations, bit flips at byte offsets).
+//! - [`lru`] — the O(log n) recency order shared by the server's
+//!   extraction cache and the client's resident set.
+//!
+//! The failure model — which faults exist, why replay is idempotent, when
+//! the server sheds, and how the viewer degrades — is written up in
+//! DESIGN.md §11.
 //!
 //! [`HybridFrame`]: accelviz_core::hybrid::HybridFrame
 
@@ -29,12 +39,21 @@
 pub mod cache;
 pub mod client;
 pub mod error;
+pub mod fault;
+pub mod lru;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 pub mod stats;
 pub mod wire;
 
-pub use client::{Client, FetchMetrics, RemoteFrames};
+pub use client::{
+    Client, ClientConfig, ClientStats, Connector, FaultyConnector, FetchMetrics, RemoteFrames,
+    TcpConnector, Transport,
+};
 pub use error::{Result, ServeError};
+pub use fault::{FaultDirection, FaultEvent, FaultKind, FaultPlan, FaultScript, FaultyTransport};
+pub use lru::LruOrder;
+pub use retry::RetryPolicy;
 pub use server::{FrameServer, ServerConfig};
 pub use stats::ServerStats;

@@ -1,0 +1,157 @@
+//! A small recency-order structure shared by every LRU in the serve path.
+//!
+//! Both the server's [`crate::cache::ExtractionCache`] and the client's
+//! [`crate::client::RemoteFrames`] resident set need the same three
+//! operations — touch a key to the front, find the oldest key, evict it —
+//! and both used to do them with `Vec::iter().position()` scans plus
+//! `remove(0)` shifts: O(n) per hit and per eviction. This structure keeps
+//! a monotonic *tick* per key in a `HashMap` and the mirror `tick → key`
+//! order in a `BTreeMap`, making every operation O(log n).
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// Recency order over a set of keys: the lowest tick is the
+/// least-recently-used key, the highest the most-recently-used.
+#[derive(Clone, Debug, Default)]
+pub struct LruOrder<K> {
+    tick: u64,
+    by_key: HashMap<K, u64>,
+    by_tick: BTreeMap<u64, K>,
+}
+
+impl<K: Clone + Eq + Hash> LruOrder<K> {
+    /// An empty order.
+    pub fn new() -> LruOrder<K> {
+        LruOrder {
+            tick: 0,
+            by_key: HashMap::new(),
+            by_tick: BTreeMap::new(),
+        }
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Whether no key is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Whether `key` is tracked.
+    pub fn contains(&self, key: &K) -> bool {
+        self.by_key.contains_key(key)
+    }
+
+    /// Marks `key` most-recently-used, inserting it if absent.
+    pub fn touch(&mut self, key: K) {
+        self.tick += 1;
+        if let Some(old) = self.by_key.insert(key.clone(), self.tick) {
+            self.by_tick.remove(&old);
+        }
+        self.by_tick.insert(self.tick, key);
+    }
+
+    /// Removes `key`; returns whether it was tracked.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.by_key.remove(key) {
+            Some(tick) => {
+                self.by_tick.remove(&tick);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The least-recently-used key, if any.
+    pub fn oldest(&self) -> Option<&K> {
+        self.by_tick.values().next()
+    }
+
+    /// The most-recently-used key, if any.
+    pub fn newest(&self) -> Option<&K> {
+        self.by_tick.values().next_back()
+    }
+
+    /// Removes and returns the least-recently-used key.
+    pub fn pop_oldest(&mut self) -> Option<K> {
+        let (&tick, _) = self.by_tick.iter().next()?;
+        let key = self.by_tick.remove(&tick)?;
+        self.by_key.remove(&key);
+        Some(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_order_decides_eviction() {
+        let mut lru = LruOrder::new();
+        for k in [1u32, 2, 3] {
+            lru.touch(k);
+        }
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.oldest(), Some(&1));
+        assert_eq!(lru.newest(), Some(&3));
+        lru.touch(1); // 2 becomes oldest
+        assert_eq!(lru.pop_oldest(), Some(2));
+        assert_eq!(lru.pop_oldest(), Some(3));
+        assert_eq!(lru.pop_oldest(), Some(1));
+        assert_eq!(lru.pop_oldest(), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn re_touching_does_not_duplicate() {
+        let mut lru = LruOrder::new();
+        lru.touch("a");
+        lru.touch("a");
+        lru.touch("a");
+        assert_eq!(lru.len(), 1);
+        assert!(lru.contains(&"a"));
+        assert_eq!(lru.pop_oldest(), Some("a"));
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn remove_is_exact() {
+        let mut lru = LruOrder::new();
+        lru.touch(7u32);
+        lru.touch(8);
+        assert!(lru.remove(&7));
+        assert!(!lru.remove(&7));
+        assert_eq!(lru.oldest(), Some(&8));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn matches_a_reference_vec_model() {
+        // Drive both the structure and the old Vec bookkeeping with the
+        // same operation stream; eviction order must be identical.
+        let mut lru = LruOrder::new();
+        let mut model: Vec<u32> = Vec::new();
+        let mut x = 0x9E37_79B9u64;
+        for _ in 0..2_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = ((x >> 33) % 12) as u32;
+            lru.touch(key);
+            if let Some(p) = model.iter().position(|&k| k == key) {
+                model.remove(p);
+            }
+            model.push(key);
+            if model.len() > 8 {
+                let victim = model.remove(0);
+                assert_eq!(lru.pop_oldest(), Some(victim));
+            }
+            assert_eq!(lru.len(), model.len());
+            assert_eq!(lru.oldest(), model.first());
+            assert_eq!(lru.newest(), model.last());
+        }
+    }
+}

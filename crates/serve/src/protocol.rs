@@ -45,6 +45,10 @@ pub const ERR_INTERNAL: u16 = 3;
 /// valid dials: `+Inf` serves everything — it is the catalog's own
 /// unlimited-budget sentinel — and `-Inf` serves an empty extraction.)
 pub const ERR_BAD_THRESHOLD: u16 = 4;
+/// Error code: the server is shedding load (connection cap or in-flight
+/// extraction limit reached). The message carries a retry-after hint;
+/// this is the one in-band error a client should retry with backoff.
+pub const ERR_BUSY: u16 = 5;
 
 /// One catalog entry in a [`Response::FrameList`].
 #[derive(Clone, Copy, Debug, PartialEq)]

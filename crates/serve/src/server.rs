@@ -9,25 +9,37 @@
 //! frames on demand at whatever threshold a client dials, which is
 //! exactly the paper's split: preprocessing near the simulation, compact
 //! hybrid frames shipped to the desktop.
+//!
+//! Protection: the server sheds rather than degrades. Past
+//! [`ServerConfig::max_connections`] a new connection gets one in-band
+//! `ERR_BUSY` (with a retry-after hint) and is closed; past
+//! [`ServerConfig::max_inflight_extractions`] a frame request that would
+//! start a *new* extraction gets `ERR_BUSY` on its live connection
+//! (cached and coalescing requests are always admitted — they are
+//! cheap). A panicking request handler is isolated: the client gets
+//! `ERR_INTERNAL`, the connection and the listener survive. Shutdown
+//! drains in-flight replies before returning, bounded by
+//! [`ServerConfig::drain_timeout`].
 
-use crate::cache::{CacheKey, ExtractionCache};
+use crate::cache::{CacheKey, ExtractionCache, Probe};
 use crate::error::ServeError;
+use crate::fault::{FaultScript, FaultyTransport};
 use crate::protocol::{
-    write_response, FrameInfo, Request, Response, ERR_BAD_REQUEST, ERR_BAD_THRESHOLD,
-    ERR_NO_SUCH_FRAME, RESP_FRAME,
+    write_response, FrameInfo, Request, Response, ERR_BAD_REQUEST, ERR_BAD_THRESHOLD, ERR_BUSY,
+    ERR_INTERNAL, ERR_NO_SUCH_FRAME, RESP_FRAME,
 };
 use crate::stats::{
-    ServerStats, CTR_BYTES_SENT, CTR_CACHE_HITS, CTR_CACHE_MISSES, CTR_FRAMES_SERVED, CTR_REQUESTS,
-    HIST_LATENCY,
+    ServerStats, CTR_BYTES_SENT, CTR_CACHE_HITS, CTR_CACHE_MISSES, CTR_FRAMES_SERVED,
+    CTR_HANDLER_PANICS, CTR_REQUESTS, CTR_SHED_CONNECTIONS, CTR_SHED_EXTRACTIONS, HIST_LATENCY,
 };
 use crate::wire::{encode_frame, write_envelope, VERSION};
 use accelviz_core::hybrid::HybridFrame;
 use accelviz_octree::extraction::threshold_for_budget;
 use accelviz_octree::sorted_store::PartitionedData;
 use accelviz_trace::registry::Registry;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -48,6 +60,16 @@ pub struct ServerConfig {
     pub read_timeout: Option<Duration>,
     /// Same bound for writes (a client that stops draining its socket).
     pub write_timeout: Option<Duration>,
+    /// Connections served concurrently; past this, new arrivals get one
+    /// in-band `ERR_BUSY` and are closed (thread-per-connection must not
+    /// become thread-per-attacker).
+    pub max_connections: usize,
+    /// Frame requests allowed to start *new* extractions concurrently;
+    /// past this they are shed with `ERR_BUSY` on their live connection.
+    /// Cached and coalescing requests are always admitted.
+    pub max_inflight_extractions: usize,
+    /// How long shutdown waits for in-flight replies to finish.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +80,9 @@ impl Default for ServerConfig {
             point_budget: 1_000,
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            max_connections: 64,
+            max_inflight_extractions: 8,
+            drain_timeout: Duration::from_secs(1),
         }
     }
 }
@@ -68,11 +93,28 @@ struct Shared {
     cache: ExtractionCache,
     metrics: Registry,
     shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    inflight_requests: AtomicUsize,
+    building_extractions: AtomicUsize,
+    /// Server-side chaos hook: when set, every accepted connection is
+    /// wrapped in a [`FaultyTransport`] drawing from this script.
+    /// Production servers leave it `None` and pay nothing.
+    faults: Option<Arc<FaultScript>>,
+}
+
+/// Decrements a shared gauge on drop, panic or not.
+struct CountGuard<'a>(&'a AtomicUsize);
+
+impl Drop for CountGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running frame server. Dropping it (or calling
-/// [`FrameServer::shutdown`]) stops the accept loop; handler threads end
-/// when their clients disconnect.
+/// [`FrameServer::shutdown`]) stops the accept loop, then drains
+/// in-flight replies (bounded by [`ServerConfig::drain_timeout`]);
+/// handler threads end when their clients disconnect.
 pub struct FrameServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
@@ -96,6 +138,28 @@ impl FrameServer {
         data: Vec<PartitionedData>,
         config: ServerConfig,
     ) -> io::Result<FrameServer> {
+        FrameServer::spawn_inner(addr, data, config, None)
+    }
+
+    /// A loopback server whose every connection is faulted by `script` —
+    /// the server-side chaos hook. Only tests call this; [`spawn`] never
+    /// wraps streams.
+    ///
+    /// [`spawn`]: FrameServer::spawn
+    pub fn spawn_chaos(
+        data: Vec<PartitionedData>,
+        config: ServerConfig,
+        script: Arc<FaultScript>,
+    ) -> io::Result<FrameServer> {
+        FrameServer::spawn_inner("127.0.0.1:0", data, config, Some(script))
+    }
+
+    fn spawn_inner(
+        addr: &str,
+        data: Vec<PartitionedData>,
+        config: ServerConfig,
+        faults: Option<Arc<FaultScript>>,
+    ) -> io::Result<FrameServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -104,6 +168,10 @@ impl FrameServer {
             cache: ExtractionCache::new(config.cache_capacity),
             metrics: Registry::new(),
             shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            inflight_requests: AtomicUsize::new(0),
+            building_extractions: AtomicUsize::new(0),
+            faults,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || {
@@ -112,8 +180,42 @@ impl FrameServer {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                // Connection cap: shed with one in-band ERR_BUSY rather
+                // than spawning an unbounded handler thread.
+                if accept_shared.active_connections.load(Ordering::SeqCst)
+                    >= accept_shared.config.max_connections
+                {
+                    accept_shared.metrics.add(CTR_SHED_CONNECTIONS, 1);
+                    let read_timeout = accept_shared.config.read_timeout;
+                    let write_timeout = accept_shared.config.write_timeout;
+                    std::thread::spawn(move || {
+                        let mut stream = stream;
+                        let _ = stream.set_read_timeout(read_timeout);
+                        let _ = stream.set_write_timeout(write_timeout);
+                        // Consume the client's first request (its Hello)
+                        // so the close after the reply is clean — closing
+                        // with unread inbound data would RST the socket
+                        // and the client would never see the reply.
+                        let _ = crate::protocol::read_request(&mut stream);
+                        let _ = write_response(
+                            &mut stream,
+                            &Response::Error {
+                                code: ERR_BUSY,
+                                message: "server at connection capacity; retry after ~100 ms"
+                                    .to_string(),
+                            },
+                        );
+                    });
+                    continue;
+                }
+                accept_shared
+                    .active_connections
+                    .fetch_add(1, Ordering::SeqCst);
                 let conn_shared = Arc::clone(&accept_shared);
-                std::thread::spawn(move || handle_connection(conn_shared, stream));
+                std::thread::spawn(move || {
+                    let _guard = CountGuard(&conn_shared.active_connections);
+                    handle_connection(&conn_shared, stream);
+                });
             }
         });
         Ok(FrameServer {
@@ -141,7 +243,8 @@ impl FrameServer {
         &self.shared.metrics
     }
 
-    /// Stops accepting connections and joins the accept thread.
+    /// Stops accepting connections, joins the accept thread, and drains
+    /// in-flight replies (bounded by [`ServerConfig::drain_timeout`]).
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -152,6 +255,14 @@ impl FrameServer {
             // Unblock the accept loop with a throwaway connection.
             let _ = TcpStream::connect(self.addr);
             let _ = handle.join();
+            // Graceful drain: let replies already being computed or
+            // written reach their clients before the process moves on.
+            let deadline = Instant::now() + self.shared.config.drain_timeout;
+            while self.shared.inflight_requests.load(Ordering::SeqCst) > 0
+                && Instant::now() < deadline
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
         }
     }
 }
@@ -162,13 +273,20 @@ impl Drop for FrameServer {
     }
 }
 
-fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
+fn handle_connection(shared: &Shared, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     // A stalled or byte-dribbling client must not pin this worker forever:
     // a timed-out read/write surfaces as an Io error below and the
     // connection is dropped.
     let _ = stream.set_read_timeout(shared.config.read_timeout);
     let _ = stream.set_write_timeout(shared.config.write_timeout);
+    match &shared.faults {
+        Some(script) => serve_loop(shared, FaultyTransport::new(stream, Arc::clone(script))),
+        None => serve_loop(shared, stream),
+    }
+}
+
+fn serve_loop<S: Read + Write>(shared: &Shared, mut stream: S) {
     loop {
         let req = match crate::protocol::read_request(&mut stream) {
             Ok(req) => req,
@@ -185,11 +303,39 @@ fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
                 return;
             }
         };
+        // Graceful shutdown: requests already being processed drain to
+        // their replies, but nothing *new* is admitted once the flag is
+        // up — the connection is dropped at the request boundary.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
         let t0 = Instant::now();
         let span = accelviz_trace::span("serve.request");
-        let (bytes, served_frame) = match respond(&shared, req, &mut stream) {
-            Ok(r) => r,
-            Err(_) => return, // client went away mid-reply
+        let _inflight = CountGuard({
+            shared.inflight_requests.fetch_add(1, Ordering::SeqCst);
+            &shared.inflight_requests
+        });
+        // Panic isolation: a poisoned request must not take the
+        // connection (let alone the listener) down with it. The client
+        // gets ERR_INTERNAL and the request/reply loop continues.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            respond(shared, req, &mut stream)
+        }));
+        let (bytes, served_frame) = match outcome {
+            Ok(Ok(r)) => r,
+            Ok(Err(_)) => return, // client went away mid-reply
+            Err(_panic) => {
+                shared.metrics.add(CTR_HANDLER_PANICS, 1);
+                let reply = Response::Error {
+                    code: ERR_INTERNAL,
+                    message: "internal error serving this request; the connection survives"
+                        .to_string(),
+                };
+                match write_response(&mut stream, &reply) {
+                    Ok(bytes) => (bytes, false),
+                    Err(_) => return,
+                }
+            }
         };
         drop(span);
         shared.metrics.add(CTR_REQUESTS, 1);
@@ -203,11 +349,28 @@ fn handle_connection(shared: Arc<Shared>, mut stream: TcpStream) {
     }
 }
 
+/// Tries to take one extraction permit; `None` means the limit is
+/// reached and the request should be shed.
+fn try_extraction_permit(shared: &Shared) -> Option<CountGuard<'_>> {
+    let limit = shared.config.max_inflight_extractions;
+    let gauge = &shared.building_extractions;
+    let mut current = gauge.load(Ordering::SeqCst);
+    loop {
+        if current >= limit {
+            return None;
+        }
+        match gauge.compare_exchange(current, current + 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => return Some(CountGuard(gauge)),
+            Err(actual) => current = actual,
+        }
+    }
+}
+
 /// Serves one request; returns (wire bytes written, was a frame reply).
-fn respond(
+fn respond<S: Write>(
     shared: &Shared,
     req: Request,
-    stream: &mut TcpStream,
+    stream: &mut S,
 ) -> crate::error::Result<(u64, bool)> {
     match req {
         Request::Hello { version } => {
@@ -259,6 +422,26 @@ fn respond(
                 };
                 return Ok((write_response(stream, &reply)?, false));
             }
+            let key = CacheKey::new(frame, threshold);
+            // Load shedding at the extraction limit: only requests that
+            // would start a *new* extraction are shed — cached frames and
+            // coalescing waiters are cheap and always admitted. The probe
+            // is advisory (the entry may change before get_or_build), so
+            // the limit is a strong bound, not a hard invariant.
+            let _permit = match shared.cache.probe(&key) {
+                Probe::Vacant => match try_extraction_permit(shared) {
+                    Some(p) => Some(p),
+                    None => {
+                        shared.metrics.add(CTR_SHED_EXTRACTIONS, 1);
+                        let reply = Response::Error {
+                            code: ERR_BUSY,
+                            message: "extraction capacity reached; retry after ~100 ms".to_string(),
+                        };
+                        return Ok((write_response(stream, &reply)?, false));
+                    }
+                },
+                Probe::Ready | Probe::Building => None,
+            };
             let (extracted, hit) = {
                 let mut span = accelviz_trace::span("serve.extract");
                 span.arg("frame", frame as f64);
@@ -332,5 +515,33 @@ mod tests {
     fn shutdown_is_idempotent_under_drop() {
         let server = FrameServer::spawn_loopback(stores(1), ServerConfig::default()).unwrap();
         drop(server); // Drop runs stop() after an explicit-path exercise elsewhere
+    }
+
+    #[test]
+    fn extraction_permits_are_bounded_and_returned() {
+        let config = ServerConfig {
+            max_inflight_extractions: 2,
+            ..ServerConfig::default()
+        };
+        let shared = Shared {
+            data: Vec::new(),
+            config,
+            cache: ExtractionCache::new(2),
+            metrics: Registry::new(),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            inflight_requests: AtomicUsize::new(0),
+            building_extractions: AtomicUsize::new(0),
+            faults: None,
+        };
+        let a = try_extraction_permit(&shared);
+        let b = try_extraction_permit(&shared);
+        assert!(a.is_some() && b.is_some());
+        assert!(try_extraction_permit(&shared).is_none(), "limit is 2");
+        drop(a);
+        assert!(
+            try_extraction_permit(&shared).is_some(),
+            "a dropped permit frees a slot"
+        );
     }
 }

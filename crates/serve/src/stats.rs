@@ -27,6 +27,16 @@ pub const CTR_CACHE_HITS: &str = "serve.cache_hits";
 pub const CTR_CACHE_MISSES: &str = "serve.cache_misses";
 /// Registry histogram: request service-time distribution.
 pub const HIST_LATENCY: &str = "serve.request_latency";
+/// Registry counter: connections refused at the connection cap (the
+/// client got an in-band `ERR_BUSY` and the socket was closed).
+pub const CTR_SHED_CONNECTIONS: &str = "serve.shed_connections";
+/// Registry counter: frame requests refused at the in-flight extraction
+/// limit (in-band `ERR_BUSY`; the connection stays usable).
+pub const CTR_SHED_EXTRACTIONS: &str = "serve.shed_extractions";
+/// Registry counter: request handlers that panicked and were isolated
+/// (the client got `ERR_INTERNAL`; the listener and the other
+/// connections were unaffected).
+pub const CTR_HANDLER_PANICS: &str = "serve.handler_panics";
 
 /// A snapshot of the server's lifetime counters, as carried by the
 /// `Stats` reply.

@@ -7,8 +7,9 @@ use accelviz::beam::distribution::Distribution;
 use accelviz::octree::builder::{partition, BuildParams};
 use accelviz::octree::plots::PlotType;
 use accelviz::octree::sorted_store::PartitionedData;
-use accelviz::serve::protocol::ERR_BAD_THRESHOLD;
-use accelviz::serve::{Client, FrameServer, ServeError, ServerConfig};
+use accelviz::serve::protocol::{ERR_BAD_THRESHOLD, ERR_INTERNAL};
+use accelviz::serve::stats::CTR_HANDLER_PANICS;
+use accelviz::serve::{Client, ClientConfig, FrameServer, ServeError, ServerConfig};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -127,6 +128,34 @@ fn infinite_thresholds_remain_valid_dials() {
     assert_eq!(all.points.len(), 800, "+Inf serves every particle");
     let (none, _) = client.fetch(0, f64::NEG_INFINITY).unwrap();
     assert!(none.points.is_empty(), "-Inf serves none");
+    server.shutdown();
+}
+
+#[test]
+fn panicking_handler_is_isolated_to_err_internal() {
+    // A zero volume dimension makes the extraction itself panic
+    // ("grid dims must be positive") — a stand-in for any poisoned
+    // request. The panic must not take down the connection, let alone
+    // the listener: the client gets ERR_INTERNAL in-band and keeps the
+    // session.
+    let config = ServerConfig {
+        volume_dims: [0, 16, 16],
+        ..ServerConfig::default()
+    };
+    let server = FrameServer::spawn_loopback(stores(1), config).unwrap();
+    let mut client = Client::connect_with(server.addr(), ClientConfig::no_retry()).unwrap();
+
+    match client.fetch(0, f64::INFINITY) {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, ERR_INTERNAL),
+        other => panic!("expected in-band ERR_INTERNAL, got {other:?}"),
+    }
+    assert_eq!(server.metrics().counter(CTR_HANDLER_PANICS), 1);
+
+    // The same connection still answers cheap requests...
+    assert_eq!(client.list_frames().unwrap().len(), 1);
+    // ...and the listener still admits fresh clients.
+    let mut second = Client::connect_with(server.addr(), ClientConfig::no_retry()).unwrap();
+    assert!(second.stats().unwrap().requests >= 1);
     server.shutdown();
 }
 
