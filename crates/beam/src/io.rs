@@ -24,17 +24,28 @@ pub fn snapshot_bytes(n: u64) -> u64 {
     HEADER_BYTES + n * BYTES_PER_PARTICLE
 }
 
-/// Writes a snapshot in the fixed binary format.
+/// Particles moved per I/O call by the chunked read/write paths:
+/// 16 Ki records ≈ 768 KiB, large enough that syscall overhead is noise,
+/// small enough that streaming never allocates the whole payload.
+pub const IO_CHUNK_PARTICLES: usize = 16_384;
+
+/// Writes a snapshot in the fixed binary format. Particle records are
+/// staged through a [`IO_CHUNK_PARTICLES`]-record buffer, so the writer
+/// issues large writes instead of one 48-byte write per particle.
 pub fn write_snapshot<W: Write>(w: &mut W, step: u64, particles: &[Particle]) -> io::Result<()> {
-    w.write_all(&MAGIC)?;
-    w.write_all(&step.to_le_bytes())?;
-    w.write_all(&(particles.len() as u64).to_le_bytes())?;
-    // Buffer per-particle to keep write syscalls reasonable without
-    // allocating the whole payload.
-    let mut buf = [0u8; BYTES_PER_PARTICLE as usize];
-    for p in particles {
-        for (i, c) in p.to_array().iter().enumerate() {
-            buf[i * 8..(i + 1) * 8].copy_from_slice(&c.to_le_bytes());
+    let mut header = [0u8; HEADER_BYTES as usize];
+    header[..8].copy_from_slice(&MAGIC);
+    header[8..16].copy_from_slice(&step.to_le_bytes());
+    header[16..24].copy_from_slice(&(particles.len() as u64).to_le_bytes());
+    w.write_all(&header)?;
+    let mut buf =
+        Vec::with_capacity(particles.len().min(IO_CHUNK_PARTICLES) * BYTES_PER_PARTICLE as usize);
+    for chunk in particles.chunks(IO_CHUNK_PARTICLES) {
+        buf.clear();
+        for p in chunk {
+            for c in p.to_array() {
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
         }
         w.write_all(&buf)?;
     }
@@ -43,20 +54,22 @@ pub fn write_snapshot<W: Write>(w: &mut W, step: u64, particles: &[Particle]) ->
 
 /// Reads a snapshot written by [`write_snapshot`]. Returns
 /// `(step, particles)`.
+///
+/// Reads are sized: one 24-byte header read, then bulk reads of up to
+/// [`IO_CHUNK_PARTICLES`] records — never one syscall per particle, and
+/// never a byte past the declared count (callers stream snapshots out of
+/// larger files and rely on exact consumption).
 pub fn read_snapshot<R: Read>(r: &mut R) -> io::Result<(u64, Vec<Particle>)> {
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if magic != MAGIC {
+    let mut header = [0u8; HEADER_BYTES as usize];
+    r.read_exact(&mut header)?;
+    if header[..8] != MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "bad snapshot magic",
         ));
     }
-    let mut u = [0u8; 8];
-    r.read_exact(&mut u)?;
-    let step = u64::from_le_bytes(u);
-    r.read_exact(&mut u)?;
-    let count = u64::from_le_bytes(u);
+    let step = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let count = u64::from_le_bytes(header[16..24].try_into().unwrap());
     // Guard against absurd counts from corrupt headers before allocating.
     const MAX_REASONABLE: u64 = 1 << 33;
     if count > MAX_REASONABLE {
@@ -66,16 +79,20 @@ pub fn read_snapshot<R: Read>(r: &mut R) -> io::Result<(u64, Vec<Particle>)> {
         ));
     }
     let mut particles = Vec::with_capacity(count as usize);
-    let mut buf = [0u8; BYTES_PER_PARTICLE as usize];
-    for _ in 0..count {
-        r.read_exact(&mut buf)?;
-        let mut a = [0.0f64; 6];
-        for (i, c) in a.iter_mut().enumerate() {
-            let mut b = [0u8; 8];
-            b.copy_from_slice(&buf[i * 8..(i + 1) * 8]);
-            *c = f64::from_le_bytes(b);
+    let mut buf = vec![0u8; (count as usize).min(IO_CHUNK_PARTICLES) * BYTES_PER_PARTICLE as usize];
+    let mut remaining = count as usize;
+    while remaining > 0 {
+        let n = remaining.min(IO_CHUNK_PARTICLES);
+        let bytes = &mut buf[..n * BYTES_PER_PARTICLE as usize];
+        r.read_exact(bytes)?;
+        for rec in bytes.chunks_exact(BYTES_PER_PARTICLE as usize) {
+            let mut a = [0.0f64; 6];
+            for (i, c) in a.iter_mut().enumerate() {
+                *c = f64::from_le_bytes(rec[i * 8..(i + 1) * 8].try_into().unwrap());
+            }
+            particles.push(Particle::from_array(a));
         }
-        particles.push(Particle::from_array(a));
+        remaining -= n;
     }
     Ok((step, particles))
 }
@@ -133,6 +150,50 @@ mod tests {
         bytes.extend_from_slice(&0u64.to_le_bytes());
         bytes.extend_from_slice(&u64::MAX.to_le_bytes());
         assert!(read_snapshot(&mut bytes.as_slice()).is_err());
+    }
+
+    /// Counts the `read`/`write` calls reaching the underlying stream —
+    /// each one is what a syscall would be against a real fd.
+    struct CountingIo<T> {
+        inner: T,
+        calls: u64,
+    }
+
+    impl<R: Read> Read for CountingIo<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.calls += 1;
+            self.inner.read(buf)
+        }
+    }
+
+    impl<W: Write> Write for CountingIo<W> {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            self.inner.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    #[test]
+    fn snapshot_io_is_chunked_not_per_particle() {
+        let ps = Distribution::default_beam().sample(10_000, 3);
+        let mut sink = CountingIo {
+            inner: Vec::new(),
+            calls: 0,
+        };
+        write_snapshot(&mut sink, 5, &ps).unwrap();
+        // Header + one buffered write per 16 Ki records — not 10_000.
+        assert!(sink.calls <= 3, "write used {} calls", sink.calls);
+
+        let mut src = CountingIo {
+            inner: sink.inner.as_slice(),
+            calls: 0,
+        };
+        let (_, back) = read_snapshot(&mut src).unwrap();
+        assert_eq!(back, ps);
+        assert!(src.calls <= 3, "read used {} calls", src.calls);
     }
 
     #[test]

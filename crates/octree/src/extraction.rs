@@ -11,6 +11,7 @@
 //! to the output; no computation is necessary for the particles, and
 //! discarded particles are never read from disk."
 
+use crate::node::{Node, Octree};
 use crate::sorted_store::PartitionedData;
 use accelviz_beam::io::BYTES_PER_PARTICLE;
 use accelviz_beam::particle::Particle;
@@ -98,6 +99,27 @@ pub fn threshold_for_budget(data: &PartitionedData, max_particles: usize) -> f64
     let mut kept = 0u64;
     for &li in leaves {
         let n = &data.tree().nodes[li as usize];
+        if kept + n.len > max_particles as u64 {
+            return n.density;
+        }
+        kept += n.len;
+    }
+    f64::INFINITY
+}
+
+/// [`threshold_for_budget`] from the octree alone, without the particle
+/// array. The density order is recovered from the leaf offsets (the
+/// store invariant: groups appear in ascending density), exactly as the
+/// disk-read path does — so an out-of-core server can answer "what
+/// threshold fits this budget?" for a frame whose particles are not
+/// resident, reading only the node file.
+pub fn threshold_for_budget_tree(tree: &Octree, max_particles: usize) -> f64 {
+    let mut leaves: Vec<&Node> = tree.nodes.iter().filter(|n| n.is_leaf()).collect();
+    // Empty groups share offset 0 with the first real group; order them
+    // first, matching `PartitionedData::from_disk`.
+    leaves.sort_by_key(|a| (a.offset, a.len > 0));
+    let mut kept = 0u64;
+    for n in leaves {
         if kept + n.len > max_particles as u64 {
             return n.density;
         }
@@ -205,6 +227,18 @@ mod tests {
         // An over-generous budget keeps everything.
         let t = threshold_for_budget(&data, usize::MAX);
         assert_eq!(extract(&data, t).particles.len(), 5_000);
+    }
+
+    #[test]
+    fn tree_only_budget_threshold_agrees_with_the_full_store() {
+        let data = build(5_000);
+        for budget in [0usize, 1, 99, 500, 2_500, 5_000, usize::MAX] {
+            assert_eq!(
+                threshold_for_budget_tree(data.tree(), budget).to_bits(),
+                threshold_for_budget(&data, budget).to_bits(),
+                "budget {budget}"
+            );
+        }
     }
 
     #[test]

@@ -118,6 +118,21 @@ impl PartitionedData {
         Ok(data)
     }
 
+    /// Reassembles a store from parts that are *already* in the sorted
+    /// layout — a deserialized octree plus its density-ordered particle
+    /// array. This is the public entry point for external storage
+    /// formats (the run store in `accelviz-store` decodes particle
+    /// chunks and rebuilds frames through it); the store invariants are
+    /// validated before anything is returned, so corrupt inputs fail
+    /// here rather than during extraction.
+    pub fn from_sorted_parts(
+        tree: Octree,
+        particles: Vec<Particle>,
+        plot: PlotType,
+    ) -> Result<PartitionedData, String> {
+        PartitionedData::from_disk(tree, particles, plot)
+    }
+
     /// The octree ("node file").
     pub fn tree(&self) -> &Octree {
         &self.tree

@@ -20,34 +20,52 @@ use std::io::{self, Read, Write};
 /// Magic bytes of the node file.
 pub const NODE_MAGIC: [u8; 8] = *b"AVIZNODE";
 
-/// Writes the node file.
+/// Node-file header size: magic + count + depth + plot + root bounds.
+const NODE_HEADER_BYTES: usize = 72;
+/// Serialized size of one node record.
+const NODE_RECORD_BYTES: usize = 88;
+/// Nodes moved per I/O call by the chunked paths (≈ 90 KiB per call).
+const IO_CHUNK_NODES: usize = 1_024;
+
+/// Writes the node file. Records are staged through a bounded buffer so
+/// the sink sees a few large writes, not a dozen tiny ones per node.
 pub fn write_node_file<W: Write>(data: &PartitionedData, w: &mut W) -> io::Result<()> {
     let tree = data.tree();
-    w.write_all(&NODE_MAGIC)?;
-    w.write_all(&(tree.nodes.len() as u64).to_le_bytes())?;
-    w.write_all(&tree.max_depth.to_le_bytes())?;
+    let mut buf = Vec::with_capacity(
+        NODE_HEADER_BYTES + tree.nodes.len().min(IO_CHUNK_NODES) * NODE_RECORD_BYTES,
+    );
+    buf.extend_from_slice(&NODE_MAGIC);
+    buf.extend_from_slice(&(tree.nodes.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&tree.max_depth.to_le_bytes());
     // Plot type as three coordinate indices.
     for c in data.plot().coords {
-        w.write_all(&[coord_code(c)])?;
+        buf.push(coord_code(c));
     }
-    w.write_all(&[0u8])?; // padding
+    buf.push(0u8); // padding
     for v in [tree.bounds.min, tree.bounds.max] {
         for x in v.to_array() {
-            w.write_all(&x.to_le_bytes())?;
+            buf.extend_from_slice(&x.to_le_bytes());
         }
     }
     for n in &tree.nodes {
         for v in [n.bounds.min, n.bounds.max] {
             for x in v.to_array() {
-                w.write_all(&x.to_le_bytes())?;
+                buf.extend_from_slice(&x.to_le_bytes());
             }
         }
-        w.write_all(&n.depth.to_le_bytes())?;
-        w.write_all(&n.child(0).unwrap_or(u32::MAX).to_le_bytes())?;
-        w.write_all(&n.count.to_le_bytes())?;
-        w.write_all(&n.offset.to_le_bytes())?;
-        w.write_all(&n.len.to_le_bytes())?;
-        w.write_all(&n.density.to_le_bytes())?;
+        buf.extend_from_slice(&n.depth.to_le_bytes());
+        buf.extend_from_slice(&n.child(0).unwrap_or(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&n.count.to_le_bytes());
+        buf.extend_from_slice(&n.offset.to_le_bytes());
+        buf.extend_from_slice(&n.len.to_le_bytes());
+        buf.extend_from_slice(&n.density.to_le_bytes());
+        if buf.len() >= IO_CHUNK_NODES * NODE_RECORD_BYTES {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        w.write_all(&buf)?;
     }
     Ok(())
 }
@@ -70,57 +88,66 @@ pub fn read_partitioned<R1: Read, R2: Read>(
 }
 
 /// Reads the node file: the octree plus the plot type.
+///
+/// Consumption is exact (header + `n_nodes` records, nothing more) and
+/// reads are sized: one header read, then bulk reads of up to
+/// `IO_CHUNK_NODES` records. A plain `BufReader` would be wrong here —
+/// it over-reads past the node records, and callers stream node files
+/// out of larger containers (the run store) where trailing bytes belong
+/// to someone else.
 pub fn read_node_file<R: Read>(r: &mut R) -> io::Result<(Octree, PlotType)> {
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if magic != NODE_MAGIC {
+    let mut header = [0u8; NODE_HEADER_BYTES];
+    r.read_exact(&mut header)?;
+    if header[..8] != NODE_MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "bad node-file magic",
         ));
     }
-    let n_nodes = read_u64(r)?;
+    let n_nodes = u64::from_le_bytes(header[8..16].try_into().unwrap());
     if n_nodes > (1 << 32) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "implausible node count",
         ));
     }
-    let max_depth = read_u32(r)?;
-    let mut coords = [0u8; 4];
-    r.read_exact(&mut coords)?;
+    let max_depth = u32::from_le_bytes(header[16..20].try_into().unwrap());
     let plot = PlotType {
         coords: [
-            coord_from_code(coords[0])?,
-            coord_from_code(coords[1])?,
-            coord_from_code(coords[2])?,
+            coord_from_code(header[20])?,
+            coord_from_code(header[21])?,
+            coord_from_code(header[22])?,
         ],
     };
-    let bounds = read_aabb(r)?;
+    let bounds = aabb_from_bytes(&header[24..72])?;
     let mut nodes = Vec::with_capacity(n_nodes as usize);
-    for _ in 0..n_nodes {
-        let nb = read_aabb(r)?;
-        let depth = read_u32(r)?;
-        let first_child = read_u32(r)?;
-        let count = read_u64(r)?;
-        let offset = read_u64(r)?;
-        let len = read_u64(r)?;
-        let density = f64::from_bits(read_u64(r)?);
-        let mut node = Node::leaf(nb, depth);
-        node.count = count;
-        node.offset = offset;
-        node.len = len;
-        node.density = density;
-        if first_child != u32::MAX {
-            if first_child as u64 + 7 >= n_nodes {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "child pointer out of range",
-                ));
+    let mut buf = vec![0u8; (n_nodes as usize).min(IO_CHUNK_NODES) * NODE_RECORD_BYTES];
+    let mut remaining = n_nodes as usize;
+    while remaining > 0 {
+        let n = remaining.min(IO_CHUNK_NODES);
+        let bytes = &mut buf[..n * NODE_RECORD_BYTES];
+        r.read_exact(bytes)?;
+        for rec in bytes.chunks_exact(NODE_RECORD_BYTES) {
+            let nb = aabb_from_bytes(&rec[..48])?;
+            let depth = u32::from_le_bytes(rec[48..52].try_into().unwrap());
+            let first_child = u32::from_le_bytes(rec[52..56].try_into().unwrap());
+            let mut node = Node::leaf(nb, depth);
+            node.count = u64::from_le_bytes(rec[56..64].try_into().unwrap());
+            node.offset = u64::from_le_bytes(rec[64..72].try_into().unwrap());
+            node.len = u64::from_le_bytes(rec[72..80].try_into().unwrap());
+            node.density = f64::from_bits(u64::from_le_bytes(rec[80..88].try_into().unwrap()));
+            if first_child != u32::MAX {
+                if first_child as u64 + 7 >= n_nodes {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "child pointer out of range",
+                    ));
+                }
+                node.set_children(first_child);
             }
-            node.set_children(first_child);
+            nodes.push(node);
         }
-        nodes.push(node);
+        remaining -= n;
     }
     Ok((
         Octree {
@@ -164,7 +191,10 @@ pub fn extract_from_files<R1: Read, R2: Read>(
             break;
         }
     }
-    // Read header + exactly `prefix` particles.
+    // Read header + exactly `prefix` particles. The reads are chunked
+    // (up to ~760 KiB each) but never sized past the prefix boundary:
+    // the headline claim is that discarded particles are *never read*,
+    // so a buffered reader that over-reads would falsify it.
     let mut header = [0u8; HEADER_BYTES as usize];
     particle_r.read_exact(&mut header)?;
     let total = u64::from_le_bytes(header[16..24].try_into().unwrap());
@@ -174,15 +204,22 @@ pub fn extract_from_files<R1: Read, R2: Read>(
             "prefix exceeds file",
         ));
     }
+    const CHUNK: u64 = 16_384;
     let mut particles = Vec::with_capacity(prefix as usize);
-    let mut buf = [0u8; BYTES_PER_PARTICLE as usize];
-    for _ in 0..prefix {
-        particle_r.read_exact(&mut buf)?;
-        let mut a = [0.0f64; 6];
-        for (i, c) in a.iter_mut().enumerate() {
-            *c = f64::from_le_bytes(buf[i * 8..(i + 1) * 8].try_into().unwrap());
+    let mut buf = vec![0u8; (prefix.min(CHUNK) * BYTES_PER_PARTICLE) as usize];
+    let mut remaining = prefix;
+    while remaining > 0 {
+        let n = remaining.min(CHUNK);
+        let bytes = &mut buf[..(n * BYTES_PER_PARTICLE) as usize];
+        particle_r.read_exact(bytes)?;
+        for rec in bytes.chunks_exact(BYTES_PER_PARTICLE as usize) {
+            let mut a = [0.0f64; 6];
+            for (i, c) in a.iter_mut().enumerate() {
+                *c = f64::from_le_bytes(rec[i * 8..(i + 1) * 8].try_into().unwrap());
+            }
+            particles.push(Particle::from_array(a));
         }
-        particles.push(Particle::from_array(a));
+        remaining -= n;
     }
     Ok(DiskExtract {
         particles,
@@ -214,22 +251,11 @@ fn coord_from_code(b: u8) -> io::Result<PhaseCoord> {
     })
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-
-fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn read_aabb<R: Read>(r: &mut R) -> io::Result<Aabb> {
+fn aabb_from_bytes(b: &[u8]) -> io::Result<Aabb> {
+    debug_assert_eq!(b.len(), 48);
     let mut v = [0.0f64; 6];
-    for x in &mut v {
-        *x = f64::from_bits(read_u64(r)?);
+    for (i, x) in v.iter_mut().enumerate() {
+        *x = f64::from_le_bytes(b[i * 8..(i + 1) * 8].try_into().unwrap());
     }
     if v[0] > v[3] || v[1] > v[4] || v[2] > v[5] || v.iter().any(|x| !x.is_finite()) {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "corrupt bounds"));
@@ -240,18 +266,25 @@ fn read_aabb<R: Read>(r: &mut R) -> io::Result<Aabb> {
     ))
 }
 
-/// A reader wrapper counting consumed bytes (used by tests to prove the
-/// prefix-only read).
+/// A reader wrapper counting consumed bytes and read calls (used by
+/// tests to prove the prefix-only read and that reads are chunked, not
+/// per-record — each call here is what a syscall would be on a real fd).
 pub struct CountingReader<R> {
     inner: R,
     /// Bytes read so far.
     pub bytes: u64,
+    /// Number of `read` calls that reached the underlying reader.
+    pub reads: u64,
 }
 
 impl<R: Read> CountingReader<R> {
     /// Wraps a reader.
     pub fn new(inner: R) -> CountingReader<R> {
-        CountingReader { inner, bytes: 0 }
+        CountingReader {
+            inner,
+            bytes: 0,
+            reads: 0,
+        }
     }
 }
 
@@ -259,6 +292,7 @@ impl<R: Read> Read for CountingReader<R> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         let n = self.inner.read(buf)?;
         self.bytes += n as u64;
+        self.reads += 1;
         Ok(n)
     }
 }
@@ -329,6 +363,70 @@ mod tests {
         assert!(
             counting.bytes < particle_file.len() as u64 / 2,
             "most of the particle file must remain unread"
+        );
+        // …and in a handful of sized reads, not one syscall per particle:
+        // header + at most one chunked read per 16 Ki records.
+        assert!(
+            counting.reads <= 3,
+            "prefix read used {} calls for {} particles",
+            counting.reads,
+            expected.particles.len()
+        );
+    }
+
+    #[test]
+    fn node_file_reads_are_chunked_and_exact() {
+        let data = build(5_000);
+        let mut node_file = Vec::new();
+        write_node_file(&data, &mut node_file).unwrap();
+        // Trailing bytes that belong to "someone else" in a container.
+        node_file.extend_from_slice(b"TRAILERDATA");
+        let mut counting = CountingReader::new(node_file.as_slice());
+        let (tree, _) = read_node_file(&mut counting).unwrap();
+        assert_eq!(tree.nodes.len(), data.tree().nodes.len());
+        // Exact consumption: the trailer is untouched.
+        assert_eq!(counting.bytes, node_file.len() as u64 - 11);
+        // Sized reads: header + one bulk read per 1 Ki nodes.
+        let expected_reads = 1 + (tree.nodes.len() as u64).div_ceil(1_024);
+        assert!(
+            counting.reads <= expected_reads,
+            "node read used {} calls for {} nodes",
+            counting.reads,
+            tree.nodes.len()
+        );
+        assert!(counting.reads >= 2);
+    }
+
+    #[test]
+    fn node_file_writes_are_chunked_not_per_field() {
+        struct CountingWriter {
+            buf: Vec<u8>,
+            writes: u64,
+        }
+        impl Write for CountingWriter {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.writes += 1;
+                self.buf.extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let data = build(5_000);
+        let mut plain = Vec::new();
+        write_node_file(&data, &mut plain).unwrap();
+        let mut counting = CountingWriter {
+            buf: Vec::new(),
+            writes: 0,
+        };
+        write_node_file(&data, &mut counting).unwrap();
+        assert_eq!(counting.buf, plain, "chunking must not change the bytes");
+        let nodes = data.tree().nodes.len() as u64;
+        assert!(
+            counting.writes <= nodes.div_ceil(1_024) + 1,
+            "node write used {} calls for {nodes} nodes",
+            counting.writes
         );
     }
 

@@ -78,6 +78,11 @@ pub struct ClientConfig {
     /// How transient failures are retried; `None` fails fast on the
     /// first error (the pre-resilience behavior).
     pub retry: Option<RetryPolicy>,
+    /// The newest protocol version this client offers at `Hello`. The
+    /// server answers with `min(max_version, its own newest)`; set this
+    /// to `wire::V1` to force an uncompressed v1 session against any
+    /// server.
+    pub max_version: u16,
 }
 
 impl Default for ClientConfig {
@@ -87,6 +92,7 @@ impl Default for ClientConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             retry: Some(RetryPolicy::default()),
+            max_version: VERSION,
         }
     }
 }
@@ -201,6 +207,9 @@ pub struct Client {
     config: ClientConfig,
     transport: Option<Box<dyn Transport>>,
     frame_count: u32,
+    /// The protocol version the server granted at the most recent
+    /// handshake (0 before any handshake succeeds).
+    negotiated: u16,
     stats: ClientStats,
     ever_connected: bool,
     /// Wire bytes of the most recent successful reply (attempts that
@@ -229,6 +238,7 @@ impl Client {
             config,
             transport: None,
             frame_count: 0,
+            negotiated: 0,
             stats: ClientStats::default(),
             ever_connected: false,
             last_wire_bytes: 0,
@@ -242,6 +252,13 @@ impl Client {
     /// Frames the server advertised at the (most recent) handshake.
     pub fn frame_count(&self) -> usize {
         self.frame_count as usize
+    }
+
+    /// The protocol version the server granted at the most recent
+    /// handshake: `wire::V2` against a current server, `wire::V1` when
+    /// either side capped the session at the uncompressed encoding.
+    pub fn negotiated_version(&self) -> u16 {
+        self.negotiated
     }
 
     /// What the resilience layer has done so far.
@@ -312,11 +329,20 @@ impl Client {
     /// Opens a fresh transport and re-runs the `Hello` handshake.
     fn establish(&mut self) -> Result<Box<dyn Transport>> {
         let mut t = self.connector.connect()?;
-        write_request(&mut t, &Request::Hello { version: VERSION })?;
+        write_request(
+            &mut t,
+            &Request::Hello {
+                version: self.config.max_version,
+            },
+        )?;
         let (resp, _) = read_response(&mut t)?;
         match resp {
-            Response::HelloAck { frame_count, .. } => {
+            Response::HelloAck {
+                version,
+                frame_count,
+            } => {
                 self.frame_count = frame_count;
+                self.negotiated = version;
                 if self.ever_connected {
                     self.stats.reconnects += 1;
                     accelviz_trace::global().add(CTR_CLIENT_RECONNECTS, 1);

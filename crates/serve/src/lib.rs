@@ -10,7 +10,9 @@
 //! extracts hybrid frames on demand, and serves them to many concurrent
 //! viewers over a versioned, checksummed wire format.
 //!
-//! - [`wire`] — the envelope framing and the [`HybridFrame`] codec.
+//! - [`wire`] — the envelope framing and the [`HybridFrame`] codecs:
+//!   the raw v1 encoding and the compressed AVWF v2 encoding built from
+//!   `accelviz-store`'s codec blocks, negotiated per session at `Hello`.
 //! - [`protocol`] — `Hello` / `ListFrames` / `RequestFrame` / `Stats`
 //!   requests and their replies, including structured errors.
 //! - [`cache`] — the server's shared LRU extraction cache, keyed by
@@ -26,7 +28,9 @@
 //! - [`fault`] — seeded, scheduled fault injection for chaos testing
 //!   (delays, disconnects, truncations, bit flips at byte offsets).
 //! - [`lru`] — the O(log n) recency order shared by the server's
-//!   extraction cache and the client's resident set.
+//!   extraction cache, the client's resident set, and the out-of-core
+//!   run store's residency window (the type now lives in
+//!   `accelviz-store` and is re-exported here unchanged).
 //!
 //! The failure model — which faults exist, why replay is idempotent, when
 //! the server sheds, and how the viewer degrades — is written up in
@@ -40,12 +44,17 @@ pub mod cache;
 pub mod client;
 pub mod error;
 pub mod fault;
-pub mod lru;
 pub mod protocol;
 pub mod retry;
 pub mod server;
 pub mod stats;
 pub mod wire;
+
+// The recency-order structure moved into `accelviz-store` (its residency
+// layer needs it below this crate in the dependency graph); re-exported
+// under its historical path so `accelviz_serve::lru::LruOrder` keeps
+// resolving for every existing caller.
+pub use accelviz_store::lru;
 
 pub use client::{
     Client, ClientConfig, ClientStats, Connector, FaultyConnector, FetchMetrics, RemoteFrames,

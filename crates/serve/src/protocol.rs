@@ -10,7 +10,8 @@
 use crate::error::{Result, ServeError};
 use crate::stats::{LatencyHistogram, ServerStats, LATENCY_BUCKETS};
 use crate::wire::{
-    decode_frame, encode_frame, read_envelope, write_envelope, PayloadReader, PayloadWriter,
+    decode_frame, decode_frame_v2, encode_frame, encode_frame_v2, read_envelope, write_envelope,
+    write_envelope_v, PayloadReader, PayloadWriter, V1, V2,
 };
 use accelviz_core::hybrid::HybridFrame;
 use std::io::{Read, Write};
@@ -146,15 +147,24 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Request> {
     Ok(req)
 }
 
-/// Writes one response; returns wire bytes written.
+/// Writes one response at protocol version 1 — the shape every peer
+/// understood before v2 existed.
 pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<u64> {
+    write_response_v(w, V1, resp)
+}
+
+/// Writes one response at the session's negotiated protocol version;
+/// returns wire bytes written. At `V1` the bytes are identical to what
+/// the pre-v2 server produced; at `V2` frame payloads are compressed and
+/// the stats payload carries the raw/wire byte counters.
+pub fn write_response_v<W: Write>(w: &mut W, version: u16, resp: &Response) -> Result<u64> {
     let mut p = PayloadWriter::new();
     let kind = match resp {
         Response::HelloAck {
-            version,
+            version: ack,
             frame_count,
         } => {
-            p.put_u16(*version);
+            p.put_u16(*ack);
             p.put_u32(*frame_count);
             RESP_HELLO_ACK
         }
@@ -169,6 +179,10 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<u64> {
             RESP_LIST
         }
         Response::Frame(frame) => {
+            if version >= V2 {
+                let (payload, _raw) = encode_frame_v2(frame);
+                return write_envelope_v(w, V2, RESP_FRAME, &payload);
+            }
             return write_envelope(w, RESP_FRAME, &encode_frame(frame));
         }
         Response::Stats(s) => {
@@ -180,6 +194,10 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<u64> {
             for &c in &s.latency.counts {
                 p.put_u64(c);
             }
+            if version >= V2 {
+                p.put_u64(s.frame_bytes_raw);
+                p.put_u64(s.frame_bytes_wire);
+            }
             RESP_STATS
         }
         Response::Error { code, message } => {
@@ -188,7 +206,7 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<u64> {
             RESP_ERROR
         }
     };
-    write_envelope(w, kind, &p.into_bytes())
+    write_envelope_v(w, version, kind, &p.into_bytes())
 }
 
 /// Reads one response envelope and decodes it. An in-band
@@ -217,7 +235,12 @@ pub fn read_response<R: Read>(r: &mut R) -> Result<(Response, u64)> {
             Response::FrameList(frames)
         }
         RESP_FRAME => {
-            let frame = decode_frame(&env.payload)?;
+            // The envelope's version says how the payload was encoded.
+            let frame = if env.version >= V2 {
+                decode_frame_v2(&env.payload)?
+            } else {
+                decode_frame(&env.payload)?
+            };
             return Ok((Response::Frame(frame), wire_bytes));
         }
         RESP_STATS => {
@@ -228,9 +251,15 @@ pub fn read_response<R: Read>(r: &mut R) -> Result<(Response, u64)> {
                 cache_hits: p.u64()?,
                 cache_misses: p.u64()?,
                 latency: LatencyHistogram::default(),
+                frame_bytes_raw: 0,
+                frame_bytes_wire: 0,
             };
             for i in 0..LATENCY_BUCKETS {
                 s.latency.counts[i] = p.u64()?;
+            }
+            if env.version >= V2 {
+                s.frame_bytes_raw = p.u64()?;
+                s.frame_bytes_wire = p.u64()?;
             }
             Response::Stats(s)
         }
@@ -298,6 +327,11 @@ mod tests {
             cache_hits: 2,
             cache_misses: 2,
             latency: LatencyHistogram::default(),
+            // A v1 stats payload has no slots for the byte counters, so a
+            // roundtrip through it can only preserve zeros; the v2 test
+            // below carries real values.
+            frame_bytes_raw: 0,
+            frame_bytes_wire: 0,
         };
         stats.latency.record(0.002);
         for resp in [
@@ -313,6 +347,36 @@ mod tests {
             },
         ] {
             assert_eq!(roundtrip_response(&resp), resp);
+        }
+    }
+
+    #[test]
+    fn v2_stats_carry_the_byte_counters_and_v1_drops_them() {
+        let stats = ServerStats {
+            requests: 3,
+            frames_served: 3,
+            frame_bytes_raw: 1_000_000,
+            frame_bytes_wire: 250_000,
+            ..ServerStats::default()
+        };
+        let mut buf = Vec::new();
+        write_response_v(&mut buf, V2, &Response::Stats(stats.clone())).unwrap();
+        match read_response(&mut buf.as_slice()).unwrap().0 {
+            Response::Stats(back) => assert_eq!(back, stats),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+
+        // The same snapshot through a v1 session: byte-compatible shape,
+        // counters legitimately absent on the wire.
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Response::Stats(stats.clone())).unwrap();
+        match read_response(&mut buf.as_slice()).unwrap().0 {
+            Response::Stats(back) => {
+                assert_eq!(back.frame_bytes_raw, 0);
+                assert_eq!(back.frame_bytes_wire, 0);
+                assert_eq!(back.requests, stats.requests);
+            }
+            other => panic!("expected Stats, got {other:?}"),
         }
     }
 

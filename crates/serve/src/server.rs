@@ -25,17 +25,19 @@ use crate::cache::{CacheKey, ExtractionCache, Probe};
 use crate::error::ServeError;
 use crate::fault::{FaultScript, FaultyTransport};
 use crate::protocol::{
-    write_response, FrameInfo, Request, Response, ERR_BAD_REQUEST, ERR_BAD_THRESHOLD, ERR_BUSY,
-    ERR_INTERNAL, ERR_NO_SUCH_FRAME, RESP_FRAME,
+    write_response, write_response_v, FrameInfo, Request, Response, ERR_BAD_REQUEST,
+    ERR_BAD_THRESHOLD, ERR_BUSY, ERR_INTERNAL, ERR_NO_SUCH_FRAME, RESP_FRAME,
 };
 use crate::stats::{
     ServerStats, CTR_BYTES_SENT, CTR_CACHE_HITS, CTR_CACHE_MISSES, CTR_FRAMES_SERVED,
-    CTR_HANDLER_PANICS, CTR_REQUESTS, CTR_SHED_CONNECTIONS, CTR_SHED_EXTRACTIONS, HIST_LATENCY,
+    CTR_FRAME_BYTES_RAW, CTR_FRAME_BYTES_WIRE, CTR_HANDLER_PANICS, CTR_REQUESTS,
+    CTR_SHED_CONNECTIONS, CTR_SHED_EXTRACTIONS, HIST_LATENCY,
 };
-use crate::wire::{encode_frame, write_envelope, VERSION};
+use crate::wire::{encode_frame, encode_frame_v2, write_envelope_v, V1, V2, VERSION};
 use accelviz_core::hybrid::HybridFrame;
-use accelviz_octree::extraction::threshold_for_budget;
+use accelviz_octree::extraction::{threshold_for_budget, threshold_for_budget_tree};
 use accelviz_octree::sorted_store::PartitionedData;
+use accelviz_store::ResidentRun;
 use accelviz_trace::registry::Registry;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -87,8 +89,55 @@ impl Default for ServerConfig {
     }
 }
 
+/// Where the server's frames live: fully resident in memory (the
+/// original topology — every partitioned store loaded up front), or
+/// backed by an on-disk run whose particle data pages in and out under
+/// [`ResidentRun`]'s byte budget. The request handlers are written
+/// against this enum, so an out-of-core server speaks the identical
+/// protocol and serves bit-identical frames.
+enum Backend {
+    /// Every frame's partitioned store held in memory.
+    Resident(Vec<PartitionedData>),
+    /// Frames fetched on demand from an `accelviz-store` run file.
+    Stored(Arc<ResidentRun>),
+}
+
+impl Backend {
+    fn frame_count(&self) -> usize {
+        match self {
+            Backend::Resident(data) => data.len(),
+            Backend::Stored(run) => run.frame_count(),
+        }
+    }
+
+    /// The frame catalog. The stored backend answers from directory
+    /// metadata and the always-resident octrees — no particle I/O.
+    fn frame_infos(&self, point_budget: usize) -> Vec<FrameInfo> {
+        match self {
+            Backend::Resident(data) => data
+                .iter()
+                .enumerate()
+                .map(|(i, d)| FrameInfo {
+                    frame: i as u32,
+                    step: i as u64,
+                    particles: d.particles().len() as u64,
+                    default_threshold: threshold_for_budget(d, point_budget),
+                })
+                .collect(),
+            Backend::Stored(run) => (0..run.frame_count())
+                .map(|i| FrameInfo {
+                    frame: i as u32,
+                    step: i as u64,
+                    particles: run.particle_count(i),
+                    default_threshold: threshold_for_budget_tree(&run.tree(i).0, point_budget),
+                })
+                .collect(),
+        }
+    }
+}
+
 struct Shared {
-    data: Vec<PartitionedData>,
+    backend: Backend,
     config: ServerConfig,
     cache: ExtractionCache,
     metrics: Registry,
@@ -138,7 +187,26 @@ impl FrameServer {
         data: Vec<PartitionedData>,
         config: ServerConfig,
     ) -> io::Result<FrameServer> {
-        FrameServer::spawn_inner(addr, data, config, None)
+        FrameServer::spawn_inner(addr, Backend::Resident(data), config, None)
+    }
+
+    /// Binds a loopback server over an out-of-core run: frames come from
+    /// `run`'s disk file and only [`ResidentRun`]'s budget worth of
+    /// particle data is ever in memory.
+    pub fn spawn_stored_loopback(
+        run: Arc<ResidentRun>,
+        config: ServerConfig,
+    ) -> io::Result<FrameServer> {
+        FrameServer::spawn_stored("127.0.0.1:0", run, config)
+    }
+
+    /// Binds `addr` over an out-of-core run backend.
+    pub fn spawn_stored(
+        addr: &str,
+        run: Arc<ResidentRun>,
+        config: ServerConfig,
+    ) -> io::Result<FrameServer> {
+        FrameServer::spawn_inner(addr, Backend::Stored(run), config, None)
     }
 
     /// A loopback server whose every connection is faulted by `script` —
@@ -151,19 +219,19 @@ impl FrameServer {
         config: ServerConfig,
         script: Arc<FaultScript>,
     ) -> io::Result<FrameServer> {
-        FrameServer::spawn_inner("127.0.0.1:0", data, config, Some(script))
+        FrameServer::spawn_inner("127.0.0.1:0", Backend::Resident(data), config, Some(script))
     }
 
     fn spawn_inner(
         addr: &str,
-        data: Vec<PartitionedData>,
+        backend: Backend,
         config: ServerConfig,
         faults: Option<Arc<FaultScript>>,
     ) -> io::Result<FrameServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            data,
+            backend,
             config,
             cache: ExtractionCache::new(config.cache_capacity),
             metrics: Registry::new(),
@@ -287,6 +355,10 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
 }
 
 fn serve_loop<S: Read + Write>(shared: &Shared, mut stream: S) {
+    // Until a `Hello` negotiates otherwise, the session speaks v1: a
+    // pre-v2 client that skips the handshake gets exactly the byte
+    // stream it always did.
+    let mut session_version = V1;
     loop {
         let req = match crate::protocol::read_request(&mut stream) {
             Ok(req) => req,
@@ -299,7 +371,7 @@ fn serve_loop<S: Read + Write>(shared: &Shared, mut stream: S) {
                     code: ERR_BAD_REQUEST,
                     message: e.to_string(),
                 };
-                let _ = write_response(&mut stream, &reply);
+                let _ = write_response_v(&mut stream, session_version, &reply);
                 return;
             }
         };
@@ -319,7 +391,7 @@ fn serve_loop<S: Read + Write>(shared: &Shared, mut stream: S) {
         // connection (let alone the listener) down with it. The client
         // gets ERR_INTERNAL and the request/reply loop continues.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            respond(shared, req, &mut stream)
+            respond(shared, req, &mut stream, &mut session_version)
         }));
         let (bytes, served_frame) = match outcome {
             Ok(Ok(r)) => r,
@@ -331,7 +403,7 @@ fn serve_loop<S: Read + Write>(shared: &Shared, mut stream: S) {
                     message: "internal error serving this request; the connection survives"
                         .to_string(),
                 };
-                match write_response(&mut stream, &reply) {
+                match write_response_v(&mut stream, session_version, &reply) {
                     Ok(bytes) => (bytes, false),
                     Err(_) => return,
                 }
@@ -367,39 +439,40 @@ fn try_extraction_permit(shared: &Shared) -> Option<CountGuard<'_>> {
 }
 
 /// Serves one request; returns (wire bytes written, was a frame reply).
+/// `session_version` is the connection's negotiated protocol version —
+/// `Hello` updates it, every reply is framed with it.
 fn respond<S: Write>(
     shared: &Shared,
     req: Request,
     stream: &mut S,
+    session_version: &mut u16,
 ) -> crate::error::Result<(u64, bool)> {
     match req {
         Request::Hello { version } => {
-            let reply = if version == VERSION {
-                Response::HelloAck {
-                    version: VERSION,
-                    frame_count: shared.data.len() as u32,
-                }
-            } else {
+            let reply = if version == 0 {
                 Response::Error {
                     code: ERR_BAD_REQUEST,
-                    message: format!("server speaks version {VERSION}, client sent {version}"),
+                    message: format!("protocol version must be at least 1, client sent {version}"),
+                }
+            } else {
+                // Speak the older of the two sides: a v1 client keeps its
+                // byte-identical session, a v2 (or future) client gets
+                // the newest encoding this build knows.
+                let negotiated = version.min(VERSION);
+                *session_version = negotiated;
+                Response::HelloAck {
+                    version: negotiated,
+                    frame_count: shared.backend.frame_count() as u32,
                 }
             };
-            Ok((write_response(stream, &reply)?, false))
+            Ok((write_response_v(stream, *session_version, &reply)?, false))
         }
         Request::ListFrames => {
-            let frames = shared
-                .data
-                .iter()
-                .enumerate()
-                .map(|(i, d)| FrameInfo {
-                    frame: i as u32,
-                    step: i as u64,
-                    particles: d.particles().len() as u64,
-                    default_threshold: threshold_for_budget(d, shared.config.point_budget),
-                })
-                .collect();
-            Ok((write_response(stream, &Response::FrameList(frames))?, false))
+            let frames = shared.backend.frame_infos(shared.config.point_budget);
+            Ok((
+                write_response_v(stream, *session_version, &Response::FrameList(frames))?,
+                false,
+            ))
         }
         Request::RequestFrame { frame, threshold } => {
             if threshold.is_nan() {
@@ -413,14 +486,17 @@ fn respond<S: Write>(
                     code: ERR_BAD_THRESHOLD,
                     message: format!("threshold must not be NaN, got {threshold}"),
                 };
-                return Ok((write_response(stream, &reply)?, false));
+                return Ok((write_response_v(stream, *session_version, &reply)?, false));
             }
-            if frame as usize >= shared.data.len() {
+            if frame as usize >= shared.backend.frame_count() {
                 let reply = Response::Error {
                     code: ERR_NO_SUCH_FRAME,
-                    message: format!("frame {frame} requested, {} available", shared.data.len()),
+                    message: format!(
+                        "frame {frame} requested, {} available",
+                        shared.backend.frame_count()
+                    ),
                 };
-                return Ok((write_response(stream, &reply)?, false));
+                return Ok((write_response_v(stream, *session_version, &reply)?, false));
             }
             let key = CacheKey::new(frame, threshold);
             // Load shedding at the extraction limit: only requests that
@@ -428,7 +504,8 @@ fn respond<S: Write>(
             // coalescing waiters are cheap and always admitted. The probe
             // is advisory (the entry may change before get_or_build), so
             // the limit is a strong bound, not a hard invariant.
-            let _permit = match shared.cache.probe(&key) {
+            let probe = shared.cache.probe(&key);
+            let _permit = match probe {
                 Probe::Vacant => match try_extraction_permit(shared) {
                     Some(p) => Some(p),
                     None => {
@@ -437,10 +514,28 @@ fn respond<S: Write>(
                             code: ERR_BUSY,
                             message: "extraction capacity reached; retry after ~100 ms".to_string(),
                         };
-                        return Ok((write_response(stream, &reply)?, false));
+                        return Ok((write_response_v(stream, *session_version, &reply)?, false));
                     }
                 },
                 Probe::Ready | Probe::Building => None,
+            };
+            // The stored backend pages the frame's particles in *before*
+            // committing to build, so a disk failure is an in-band
+            // ERR_INTERNAL instead of a panic. A Ready probe skips the
+            // fetch — serving a cached extraction must not churn the
+            // residency window.
+            let part: Option<Arc<PartitionedData>> = match &shared.backend {
+                Backend::Stored(run) if probe != Probe::Ready => match run.fetch(frame as usize) {
+                    Ok(fetch) => Some(fetch.data),
+                    Err(e) => {
+                        let reply = Response::Error {
+                            code: ERR_INTERNAL,
+                            message: format!("run store failed loading frame {frame}: {e}"),
+                        };
+                        return Ok((write_response_v(stream, *session_version, &reply)?, false));
+                    }
+                },
+                _ => None,
             };
             let (extracted, hit) = {
                 let mut span = accelviz_trace::span("serve.extract");
@@ -449,7 +544,7 @@ fn respond<S: Write>(
                 let (extracted, hit) = shared
                     .cache
                     .get_or_build(CacheKey::new(frame, threshold), || {
-                        build_frame(shared, frame as usize, threshold)
+                        build_frame(shared, part.as_deref(), frame as usize, threshold)
                     });
                 span.arg("cache_hit", hit as u64 as f64);
                 (extracted, hit)
@@ -462,10 +557,23 @@ fn respond<S: Write>(
                 },
                 1,
             );
-            // Encode straight from the cached Arc — no frame clone.
+            // Encode straight from the cached Arc — no frame clone. The
+            // session version picks the payload encoding; both are
+            // counted so the stats expose the live compression ratio.
             let bytes = {
                 let mut span = accelviz_trace::span("serve.send");
-                let bytes = write_envelope(stream, RESP_FRAME, &encode_frame(&extracted))?;
+                let (payload, raw_len) = if *session_version >= V2 {
+                    encode_frame_v2(&extracted)
+                } else {
+                    let payload = encode_frame(&extracted);
+                    let raw_len = payload.len() as u64;
+                    (payload, raw_len)
+                };
+                shared.metrics.add(CTR_FRAME_BYTES_RAW, raw_len);
+                shared
+                    .metrics
+                    .add(CTR_FRAME_BYTES_WIRE, payload.len() as u64);
+                let bytes = write_envelope_v(stream, *session_version, RESP_FRAME, &payload)?;
                 span.arg("bytes", bytes as f64);
                 bytes
             };
@@ -473,18 +581,38 @@ fn respond<S: Write>(
         }
         Request::Stats => {
             let snapshot = ServerStats::from_registry(&shared.metrics);
-            Ok((write_response(stream, &Response::Stats(snapshot))?, false))
+            Ok((
+                write_response_v(stream, *session_version, &Response::Stats(snapshot))?,
+                false,
+            ))
         }
     }
 }
 
-fn build_frame(shared: &Shared, frame: usize, threshold: f64) -> HybridFrame {
-    HybridFrame::from_partition(
-        &shared.data[frame],
-        frame,
-        threshold,
-        shared.config.volume_dims,
-    )
+/// Builds one frame for the extraction cache. `part` is the paged-in
+/// partition for the stored backend (`None` for the resident backend, or
+/// in the rare race where a Ready probe was evicted before the build —
+/// then the fetch reruns here, and a disk failure panics into the
+/// handler's isolation instead of silently serving nothing).
+fn build_frame(
+    shared: &Shared,
+    part: Option<&PartitionedData>,
+    frame: usize,
+    threshold: f64,
+) -> HybridFrame {
+    let dims = shared.config.volume_dims;
+    match (&shared.backend, part) {
+        (Backend::Resident(data), _) => {
+            HybridFrame::from_partition(&data[frame], frame, threshold, dims)
+        }
+        (Backend::Stored(_), Some(p)) => HybridFrame::from_partition(p, frame, threshold, dims),
+        (Backend::Stored(run), None) => {
+            let fetch = run
+                .fetch(frame)
+                .unwrap_or_else(|e| panic!("run store failed loading frame {frame}: {e}"));
+            HybridFrame::from_partition(&fetch.data, frame, threshold, dims)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -524,7 +652,7 @@ mod tests {
             ..ServerConfig::default()
         };
         let shared = Shared {
-            data: Vec::new(),
+            backend: Backend::Resident(Vec::new()),
             config,
             cache: ExtractionCache::new(2),
             metrics: Registry::new(),

@@ -37,6 +37,12 @@ pub const CTR_SHED_EXTRACTIONS: &str = "serve.shed_extractions";
 /// (the client got `ERR_INTERNAL`; the listener and the other
 /// connections were unaffected).
 pub const CTR_HANDLER_PANICS: &str = "serve.handler_panics";
+/// Registry counter: what served frames would have occupied as raw v1
+/// payloads — the numerator of the compression ratio.
+pub const CTR_FRAME_BYTES_RAW: &str = "serve.frame_bytes_raw";
+/// Registry counter: frame payload bytes actually written to the wire
+/// (compressed under AVWF v2, identical to raw for v1 sessions).
+pub const CTR_FRAME_BYTES_WIRE: &str = "serve.frame_bytes_wire";
 
 /// A snapshot of the server's lifetime counters, as carried by the
 /// `Stats` reply.
@@ -54,6 +60,12 @@ pub struct ServerStats {
     pub cache_misses: u64,
     /// Request service-time distribution.
     pub latency: LatencyHistogram,
+    /// What served frames would have occupied as raw v1 payloads. Only a
+    /// v2 stats reply carries this on the wire; a v1 session reads zero.
+    pub frame_bytes_raw: u64,
+    /// Frame payload bytes actually written (compressed under v2). Only
+    /// carried by a v2 stats reply.
+    pub frame_bytes_wire: u64,
 }
 
 impl ServerStats {
@@ -66,6 +78,18 @@ impl ServerStats {
             cache_hits: reg.counter(CTR_CACHE_HITS),
             cache_misses: reg.counter(CTR_CACHE_MISSES),
             latency: reg.histogram(HIST_LATENCY).unwrap_or_default(),
+            frame_bytes_raw: reg.counter(CTR_FRAME_BYTES_RAW),
+            frame_bytes_wire: reg.counter(CTR_FRAME_BYTES_WIRE),
+        }
+    }
+
+    /// Raw-to-wire compression ratio of served frames; 1.0 when nothing
+    /// has been served (or the session is all-v1, where wire == raw).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.frame_bytes_wire == 0 {
+            1.0
+        } else {
+            self.frame_bytes_raw as f64 / self.frame_bytes_wire as f64
         }
     }
 
@@ -94,6 +118,14 @@ impl ServerStats {
             if c > 0 {
                 s.push_str(&format!(" {}:{}", LatencyHistogram::label(i), c));
             }
+        }
+        if self.frame_bytes_wire > 0 {
+            s.push_str(&format!(
+                "\nframe payload: {} B raw -> {} B wire ({:.2}x)",
+                self.frame_bytes_raw,
+                self.frame_bytes_wire,
+                self.compression_ratio()
+            ));
         }
         s
     }
@@ -143,6 +175,8 @@ mod tests {
         reg.add(CTR_BYTES_SENT, 9_000);
         reg.add(CTR_CACHE_HITS, 2);
         reg.add(CTR_CACHE_MISSES, 1);
+        reg.add(CTR_FRAME_BYTES_RAW, 8_000);
+        reg.add(CTR_FRAME_BYTES_WIRE, 2_000);
         reg.record_seconds(HIST_LATENCY, 0.002);
         let s = ServerStats::from_registry(&reg);
         assert_eq!(s.requests, 5);
@@ -150,6 +184,10 @@ mod tests {
         assert_eq!(s.bytes_sent, 9_000);
         assert_eq!(s.cache_hits, 2);
         assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.frame_bytes_raw, 8_000);
+        assert_eq!(s.frame_bytes_wire, 2_000);
+        assert!((s.compression_ratio() - 4.0).abs() < 1e-12);
+        assert!(s.summary().contains("4.00x"));
         assert_eq!(s.latency.total(), 1);
         assert_eq!(s.latency.counts[2], 1);
     }

@@ -24,12 +24,19 @@ use accelviz_core::hybrid::HybridFrame;
 use accelviz_math::{Aabb, Vec3};
 use accelviz_octree::density::DensityGrid;
 use accelviz_octree::plots::PlotType;
+use accelviz_store::codec::{decode_f32s, decode_f64s, encode_f32s, encode_f64s};
 use std::io::{Read, Write};
 
 /// Envelope magic: "accelviz wire format".
 pub const MAGIC: [u8; 4] = *b"AVWF";
-/// The protocol version this build speaks.
-pub const VERSION: u16 = 1;
+/// Protocol version 1: every payload in its raw fixed-width encoding.
+pub const V1: u16 = 1;
+/// Protocol version 2: frame payloads compressed with the
+/// `accelviz-store` codecs, stats extended with byte counters.
+pub const V2: u16 = 2;
+/// The newest protocol version this build speaks. Peers negotiate down
+/// to the older of the two sides at `Hello` time.
+pub const VERSION: u16 = V2;
 /// Envelope header size in bytes (before the payload).
 pub const HEADER_BYTES: u64 = 16;
 /// Checksum trailer size in bytes (after the payload).
@@ -49,9 +56,12 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// One framed message: its kind byte and raw payload.
+/// One framed message: its version, kind byte, and raw payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Envelope {
+    /// The protocol version the envelope was framed with — payload
+    /// decoding dispatches on it (a v2 `RESP_FRAME` is compressed).
+    pub version: u16,
     /// Message kind (request kinds are `0x0_`, responses `0x8_`).
     pub kind: u8,
     /// The message payload, still encoded.
@@ -65,11 +75,24 @@ impl Envelope {
     }
 }
 
-/// Writes one envelope; returns the wire bytes written.
+/// Writes one envelope at protocol version 1 — the framing every peer
+/// speaks before (and unless) a `Hello` negotiates higher. Requests and
+/// pre-v2 sessions stay byte-identical through this path.
 pub fn write_envelope<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> Result<u64> {
+    write_envelope_v(w, V1, kind, payload)
+}
+
+/// Writes one envelope at an explicit protocol version; returns the wire
+/// bytes written.
+pub fn write_envelope_v<W: Write>(
+    w: &mut W,
+    version: u16,
+    kind: u8,
+    payload: &[u8],
+) -> Result<u64> {
     let mut header = [0u8; 16];
     header[0..4].copy_from_slice(&MAGIC);
-    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[4..6].copy_from_slice(&version.to_le_bytes());
     header[6] = kind;
     header[7] = 0;
     header[8..16].copy_from_slice(&(payload.len() as u64).to_le_bytes());
@@ -119,7 +142,7 @@ pub fn read_envelope<R: Read>(r: &mut R) -> Result<Envelope> {
         return Err(ServeError::BadMagic(magic));
     }
     let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(ServeError::UnsupportedVersion(version));
     }
     let kind = header[6];
@@ -144,7 +167,11 @@ pub fn read_envelope<R: Read>(r: &mut R) -> Result<Envelope> {
     if actual != expected {
         return Err(ServeError::ChecksumMismatch { expected, actual });
     }
-    Ok(Envelope { kind, payload })
+    Ok(Envelope {
+        version,
+        kind,
+        payload,
+    })
 }
 
 /// Little-endian payload builder.
@@ -198,6 +225,11 @@ impl PayloadWriter {
     pub fn put_str(&mut self, s: &str) {
         self.put_u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends pre-encoded bytes verbatim (self-describing codec blocks).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
     }
 }
 
@@ -263,6 +295,25 @@ impl<'a> PayloadReader<'a> {
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| ServeError::Corrupt("string is not UTF-8".into()))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// The unconsumed tail of the payload — handed to self-describing
+    /// sub-decoders (the `accelviz-store` codec blocks) that report how
+    /// far they read, which the caller then [`advance`]s past.
+    ///
+    /// [`advance`]: PayloadReader::advance
+    pub fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Skips `n` bytes a sub-decoder already consumed.
+    pub fn advance(&mut self, n: usize) -> Result<()> {
+        self.take(n).map(|_| ())
     }
 
     /// A `count` sanity bound: rejects lengths that could not fit in the
@@ -433,6 +484,153 @@ pub fn decode_frame(payload: &[u8]) -> Result<HybridFrame> {
     })
 }
 
+/// Encodes a [`HybridFrame`] as the AVWF v2 compressed payload.
+///
+/// Layout: the v1 header fields verbatim (step, plot codes, bounds,
+/// threshold, discarded), then a point count followed by seven
+/// self-describing codec blocks (six `f64` point columns and the point
+/// densities), the grid dims and bounds, one `f32` codec block for the
+/// grid cells, and finally the length and FNV-1a 64 checksum of the
+/// frame's *v1 encoding*. The trailing checksum is over the decoded
+/// content, not the compressed bytes: [`decode_frame_v2`] re-encodes
+/// what it decoded and must land on these exact bytes, so any codec
+/// defect is caught end-to-end rather than trusted.
+///
+/// Returns `(payload, raw_len)` where `raw_len` is the size the same
+/// frame occupies under [`encode_frame`] — the numerator of the
+/// compression ratio the server's stats report.
+pub fn encode_frame_v2(frame: &HybridFrame) -> (Vec<u8>, u64) {
+    let raw = encode_frame(frame);
+    let raw_fnv = fnv1a64(&raw);
+
+    let mut w = PayloadWriter::new();
+    w.put_u64(frame.step as u64);
+    for c in frame.plot.coords {
+        w.put_u8(coord_code(c));
+    }
+    put_aabb(&mut w, &frame.bounds);
+    w.put_f64(frame.threshold);
+    w.put_u64(frame.discarded);
+
+    let n = frame.points.len();
+    w.put_u64(n as u64);
+    let mut col = vec![0.0f64; n];
+    for c in 0..6 {
+        for (slot, p) in col.iter_mut().zip(&frame.points) {
+            *slot = p.to_array()[c];
+        }
+        w.put_bytes(&encode_f64s(&col));
+    }
+    w.put_bytes(&encode_f64s(&frame.point_densities));
+
+    let dims = frame.grid.dims();
+    for d in dims {
+        w.put_u64(d as u64);
+    }
+    put_aabb(&mut w, frame.grid.bounds());
+    w.put_bytes(&encode_f32s(frame.grid.data()));
+
+    w.put_u64(raw.len() as u64);
+    w.put_u64(raw_fnv);
+    (w.into_bytes(), raw.len() as u64)
+}
+
+/// Reads one codec block of `expect` `f64`s from the reader's tail.
+fn read_f64_block(r: &mut PayloadReader<'_>, expect: usize) -> Result<Vec<f64>> {
+    let mut pos = 0;
+    let values =
+        decode_f64s(r.rest(), &mut pos, expect).map_err(|e| ServeError::Corrupt(e.to_string()))?;
+    r.advance(pos)?;
+    Ok(values)
+}
+
+/// Decodes an AVWF v2 frame payload, then verifies it by re-encoding:
+/// the decoded frame's v1 bytes must match the length and checksum the
+/// encoder stamped into the trailer.
+pub fn decode_frame_v2(payload: &[u8]) -> Result<HybridFrame> {
+    let mut r = PayloadReader::new(payload);
+    let step = r.u64()? as usize;
+    let plot = PlotType {
+        coords: [
+            coord_from_code(r.u8()?)?,
+            coord_from_code(r.u8()?)?,
+            coord_from_code(r.u8()?)?,
+        ],
+    };
+    let bounds = read_aabb(&mut r)?;
+    let threshold = r.f64()?;
+    let discarded = r.u64()?;
+
+    // A compressed payload can be far smaller than the data it carries,
+    // so the v1 remaining-bytes bound does not apply; cap counts against
+    // what the *decoded* frame would occupy instead.
+    let n_points = r.u64()?;
+    if n_points > MAX_PAYLOAD / 48 {
+        return Err(ServeError::Corrupt(format!(
+            "declared point count {n_points} exceeds the decoded-payload limit"
+        )));
+    }
+    let n_points = n_points as usize;
+    let mut cols = Vec::with_capacity(6);
+    for _ in 0..6 {
+        cols.push(read_f64_block(&mut r, n_points)?);
+    }
+    let points: Vec<Particle> = (0..n_points)
+        .map(|i| {
+            Particle::from_array([
+                cols[0][i], cols[1][i], cols[2][i], cols[3][i], cols[4][i], cols[5][i],
+            ])
+        })
+        .collect();
+    let point_densities = read_f64_block(&mut r, n_points)?;
+
+    let dims = [r.u64()? as usize, r.u64()? as usize, r.u64()? as usize];
+    let n_cells = dims[0]
+        .checked_mul(dims[1])
+        .and_then(|n| n.checked_mul(dims[2]))
+        .ok_or_else(|| ServeError::Corrupt("grid dims overflow".into()))?;
+    if dims.contains(&0) {
+        return Err(ServeError::Corrupt("grid dims must be positive".into()));
+    }
+    if n_cells as u64 > MAX_PAYLOAD / 4 {
+        return Err(ServeError::Corrupt(format!(
+            "declared grid of {n_cells} cells exceeds the decoded-payload limit"
+        )));
+    }
+    let grid_bounds = read_aabb(&mut r)?;
+    let data = {
+        let mut pos = 0;
+        let values = decode_f32s(r.rest(), &mut pos, n_cells)
+            .map_err(|e| ServeError::Corrupt(e.to_string()))?;
+        r.advance(pos)?;
+        values
+    };
+    let raw_len = r.u64()?;
+    let raw_fnv = r.u64()?;
+    r.finish()?;
+
+    let frame = HybridFrame {
+        step,
+        plot,
+        bounds,
+        points,
+        point_densities,
+        grid: DensityGrid::from_raw(grid_bounds, dims, data),
+        threshold,
+        discarded,
+    };
+    let reencoded = encode_frame(&frame);
+    if reencoded.len() as u64 != raw_len || fnv1a64(&reencoded) != raw_fnv {
+        return Err(ServeError::Corrupt(format!(
+            "decoded frame re-encodes to {} bytes (fnv {:#018x}), trailer promised {raw_len} \
+             (fnv {raw_fnv:#018x})",
+            reencoded.len(),
+            fnv1a64(&reencoded)
+        )));
+    }
+    Ok(frame)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,5 +691,135 @@ mod tests {
         let mut r = PayloadReader::new(&bytes);
         assert_eq!(r.str().unwrap(), "x–px–y");
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn both_live_versions_read_back_and_report_themselves() {
+        for version in [V1, V2] {
+            let mut buf = Vec::new();
+            write_envelope_v(&mut buf, version, 0x03, b"payload").unwrap();
+            let env = read_envelope(&mut buf.as_slice()).unwrap();
+            assert_eq!(env.version, version);
+            assert_eq!(env.payload, b"payload");
+        }
+        // The legacy writer still frames at v1: requests and pre-v2
+        // sessions are byte-identical to what they always were.
+        let mut buf = Vec::new();
+        write_envelope(&mut buf, 0x01, b"x").unwrap();
+        assert_eq!(u16::from_le_bytes(buf[4..6].try_into().unwrap()), V1);
+    }
+
+    #[test]
+    fn version_zero_and_future_versions_are_rejected() {
+        for bad in [0u16, VERSION + 1, 99] {
+            let mut buf = Vec::new();
+            write_envelope(&mut buf, 0x01, b"x").unwrap();
+            buf[4..6].copy_from_slice(&bad.to_le_bytes());
+            match read_envelope(&mut buf.as_slice()) {
+                Err(ServeError::UnsupportedVersion(v)) => assert_eq!(v, bad),
+                other => panic!("version {bad} gave {other:?}"),
+            }
+        }
+    }
+
+    fn sample_frame(n_points: usize) -> HybridFrame {
+        let bounds = Aabb {
+            min: Vec3::new(-1.0, -2.0, -3.0),
+            max: Vec3::new(1.0, 2.0, 3.0),
+        };
+        let points: Vec<Particle> = (0..n_points)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                Particle::from_array([t.sin(), t.cos() * 1e-3, -t.sin(), t * 1e-4, t, -t])
+            })
+            .collect();
+        let point_densities: Vec<f64> = (0..n_points).map(|i| 1.0 + i as f64).collect();
+        let dims = [8, 8, 8];
+        // A mostly-zero count grid, like real binned density volumes.
+        let mut cells = vec![0.0f32; 512];
+        for (i, c) in cells.iter_mut().enumerate().step_by(17) {
+            *c = (i % 40) as f32;
+        }
+        HybridFrame {
+            step: 11,
+            plot: PlotType::X_PX_Y,
+            bounds,
+            points,
+            point_densities,
+            grid: DensityGrid::from_raw(bounds, dims, cells),
+            threshold: 2.5,
+            discarded: 940,
+        }
+    }
+
+    #[test]
+    fn v2_frames_roundtrip_bit_identically_and_compress() {
+        let frame = sample_frame(100);
+        let (payload, raw_len) = encode_frame_v2(&frame);
+        assert_eq!(raw_len as usize, encode_frame(&frame).len());
+        assert!(
+            (payload.len() as u64) < raw_len,
+            "v2 payload of {} B did not beat the raw {} B",
+            payload.len(),
+            raw_len
+        );
+        let decoded = decode_frame_v2(&payload).unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn v2_empty_frame_roundtrips() {
+        let mut frame = sample_frame(0);
+        frame.grid = DensityGrid::from_raw(frame.bounds, [1, 1, 1], vec![0.0]);
+        let (payload, _) = encode_frame_v2(&frame);
+        assert_eq!(decode_frame_v2(&payload).unwrap(), frame);
+    }
+
+    #[test]
+    fn v2_bitflips_are_caught_by_the_decoded_checksum() {
+        // The envelope checksum already rejects wire damage; this drives
+        // the *inner* guarantee — a flipped payload byte must never
+        // produce a silently wrong frame even when handed straight to the
+        // payload decoder.
+        let (payload, _) = encode_frame_v2(&sample_frame(64));
+        for at in [
+            0,
+            9,
+            80,
+            payload.len() / 2,
+            payload.len() - 9,
+            payload.len() - 1,
+        ] {
+            let mut bad = payload.clone();
+            bad[at] ^= 0x10;
+            assert!(
+                decode_frame_v2(&bad).is_err(),
+                "flip at {at} decoded silently"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_truncation_is_structured() {
+        let (payload, _) = encode_frame_v2(&sample_frame(32));
+        for keep in [0, 1, 8, 60, payload.len() / 2, payload.len() - 1] {
+            match decode_frame_v2(&payload[..keep]) {
+                Err(ServeError::Corrupt(_)) => {}
+                other => panic!("cut at {keep} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn v2_rejects_implausible_counts_before_allocating() {
+        let (payload, _) = encode_frame_v2(&sample_frame(4));
+        let mut bad = payload.clone();
+        // The point count sits after step(8) + plot(3) + bounds(48) +
+        // threshold(8) + discarded(8) = 75 bytes.
+        bad[75..83].copy_from_slice(&u64::MAX.to_le_bytes());
+        match decode_frame_v2(&bad) {
+            Err(ServeError::Corrupt(msg)) => assert!(msg.contains("point count"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 }

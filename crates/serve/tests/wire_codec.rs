@@ -9,8 +9,10 @@ use accelviz_math::{Aabb, Vec3};
 use accelviz_octree::density::DensityGrid;
 use accelviz_octree::plots::PlotType;
 use accelviz_serve::error::ServeError;
-use accelviz_serve::protocol::{read_response, write_response, Response};
-use accelviz_serve::wire::{decode_frame, encode_frame, read_envelope, write_envelope};
+use accelviz_serve::protocol::{read_response, write_response, write_response_v, Response};
+use accelviz_serve::wire::{
+    decode_frame, decode_frame_v2, encode_frame, encode_frame_v2, read_envelope, write_envelope, V2,
+};
 use proptest::prelude::*;
 
 /// A strategy over arbitrary (well-formed) hybrid frames.
@@ -97,6 +99,60 @@ proptest! {
             matches!(result, Err(ServeError::Truncated { .. })),
             "cut at {}/{} gave {:?}", keep, buf.len(), result
         );
+    }
+
+    #[test]
+    fn v2_frame_payloads_roundtrip_bit_identically(frame in arb_frame()) {
+        let (payload, raw_len) = encode_frame_v2(&frame);
+        prop_assert_eq!(raw_len as usize, encode_frame(&frame).len());
+        let decoded = decode_frame_v2(&payload).expect("well-formed v2 payload must decode");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn v2_frame_responses_roundtrip_through_envelopes(frame in arb_frame()) {
+        let mut buf = Vec::new();
+        let written = write_response_v(&mut buf, V2, &Response::Frame(frame.clone())).unwrap();
+        prop_assert_eq!(written as usize, buf.len());
+        let (resp, wire_bytes) = read_response(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(wire_bytes as usize, buf.len());
+        match resp {
+            Response::Frame(decoded) => prop_assert_eq!(decoded, frame),
+            other => return Err(TestCaseError::fail(format!("expected Frame, got {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn v2_truncation_anywhere_is_a_structured_error(frame in arb_frame(), cut in 0.0..1.0f64) {
+        let (payload, _) = encode_frame_v2(&frame);
+        let keep = ((payload.len() - 1) as f64 * cut) as usize;
+        match decode_frame_v2(&payload[..keep]) {
+            Err(ServeError::Corrupt(_)) | Err(ServeError::Truncated { .. }) => {}
+            other => return Err(TestCaseError::fail(format!(
+                "v2 cut at {keep}/{} gave {other:?}", payload.len()
+            ))),
+        }
+    }
+
+    #[test]
+    fn v2_payload_bitflips_never_decode_silently(frame in arb_frame(), at in 0.0..1.0f64) {
+        // Straight at the v2 payload codec, no envelope checksum in the
+        // way: a flipped byte must never decode to a *different* frame —
+        // it surfaces as a structured error (truncated/corrupt blocks, or
+        // the trailing checksum over the decoded frame), except when the
+        // flip lands in a bitpack block's dead padding bits, where the
+        // identical frame decoding back is correct.
+        let (payload, _) = encode_frame_v2(&frame);
+        let mut bad = payload.clone();
+        let idx = ((payload.len() - 1) as f64 * at) as usize;
+        bad[idx] ^= 0x40;
+        match decode_frame_v2(&bad) {
+            Err(ServeError::Corrupt(_)) | Err(ServeError::Truncated { .. }) => {}
+            Ok(decoded) => prop_assert_eq!(decoded, frame),
+            Err(other) => return Err(TestCaseError::fail(format!(
+                "v2 bitflip at {idx} gave unexpected error {other:?}"
+            ))),
+        }
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Compressed frame codecs and an out-of-core, memory-mapped run store.
+//!
+//! The paper's terascale premise is that the data does not fit: a single
+//! time step of the primary simulation is 5 GB raw, and the visualization
+//! pipeline lives or dies by how little of it must move or be resident.
+//! This crate supplies the two halves of that discipline downstream of
+//! partitioning:
+//!
+//! - [`codec`] — pure, zero-dependency compression for the hybrid frame's
+//!   payloads: delta+zigzag+varint for quantized density grids, XOR
+//!   bitpacking for halo point columns, raw passthrough as the safety
+//!   net. The serve layer's AVWF v2 frame encoding is built from these
+//!   blocks.
+//! - [`run`] / [`mmap`] / [`resident`] / [`source`] — the on-disk run
+//!   format (chunked, checksummed, one file per time series), a
+//!   hand-rolled memory map with a pread fallback, an LRU-budgeted
+//!   residency layer, and a `FrameSource` adapter so a viewer or frame
+//!   server can serve a run larger than RAM.
+//! - [`lru`] — the recency-order structure shared by this crate's
+//!   residency layer and the serve layer's caches (re-exported there).
+
+#![deny(missing_docs)]
+
+pub mod codec;
+pub mod lru;
+pub mod mmap;
+pub mod resident;
+pub mod run;
+pub mod source;
+
+pub use lru::LruOrder;
+pub use resident::{Fetch, ResidentRun, ResidentStats};
+pub use run::{RunStore, DEFAULT_CHUNK_BYTES};
+pub use source::StoredRunSource;

@@ -1,12 +1,14 @@
-//! A small recency-order structure shared by every LRU in the serve path.
+//! A small recency-order structure shared by every LRU in the pipeline.
 //!
-//! Both the server's [`crate::cache::ExtractionCache`] and the client's
-//! [`crate::client::RemoteFrames`] resident set need the same three
-//! operations — touch a key to the front, find the oldest key, evict it —
-//! and both used to do them with `Vec::iter().position()` scans plus
-//! `remove(0)` shifts: O(n) per hit and per eviction. This structure keeps
-//! a monotonic *tick* per key in a `HashMap` and the mirror `tick → key`
-//! order in a `BTreeMap`, making every operation O(log n).
+//! The serve layer's extraction cache and remote resident set, and this
+//! crate's [`crate::resident::ResidentRun`] residency policy, all need
+//! the same three operations — touch a key to the front, find the oldest
+//! key, evict it — and early versions did them with
+//! `Vec::iter().position()` scans plus `remove(0)` shifts: O(n) per hit
+//! and per eviction. This structure keeps a monotonic *tick* per key in
+//! a `HashMap` and the mirror `tick → key` order in a `BTreeMap`, making
+//! every operation O(log n). It lives in `accelviz-store` (the lowest
+//! crate that needs it); `accelviz-serve` re-exports it unchanged.
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;

@@ -1,0 +1,254 @@
+//! A hand-rolled read-only memory map with a portable pread fallback.
+//!
+//! The run store's data region can exceed RAM; mapping the file lets the
+//! OS page cache decide which chunks are physically resident while the
+//! store addresses them as one flat slice. The FFI surface is three
+//! symbols (`mmap`, `munmap`, and their constants) provided by the
+//! vendored `libc` shim.
+//!
+//! Mapping is an optimization, never a requirement: on non-unix targets,
+//! when the kernel refuses the mapping, or when
+//! `ACCELVIZ_STORE_NO_MMAP=1` is set (CI forces this to keep the
+//! fallback honest), [`ChunkSource`] degrades to positioned reads with
+//! identical semantics.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// Environment variable that forces the pread fallback when set to a
+/// non-empty value other than `0`.
+pub const NO_MMAP_ENV: &str = "ACCELVIZ_STORE_NO_MMAP";
+
+/// A read-only, private mapping of an entire file.
+pub struct Mmap {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// The mapping is read-only for its whole lifetime, so shared references
+// from any thread are fine, and ownership can move freely.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only. `len` must be the file's current size;
+    /// reading through the map past a later truncation is undefined, so
+    /// callers must own the file for the mapping's lifetime.
+    #[cfg(unix)]
+    pub fn map(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            // POSIX rejects zero-length mappings with EINVAL; an empty
+            // file needs no pages, just an empty slice.
+            return Ok(Mmap {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        let ptr = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ,
+                libc::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == libc::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr as *mut u8,
+            len,
+        })
+    }
+
+    /// On non-unix targets mapping always fails; [`ChunkSource`] falls
+    /// back to positioned reads.
+    #[cfg(not(unix))]
+    pub fn map(_file: &File, _len: usize) -> io::Result<Mmap> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "mmap unavailable on this platform",
+        ))
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // Safety: ptr/len came from a successful mmap that lives until
+        // Drop, and the mapping is never written through.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.len > 0 {
+            // Safety: exactly the region returned by mmap in map().
+            unsafe {
+                libc::munmap(self.ptr as *mut libc::c_void, self.len);
+            }
+        }
+    }
+}
+
+/// Random-access bytes of a run file: a memory map when available, a
+/// positioned-read fallback otherwise. Both paths return owned copies so
+/// chunk checksumming and particle decoding never borrow the map.
+pub enum ChunkSource {
+    /// The whole file is mapped; reads are slice copies.
+    Mapped(Mmap),
+    /// Positioned reads against the open file.
+    Pread {
+        /// The open run file.
+        file: File,
+        /// Its size at open time.
+        len: u64,
+    },
+}
+
+fn mmap_disabled() -> bool {
+    match std::env::var(NO_MMAP_ENV) {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+impl ChunkSource {
+    /// Opens `path`, mapping it unless mapping is disabled or fails.
+    pub fn open(path: &Path) -> io::Result<ChunkSource> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if !mmap_disabled() && usize::try_from(len).is_ok() {
+            if let Ok(map) = Mmap::map(&file, len as usize) {
+                return Ok(ChunkSource::Mapped(map));
+            }
+        }
+        Ok(ChunkSource::Pread { file, len })
+    }
+
+    /// Total bytes addressable.
+    pub fn len(&self) -> u64 {
+        match self {
+            ChunkSource::Mapped(m) => m.as_slice().len() as u64,
+            ChunkSource::Pread { len, .. } => *len,
+        }
+    }
+
+    /// Whether the source holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the memory-mapped path is active (diagnostics and tests).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, ChunkSource::Mapped(_))
+    }
+
+    /// Reads exactly `len` bytes at byte offset `off`.
+    pub fn read_at(&self, off: u64, len: usize) -> io::Result<Vec<u8>> {
+        let end = off
+            .checked_add(len as u64)
+            .filter(|&e| e <= self.len())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "read of {len} bytes at {off} runs past end ({})",
+                        self.len()
+                    ),
+                )
+            })?;
+        let _ = end;
+        match self {
+            ChunkSource::Mapped(m) => {
+                let off = off as usize;
+                Ok(m.as_slice()[off..off + len].to_vec())
+            }
+            ChunkSource::Pread { file, .. } => {
+                let mut buf = vec![0u8; len];
+                read_exact_at(file, &mut buf, off)?;
+                Ok(buf)
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, off)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(file: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+    // No positioned-read primitive: fall back to seek + read on a
+    // duplicated handle so `&self` reads stay possible.
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = file.try_clone()?;
+    f.seek(SeekFrom::Start(off))?;
+    f.read_exact(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn scratch(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("accelviz-mmap-{name}-{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_and_pread_agree() {
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 255) as u8).collect();
+        let path = scratch("agree", &payload);
+        let src = ChunkSource::open(&path).unwrap();
+        let pread = ChunkSource::Pread {
+            file: File::open(&path).unwrap(),
+            len: payload.len() as u64,
+        };
+        for (off, len) in [(0u64, 16usize), (9_984, 16), (123, 4_096), (0, 10_000)] {
+            assert_eq!(
+                src.read_at(off, len).unwrap(),
+                pread.read_at(off, len).unwrap()
+            );
+            assert_eq!(
+                src.read_at(off, len).unwrap(),
+                payload[off as usize..off as usize + len]
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn out_of_range_reads_are_errors_not_panics() {
+        let path = scratch("oob", &[1, 2, 3, 4]);
+        let src = ChunkSource::open(&path).unwrap();
+        assert!(src.read_at(0, 5).is_err());
+        assert!(src.read_at(4, 1).is_err());
+        assert!(src.read_at(u64::MAX, 1).is_err());
+        assert_eq!(src.read_at(4, 0).unwrap(), Vec::<u8>::new());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_files_are_servable() {
+        let path = scratch("empty", &[]);
+        let src = ChunkSource::open(&path).unwrap();
+        assert!(src.is_empty());
+        assert_eq!(src.read_at(0, 0).unwrap(), Vec::<u8>::new());
+        assert!(src.read_at(0, 1).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,503 @@
+//! The chunked, checksummed on-disk run format (`AVRUNST1`).
+//!
+//! A *run* is a whole time series in one file, extending the two-part
+//! layout of `accelviz_octree::store_io` to many frames: per frame, the
+//! node file becomes an embedded *node blob* (byte-identical to
+//! [`write_node_file`] output) and the density-sorted particle array is
+//! split into fixed-size *chunks* of raw 48-byte records. Every blob and
+//! every chunk carries an FNV-1a-64 checksum that is verified on each
+//! read, so a flipped bit anywhere in the data region surfaces as a
+//! structured I/O error, never as silently wrong particles.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "AVRUNST1" | u32 version | u32 frame_count | u64 chunk_bytes
+//! frame directory: frame_count × { node_off, node_len, node_fnv,
+//!                                  first_chunk, n_chunks, particle_count }
+//! u64 chunk_count
+//! chunk table: chunk_count × { off, len, fnv }
+//! data region: node blobs and particle chunks
+//! ```
+//!
+//! The split layout exists for out-of-core serving: directories and node
+//! blobs are small and read eagerly; particle chunks — the bulk — are
+//! fetched on demand through a [`ChunkSource`] (memory map or positioned
+//! reads), so a run much larger than RAM never has to be resident at
+//! once. Chunk size is always a multiple of the 48-byte particle record
+//! so a record never straddles chunks.
+
+use crate::mmap::ChunkSource;
+use accelviz_beam::io::BYTES_PER_PARTICLE;
+use accelviz_beam::particle::Particle;
+use accelviz_octree::node::Octree;
+use accelviz_octree::plots::PlotType;
+use accelviz_octree::sorted_store::PartitionedData;
+use accelviz_octree::store_io::{read_node_file, write_node_file};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic bytes of a run file.
+pub const RUN_MAGIC: [u8; 8] = *b"AVRUNST1";
+/// Format version written by this build.
+pub const RUN_VERSION: u32 = 1;
+/// Default chunk size: 64 KiB rounded to whole particle records.
+pub const DEFAULT_CHUNK_BYTES: u64 = 65_520;
+
+const HEADER_BYTES: u64 = 24;
+const FRAME_DIR_BYTES: u64 = 48;
+const CHUNK_DIR_BYTES: u64 = 24;
+/// Upper bound on plausible frame/chunk counts (header-corruption guard).
+const MAX_TABLE_ENTRIES: u64 = 1 << 28;
+
+/// FNV-1a over 64 bits — the same checksum the wire envelope uses, so
+/// bit-identity arguments compose across the store and serve layers.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Rounds a requested chunk size up to a positive multiple of the
+/// 48-byte particle record.
+pub fn round_chunk_bytes(requested: u64) -> u64 {
+    let c = requested.max(BYTES_PER_PARTICLE);
+    c.div_ceil(BYTES_PER_PARTICLE) * BYTES_PER_PARTICLE
+}
+
+#[derive(Clone, Copy, Debug)]
+struct FrameDir {
+    node_off: u64,
+    node_len: u64,
+    node_fnv: u64,
+    first_chunk: u64,
+    n_chunks: u64,
+    particle_count: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ChunkDir {
+    off: u64,
+    len: u64,
+    fnv: u64,
+}
+
+fn particle_bytes(particles: &[Particle]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(particles.len() * BYTES_PER_PARTICLE as usize);
+    for p in particles {
+        for c in p.to_array() {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Writes `frames` as one run file. Returns the total bytes written.
+/// `chunk_bytes` is rounded up to a whole number of particle records.
+pub fn write_run<W: Write>(
+    w: &mut W,
+    frames: &[PartitionedData],
+    chunk_bytes: u64,
+) -> io::Result<u64> {
+    let chunk_bytes = round_chunk_bytes(chunk_bytes);
+
+    // Serialize every frame's node blob and particle bytes up front so
+    // all offsets are known before the first header byte goes out —
+    // this keeps the writer a plain `Write` sink (no Seek required).
+    let mut node_blobs = Vec::with_capacity(frames.len());
+    let mut payloads = Vec::with_capacity(frames.len());
+    for data in frames {
+        let mut blob = Vec::new();
+        write_node_file(data, &mut blob)?;
+        node_blobs.push(blob);
+        payloads.push(particle_bytes(data.particles()));
+    }
+
+    let total_chunks: u64 = payloads
+        .iter()
+        .map(|p| (p.len() as u64).div_ceil(chunk_bytes))
+        .sum();
+    let mut off =
+        HEADER_BYTES + frames.len() as u64 * FRAME_DIR_BYTES + 8 + total_chunks * CHUNK_DIR_BYTES;
+
+    let mut frame_dirs = Vec::with_capacity(frames.len());
+    let mut chunk_dirs = Vec::with_capacity(total_chunks as usize);
+    for (data, blob) in frames.iter().zip(&node_blobs) {
+        let payload = &payloads[frame_dirs.len()];
+        let node_off = off;
+        off += blob.len() as u64;
+        let first_chunk = chunk_dirs.len() as u64;
+        for chunk in payload.chunks(chunk_bytes as usize) {
+            chunk_dirs.push(ChunkDir {
+                off,
+                len: chunk.len() as u64,
+                fnv: fnv1a64(chunk),
+            });
+            off += chunk.len() as u64;
+        }
+        frame_dirs.push(FrameDir {
+            node_off,
+            node_len: blob.len() as u64,
+            node_fnv: fnv1a64(blob),
+            first_chunk,
+            n_chunks: chunk_dirs.len() as u64 - first_chunk,
+            particle_count: data.particles().len() as u64,
+        });
+    }
+
+    w.write_all(&RUN_MAGIC)?;
+    w.write_all(&RUN_VERSION.to_le_bytes())?;
+    w.write_all(&(frames.len() as u32).to_le_bytes())?;
+    w.write_all(&chunk_bytes.to_le_bytes())?;
+    for d in &frame_dirs {
+        for v in [
+            d.node_off,
+            d.node_len,
+            d.node_fnv,
+            d.first_chunk,
+            d.n_chunks,
+            d.particle_count,
+        ] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.write_all(&total_chunks.to_le_bytes())?;
+    for c in &chunk_dirs {
+        for v in [c.off, c.len, c.fnv] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    for (blob, payload) in node_blobs.iter().zip(&payloads) {
+        w.write_all(blob)?;
+        w.write_all(payload)?;
+    }
+    Ok(off)
+}
+
+/// Writes `frames` to a run file at `path` (create/truncate).
+pub fn write_run_file(
+    path: &Path,
+    frames: &[PartitionedData],
+    chunk_bytes: u64,
+) -> io::Result<u64> {
+    let mut f = std::fs::File::create(path)?;
+    let n = write_run(&mut f, frames, chunk_bytes)?;
+    f.flush()?;
+    Ok(n)
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn u64_at(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+}
+
+/// An open run file: parsed directories plus on-demand chunk access.
+/// Directory and chunk checksums are verified on every read; I/O volume
+/// is tracked in atomic counters for the bench and serve stats.
+pub struct RunStore {
+    src: ChunkSource,
+    chunk_bytes: u64,
+    frames: Vec<FrameDir>,
+    chunks: Vec<ChunkDir>,
+    chunks_read: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+impl RunStore {
+    /// Opens and validates a run file. The directories are read eagerly;
+    /// the data region stays on disk behind a [`ChunkSource`].
+    pub fn open(path: &Path) -> io::Result<RunStore> {
+        let src = ChunkSource::open(path)?;
+        let file_len = src.len();
+        let header = src.read_at(0, HEADER_BYTES as usize)?;
+        if header[..8] != RUN_MAGIC {
+            return Err(bad("bad run-file magic"));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != RUN_VERSION {
+            return Err(bad(format!("unsupported run-format version {version}")));
+        }
+        let frame_count = u64::from(u32::from_le_bytes(header[12..16].try_into().unwrap()));
+        let chunk_bytes = u64_at(&header, 16);
+        if chunk_bytes == 0 || !chunk_bytes.is_multiple_of(BYTES_PER_PARTICLE) {
+            return Err(bad(format!(
+                "chunk size {chunk_bytes} is not a record multiple"
+            )));
+        }
+        if frame_count > MAX_TABLE_ENTRIES {
+            return Err(bad(format!("implausible frame count {frame_count}")));
+        }
+
+        let dir_bytes = frame_count * FRAME_DIR_BYTES;
+        let dir = src.read_at(HEADER_BYTES, dir_bytes as usize)?;
+        let mut frames = Vec::with_capacity(frame_count as usize);
+        for i in 0..frame_count as usize {
+            let b = i * FRAME_DIR_BYTES as usize;
+            frames.push(FrameDir {
+                node_off: u64_at(&dir, b),
+                node_len: u64_at(&dir, b + 8),
+                node_fnv: u64_at(&dir, b + 16),
+                first_chunk: u64_at(&dir, b + 24),
+                n_chunks: u64_at(&dir, b + 32),
+                particle_count: u64_at(&dir, b + 40),
+            });
+        }
+
+        let count_off = HEADER_BYTES + dir_bytes;
+        let chunk_count = u64_at(&src.read_at(count_off, 8)?, 0);
+        if chunk_count > MAX_TABLE_ENTRIES {
+            return Err(bad(format!("implausible chunk count {chunk_count}")));
+        }
+        let table = src.read_at(count_off + 8, (chunk_count * CHUNK_DIR_BYTES) as usize)?;
+        let mut chunks = Vec::with_capacity(chunk_count as usize);
+        for i in 0..chunk_count as usize {
+            let b = i * CHUNK_DIR_BYTES as usize;
+            let c = ChunkDir {
+                off: u64_at(&table, b),
+                len: u64_at(&table, b + 8),
+                fnv: u64_at(&table, b + 16),
+            };
+            if c.len > chunk_bytes || !c.len.is_multiple_of(BYTES_PER_PARTICLE) {
+                return Err(bad(format!("chunk {i} has invalid length {}", c.len)));
+            }
+            if c.off.checked_add(c.len).is_none_or(|e| e > file_len) {
+                return Err(bad(format!("chunk {i} runs past end of file")));
+            }
+            chunks.push(c);
+        }
+
+        for (i, f) in frames.iter().enumerate() {
+            if f.node_off
+                .checked_add(f.node_len)
+                .is_none_or(|e| e > file_len)
+            {
+                return Err(bad(format!("frame {i} node blob runs past end of file")));
+            }
+            let last = f
+                .first_chunk
+                .checked_add(f.n_chunks)
+                .ok_or_else(|| bad(format!("frame {i} chunk range overflows")))?;
+            if last > chunk_count {
+                return Err(bad(format!("frame {i} references missing chunks")));
+            }
+            let covered: u64 = chunks[f.first_chunk as usize..last as usize]
+                .iter()
+                .map(|c| c.len)
+                .sum();
+            if covered != f.particle_count * BYTES_PER_PARTICLE {
+                return Err(bad(format!(
+                    "frame {i} chunks cover {covered} bytes for {} particles",
+                    f.particle_count
+                )));
+            }
+        }
+
+        Ok(RunStore {
+            src,
+            chunk_bytes,
+            frames,
+            chunks,
+            chunks_read: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of frames in the run.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Chunk size of the data region.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk_bytes
+    }
+
+    /// Particle count of frame `i` (directory lookup, no data read).
+    pub fn particle_count(&self, i: usize) -> u64 {
+        self.frames[i].particle_count
+    }
+
+    /// Particle bytes of frame `i` — what residency accounting charges.
+    pub fn frame_bytes(&self, i: usize) -> u64 {
+        self.frames[i].particle_count * BYTES_PER_PARTICLE
+    }
+
+    /// Whether the data region is served through a memory map.
+    pub fn is_mapped(&self) -> bool {
+        self.src.is_mapped()
+    }
+
+    /// `(chunks_read, bytes_read)` so far, including directory reads.
+    pub fn io_stats(&self) -> (u64, u64) {
+        (
+            self.chunks_read.load(Ordering::Relaxed),
+            self.bytes_read.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Reads and checksum-verifies frame `i`'s node blob, parsing it into
+    /// the octree and plot type.
+    pub fn read_tree(&self, i: usize) -> io::Result<(Octree, PlotType)> {
+        let d = &self.frames[i];
+        let blob = self.src.read_at(d.node_off, d.node_len as usize)?;
+        self.bytes_read
+            .fetch_add(blob.len() as u64, Ordering::Relaxed);
+        if fnv1a64(&blob) != d.node_fnv {
+            return Err(bad(format!("frame {i} node blob failed checksum")));
+        }
+        read_node_file(&mut blob.as_slice())
+    }
+
+    /// Reads and checksum-verifies all particle chunks of frame `i`.
+    pub fn load_particles(&self, i: usize) -> io::Result<Vec<Particle>> {
+        let d = &self.frames[i];
+        let mut particles = Vec::with_capacity(d.particle_count as usize);
+        for ci in d.first_chunk..d.first_chunk + d.n_chunks {
+            let c = &self.chunks[ci as usize];
+            let bytes = self.src.read_at(c.off, c.len as usize)?;
+            self.chunks_read.fetch_add(1, Ordering::Relaxed);
+            self.bytes_read
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            if fnv1a64(&bytes) != c.fnv {
+                return Err(bad(format!("chunk {ci} of frame {i} failed checksum")));
+            }
+            for rec in bytes.chunks_exact(BYTES_PER_PARTICLE as usize) {
+                let mut a = [0.0f64; 6];
+                for (k, v) in a.iter_mut().enumerate() {
+                    *v = f64::from_le_bytes(rec[k * 8..(k + 1) * 8].try_into().unwrap());
+                }
+                particles.push(Particle::from_array(a));
+            }
+        }
+        Ok(particles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelviz_beam::distribution::Distribution;
+    use accelviz_octree::builder::{partition, BuildParams};
+
+    fn build_frames(n_frames: usize, particles_each: usize) -> Vec<PartitionedData> {
+        (0..n_frames)
+            .map(|i| {
+                let ps = Distribution::default_beam().sample(particles_each, i as u64 + 1);
+                partition(&ps, PlotType::X_PX_Y, BuildParams::default())
+            })
+            .collect()
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("accelviz-run-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_trees_and_particles() {
+        let frames = build_frames(3, 1_200);
+        let path = scratch("roundtrip");
+        let written = write_run_file(&path, &frames, 4_096).unwrap();
+        assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+
+        let store = RunStore::open(&path).unwrap();
+        assert_eq!(store.frame_count(), 3);
+        // 4096 rounds up to the next record multiple.
+        assert_eq!(store.chunk_bytes() % BYTES_PER_PARTICLE, 0);
+        for (i, data) in frames.iter().enumerate() {
+            assert_eq!(store.particle_count(i) as usize, data.particles().len());
+            let (tree, plot) = store.read_tree(i).unwrap();
+            assert_eq!(plot, data.plot());
+            assert_eq!(tree.nodes.len(), data.tree().nodes.len());
+            let particles = store.load_particles(i).unwrap();
+            assert_eq!(particles, data.particles());
+        }
+        let (chunks, bytes) = store.io_stats();
+        assert!(
+            chunks > 3,
+            "1200 particles at ~4KiB chunks span many chunks"
+        );
+        assert!(bytes > 3 * 1_200 * 48);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn data_region_bitflip_fails_the_chunk_checksum() {
+        let frames = build_frames(1, 500);
+        let path = scratch("bitflip");
+        let total = write_run_file(&path, &frames, 1_024).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len() as u64, total);
+        // Flip one bit near the end of the data region (inside the last
+        // particle chunk).
+        let n = bytes.len();
+        bytes[n - 7] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = RunStore::open(&path).unwrap();
+        let err = store.load_particles(0).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected_at_open() {
+        let frames = build_frames(1, 300);
+        let path = scratch("trunc");
+        write_run_file(&path, &frames, 2_048).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 100]).unwrap();
+        assert!(RunStore::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let frames = build_frames(1, 100);
+        let path = scratch("header");
+        write_run_file(&path, &frames, 2_048).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(RunStore::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_run_and_empty_frames_are_legal() {
+        let path = scratch("empty");
+        write_run_file(&path, &[], 1_024).unwrap();
+        let store = RunStore::open(&path).unwrap();
+        assert_eq!(store.frame_count(), 0);
+
+        let empty = partition(&[], PlotType::XYZ, BuildParams::default());
+        write_run_file(&path, &[empty], 1_024).unwrap();
+        let store = RunStore::open(&path).unwrap();
+        assert_eq!(store.frame_count(), 1);
+        assert_eq!(store.particle_count(0), 0);
+        assert!(store.load_particles(0).unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chunk_rounding_is_record_aligned() {
+        assert_eq!(round_chunk_bytes(0), 48);
+        assert_eq!(round_chunk_bytes(1), 48);
+        assert_eq!(round_chunk_bytes(48), 48);
+        assert_eq!(round_chunk_bytes(49), 96);
+        assert_eq!(round_chunk_bytes(65_536), 65_568);
+        assert_eq!(DEFAULT_CHUNK_BYTES % 48, 0);
+    }
+
+    #[test]
+    fn fnv_matches_the_wire_reference_vectors() {
+        // Same constants as the serve wire layer: checksums compose.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -21,6 +21,9 @@
 //!   frame cache, and remote-visualization model (paper §2).
 //! - [`serve`] — the multi-client TCP frame service (§2.1's remote
 //!   transfer made real).
+//! - [`store`] — compressed frame codecs (the wire's AVWF v2 encoding is
+//!   built from them) and the out-of-core, memory-mapped run store that
+//!   lets a viewer or server work through a run larger than RAM.
 //! - [`trace`] — spans, counters, and Chrome trace-event export; set
 //!   `ACCELVIZ_TRACE=trace.json` before running any example or benchmark
 //!   to capture a whole-pipeline trace, then call [`trace::flush`] (the
@@ -88,4 +91,5 @@ pub use accelviz_math as math;
 pub use accelviz_octree as octree;
 pub use accelviz_render as render;
 pub use accelviz_serve as serve;
+pub use accelviz_store as store;
 pub use accelviz_trace as trace;

@@ -89,12 +89,36 @@ fn chaos_session_delivers_frames_bit_identical_to_fault_free_run() {
     let client = Client::connect_via(Box::new(connector), config).unwrap();
     let mut remote = RemoteFrames::new(client, f64::INFINITY, FRAMES);
 
+    // The chaos session negotiated the compressed AVWF v2 encoding, so
+    // the bit-identity assertions below also prove the v2 codec (and its
+    // decoded-payload checksum) under every injected fault — including
+    // across reconnects, whose re-handshakes must re-negotiate v2.
+    assert_eq!(
+        remote.client().negotiated_version(),
+        accelviz::serve::wire::V2
+    );
+
     use accelviz::core::viewer::FrameSource;
     for (i, want) in reference.iter().enumerate() {
         let (got, load) = remote.load(i).unwrap();
         assert!(!load.degraded, "frame {i} must be genuine, not a fallback");
         assert_eq!(&*got, want, "frame {i} differs from the fault-free run");
     }
+    assert_eq!(
+        remote.client().negotiated_version(),
+        accelviz::serve::wire::V2,
+        "reconnects mid-chaos must land back on v2"
+    );
+
+    // Compression was real: the v2 frame payloads on the wire undercut
+    // what the same frames cost raw.
+    let stats = remote.client().stats().unwrap();
+    assert!(
+        stats.frame_bytes_wire < stats.frame_bytes_raw,
+        "v2 session moved {} wire bytes against {} raw",
+        stats.frame_bytes_wire,
+        stats.frame_bytes_raw
+    );
 
     // The plan actually fired its mandatory trio.
     let fired = script.stats();

@@ -1,0 +1,83 @@
+//! Offline stand-in for the tiny slice of `libc` 0.2 this workspace
+//! uses: the `mmap`/`munmap` syscall bindings behind
+//! `accelviz-store`'s memory-mapped chunk source, plus the constants
+//! they take. The declarations match the POSIX prototypes, and the
+//! constant values are the ones shared by Linux and the BSD family
+//! (`PROT_READ == 1`, `MAP_PRIVATE == 2`); exotic platforms should use
+//! the upstream crate instead, or force the store's pread fallback with
+//! `ACCELVIZ_STORE_NO_MMAP=1`.
+
+#![cfg_attr(not(unix), allow(unused))]
+#![allow(non_camel_case_types)] // keep upstream libc's C-style names
+
+/// Opaque byte type for raw pointers, as `libc::c_void`.
+pub type c_void = core::ffi::c_void;
+/// C `int`.
+pub type c_int = i32;
+/// C `size_t`.
+pub type size_t = usize;
+/// File offset type (`off_t`). 64-bit on every platform this workspace
+/// targets.
+pub type off_t = i64;
+
+/// Pages may be read.
+pub const PROT_READ: c_int = 1;
+/// Private copy-on-write mapping (we only ever read).
+pub const MAP_PRIVATE: c_int = 2;
+/// The error return of `mmap` (`(void *) -1`).
+pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+#[cfg(unix)]
+extern "C" {
+    /// POSIX `mmap(2)`.
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+
+    /// POSIX `munmap(2)`.
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn mmap_reads_back_what_was_written() {
+        let path =
+            std::env::temp_dir().join(format!("accelviz-libc-shim-test-{}", std::process::id()));
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        {
+            let mut f = std::fs::File::create(&path).unwrap();
+            f.write_all(&payload).unwrap();
+        }
+        let f = std::fs::File::open(&path).unwrap();
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                payload.len(),
+                PROT_READ,
+                MAP_PRIVATE,
+                f.as_raw_fd(),
+                0,
+            )
+        };
+        assert_ne!(
+            ptr,
+            MAP_FAILED,
+            "mmap failed: {:?}",
+            std::io::Error::last_os_error()
+        );
+        let view = unsafe { std::slice::from_raw_parts(ptr as *const u8, payload.len()) };
+        assert_eq!(view, payload.as_slice());
+        assert_eq!(unsafe { munmap(ptr, payload.len()) }, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}
