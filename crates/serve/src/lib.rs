@@ -17,7 +17,12 @@
 //!   requests and their replies, including structured errors.
 //! - [`cache`] — the server's shared LRU extraction cache, keyed by
 //!   `(frame, threshold)`.
-//! - [`server`] — the thread-per-connection [`server::FrameServer`].
+//! - [`server`] — [`server::FrameServer`] with two selectable connection
+//!   backends ([`server::ServeBackend`]): an event-driven `poll(2)`
+//!   reactor over a fixed worker pool (the unix default) and the
+//!   thread-per-connection baseline.
+//! - [`poll`] — the hand-rolled readiness primitives under the reactor:
+//!   a `poll(2)` wrapper, a self-pipe waker, and accept-error backoff.
 //! - [`client`] — [`client::Client`] and [`client::RemoteFrames`], a
 //!   [`accelviz_core::viewer::FrameSource`] so a `ViewerSession` runs
 //!   unmodified against a remote server.
@@ -44,7 +49,11 @@ pub mod cache;
 pub mod client;
 pub mod error;
 pub mod fault;
+#[cfg(unix)]
+pub mod poll;
 pub mod protocol;
+#[cfg(unix)]
+mod reactor;
 pub mod retry;
 pub mod server;
 pub mod stats;
@@ -64,5 +73,5 @@ pub use error::{Result, ServeError};
 pub use fault::{FaultDirection, FaultEvent, FaultKind, FaultPlan, FaultScript, FaultyTransport};
 pub use lru::LruOrder;
 pub use retry::RetryPolicy;
-pub use server::{FrameServer, ServerConfig};
+pub use server::{FrameServer, ServeBackend, ServerConfig};
 pub use stats::ServerStats;

@@ -1,0 +1,1008 @@
+//! The event-driven connection backend ([`ServeBackend::Reactor`]).
+//!
+//! Thread-per-connection bounds concurrency by OS threads; this backend
+//! bounds it by *readiness*. One reactor thread owns every socket: it
+//! polls the listener, a shutdown self-pipe, and all live connections
+//! through [`crate::poll`], and drives each connection through a small
+//! state machine —
+//!
+//! ```text
+//! Reading ──complete request──▶ Processing ──completion──▶ Writing
+//!    ▲          (worker pool runs respond())                  │
+//!    └────────────────reply fully flushed─────────────────────┘
+//! ```
+//!
+//! - **Reading**: non-blocking reads accumulate into a per-connection
+//!   buffer until one whole AVWF envelope is present (validated by
+//!   header: magic, version, length bound — the checksum is verified by
+//!   the worker's ordinary `read_request`).
+//! - **Processing**: the raw request bytes go to a fixed pool of
+//!   [`ServerConfig::worker_threads`] workers over a job queue; the
+//!   worker runs the same `respond` path as the threaded backend
+//!   (panic isolation, shedding, counters included) into a staging
+//!   buffer and posts the finished reply back, waking the reactor
+//!   through the self-pipe.
+//! - **Writing**: the staged reply drains to the socket under
+//!   `POLLOUT`; when it is flushed the connection returns to Reading
+//!   (or closes, for shed / malformed / poisoned sessions).
+//!
+//! Everything user-visible is carried over from the threaded backend:
+//! the connection cap answers `ERR_BUSY` in-band (inline in the reactor
+//! loop — no thread is ever spawned for a shed connection), read/write
+//! timeouts drop stalled clients, accept errors back off and are
+//! counted, shutdown wakes the loop deterministically and drains
+//! in-flight replies bounded by `drain_timeout`, and the `Stats` wire
+//! shape is byte-identical because the counters are updated by the very
+//! same code. Server-side chaos (`spawn_chaos`) also works: each
+//! connection's bytes are routed through a [`FaultyTransport`] over an
+//! in-memory pair of buffers.
+//!
+//! [`ServeBackend::Reactor`]: crate::server::ServeBackend::Reactor
+//! [`ServerConfig::worker_threads`]: crate::server::ServerConfig::worker_threads
+
+use crate::fault::{FaultScript, FaultyTransport};
+use crate::poll::{poll, AcceptBackoff, PollEntry, Waker};
+use crate::protocol::{write_response, write_response_v, Response, ERR_BAD_REQUEST, ERR_BUSY};
+use crate::server::{process_request_bytes, Shared, SHED_CONNECTION_MSG};
+use crate::stats::{CTR_ACCEPT_ERRORS, CTR_SHED_CONNECTIONS};
+use crate::wire::{CHECKSUM_BYTES, HEADER_BYTES, MAGIC, MAX_PAYLOAD, V1, VERSION};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::rc::Rc;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Max socket reads per connection per readiness round — keeps one
+/// firehose client from starving the rest of the loop.
+const READS_PER_ROUND: usize = 64;
+
+/// One decoded-enough request on its way to the worker pool.
+struct Job {
+    token: u64,
+    request: Vec<u8>,
+    version: u16,
+    t0: Instant,
+}
+
+/// A worker's finished reply. An empty `reply` means "just close the
+/// connection".
+struct Completion {
+    token: u64,
+    reply: Vec<u8>,
+    version: u16,
+    close_after: bool,
+}
+
+/// A tiny Mutex+Condvar MPMC job queue (std-only; `mpsc::Receiver` is
+/// single-consumer, and the workspace vendors no channel crate).
+struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new() -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues a job; `false` means the queue is closed (shutdown) and
+    /// the job was not accepted.
+    fn push(&self, job: Job) -> bool {
+        let mut g = self.lock();
+        if g.closed {
+            return false;
+        }
+        g.jobs.push_back(job);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained, so accepted work always completes.
+    fn pop(&self) -> Option<Job> {
+        let mut g = self.lock();
+        loop {
+            if let Some(job) = g.jobs.pop_front() {
+                return Some(job);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+fn worker_loop(
+    shared: Arc<Shared>,
+    queue: Arc<JobQueue>,
+    done: mpsc::Sender<Completion>,
+    waker: Arc<Waker>,
+) {
+    while let Some(job) = queue.pop() {
+        let (reply, version, close_after) =
+            process_request_bytes(&shared, &job.request, job.version, job.t0);
+        let sent = done.send(Completion {
+            token: job.token,
+            reply,
+            version,
+            close_after,
+        });
+        waker.wake();
+        if sent.is_err() {
+            break; // reactor already gone
+        }
+    }
+}
+
+/// The running reactor backend: its loop thread, worker pool, and the
+/// handles `FrameServer::stop` uses to wind everything down.
+pub(crate) struct ReactorEngine {
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    queue: Arc<JobQueue>,
+    waker: Arc<Waker>,
+}
+
+impl ReactorEngine {
+    /// Starts the reactor loop and its worker pool over `listener`.
+    pub(crate) fn spawn(listener: TcpListener, shared: Arc<Shared>) -> io::Result<ReactorEngine> {
+        listener.set_nonblocking(true)?;
+        let waker = Arc::new(Waker::new()?);
+        let queue = Arc::new(JobQueue::new());
+        let (done_tx, done_rx) = mpsc::channel::<Completion>();
+        let workers = (0..shared.config.worker_threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let queue = Arc::clone(&queue);
+                let done = done_tx.clone();
+                let waker = Arc::clone(&waker);
+                std::thread::spawn(move || worker_loop(shared, queue, done, waker))
+            })
+            .collect();
+        let loop_waker = Arc::clone(&waker);
+        let loop_queue = Arc::clone(&queue);
+        let reactor = std::thread::spawn(move || {
+            Reactor {
+                shared,
+                listener: Some(listener),
+                waker: loop_waker,
+                queue: loop_queue,
+                completions: done_rx,
+                conns: HashMap::new(),
+                next_token: 0,
+                backoff: AcceptBackoff::new(),
+                cooldown: None,
+                draining: None,
+            }
+            .run()
+        });
+        Ok(ReactorEngine {
+            reactor: Some(reactor),
+            workers,
+            queue,
+            waker,
+        })
+    }
+
+    /// Winds the backend down. The caller has already raised the shared
+    /// shutdown flag; the reactor loop drains in-flight replies (bounded
+    /// by `drain_timeout`) before its thread exits, and the workers exit
+    /// once the closed queue runs dry.
+    pub(crate) fn stop(&mut self) {
+        self.queue.close();
+        self.waker.wake();
+        if let Some(handle) = self.reactor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Where a connection's state machine currently is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Accumulating request bytes.
+    Reading,
+    /// A worker is computing the reply.
+    Processing,
+    /// Draining the staged reply to the socket.
+    Writing,
+}
+
+/// Server-side chaos plumbing for one connection: the shared
+/// [`FaultyTransport`] normally wraps a blocking socket, so here it
+/// wraps an in-memory byte pair instead — raw socket bytes are pushed
+/// into `inbound`, faulted bytes are pulled out the other side, and
+/// replies written through the transport land in `outbound` for the
+/// write buffer. (`Rc` is fine: connections never leave the reactor
+/// thread.)
+struct FaultChannel {
+    transport: FaultyTransport<SharedBuf>,
+    buf: Rc<RefCell<FaultBuf>>,
+}
+
+#[derive(Default)]
+struct FaultBuf {
+    inbound: VecDeque<u8>,
+    outbound: Vec<u8>,
+    eof: bool,
+}
+
+struct SharedBuf(Rc<RefCell<FaultBuf>>);
+
+impl Read for SharedBuf {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let mut b = self.0.borrow_mut();
+        if b.inbound.is_empty() {
+            return if b.eof {
+                Ok(0)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "no buffered bytes",
+                ))
+            };
+        }
+        let n = out.len().min(b.inbound.len());
+        for slot in out[..n].iter_mut() {
+            *slot = b.inbound.pop_front().expect("length checked above");
+        }
+        Ok(n)
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        self.0.borrow_mut().outbound.extend_from_slice(bytes);
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl FaultChannel {
+    fn new(script: Arc<FaultScript>) -> FaultChannel {
+        let buf = Rc::new(RefCell::new(FaultBuf::default()));
+        FaultChannel {
+            transport: FaultyTransport::new(SharedBuf(Rc::clone(&buf)), script),
+            buf,
+        }
+    }
+}
+
+/// One connection's state.
+struct Conn {
+    stream: TcpStream,
+    phase: Phase,
+    /// Refused at the connection cap? A shed connection lives just
+    /// long enough to answer its first request with `ERR_BUSY`.
+    shed: bool,
+    /// Whether this connection holds an `active_connections` slot.
+    counted: bool,
+    session_version: u16,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    close_after_write: bool,
+    /// The peer half-closed (or an injected truncation fired): serve
+    /// what is already buffered, accept nothing further.
+    reads_closed: bool,
+    /// When this connection is dropped for stalling (read or write
+    /// timeout, depending on phase); `None` while Processing.
+    deadline: Option<Instant>,
+    faults: Option<FaultChannel>,
+}
+
+impl Conn {
+    /// Feeds raw socket bytes toward `read_buf`, through the fault
+    /// transport when chaos is installed.
+    fn ingest(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match &self.faults {
+            None => {
+                self.read_buf.extend_from_slice(bytes);
+                Ok(())
+            }
+            Some(fc) => {
+                fc.buf.borrow_mut().inbound.extend(bytes.iter().copied());
+                self.drain_faulted()
+            }
+        }
+    }
+
+    /// Pulls whatever the fault transport will release into `read_buf`.
+    fn drain_faulted(&mut self) -> io::Result<()> {
+        let Some(fc) = &mut self.faults else {
+            return Ok(());
+        };
+        let mut tmp = [0u8; 16 * 1024];
+        loop {
+            match fc.transport.read(&mut tmp) {
+                Ok(0) => {
+                    self.reads_closed = true;
+                    return Ok(());
+                }
+                Ok(n) => self.read_buf.extend_from_slice(&tmp[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The raw socket hit EOF.
+    fn note_raw_eof(&mut self) {
+        match &self.faults {
+            None => self.reads_closed = true,
+            Some(fc) => {
+                fc.buf.borrow_mut().eof = true;
+                if self.drain_faulted().is_err() {
+                    self.reads_closed = true;
+                }
+            }
+        }
+    }
+}
+
+/// Pre-dispatch framing check over the connection's read buffer.
+enum FrameCheck {
+    /// Not enough bytes for a verdict yet.
+    Incomplete,
+    /// The header can never become a valid envelope.
+    Malformed,
+    /// One whole envelope of this many bytes is buffered.
+    Complete(usize),
+}
+
+fn frame_request(buf: &[u8]) -> FrameCheck {
+    if buf.len() < HEADER_BYTES as usize {
+        return FrameCheck::Incomplete;
+    }
+    if buf[0..4] != MAGIC {
+        return FrameCheck::Malformed;
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version == 0 || version > VERSION {
+        return FrameCheck::Malformed;
+    }
+    let len = u64::from_le_bytes(buf[8..16].try_into().expect("sliced to 8 bytes"));
+    if len > MAX_PAYLOAD {
+        return FrameCheck::Malformed;
+    }
+    let total = (HEADER_BYTES + len + CHECKSUM_BYTES) as usize;
+    if buf.len() < total {
+        FrameCheck::Incomplete
+    } else {
+        FrameCheck::Complete(total)
+    }
+}
+
+/// What `try_dispatch` decided, computed under the connection borrow and
+/// acted on after it.
+enum Dispatch {
+    Wait,
+    Close,
+    Malformed { message: String, version: u16 },
+    Shed,
+    Run { request: Vec<u8>, version: u16 },
+}
+
+enum FlushResult {
+    Pending,
+    Done,
+    Broken,
+}
+
+struct Reactor {
+    shared: Arc<Shared>,
+    /// `None` once draining begins — dropping it closes the listening
+    /// socket, so new connects are refused at the kernel.
+    listener: Option<TcpListener>,
+    waker: Arc<Waker>,
+    queue: Arc<JobQueue>,
+    completions: mpsc::Receiver<Completion>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    backoff: AcceptBackoff,
+    /// Accept-error cooldown: while set, the listener stays out of the
+    /// poll set entirely (no hot-spin on EMFILE).
+    cooldown: Option<Instant>,
+    /// Drain deadline, set when shutdown is observed.
+    draining: Option<Instant>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        loop {
+            while let Ok(completion) = self.completions.try_recv() {
+                self.apply_completion(completion);
+            }
+            if self.draining.is_none() && self.shared.shutdown.load(Ordering::SeqCst) {
+                self.begin_drain();
+            }
+            if let Some(deadline) = self.draining {
+                let busy = self
+                    .conns
+                    .values()
+                    .any(|c| matches!(c.phase, Phase::Processing | Phase::Writing));
+                if !busy || Instant::now() >= deadline {
+                    break;
+                }
+            }
+            let now = Instant::now();
+            if self.cooldown.is_some_and(|until| until <= now) {
+                self.cooldown = None;
+            }
+            self.expire_deadlines(now);
+            let (entries, tokens, listener_armed) = self.poll_set();
+            let ready = match poll(&entries, self.poll_timeout()) {
+                Ok(ready) => ready,
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+            };
+            if ready[0].readable {
+                self.waker.drain();
+            }
+            let mut base = 1;
+            if listener_armed {
+                if !ready[1].is_empty() {
+                    self.accept_burst();
+                }
+                base = 2;
+            }
+            for (i, &token) in tokens.iter().enumerate() {
+                let r = ready[base + i];
+                if r.readable {
+                    self.on_readable(token);
+                }
+                if r.writable && self.conns.contains_key(&token) {
+                    self.flush_write(token);
+                }
+                if r.error && !r.readable && !r.writable && self.conns.contains_key(&token) {
+                    self.close(token);
+                }
+            }
+        }
+        // Loop exited: remaining connections drop here, closing their
+        // sockets. Workers exit via the closed queue; late completions
+        // fail their send into the dropped receiver and are discarded.
+    }
+
+    /// The poll entry set: waker first, then (maybe) the listener, then
+    /// every connection with I/O interest. Returns the token for each
+    /// connection entry, in order.
+    fn poll_set(&self) -> (Vec<PollEntry>, Vec<u64>, bool) {
+        let mut entries = vec![PollEntry {
+            fd: self.waker.fd(),
+            read: true,
+            write: false,
+        }];
+        let listener_armed = match &self.listener {
+            Some(listener) if self.cooldown.is_none() => {
+                entries.push(PollEntry {
+                    fd: listener.as_raw_fd(),
+                    read: true,
+                    write: false,
+                });
+                true
+            }
+            _ => false,
+        };
+        let mut tokens = Vec::with_capacity(self.conns.len());
+        for (&token, conn) in &self.conns {
+            let entry = match conn.phase {
+                Phase::Reading if !conn.reads_closed => PollEntry {
+                    fd: conn.stream.as_raw_fd(),
+                    read: true,
+                    write: false,
+                },
+                Phase::Writing => PollEntry {
+                    fd: conn.stream.as_raw_fd(),
+                    read: false,
+                    write: true,
+                },
+                _ => continue,
+            };
+            entries.push(entry);
+            tokens.push(token);
+        }
+        (entries, tokens, listener_armed)
+    }
+
+    /// Sleep until the earliest pending deadline (connection timeout,
+    /// accept cooldown, or drain bound); `None` blocks until woken.
+    fn poll_timeout(&self) -> Option<Duration> {
+        let mut next: Option<Instant> = None;
+        let mut consider = |t: Instant| {
+            if next.is_none_or(|cur| t < cur) {
+                next = Some(t);
+            }
+        };
+        if let Some(until) = self.cooldown {
+            consider(until);
+        }
+        if let Some(deadline) = self.draining {
+            consider(deadline);
+        }
+        for conn in self.conns.values() {
+            if let Some(deadline) = conn.deadline {
+                consider(deadline);
+            }
+        }
+        next.map(|t| t.saturating_duration_since(Instant::now()))
+    }
+
+    /// Shutdown observed: stop accepting (closes the listener fd), drop
+    /// idle connections at their request boundary — exactly the
+    /// threaded backend's semantics — and bound the remaining drain.
+    fn begin_drain(&mut self) {
+        self.draining = Some(Instant::now() + self.shared.config.drain_timeout);
+        self.listener = None;
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.phase == Phase::Reading)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in idle {
+            self.close(token);
+        }
+    }
+
+    fn expire_deadlines(&mut self, now: Instant) {
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.deadline.is_some_and(|d| d <= now))
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            self.close(token);
+        }
+    }
+
+    /// Accepts everything pending on the listener; on accept failure,
+    /// counts it and puts the listener on an exponential cooldown.
+    fn accept_burst(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.backoff.on_success();
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    let shed = self.shared.active_connections.load(Ordering::SeqCst)
+                        >= self.shared.config.max_connections;
+                    if shed {
+                        // Shed in-band from this very loop: the
+                        // connection state machine carries the ERR_BUSY
+                        // answer, no thread is spawned.
+                        self.shared.metrics.add(CTR_SHED_CONNECTIONS, 1);
+                    } else {
+                        self.shared
+                            .active_connections
+                            .fetch_add(1, Ordering::SeqCst);
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let faults = self
+                        .shared
+                        .faults
+                        .as_ref()
+                        .map(|script| FaultChannel::new(Arc::clone(script)));
+                    let deadline = self.shared.config.read_timeout.map(|t| Instant::now() + t);
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            phase: Phase::Reading,
+                            shed,
+                            counted: !shed,
+                            session_version: V1,
+                            read_buf: Vec::new(),
+                            write_buf: Vec::new(),
+                            write_pos: 0,
+                            close_after_write: false,
+                            reads_closed: false,
+                            deadline,
+                            faults,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.shared.metrics.add(CTR_ACCEPT_ERRORS, 1);
+                    self.cooldown = Some(Instant::now() + self.backoff.on_error());
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_readable(&mut self, token: u64) {
+        let read_timeout = self.shared.config.read_timeout;
+        let mut fatal = false;
+        let mut progressed = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let mut tmp = [0u8; 16 * 1024];
+            for _ in 0..READS_PER_ROUND {
+                match conn.stream.read(&mut tmp) {
+                    Ok(0) => {
+                        conn.note_raw_eof();
+                        progressed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        progressed = true;
+                        if conn.ingest(&tmp[..n]).is_err() {
+                            fatal = true;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
+            if !fatal && progressed && conn.phase == Phase::Reading && !conn.reads_closed {
+                // Progress resets the stall clock (a byte-dribbling
+                // client still gets dropped eventually: each extension
+                // is from *now*, and silence past the timeout closes
+                // the connection).
+                conn.deadline = read_timeout.map(|t| Instant::now() + t);
+            }
+        }
+        if fatal {
+            self.close(token);
+            return;
+        }
+        if !progressed {
+            return;
+        }
+        self.try_dispatch(token);
+        if let Some(conn) = self.conns.get(&token) {
+            if conn.reads_closed && conn.phase == Phase::Reading {
+                // Peer is gone and no further request can complete.
+                self.close(token);
+            }
+        }
+    }
+
+    /// Checks the read buffer for one complete request and moves the
+    /// connection forward: dispatch to the worker pool, answer a shed or
+    /// malformed session inline, or keep waiting.
+    fn try_dispatch(&mut self, token: u64) {
+        let action = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.phase != Phase::Reading {
+                return;
+            }
+            match frame_request(&conn.read_buf) {
+                FrameCheck::Incomplete => Dispatch::Wait,
+                FrameCheck::Malformed if conn.shed => Dispatch::Shed,
+                FrameCheck::Malformed => {
+                    // Run the ordinary decoder over the bad bytes to get
+                    // the precise error message serve_loop would give.
+                    let message = match crate::protocol::read_request(&mut conn.read_buf.as_slice())
+                    {
+                        Err(e) => e.to_string(),
+                        Ok(_) => "malformed request framing".to_string(),
+                    };
+                    Dispatch::Malformed {
+                        message,
+                        version: conn.session_version,
+                    }
+                }
+                FrameCheck::Complete(total) => {
+                    let request: Vec<u8> = conn.read_buf.drain(..total).collect();
+                    if conn.shed {
+                        Dispatch::Shed
+                    } else if self.shared.shutdown.load(Ordering::SeqCst) {
+                        // Same boundary as serve_loop: nothing new is
+                        // admitted once the flag is up.
+                        Dispatch::Close
+                    } else {
+                        Dispatch::Run {
+                            request,
+                            version: conn.session_version,
+                        }
+                    }
+                }
+            }
+        };
+        match action {
+            Dispatch::Wait => {}
+            Dispatch::Close => self.close(token),
+            Dispatch::Malformed { message, version } => {
+                let mut reply = Vec::new();
+                let _ = write_response_v(
+                    &mut reply,
+                    version,
+                    &Response::Error {
+                        code: ERR_BAD_REQUEST,
+                        message,
+                    },
+                );
+                self.stage_reply(token, reply, version, true);
+            }
+            Dispatch::Shed => {
+                // The in-band busy answer, sent only after consuming the
+                // client's request so the close is clean (closing with
+                // unread inbound data would RST and eat the reply).
+                let mut reply = Vec::new();
+                let _ = write_response(
+                    &mut reply,
+                    &Response::Error {
+                        code: ERR_BUSY,
+                        message: SHED_CONNECTION_MSG.to_string(),
+                    },
+                );
+                self.stage_reply(token, reply, V1, true);
+            }
+            Dispatch::Run { request, version } => {
+                {
+                    let conn = self.conns.get_mut(&token).expect("dispatching live conn");
+                    conn.phase = Phase::Processing;
+                    conn.deadline = None;
+                }
+                self.shared.inflight_requests.fetch_add(1, Ordering::SeqCst);
+                let accepted = self.queue.push(Job {
+                    token,
+                    request,
+                    version,
+                    t0: Instant::now(),
+                });
+                if !accepted {
+                    self.shared.inflight_requests.fetch_sub(1, Ordering::SeqCst);
+                    self.close(token);
+                }
+            }
+        }
+    }
+
+    fn apply_completion(&mut self, completion: Completion) {
+        self.shared.inflight_requests.fetch_sub(1, Ordering::SeqCst);
+        if !self.conns.contains_key(&completion.token) {
+            return; // the connection died while the worker computed
+        }
+        if completion.reply.is_empty() {
+            self.close(completion.token);
+            return;
+        }
+        self.stage_reply(
+            completion.token,
+            completion.reply,
+            completion.version,
+            completion.close_after,
+        );
+    }
+
+    /// Stages `reply` into the connection's write buffer (through the
+    /// fault transport when chaos is installed) and flushes eagerly —
+    /// on loopback the whole reply usually leaves in one syscall and
+    /// the connection never touches `POLLOUT`.
+    fn stage_reply(&mut self, token: u64, reply: Vec<u8>, version: u16, close_after: bool) {
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            conn.session_version = version;
+            conn.close_after_write = close_after;
+            match &mut conn.faults {
+                None => conn.write_buf = reply,
+                Some(fc) => {
+                    // Injected delays sleep the reactor thread; fine for
+                    // the test-only chaos hook.
+                    let res = fc
+                        .transport
+                        .write_all(&reply)
+                        .and_then(|()| fc.transport.flush());
+                    conn.write_buf = std::mem::take(&mut fc.buf.borrow_mut().outbound);
+                    if res.is_err() {
+                        // The fault cut the reply short: send whatever
+                        // "made it onto the wire", then close — the
+                        // threaded backend's serve_loop does the same.
+                        conn.close_after_write = true;
+                    }
+                }
+            }
+            conn.write_pos = 0;
+            conn.phase = Phase::Writing;
+            conn.deadline = self.shared.config.write_timeout.map(|t| Instant::now() + t);
+        }
+        self.flush_write(token);
+    }
+
+    /// Drains the write buffer as far as the socket will take it.
+    fn flush_write(&mut self, token: u64) {
+        let write_timeout = self.shared.config.write_timeout;
+        let result = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let result = loop {
+                if conn.write_pos >= conn.write_buf.len() {
+                    break FlushResult::Done;
+                }
+                match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                    Ok(0) => break FlushResult::Broken,
+                    Ok(n) => {
+                        conn.write_pos += n;
+                        conn.deadline = write_timeout.map(|t| Instant::now() + t);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break FlushResult::Pending,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break FlushResult::Broken,
+                }
+            };
+            if matches!(result, FlushResult::Done) {
+                conn.write_buf.clear();
+                conn.write_pos = 0;
+            }
+            result
+        };
+        match result {
+            FlushResult::Pending => {}
+            FlushResult::Broken => self.close(token),
+            FlushResult::Done => {
+                let close = {
+                    let conn = self.conns.get_mut(&token).expect("flushed live conn");
+                    if conn.close_after_write {
+                        true
+                    } else {
+                        conn.phase = Phase::Reading;
+                        conn.deadline = self.shared.config.read_timeout.map(|t| Instant::now() + t);
+                        false
+                    }
+                };
+                if close {
+                    self.close(token);
+                    return;
+                }
+                // A pipelining client may have buffered the next request
+                // already; a half-closed one may have nothing left.
+                self.try_dispatch(token);
+                if let Some(conn) = self.conns.get(&token) {
+                    if conn.reads_closed && conn.phase == Phase::Reading {
+                        self.close(token);
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            if conn.counted {
+                self.shared
+                    .active_connections
+                    .fetch_sub(1, Ordering::SeqCst);
+            }
+            // Dropping the TcpStream closes the fd (clean FIN if the
+            // peer is still there).
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::write_envelope;
+
+    #[test]
+    fn frame_check_walks_the_states() {
+        let mut buf = Vec::new();
+        write_envelope(&mut buf, 0x01, b"payload bytes").unwrap();
+        // Every strict prefix is Incomplete, the whole thing Complete.
+        for cut in 0..buf.len() {
+            assert!(matches!(frame_request(&buf[..cut]), FrameCheck::Incomplete));
+        }
+        match frame_request(&buf) {
+            FrameCheck::Complete(total) => assert_eq!(total, buf.len()),
+            _ => panic!("a whole envelope must be Complete"),
+        }
+        // Trailing bytes of a next request don't confuse the framing.
+        let mut two = buf.clone();
+        two.extend_from_slice(&buf[..7]);
+        match frame_request(&two) {
+            FrameCheck::Complete(total) => assert_eq!(total, buf.len()),
+            _ => panic!("first envelope still Complete"),
+        }
+    }
+
+    #[test]
+    fn frame_check_rejects_hopeless_headers() {
+        let mut buf = Vec::new();
+        write_envelope(&mut buf, 0x01, b"x").unwrap();
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(frame_request(&bad_magic), FrameCheck::Malformed));
+        let mut bad_version = buf.clone();
+        bad_version[4..6].copy_from_slice(&999u16.to_le_bytes());
+        assert!(matches!(frame_request(&bad_version), FrameCheck::Malformed));
+        let mut bad_len = buf.clone();
+        bad_len[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(frame_request(&bad_len), FrameCheck::Malformed));
+    }
+
+    #[test]
+    fn job_queue_delivers_then_drains_after_close() {
+        let q = JobQueue::new();
+        assert!(q.push(Job {
+            token: 1,
+            request: vec![1],
+            version: 1,
+            t0: Instant::now(),
+        }));
+        q.close();
+        assert!(
+            !q.push(Job {
+                token: 2,
+                request: vec![2],
+                version: 1,
+                t0: Instant::now(),
+            }),
+            "closed queue accepts nothing new"
+        );
+        assert_eq!(q.pop().expect("queued before close").token, 1);
+        assert!(q.pop().is_none(), "closed and drained");
+    }
+
+    #[test]
+    fn faulted_buffers_report_wouldblock_until_fed() {
+        let fc = FaultChannel::new(crate::fault::FaultPlan::none().script());
+        let buf = Rc::clone(&fc.buf);
+        let mut t = fc.transport;
+        let mut tmp = [0u8; 8];
+        assert_eq!(
+            t.read(&mut tmp).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        buf.borrow_mut().inbound.extend([1u8, 2, 3]);
+        assert_eq!(t.read(&mut tmp).unwrap(), 3);
+        assert_eq!(&tmp[..3], &[1, 2, 3]);
+        buf.borrow_mut().eof = true;
+        assert_eq!(t.read(&mut tmp).unwrap(), 0, "EOF after the feed stops");
+    }
+}

@@ -1,24 +1,43 @@
 //! The multi-client frame server.
 //!
-//! One thread accepts connections; each connection gets its own handler
-//! thread running a strict request/reply loop. All handlers share one
-//! [`ExtractionCache`] and one per-server metrics
-//! [`Registry`] (counters under the `serve.*` names in [`crate::stats`]).
-//! The server owns the *partitioned* data — the
-//! density-sorted stores produced by preprocessing — and extracts hybrid
-//! frames on demand at whatever threshold a client dials, which is
-//! exactly the paper's split: preprocessing near the simulation, compact
-//! hybrid frames shipped to the desktop.
+//! Two interchangeable connection backends sit behind one
+//! [`FrameServer`] front:
+//!
+//! - [`ServeBackend::Threaded`] — the original topology: one acceptor
+//!   thread, one handler thread per admitted connection running a strict
+//!   request/reply loop.
+//! - [`ServeBackend::Reactor`] — the event-driven topology (unix only):
+//!   one reactor thread multiplexes *all* connections through
+//!   per-connection state machines over non-blocking sockets and a
+//!   `poll(2)` readiness loop ([`crate::poll`]), and a small fixed pool
+//!   of worker threads runs the actual request handlers. Thread count is
+//!   `workers + 1`, independent of how many clients connect.
+//!
+//! Both backends share everything below the accept layer: one
+//! [`ExtractionCache`], one per-server metrics [`Registry`] (counters
+//! under the `serve.*` names in [`crate::stats`]), and the single
+//! `respond` request handler — so the wire behavior, the `Stats`
+//! shape, and every served byte are identical across backends. The
+//! server owns the *partitioned* data — the density-sorted stores
+//! produced by preprocessing — and extracts hybrid frames on demand at
+//! whatever threshold a client dials, which is exactly the paper's
+//! split: preprocessing near the simulation, compact hybrid frames
+//! shipped to the desktop.
 //!
 //! Protection: the server sheds rather than degrades. Past
 //! [`ServerConfig::max_connections`] a new connection gets one in-band
-//! `ERR_BUSY` (with a retry-after hint) and is closed; past
-//! [`ServerConfig::max_inflight_extractions`] a frame request that would
-//! start a *new* extraction gets `ERR_BUSY` on its live connection
+//! `ERR_BUSY` (with a retry-after hint) and is closed — answered from a
+//! small bounded pool (threaded) or inline in the reactor loop, never
+//! from per-connection threads, so a connect flood cannot mint threads.
+//! Past [`ServerConfig::max_inflight_extractions`] a frame request that
+//! would start a *new* extraction gets `ERR_BUSY` on its live connection
 //! (cached and coalescing requests are always admitted — they are
 //! cheap). A panicking request handler is isolated: the client gets
-//! `ERR_INTERNAL`, the connection and the listener survive. Shutdown
-//! drains in-flight replies before returning, bounded by
+//! `ERR_INTERNAL`, the connection and the listener survive. Repeated
+//! `accept(2)` failures (fd exhaustion) back off exponentially and are
+//! counted under `serve.accept_errors` instead of hot-spinning. Shutdown
+//! wakes the acceptor deterministically through a self-pipe and drains
+//! in-flight replies before returning, bounded by
 //! [`ServerConfig::drain_timeout`].
 
 use crate::cache::{CacheKey, ExtractionCache, Probe};
@@ -42,9 +61,44 @@ use accelviz_trace::registry::Registry;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Which connection machinery a [`FrameServer`] runs. The wire protocol,
+/// shedding behavior, and `Stats` shape are identical either way; only
+/// the threading topology differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeBackend {
+    /// One OS thread per admitted connection (the original topology).
+    /// The only backend on non-unix platforms.
+    Threaded,
+    /// One reactor thread multiplexing all connections over `poll(2)`
+    /// plus a fixed pool of [`ServerConfig::worker_threads`] request
+    /// workers. Unix only; falls back to [`ServeBackend::Threaded`]
+    /// elsewhere.
+    Reactor,
+}
+
+impl ServeBackend {
+    /// The backend chosen by the `ACCELVIZ_SERVE_BACKEND` environment
+    /// variable (`"threaded"` / `"reactor"`), defaulting to the reactor
+    /// on unix and the threaded backend elsewhere. This is what
+    /// [`ServerConfig::default`] uses, so the whole test suite (and the
+    /// CI backend matrix) can steer every server in the process.
+    pub fn from_env() -> ServeBackend {
+        ServeBackend::from_env_value(std::env::var("ACCELVIZ_SERVE_BACKEND").ok().as_deref())
+    }
+
+    fn from_env_value(value: Option<&str>) -> ServeBackend {
+        match value {
+            Some("threaded") => ServeBackend::Threaded,
+            Some("reactor") => ServeBackend::Reactor,
+            _ if cfg!(unix) => ServeBackend::Reactor,
+            _ => ServeBackend::Threaded,
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -58,7 +112,8 @@ pub struct ServerConfig {
     /// How long a worker blocks reading a request before the connection
     /// is dropped; `None` waits forever. Without a bound, a client that
     /// connects and goes silent (or dribbles bytes) pins its
-    /// thread-per-connection worker indefinitely.
+    /// thread-per-connection worker — or its reactor connection slot —
+    /// indefinitely.
     pub read_timeout: Option<Duration>,
     /// Same bound for writes (a client that stops draining its socket).
     pub write_timeout: Option<Duration>,
@@ -72,6 +127,13 @@ pub struct ServerConfig {
     pub max_inflight_extractions: usize,
     /// How long shutdown waits for in-flight replies to finish.
     pub drain_timeout: Duration,
+    /// Which connection backend to run; defaults from
+    /// [`ServeBackend::from_env`].
+    pub backend: ServeBackend,
+    /// Request-handler threads the reactor backend runs (clamped to at
+    /// least 1). The threaded backend ignores this — its handler count
+    /// is its connection count.
+    pub worker_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +147,8 @@ impl Default for ServerConfig {
             max_connections: 64,
             max_inflight_extractions: 8,
             drain_timeout: Duration::from_secs(1),
+            backend: ServeBackend::from_env(),
+            worker_threads: 4,
         }
     }
 }
@@ -95,7 +159,7 @@ impl Default for ServerConfig {
 /// [`ResidentRun`]'s byte budget. The request handlers are written
 /// against this enum, so an out-of-core server speaks the identical
 /// protocol and serves bit-identical frames.
-enum Backend {
+pub(crate) enum Backend {
     /// Every frame's partitioned store held in memory.
     Resident(Vec<PartitionedData>),
     /// Frames fetched on demand from an `accelviz-store` run file.
@@ -136,20 +200,24 @@ impl Backend {
     }
 }
 
-struct Shared {
-    backend: Backend,
-    config: ServerConfig,
-    cache: ExtractionCache,
-    metrics: Registry,
-    shutdown: AtomicBool,
-    active_connections: AtomicUsize,
-    inflight_requests: AtomicUsize,
-    building_extractions: AtomicUsize,
+/// The state both backends (and every handler) share.
+pub(crate) struct Shared {
+    pub(crate) backend: Backend,
+    pub(crate) config: ServerConfig,
+    pub(crate) cache: ExtractionCache,
+    pub(crate) metrics: Registry,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) active_connections: AtomicUsize,
+    pub(crate) inflight_requests: AtomicUsize,
+    pub(crate) building_extractions: AtomicUsize,
     /// Server-side chaos hook: when set, every accepted connection is
     /// wrapped in a [`FaultyTransport`] drawing from this script.
     /// Production servers leave it `None` and pay nothing.
-    faults: Option<Arc<FaultScript>>,
+    pub(crate) faults: Option<Arc<FaultScript>>,
 }
+
+/// The in-band message a shed connection gets with its `ERR_BUSY`.
+pub(crate) const SHED_CONNECTION_MSG: &str = "server at connection capacity; retry after ~100 ms";
 
 /// Decrements a shared gauge on drop, panic or not.
 struct CountGuard<'a>(&'a AtomicUsize);
@@ -161,13 +229,60 @@ impl Drop for CountGuard<'_> {
 }
 
 /// A running frame server. Dropping it (or calling
-/// [`FrameServer::shutdown`]) stops the accept loop, then drains
-/// in-flight replies (bounded by [`ServerConfig::drain_timeout`]);
-/// handler threads end when their clients disconnect.
+/// [`FrameServer::shutdown`]) stops the accept machinery — woken
+/// deterministically through a self-pipe, so an *idle* server shuts down
+/// promptly too — then drains in-flight replies (bounded by
+/// [`ServerConfig::drain_timeout`]).
 pub struct FrameServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
+    engine: Option<Engine>,
+}
+
+/// The running accept machinery, one variant per [`ServeBackend`].
+enum Engine {
+    #[cfg(unix)]
+    Threaded {
+        accept: Option<JoinHandle<()>>,
+        waker: Arc<crate::poll::Waker>,
+    },
+    #[cfg(not(unix))]
+    Threaded { accept: Option<JoinHandle<()>> },
+    #[cfg(unix)]
+    Reactor(crate::reactor::ReactorEngine),
+}
+
+impl Engine {
+    fn start(listener: TcpListener, shared: Arc<Shared>) -> io::Result<Engine> {
+        #[cfg(unix)]
+        {
+            match shared.config.backend {
+                ServeBackend::Reactor => Ok(Engine::Reactor(crate::reactor::ReactorEngine::spawn(
+                    listener, shared,
+                )?)),
+                ServeBackend::Threaded => {
+                    let waker = Arc::new(crate::poll::Waker::new()?);
+                    let accept_waker = Arc::clone(&waker);
+                    let accept = std::thread::spawn(move || {
+                        threaded_accept_loop(shared, listener, accept_waker)
+                    });
+                    Ok(Engine::Threaded {
+                        accept: Some(accept),
+                        waker,
+                    })
+                }
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            // No poll(2) shim here: always the threaded backend, woken
+            // at shutdown by a throwaway connection (best effort).
+            let accept = std::thread::spawn(move || blocking_accept_loop(shared, listener));
+            Ok(Engine::Threaded {
+                accept: Some(accept),
+            })
+        }
+    }
 }
 
 impl FrameServer {
@@ -241,61 +356,28 @@ impl FrameServer {
             building_extractions: AtomicUsize::new(0),
             faults,
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                // Connection cap: shed with one in-band ERR_BUSY rather
-                // than spawning an unbounded handler thread.
-                if accept_shared.active_connections.load(Ordering::SeqCst)
-                    >= accept_shared.config.max_connections
-                {
-                    accept_shared.metrics.add(CTR_SHED_CONNECTIONS, 1);
-                    let read_timeout = accept_shared.config.read_timeout;
-                    let write_timeout = accept_shared.config.write_timeout;
-                    std::thread::spawn(move || {
-                        let mut stream = stream;
-                        let _ = stream.set_read_timeout(read_timeout);
-                        let _ = stream.set_write_timeout(write_timeout);
-                        // Consume the client's first request (its Hello)
-                        // so the close after the reply is clean — closing
-                        // with unread inbound data would RST the socket
-                        // and the client would never see the reply.
-                        let _ = crate::protocol::read_request(&mut stream);
-                        let _ = write_response(
-                            &mut stream,
-                            &Response::Error {
-                                code: ERR_BUSY,
-                                message: "server at connection capacity; retry after ~100 ms"
-                                    .to_string(),
-                            },
-                        );
-                    });
-                    continue;
-                }
-                accept_shared
-                    .active_connections
-                    .fetch_add(1, Ordering::SeqCst);
-                let conn_shared = Arc::clone(&accept_shared);
-                std::thread::spawn(move || {
-                    let _guard = CountGuard(&conn_shared.active_connections);
-                    handle_connection(&conn_shared, stream);
-                });
-            }
-        });
+        let engine = Engine::start(listener, Arc::clone(&shared))?;
         Ok(FrameServer {
             shared,
             addr: local,
-            accept_thread: Some(accept_thread),
+            engine: Some(engine),
         })
     }
 
     /// The address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The backend this server is actually running (the configured one,
+    /// except on non-unix platforms where it is always
+    /// [`ServeBackend::Threaded`]).
+    pub fn backend(&self) -> ServeBackend {
+        match self.engine {
+            #[cfg(unix)]
+            Some(Engine::Reactor(_)) => ServeBackend::Reactor,
+            _ => ServeBackend::Threaded,
+        }
     }
 
     /// A local snapshot of the statistics (the same data a client gets
@@ -311,26 +393,57 @@ impl FrameServer {
         &self.shared.metrics
     }
 
-    /// Stops accepting connections, joins the accept thread, and drains
-    /// in-flight replies (bounded by [`ServerConfig::drain_timeout`]).
+    /// Stops accepting connections, joins the accept machinery, and
+    /// drains in-flight replies (bounded by
+    /// [`ServerConfig::drain_timeout`]).
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        if let Some(handle) = self.accept_thread.take() {
-            self.shared.shutdown.store(true, Ordering::SeqCst);
-            // Unblock the accept loop with a throwaway connection.
-            let _ = TcpStream::connect(self.addr);
-            let _ = handle.join();
-            // Graceful drain: let replies already being computed or
-            // written reach their clients before the process moves on.
-            let deadline = Instant::now() + self.shared.config.drain_timeout;
-            while self.shared.inflight_requests.load(Ordering::SeqCst) > 0
-                && Instant::now() < deadline
-            {
-                std::thread::sleep(Duration::from_millis(2));
+        let Some(engine) = self.engine.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        match engine {
+            #[cfg(unix)]
+            Engine::Threaded { accept, waker } => {
+                // Deterministic wake: the acceptor polls the self-pipe
+                // alongside the listener, so an idle server exits its
+                // accept loop immediately instead of waiting for the
+                // next connection to happen by.
+                waker.wake();
+                if let Some(handle) = accept {
+                    let _ = handle.join();
+                }
+                self.drain_inflight();
             }
+            #[cfg(not(unix))]
+            Engine::Threaded { accept } => {
+                // Best-effort wake on platforms without the poll shim.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(handle) = accept {
+                    let _ = handle.join();
+                }
+                self.drain_inflight();
+            }
+            #[cfg(unix)]
+            Engine::Reactor(mut reactor) => {
+                // The reactor drains its own connections (bounded by
+                // drain_timeout) before its thread exits.
+                reactor.stop();
+            }
+        }
+    }
+
+    /// Graceful drain for the threaded backend: let replies already
+    /// being computed or written reach their clients before the process
+    /// moves on.
+    fn drain_inflight(&self) {
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        while self.shared.inflight_requests.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
         }
     }
 }
@@ -338,6 +451,232 @@ impl FrameServer {
 impl Drop for FrameServer {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// The bounded pool that answers shed connections for the threaded
+/// backend. The old design spawned one OS thread per shed connection —
+/// which let a connect flood mint unbounded threads, defeating the very
+/// cap being enforced. This pool has a fixed worker count and a bounded
+/// queue; when the queue overflows, the connection is simply dropped
+/// (the shed was already counted, and under a real flood a silent close
+/// is the correct degraded answer).
+struct ShedPool {
+    tx: Option<mpsc::SyncSender<TcpStream>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShedPool {
+    const WORKERS: usize = 2;
+    const QUEUE: usize = 32;
+    /// Cap on how long a shed worker waits for the client's Hello (a
+    /// real client sends it immediately); keeps a mute flood from
+    /// pinning the pool and bounds how long shutdown can block on it.
+    const MAX_WAIT: Duration = Duration::from_secs(1);
+
+    fn start(shared: &Arc<Shared>) -> ShedPool {
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(Self::QUEUE);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..Self::WORKERS)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || loop {
+                    let next = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => break,
+                    };
+                    let Ok(stream) = next else { break };
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        continue; // shutting down: just close it
+                    }
+                    answer_shed(&shared, stream);
+                })
+            })
+            .collect();
+        ShedPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Hands a shed connection to the pool; drops it (closing the
+    /// socket) when the queue is full.
+    fn offer(&self, stream: TcpStream) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.try_send(stream);
+        }
+    }
+}
+
+impl Drop for ShedPool {
+    fn drop(&mut self) {
+        self.tx = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Answers one shed connection in-band: consume the client's first
+/// request (its Hello) so the close after the reply is clean — closing
+/// with unread inbound data would RST the socket and the client would
+/// never see the reply — then send `ERR_BUSY` and drop the stream.
+fn answer_shed(shared: &Shared, mut stream: TcpStream) {
+    let cap = |t: Option<Duration>| Some(t.unwrap_or(ShedPool::MAX_WAIT).min(ShedPool::MAX_WAIT));
+    let _ = stream.set_read_timeout(cap(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(cap(shared.config.write_timeout));
+    let _ = crate::protocol::read_request(&mut stream);
+    let _ = write_response(
+        &mut stream,
+        &Response::Error {
+            code: ERR_BUSY,
+            message: SHED_CONNECTION_MSG.to_string(),
+        },
+    );
+}
+
+/// Admits or sheds one accepted connection (threaded backend).
+fn admit(shared: &Arc<Shared>, shed: &ShedPool, stream: TcpStream) {
+    // Connection cap: shed with one in-band ERR_BUSY from the bounded
+    // pool rather than spawning a handler thread.
+    if shared.active_connections.load(Ordering::SeqCst) >= shared.config.max_connections {
+        shared.metrics.add(CTR_SHED_CONNECTIONS, 1);
+        shed.offer(stream);
+        return;
+    }
+    shared.active_connections.fetch_add(1, Ordering::SeqCst);
+    let conn_shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        let _guard = CountGuard(&conn_shared.active_connections);
+        handle_connection(&conn_shared, stream);
+    });
+}
+
+/// The threaded backend's accept loop: a non-blocking listener polled
+/// alongside the shutdown self-pipe, with exponential backoff (and a
+/// `serve.accept_errors` count) on repeated `accept(2)` failures.
+#[cfg(unix)]
+fn threaded_accept_loop(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    waker: Arc<crate::poll::Waker>,
+) {
+    use crate::poll::{poll, AcceptBackoff, PollEntry};
+    use crate::stats::CTR_ACCEPT_ERRORS;
+    use std::os::unix::io::AsRawFd;
+
+    if listener.set_nonblocking(true).is_err() {
+        // Without a non-blocking listener the poll loop would wedge;
+        // fall back to the classic blocking loop (still with the shed
+        // pool and error backoff, but shutdown wake is best-effort).
+        return blocking_accept_fallback(shared, listener);
+    }
+    let shed = ShedPool::start(&shared);
+    let mut backoff = AcceptBackoff::new();
+    let mut cooldown: Option<Instant> = None;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // During an error-backoff cooldown the listener is left out of
+        // the poll set: the whole point is to stop re-trying accept (and
+        // burning CPU) until the pause elapses.
+        let now = Instant::now();
+        let listener_armed = match cooldown {
+            Some(until) if until > now => false,
+            _ => {
+                cooldown = None;
+                true
+            }
+        };
+        let timeout = cooldown.map(|until| until.saturating_duration_since(now));
+        let mut entries = vec![PollEntry {
+            fd: waker.fd(),
+            read: true,
+            write: false,
+        }];
+        if listener_armed {
+            entries.push(PollEntry {
+                fd: listener.as_raw_fd(),
+                read: true,
+                write: false,
+            });
+        }
+        let ready = match poll(&entries, timeout) {
+            Ok(ready) => ready,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+        };
+        if ready[0].readable {
+            waker.drain();
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if listener_armed && !ready[1].is_empty() {
+            // Drain the whole accept backlog while it's hot.
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        backoff.on_success();
+                        // Handler threads do blocking I/O; undo the
+                        // non-blocking flag inherited on some platforms.
+                        let _ = stream.set_nonblocking(false);
+                        admit(&shared, &shed, stream);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // EMFILE and friends: count it and cool down
+                        // instead of hot-spinning on a failing accept.
+                        shared.metrics.add(CTR_ACCEPT_ERRORS, 1);
+                        cooldown = Some(Instant::now() + backoff.on_error());
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    // ShedPool::drop joins its workers (bounded by MAX_WAIT).
+}
+
+/// Blocking accept loop used when the listener can't go non-blocking
+/// (and as the whole story on non-unix builds): keeps the shed pool,
+/// the accept-error counter, and a sleep-based backoff, but shutdown
+/// wake relies on the next connection arriving.
+#[cfg(unix)]
+fn blocking_accept_fallback(shared: Arc<Shared>, listener: TcpListener) {
+    blocking_accept_body(shared, listener)
+}
+
+#[cfg(not(unix))]
+fn blocking_accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    blocking_accept_body(shared, listener)
+}
+
+fn blocking_accept_body(shared: Arc<Shared>, listener: TcpListener) {
+    use crate::stats::CTR_ACCEPT_ERRORS;
+    let shed = ShedPool::start(&shared);
+    let mut error_pause = Duration::from_millis(1);
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                error_pause = Duration::from_millis(1);
+                admit(&shared, &shed, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                shared.metrics.add(CTR_ACCEPT_ERRORS, 1);
+                std::thread::sleep(error_pause);
+                error_pause = (error_pause * 2).min(Duration::from_millis(100));
+            }
+        }
     }
 }
 
@@ -440,8 +779,10 @@ fn try_extraction_permit(shared: &Shared) -> Option<CountGuard<'_>> {
 
 /// Serves one request; returns (wire bytes written, was a frame reply).
 /// `session_version` is the connection's negotiated protocol version —
-/// `Hello` updates it, every reply is framed with it.
-fn respond<S: Write>(
+/// `Hello` updates it, every reply is framed with it. `stream` is any
+/// writer: the live socket for the threaded backend, a staging buffer
+/// for the reactor (which flushes it under write readiness).
+pub(crate) fn respond<S: Write>(
     shared: &Shared,
     req: Request,
     stream: &mut S,
@@ -615,6 +956,77 @@ fn build_frame(
     }
 }
 
+/// Handles one decoded-or-failed request for the reactor backend: the
+/// same `read_request` → `respond` → counters path as [`serve_loop`],
+/// but over an in-memory request slice and a staging buffer instead of
+/// a live socket. Returns `(reply_bytes, new_session_version,
+/// close_after_reply)`; an empty reply means "just close".
+#[cfg(unix)]
+pub(crate) fn process_request_bytes(
+    shared: &Shared,
+    request: &[u8],
+    session_version: u16,
+    t0: Instant,
+) -> (Vec<u8>, u16, bool) {
+    let mut version = session_version;
+    let mut reply = Vec::new();
+    let req = match crate::protocol::read_request(&mut &request[..]) {
+        Ok(req) => req,
+        Err(e) => {
+            // Malformed framing: answer in-band, then drop the
+            // connection — stream sync is gone. (Mirrors serve_loop.)
+            let _ = write_response_v(
+                &mut reply,
+                version,
+                &Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    message: e.to_string(),
+                },
+            );
+            return (reply, version, true);
+        }
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return (Vec::new(), version, true);
+    }
+    let span = accelviz_trace::span("serve.request");
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        respond(shared, req, &mut reply, &mut version)
+    }));
+    let (bytes, served_frame) = match outcome {
+        // Writing into a Vec cannot fail, so Ok(Err(_)) is unreachable
+        // in practice; treat it as a close for completeness.
+        Ok(Ok(r)) => r,
+        Ok(Err(_)) => return (Vec::new(), version, true),
+        Err(_panic) => {
+            shared.metrics.add(CTR_HANDLER_PANICS, 1);
+            reply.clear();
+            match write_response_v(
+                &mut reply,
+                version,
+                &Response::Error {
+                    code: ERR_INTERNAL,
+                    message: "internal error serving this request; the connection survives"
+                        .to_string(),
+                },
+            ) {
+                Ok(bytes) => (bytes, false),
+                Err(_) => return (Vec::new(), version, true),
+            }
+        }
+    };
+    drop(span);
+    shared.metrics.add(CTR_REQUESTS, 1);
+    shared.metrics.add(CTR_BYTES_SENT, bytes);
+    if served_frame {
+        shared.metrics.add(CTR_FRAMES_SERVED, 1);
+    }
+    shared
+        .metrics
+        .record_seconds(HIST_LATENCY, t0.elapsed().as_secs_f64());
+    (reply, version, false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -643,6 +1055,43 @@ mod tests {
     fn shutdown_is_idempotent_under_drop() {
         let server = FrameServer::spawn_loopback(stores(1), ServerConfig::default()).unwrap();
         drop(server); // Drop runs stop() after an explicit-path exercise elsewhere
+    }
+
+    #[test]
+    fn both_backends_spawn_and_report_themselves() {
+        for backend in [ServeBackend::Threaded, ServeBackend::Reactor] {
+            let config = ServerConfig {
+                backend,
+                ..ServerConfig::default()
+            };
+            let server = FrameServer::spawn_loopback(stores(1), config).unwrap();
+            if cfg!(unix) {
+                assert_eq!(server.backend(), backend);
+            } else {
+                assert_eq!(server.backend(), ServeBackend::Threaded);
+            }
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn backend_env_values_parse_with_a_platform_default() {
+        assert_eq!(
+            ServeBackend::from_env_value(Some("threaded")),
+            ServeBackend::Threaded
+        );
+        assert_eq!(
+            ServeBackend::from_env_value(Some("reactor")),
+            ServeBackend::Reactor
+        );
+        let default = ServeBackend::from_env_value(None);
+        let garbage = ServeBackend::from_env_value(Some("epoll"));
+        assert_eq!(default, garbage, "unknown values fall to the default");
+        if cfg!(unix) {
+            assert_eq!(default, ServeBackend::Reactor);
+        } else {
+            assert_eq!(default, ServeBackend::Threaded);
+        }
     }
 
     #[test]

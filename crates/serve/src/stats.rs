@@ -33,6 +33,11 @@ pub const CTR_SHED_CONNECTIONS: &str = "serve.shed_connections";
 /// Registry counter: frame requests refused at the in-flight extraction
 /// limit (in-band `ERR_BUSY`; the connection stays usable).
 pub const CTR_SHED_EXTRACTIONS: &str = "serve.shed_extractions";
+/// Registry counter: `accept(2)` failures on the listener (fd
+/// exhaustion, transient kernel errors). Registry-only — the `Stats`
+/// wire shape is unchanged; tests and embedders read it via
+/// [`crate::server::FrameServer::metrics`].
+pub const CTR_ACCEPT_ERRORS: &str = "serve.accept_errors";
 /// Registry counter: request handlers that panicked and were isolated
 /// (the client got `ERR_INTERNAL`; the listener and the other
 /// connections were unaffected).

@@ -1,11 +1,15 @@
 //! Offline stand-in for the tiny slice of `libc` 0.2 this workspace
 //! uses: the `mmap`/`munmap` syscall bindings behind
-//! `accelviz-store`'s memory-mapped chunk source, plus the constants
-//! they take. The declarations match the POSIX prototypes, and the
-//! constant values are the ones shared by Linux and the BSD family
-//! (`PROT_READ == 1`, `MAP_PRIVATE == 2`); exotic platforms should use
-//! the upstream crate instead, or force the store's pread fallback with
-//! `ACCELVIZ_STORE_NO_MMAP=1`.
+//! `accelviz-store`'s memory-mapped chunk source, and the
+//! `poll`/`pipe`/`read`/`write`/`close` bindings behind
+//! `accelviz-serve`'s event-driven reactor (readiness loop plus its
+//! self-pipe waker), with the constants they take. The declarations
+//! match the POSIX prototypes, and the constant values are the ones
+//! shared by Linux and the BSD family (`PROT_READ == 1`,
+//! `MAP_PRIVATE == 2`, `POLLIN == 1`, `POLLOUT == 4`); exotic platforms
+//! should use the upstream crate instead, or force the store's pread
+//! fallback with `ACCELVIZ_STORE_NO_MMAP=1` and the serve crate's
+//! threaded backend with `ACCELVIZ_SERVE_BACKEND=threaded`.
 
 #![cfg_attr(not(unix), allow(unused))]
 #![allow(non_camel_case_types)] // keep upstream libc's C-style names
@@ -14,11 +18,23 @@
 pub type c_void = core::ffi::c_void;
 /// C `int`.
 pub type c_int = i32;
+/// C `short`.
+pub type c_short = i16;
 /// C `size_t`.
 pub type size_t = usize;
+/// C `ssize_t` — the signed return of `read(2)`/`write(2)`.
+pub type ssize_t = isize;
 /// File offset type (`off_t`). 64-bit on every platform this workspace
 /// targets.
 pub type off_t = i64;
+/// The fd-count argument of `poll(2)`: `unsigned long` on Linux,
+/// `unsigned int` on the BSDs.
+#[cfg(target_os = "linux")]
+pub type nfds_t = core::ffi::c_ulong;
+/// The fd-count argument of `poll(2)`: `unsigned long` on Linux,
+/// `unsigned int` on the BSDs.
+#[cfg(not(target_os = "linux"))]
+pub type nfds_t = core::ffi::c_uint;
 
 /// Pages may be read.
 pub const PROT_READ: c_int = 1;
@@ -26,6 +42,29 @@ pub const PROT_READ: c_int = 1;
 pub const MAP_PRIVATE: c_int = 2;
 /// The error return of `mmap` (`(void *) -1`).
 pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+/// `poll(2)` event: data may be read without blocking.
+pub const POLLIN: c_short = 0x001;
+/// `poll(2)` event: data may be written without blocking.
+pub const POLLOUT: c_short = 0x004;
+/// `poll(2)` revent: an error condition is pending on the fd.
+pub const POLLERR: c_short = 0x008;
+/// `poll(2)` revent: the peer hung up.
+pub const POLLHUP: c_short = 0x010;
+/// `poll(2)` revent: the fd is not open (a stale entry in the set).
+pub const POLLNVAL: c_short = 0x020;
+
+/// One entry of a `poll(2)` set, exactly as the kernel lays it out.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct pollfd {
+    /// The file descriptor to watch (negative entries are skipped).
+    pub fd: c_int,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: c_short,
+    /// Returned events (requested plus `POLLERR`/`POLLHUP`/`POLLNVAL`).
+    pub revents: c_short,
+}
 
 #[cfg(unix)]
 extern "C" {
@@ -41,6 +80,23 @@ extern "C" {
 
     /// POSIX `munmap(2)`.
     pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+
+    /// POSIX `poll(2)`: waits until one of `fds` is ready or `timeout`
+    /// milliseconds pass (`-1` waits forever, `0` polls).
+    pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+
+    /// POSIX `pipe(2)`: fills `fds[0]` (read end) and `fds[1]` (write
+    /// end).
+    pub fn pipe(fds: *mut c_int) -> c_int;
+
+    /// POSIX `read(2)` on a raw fd.
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+
+    /// POSIX `write(2)` on a raw fd.
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+
+    /// POSIX `close(2)` on a raw fd.
+    pub fn close(fd: c_int) -> c_int;
 }
 
 #[cfg(all(test, unix))]
@@ -79,5 +135,41 @@ mod tests {
         assert_eq!(view, payload.as_slice());
         assert_eq!(unsafe { munmap(ptr, payload.len()) }, 0);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pipe_poll_read_write_roundtrip() {
+        let mut fds = [-1 as c_int; 2];
+        assert_eq!(unsafe { pipe(fds.as_mut_ptr()) }, 0);
+        let (rd, wr) = (fds[0], fds[1]);
+
+        // An empty pipe polls not-ready within the timeout.
+        let mut set = [pollfd {
+            fd: rd,
+            events: POLLIN,
+            revents: 0,
+        }];
+        let n = unsafe { poll(set.as_mut_ptr(), set.len() as nfds_t, 10) };
+        assert_eq!(n, 0, "nothing to read yet");
+
+        // A written byte makes the read end readable and comes back out.
+        let byte = [0x5au8];
+        assert_eq!(
+            unsafe { write(wr, byte.as_ptr() as *const c_void, 1) },
+            1,
+            "pipe write failed: {:?}",
+            std::io::Error::last_os_error()
+        );
+        set[0].revents = 0;
+        let n = unsafe { poll(set.as_mut_ptr(), set.len() as nfds_t, 1000) };
+        assert_eq!(n, 1);
+        assert_ne!(set[0].revents & POLLIN, 0, "POLLIN must be reported");
+        let mut got = [0u8; 4];
+        let n = unsafe { read(rd, got.as_mut_ptr() as *mut c_void, got.len()) };
+        assert_eq!(n, 1);
+        assert_eq!(got[0], 0x5a);
+
+        assert_eq!(unsafe { close(rd) }, 0);
+        assert_eq!(unsafe { close(wr) }, 0);
     }
 }
