@@ -14,6 +14,8 @@
 //!   budget, disk-load times, video-memory residency (Figure 5, §2.5).
 //! - [`remote`] — bandwidth/storage model for moving representations "to
 //!   a remote computer on a scientist's desk thousands of miles away".
+//! - [`shard`] — deterministic frame-to-shard ownership (rendezvous
+//!   hashing) for spreading one catalog across N frame servers.
 //! - [`pipeline`] — end-to-end orchestration: simulate → partition →
 //!   extract → view.
 
@@ -22,6 +24,7 @@ pub mod pipeline;
 pub mod remote;
 pub mod scene;
 pub mod session;
+pub mod shard;
 pub mod transfer;
 pub mod viewer;
 
@@ -30,5 +33,6 @@ pub use pipeline::{process_run, PipelineParams};
 pub use remote::TransferModel;
 pub use scene::{render_hybrid_frame, GridField, RenderMode, SceneStats};
 pub use session::{SessionOp, ViewerSession};
+pub use shard::ShardSpec;
 pub use transfer::{PointTransferFunction, TransferFunctionPair, VolumeTransferFunction};
 pub use viewer::{FrameCache, FrameLoad};

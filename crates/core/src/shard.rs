@@ -1,0 +1,179 @@
+//! Deterministic frame-to-shard ownership for scale-out serving.
+//!
+//! The paper's remote pipeline assumed one server per viewer; serving one
+//! terascale run to many concurrent dashboards means spreading the frame
+//! catalog across N shard servers and routing each request to the shard
+//! that owns it. [`ShardSpec`] is that ownership function: a pure,
+//! seedless map from frame index to shard, shared by the router, the
+//! shard launcher, and any client that wants to predict placement.
+//!
+//! Ownership uses rendezvous (highest-random-weight) hashing: every
+//! `(frame, shard)` pair gets a deterministic 64-bit score and the frame
+//! belongs to the shard with the highest score. The payoff over
+//! `frame % N` is *minimal movement on reshard*: growing N→N+1 only
+//! moves the frames whose new shard outscores every old one — about
+//! `1/(N+1)` of the catalog — instead of reshuffling nearly everything.
+//! The viewer and examples can construct a `ShardSpec` without touching
+//! the serve crate, which is why the type lives here.
+
+/// A deterministic assignment of frame indices to `shards` shard
+/// servers, by rendezvous hashing. Copyable, comparable, and stable
+/// across processes and platforms — two sides that agree on the shard
+/// count agree on every frame's owner.
+///
+/// ```
+/// use accelviz_core::shard::ShardSpec;
+///
+/// let spec = ShardSpec::new(4);
+/// // Ownership is a pure function of (frame, shard count)...
+/// assert_eq!(spec.owner_of(7), ShardSpec::new(4).owner_of(7));
+/// // ...and every frame lands on a real shard.
+/// assert!((0..100).all(|f| spec.owner_of(f) < 4));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    shards: usize,
+}
+
+impl ShardSpec {
+    /// A layout over `shards` shard servers.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero — an empty shard set owns nothing and
+    /// can serve nothing. (The serve-layer constructors reject an empty
+    /// set with an error before ever building a spec.)
+    pub fn new(shards: usize) -> ShardSpec {
+        assert!(shards > 0, "a shard layout needs at least one shard");
+        ShardSpec { shards }
+    }
+
+    /// How many shards this layout spreads frames over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that owns `frame`: the highest-scoring shard under
+    /// rendezvous hashing. Always `< self.shards()`.
+    pub fn owner_of(&self, frame: u32) -> usize {
+        let mut best = 0usize;
+        let mut best_score = score(frame, 0);
+        for shard in 1..self.shards {
+            let s = score(frame, shard);
+            if s > best_score {
+                best = shard;
+                best_score = s;
+            }
+        }
+        best
+    }
+
+    /// Owner of every frame in `0..frame_count`, as one vector — the
+    /// shape the router's shard map and the shard launcher both consume.
+    pub fn assignments(&self, frame_count: usize) -> Vec<usize> {
+        (0..frame_count).map(|f| self.owner_of(f as u32)).collect()
+    }
+}
+
+/// The rendezvous score of a `(frame, shard)` pair: both identities are
+/// pre-mixed with distinct odd constants, combined, and finished with a
+/// SplitMix64 avalanche so no low-entropy input pattern (sequential
+/// frames, small shard ids) biases the argmax.
+fn score(frame: u32, shard: usize) -> u64 {
+    let f = (frame as u64)
+        .wrapping_add(1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let s = (shard as u64)
+        .wrapping_add(1)
+        .wrapping_mul(0xA24B_AED4_963E_E407);
+    splitmix64(f ^ s)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let spec = ShardSpec::new(1);
+        assert!((0..1000).all(|f| spec.owner_of(f) == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        ShardSpec::new(0);
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_in_range() {
+        for n in 1..=8 {
+            let spec = ShardSpec::new(n);
+            for f in 0..500u32 {
+                let owner = spec.owner_of(f);
+                assert!(owner < n);
+                assert_eq!(owner, spec.owner_of(f), "pure function of (frame, n)");
+            }
+        }
+    }
+
+    #[test]
+    fn assignments_match_owner_of() {
+        let spec = ShardSpec::new(3);
+        let owners = spec.assignments(64);
+        assert_eq!(owners.len(), 64);
+        for (f, &owner) in owners.iter().enumerate() {
+            assert_eq!(owner, spec.owner_of(f as u32));
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let spec = ShardSpec::new(4);
+        let mut counts = [0usize; 4];
+        for f in 0..10_000u32 {
+            counts[spec.owner_of(f)] += 1;
+        }
+        // Fair share is 2500; rendezvous hashing should stay well within
+        // 2x of it in both directions on 10k keys.
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                (1_500..=3_500).contains(&c),
+                "shard {shard} owns {c} of 10000 frames"
+            );
+        }
+    }
+
+    #[test]
+    fn resharding_moves_frames_only_to_the_new_shard() {
+        // The rendezvous property: growing N -> N+1 relocates a frame
+        // only when the new shard outscores every existing one, so every
+        // moved frame lands on the new shard and the old shards never
+        // trade frames among themselves.
+        for n in 1..=6 {
+            let old = ShardSpec::new(n);
+            let new = ShardSpec::new(n + 1);
+            let mut moved = 0usize;
+            for f in 0..2_000u32 {
+                let (a, b) = (old.owner_of(f), new.owner_of(f));
+                if a != b {
+                    assert_eq!(b, n, "frame {f} moved {a}->{b}, not to the new shard");
+                    moved += 1;
+                }
+            }
+            // Expected movement is ~2000/(n+1); it must never be the
+            // near-total reshuffle a modulo map would cause.
+            assert!(
+                moved < 2_000 * 2 / (n + 1),
+                "n={n}: {moved} of 2000 frames moved"
+            );
+            assert!(moved > 0, "n={n}: growth must hand the new shard work");
+        }
+    }
+}

@@ -28,6 +28,11 @@
 //!   unmodified against a remote server.
 //! - [`stats`] — the per-request counters and latency histogram the
 //!   `Stats` reply carries.
+//! - [`router`] — the scale-out layer: [`router::ShardedFrameService`]
+//!   and [`router::FrameRouter`], one AVWF front door over N shard
+//!   servers with rendezvous-hashed frame ownership, pooled retrying
+//!   upstream connections, cross-shard herd coalescing, and aggregated
+//!   `Stats`.
 //! - [`retry`] — the deterministic backoff policy behind the client's
 //!   reconnect-and-replay resilience.
 //! - [`fault`] — seeded, scheduled fault injection for chaos testing
@@ -55,6 +60,7 @@ pub mod protocol;
 #[cfg(unix)]
 mod reactor;
 pub mod retry;
+pub mod router;
 pub mod server;
 pub mod stats;
 pub mod wire;
@@ -73,5 +79,6 @@ pub use error::{Result, ServeError};
 pub use fault::{FaultDirection, FaultEvent, FaultKind, FaultPlan, FaultScript, FaultyTransport};
 pub use lru::LruOrder;
 pub use retry::RetryPolicy;
+pub use router::{FrameRouter, RouterConfig, ShardMap, ShardedFrameService};
 pub use server::{FrameServer, ServeBackend, ServerConfig};
 pub use stats::ServerStats;

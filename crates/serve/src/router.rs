@@ -1,0 +1,1263 @@
+//! The shard router: one AVWF front door over N frame servers.
+//!
+//! The paper's remote pipeline pairs one server with one viewer; scaling
+//! one terascale run to many concurrent dashboards means spreading the
+//! frame catalog over N shard servers ([`crate::server::FrameServer`]s,
+//! any backend) and putting a router in front that clients cannot tell
+//! from a single big server:
+//!
+//! - `Hello` negotiates a protocol version locally, exactly like a
+//!   direct server — the client's session version is independent of the
+//!   (always newest) version the router speaks to its shards.
+//! - `ListFrames` answers with the merged catalog: every shard's local
+//!   catalog stitched back into global frame order at spawn time.
+//! - `RequestFrame` routes to the owning shard (the [`ShardMap`] built
+//!   from an [`ShardSpec`] rendezvous layout) over a pooled upstream
+//!   [`crate::client::Client`] — so the proxy leg inherits the client
+//!   layer's reconnect-and-replay retry machinery unchanged.
+//! - `Stats` sums every shard's counters into one wire-shaped
+//!   [`ServerStats`]; the router's own `router.*` counters live in its
+//!   private registry ([`FrameRouter::metrics`]) because the `Stats`
+//!   wire shape is frozen.
+//!
+//! Herd coalescing: the router keeps its own small LRU of decoded frames
+//! keyed `(global frame, threshold bits)`, with the same
+//! collapse-identical-requests discipline as the server's extraction
+//! cache — a thundering herd of M clients on one cold frame costs one
+//! upstream fetch (and therefore at most one extraction on the owning
+//! shard). Upstream *failures* are shared with every coalesced waiter
+//! but never cached, so a shard coming back is observed on the very next
+//! request.
+//!
+//! Failure semantics (the PR 5 degradation model, one hop out): when a
+//! shard dies mid-session the router retries per its upstream policy,
+//! then answers that frame with an in-band `ERR_INTERNAL` while the
+//! catalog and every other shard's frames keep serving. A resilient
+//! client ([`crate::client::RemoteFrames`]) turns that into a
+//! flagged-stale degraded frame instead of a dead session; when the
+//! shard returns (or [`FrameRouter::set_shard_addr`] repoints its pool
+//! at a replacement), the same requests simply succeed again.
+
+use crate::cache::CacheKey;
+use crate::client::{Client, ClientConfig};
+use crate::error::ServeError;
+use crate::lru::LruOrder;
+use crate::protocol::{
+    read_request, write_response_v, FrameInfo, Request, Response, ERR_BAD_REQUEST,
+    ERR_BAD_THRESHOLD, ERR_INTERNAL, ERR_NO_SUCH_FRAME, RESP_FRAME,
+};
+use crate::server::{CountGuard, FrameServer, ServerConfig};
+use crate::stats::ServerStats;
+use crate::wire::{encode_frame, encode_frame_v2, write_envelope_v, V1, V2, VERSION};
+use accelviz_core::hybrid::HybridFrame;
+use accelviz_core::shard::ShardSpec;
+use accelviz_octree::sorted_store::PartitionedData;
+use accelviz_store::ResidentRun;
+use accelviz_trace::registry::Registry;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Registry counter: requests the router handled, across all clients
+/// and kinds.
+pub const CTR_ROUTER_REQUESTS: &str = "router.requests";
+/// Registry counter: frame replies the router sent downstream.
+pub const CTR_ROUTER_FRAMES_SERVED: &str = "router.frames_served";
+/// Registry counter: payload + framing bytes the router wrote to
+/// clients.
+pub const CTR_ROUTER_BYTES_SENT: &str = "router.bytes_sent";
+/// Registry counter: frame requests answered from the router's frame
+/// cache (including coalesced waiters).
+pub const CTR_ROUTER_CACHE_HITS: &str = "router.cache_hits";
+/// Registry counter: frame requests that went upstream to a shard.
+pub const CTR_ROUTER_CACHE_MISSES: &str = "router.cache_misses";
+/// Registry counter: frame requests that coalesced into an upstream
+/// fetch already in flight (a subset of `router.cache_hits` — the herd
+/// collapse at work).
+pub const CTR_ROUTER_COALESCED: &str = "router.coalesced_fetches";
+/// Registry counter: upstream fetches the router started (each one
+/// costs the owning shard at most one extraction).
+pub const CTR_ROUTER_UPSTREAM_FETCHES: &str = "router.upstream_fetches";
+/// Registry counter: retries the pooled upstream clients burned against
+/// shards (transient shard failures absorbed by the proxy leg).
+pub const CTR_ROUTER_UPSTREAM_RETRIES: &str = "router.upstream_retries";
+/// Registry counter: upstream operations that failed even after the
+/// upstream retry policy — each one became an in-band `ERR_INTERNAL`
+/// (for frames) or a zero contribution (for stats aggregation).
+pub const CTR_ROUTER_UPSTREAM_ERRORS: &str = "router.upstream_errors";
+/// Registry counter: connections closed at the router's connection cap.
+/// Unlike the shard servers (which answer `ERR_BUSY` in-band from a
+/// bounded pool), the thin router sheds by closing: the client's retry
+/// classifier sees the reset as transient and backs off the same way.
+pub const CTR_ROUTER_SHED_CONNECTIONS: &str = "router.shed_connections";
+/// Registry counter: `accept(2)` failures on the router listener.
+pub const CTR_ROUTER_ACCEPT_ERRORS: &str = "router.accept_errors";
+/// Registry counter: request handlers that panicked and were isolated
+/// (the client got `ERR_INTERNAL`; the listener survived).
+pub const CTR_ROUTER_HANDLER_PANICS: &str = "router.handler_panics";
+/// Registry histogram: router request service time, including the
+/// upstream hop for cache misses.
+pub const HIST_ROUTER_LATENCY: &str = "router.request_latency";
+
+/// Where every global frame lives: which shard owns it and which *local*
+/// index that shard knows it by. Built once from a [`ShardSpec`] and a
+/// frame count, then shared by the shard launcher (to slice the data)
+/// and the router (to route requests).
+///
+/// ```
+/// use accelviz_core::shard::ShardSpec;
+/// use accelviz_serve::ShardMap;
+///
+/// let map = ShardMap::sliced(&ShardSpec::new(2), 6);
+/// assert_eq!(map.frame_count(), 6);
+/// let (shard, _local) = map.locate(4).expect("frame 4 exists");
+/// assert!(shard < map.shard_count());
+/// // Out-of-catalog frames have no owner.
+/// assert!(map.locate(6).is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    /// `owners[g] = (shard, local index)` for global frame `g`.
+    owners: Vec<(u32, u32)>,
+    shards: usize,
+}
+
+impl ShardMap {
+    /// The layout for *physically sliced* shards: each shard holds only
+    /// its owned frames, packed in ascending global order, so global
+    /// frame `g` is the owner's `rank(g)`-th local frame. This is what
+    /// [`ShardedFrameService::spawn_loopback`] feeds its shards.
+    pub fn sliced(spec: &ShardSpec, frame_count: usize) -> ShardMap {
+        let mut next_local = vec![0u32; spec.shards()];
+        let owners = (0..frame_count)
+            .map(|g| {
+                let shard = spec.owner_of(g as u32);
+                let local = next_local[shard];
+                next_local[shard] += 1;
+                (shard as u32, local)
+            })
+            .collect();
+        ShardMap {
+            owners,
+            shards: spec.shards(),
+        }
+    }
+
+    /// The layout for shards that all expose the *full* catalog (e.g.
+    /// N stored servers sharing one run file): ownership still follows
+    /// the rendezvous spec, but a frame's local index on its owner is
+    /// its global index. This is what
+    /// [`ShardedFrameService::spawn_stored_loopback`] uses.
+    pub fn shared(spec: &ShardSpec, frame_count: usize) -> ShardMap {
+        let owners = (0..frame_count)
+            .map(|g| (spec.owner_of(g as u32) as u32, g as u32))
+            .collect();
+        ShardMap {
+            owners,
+            shards: spec.shards(),
+        }
+    }
+
+    /// Shards this map routes over.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Global frames this map covers.
+    pub fn frame_count(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Where global frame `g` lives: `(shard, local index)`, or `None`
+    /// when `g` is outside the catalog.
+    pub fn locate(&self, g: u32) -> Option<(usize, u32)> {
+        self.owners
+            .get(g as usize)
+            .map(|&(s, local)| (s as usize, local))
+    }
+
+    /// The global frames shard `s` owns, ascending.
+    pub fn frames_owned_by(&self, s: usize) -> Vec<usize> {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|(_, &(shard, _))| shard as usize == s)
+            .map(|(g, _)| g)
+            .collect()
+    }
+}
+
+/// Router tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterConfig {
+    /// Decoded frames the router's cache holds (the herd-coalescing
+    /// layer); must be at least 1.
+    pub cache_capacity: usize,
+    /// Bound on any single blocking read from a client; `None` waits
+    /// forever.
+    pub read_timeout: Option<Duration>,
+    /// Same bound for writes.
+    pub write_timeout: Option<Duration>,
+    /// Client connections served concurrently; past this, new arrivals
+    /// are counted under `router.shed_connections` and closed.
+    pub max_connections: usize,
+    /// The resilience knobs for the pooled upstream connections to the
+    /// shards — retry/backoff on this leg is what turns a shard blip
+    /// into a blip instead of a failed client request. `max_version` is
+    /// honored, so a `wire::V1`-capped upstream config forces
+    /// uncompressed shard hops.
+    pub upstream: ClientConfig,
+    /// Idle upstream connections kept pooled per shard.
+    pub upstream_idle: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            cache_capacity: 16,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_connections: 256,
+            upstream: ClientConfig::default(),
+            upstream_idle: 4,
+        }
+    }
+}
+
+/// How a router frame fetch was satisfied.
+enum FetchOutcome {
+    /// Already decoded and resident in the router cache.
+    Hit,
+    /// Joined an upstream fetch another request had in flight.
+    Coalesced,
+    /// Went upstream (and the result, success or failure, was shared
+    /// with any waiters that arrived meanwhile).
+    Fetched,
+}
+
+/// In-flight upstream fetch of one key. Waiters block on `cv` until
+/// `done` holds the shared outcome; unlike the extraction cache's
+/// pending slot this carries a `Result`, because an upstream fetch can
+/// *fail* (dead shard) and that failure must be delivered to every
+/// coalesced waiter — never panicked across threads, never cached.
+struct FetchPending {
+    done: StdMutex<Option<Result<Arc<HybridFrame>, String>>>,
+    cv: Condvar,
+}
+
+enum FetchEntry {
+    Ready(Arc<HybridFrame>),
+    Fetching(Arc<FetchPending>),
+}
+
+struct FetchInner {
+    capacity: usize,
+    /// LRU over *ready* keys only; in-flight fetches cannot be evicted.
+    order: LruOrder<CacheKey>,
+    entries: HashMap<CacheKey, FetchEntry>,
+}
+
+/// The router's frame cache: LRU over decoded frames plus the
+/// same-key coalescing that collapses a thundering herd into one
+/// upstream fetch. Failures are shared with waiters but vacated, not
+/// cached — the next request after a shard recovers goes upstream.
+struct FetchCache {
+    inner: Mutex<FetchInner>,
+}
+
+impl FetchCache {
+    fn new(capacity: usize) -> FetchCache {
+        assert!(capacity > 0, "router cache needs at least one slot");
+        FetchCache {
+            inner: Mutex::new(FetchInner {
+                capacity,
+                order: LruOrder::new(),
+                entries: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Returns the frame for `key`, fetching it with `fetch` when it is
+    /// neither cached nor already in flight. Concurrent calls with the
+    /// same key run `fetch` once and share its outcome.
+    fn get_or_fetch(
+        &self,
+        key: CacheKey,
+        fetch: impl FnOnce() -> Result<Arc<HybridFrame>, String>,
+    ) -> (Result<Arc<HybridFrame>, String>, FetchOutcome) {
+        let pending = {
+            let mut g = self.inner.lock();
+            match g.entries.get(&key) {
+                Some(FetchEntry::Ready(frame)) => {
+                    let frame = Arc::clone(frame);
+                    g.order.touch(key);
+                    return (Ok(frame), FetchOutcome::Hit);
+                }
+                Some(FetchEntry::Fetching(p)) => Arc::clone(p),
+                None => {
+                    let p = Arc::new(FetchPending {
+                        done: StdMutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    g.entries.insert(key, FetchEntry::Fetching(Arc::clone(&p)));
+                    drop(g);
+                    return (self.run_fetch(key, p, fetch), FetchOutcome::Fetched);
+                }
+            }
+        };
+        // Coalesced: wait outside every lock for the in-flight fetch and
+        // share its outcome, failure included.
+        let mut d = pending.done.lock().unwrap_or_else(|e| e.into_inner());
+        while d.is_none() {
+            d = pending.cv.wait(d).unwrap_or_else(|e| e.into_inner());
+        }
+        let outcome = d.clone().expect("outcome present");
+        (outcome, FetchOutcome::Coalesced)
+    }
+
+    /// Runs `fetch` for a key this thread just marked in flight, then
+    /// publishes the outcome to the map (success only) and to every
+    /// coalesced waiter (success or failure).
+    fn run_fetch(
+        &self,
+        key: CacheKey,
+        pending: Arc<FetchPending>,
+        fetch: impl FnOnce() -> Result<Arc<HybridFrame>, String>,
+    ) -> Result<Arc<HybridFrame>, String> {
+        let outcome = fetch();
+        {
+            let mut g = self.inner.lock();
+            match &outcome {
+                Ok(frame) => {
+                    while g.order.len() >= g.capacity {
+                        if let Some(victim) = g.order.pop_oldest() {
+                            g.entries.remove(&victim);
+                        }
+                    }
+                    g.order.touch(key);
+                    g.entries.insert(key, FetchEntry::Ready(Arc::clone(frame)));
+                }
+                // A failed fetch vacates the key so recovery is observed
+                // on the very next request.
+                Err(_) => {
+                    g.entries.remove(&key);
+                }
+            }
+        }
+        *pending.done.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome.clone());
+        pending.cv.notify_all();
+        outcome
+    }
+}
+
+/// One shard's pooled upstream connections. Checked-out clients that
+/// finish their operation cleanly go back to the idle pool (up to
+/// `max_idle`); any failure drops the connection instead — its stream
+/// may be mid-envelope, and the next checkout dials fresh.
+struct UpstreamPool {
+    addr: Mutex<SocketAddr>,
+    idle: Mutex<Vec<Client>>,
+    config: ClientConfig,
+    max_idle: usize,
+}
+
+impl UpstreamPool {
+    fn new(addr: SocketAddr, config: ClientConfig, max_idle: usize) -> UpstreamPool {
+        UpstreamPool {
+            addr: Mutex::new(addr),
+            idle: Mutex::new(Vec::new()),
+            config,
+            max_idle,
+        }
+    }
+
+    /// Repoints the pool (shard restarted elsewhere); idle connections
+    /// to the old address are dropped.
+    fn set_addr(&self, addr: SocketAddr) {
+        *self.addr.lock() = addr;
+        self.idle.lock().clear();
+    }
+
+    /// Runs `op` on a pooled (or freshly dialed) client. Returns the
+    /// result plus the retries the client burned inside the call — the
+    /// upstream leg's resilience cost, surfaced for `router.*` counters.
+    fn with<T>(
+        &self,
+        op: impl FnOnce(&mut Client) -> crate::error::Result<T>,
+    ) -> crate::error::Result<(T, u64)> {
+        let mut client = match self.idle.lock().pop() {
+            Some(c) => c,
+            None => Client::connect_with(*self.addr.lock(), self.config)?,
+        };
+        let before = client.client_stats().retries;
+        match op(&mut client) {
+            Ok(v) => {
+                let retries = client.client_stats().retries - before;
+                let mut idle = self.idle.lock();
+                if idle.len() < self.max_idle {
+                    idle.push(client);
+                }
+                Ok((v, retries))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The state the accept loop and every connection handler share.
+struct RouterShared {
+    map: ShardMap,
+    catalog: Vec<FrameInfo>,
+    pools: Vec<UpstreamPool>,
+    cache: FetchCache,
+    config: RouterConfig,
+    metrics: Registry,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    inflight_requests: AtomicUsize,
+}
+
+/// A running shard router: binds its own listener, speaks the unchanged
+/// AVWF protocol to clients, and proxies frame requests to the owning
+/// shard over pooled, retrying upstream connections. See the
+/// [module docs](self) for the full semantics.
+///
+/// ```
+/// use accelviz_beam::distribution::Distribution;
+/// use accelviz_core::shard::ShardSpec;
+/// use accelviz_octree::builder::{partition, BuildParams};
+/// use accelviz_octree::plots::PlotType;
+/// use accelviz_serve::{Client, FrameRouter, FrameServer, RouterConfig, ServerConfig, ShardMap};
+///
+/// // Two shards that each expose the full 3-frame catalog, so the
+/// // shared layout applies (local index == global index).
+/// let data: Vec<_> = (0..3u64)
+///     .map(|i| {
+///         let ps = Distribution::default_beam().sample(300, i + 1);
+///         partition(&ps, PlotType::XYZ, BuildParams::default())
+///     })
+///     .collect();
+/// let a = FrameServer::spawn_loopback(data.clone(), ServerConfig::default()).unwrap();
+/// let b = FrameServer::spawn_loopback(data, ServerConfig::default()).unwrap();
+///
+/// let map = ShardMap::shared(&ShardSpec::new(2), 3);
+/// let router = FrameRouter::spawn(
+///     "127.0.0.1:0",
+///     vec![a.addr(), b.addr()],
+///     map,
+///     RouterConfig::default(),
+/// )
+/// .unwrap();
+///
+/// // A stock client cannot tell the router from a single server.
+/// let mut client = Client::connect(router.addr()).unwrap();
+/// assert_eq!(client.frame_count(), 3);
+/// let (frame, _) = client.fetch(1, f64::INFINITY).unwrap();
+/// assert_eq!(frame.step, 1);
+///
+/// drop(client);
+/// router.shutdown();
+/// a.shutdown();
+/// b.shutdown();
+/// ```
+pub struct FrameRouter {
+    shared: Arc<RouterShared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    #[cfg(unix)]
+    waker: Arc<crate::poll::Waker>,
+}
+
+impl FrameRouter {
+    /// Binds `addr` and starts routing over the given shard addresses.
+    /// `shards[i]` must be the server owning every `(i, local)` entry of
+    /// `map`. Fails fast — with an error, not a degraded catalog — when
+    /// the shard set is empty, its length disagrees with the map, any
+    /// shard is unreachable at spawn, or a shard advertises fewer frames
+    /// than the map routes to it.
+    pub fn spawn(
+        addr: &str,
+        shards: Vec<SocketAddr>,
+        map: ShardMap,
+        config: RouterConfig,
+    ) -> io::Result<FrameRouter> {
+        if shards.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a router needs at least one shard",
+            ));
+        }
+        if shards.len() != map.shard_count() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "shard map routes over {} shards but {} addresses were given",
+                    map.shard_count(),
+                    shards.len()
+                ),
+            ));
+        }
+        let pools: Vec<UpstreamPool> = shards
+            .into_iter()
+            .map(|a| UpstreamPool::new(a, config.upstream, config.upstream_idle))
+            .collect();
+        let catalog = merge_catalogs(&map, &pools)?;
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(RouterShared {
+            map,
+            catalog,
+            pools,
+            cache: FetchCache::new(config.cache_capacity.max(1)),
+            config,
+            metrics: Registry::new(),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            inflight_requests: AtomicUsize::new(0),
+        });
+        #[cfg(unix)]
+        {
+            let waker = Arc::new(crate::poll::Waker::new()?);
+            let (s, w) = (Arc::clone(&shared), Arc::clone(&waker));
+            let accept = std::thread::spawn(move || accept_loop(s, listener, w));
+            Ok(FrameRouter {
+                shared,
+                addr: local,
+                accept: Some(accept),
+                waker,
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            let s = Arc::clone(&shared);
+            let accept = std::thread::spawn(move || blocking_accept_loop(s, listener));
+            Ok(FrameRouter {
+                shared,
+                addr: local,
+                accept: Some(accept),
+            })
+        }
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shards this router routes over.
+    pub fn shard_count(&self) -> usize {
+        self.shared.map.shard_count()
+    }
+
+    /// The merged catalog served to `ListFrames`, in global frame order.
+    pub fn catalog(&self) -> &[FrameInfo] {
+        &self.shared.catalog
+    }
+
+    /// The router's private metrics registry — every `router.*` counter
+    /// documented in this module, for tests and embedders. The wire
+    /// `Stats` reply carries the *summed shard* counters instead,
+    /// because its shape is frozen.
+    pub fn metrics(&self) -> &Registry {
+        &self.shared.metrics
+    }
+
+    /// Repoints shard `shard`'s upstream pool at `addr` — the failover
+    /// hook for a shard restarted on a new address. Idle pooled
+    /// connections to the old address are dropped; the merged catalog is
+    /// kept, so the replacement must serve the same frame slice. Errors
+    /// when `shard` is out of range.
+    pub fn set_shard_addr(&self, shard: usize, addr: SocketAddr) -> io::Result<()> {
+        match self.shared.pools.get(shard) {
+            Some(pool) => {
+                pool.set_addr(addr);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("shard {shard} out of range ({} shards)", self.shard_count()),
+            )),
+        }
+    }
+
+    /// Stops accepting, joins the accept thread, and drains in-flight
+    /// replies (bounded by one second, mirroring the server's default
+    /// drain).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        #[cfg(unix)]
+        self.waker.wake();
+        #[cfg(not(unix))]
+        {
+            let _ = TcpStream::connect(self.addr);
+        }
+        let _ = accept.join();
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while self.shared.inflight_requests.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Drop for FrameRouter {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Fetches every shard's catalog and stitches the merged global catalog:
+/// entry `g` comes from its owner's local slot, relabeled with the
+/// global index (`frame = g`, `step = g` — the run-wide convention a
+/// direct server of the unsliced data would report).
+fn merge_catalogs(map: &ShardMap, pools: &[UpstreamPool]) -> io::Result<Vec<FrameInfo>> {
+    let mut shard_catalogs = Vec::with_capacity(pools.len());
+    for (i, pool) in pools.iter().enumerate() {
+        let (catalog, _retries) = pool.with(|c| c.list_frames()).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("shard {i} catalog fetch failed: {e}"),
+            )
+        })?;
+        shard_catalogs.push(catalog);
+    }
+    let mut merged = Vec::with_capacity(map.frame_count());
+    for g in 0..map.frame_count() {
+        let (shard, local) = map.locate(g as u32).expect("g < frame_count");
+        let entry = shard_catalogs[shard].get(local as usize).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "shard {shard} advertises {} frames but the map routes global frame {g} \
+                     to its local index {local}",
+                    shard_catalogs[shard].len()
+                ),
+            )
+        })?;
+        merged.push(FrameInfo {
+            frame: g as u32,
+            step: g as u64,
+            particles: entry.particles,
+            default_threshold: entry.default_threshold,
+        });
+    }
+    Ok(merged)
+}
+
+/// The router accept loop: non-blocking listener polled alongside the
+/// shutdown self-pipe, connections past the cap counted and closed.
+#[cfg(unix)]
+fn accept_loop(shared: Arc<RouterShared>, listener: TcpListener, waker: Arc<crate::poll::Waker>) {
+    use crate::poll::{poll, AcceptBackoff, PollEntry};
+    use std::os::unix::io::AsRawFd;
+
+    if listener.set_nonblocking(true).is_err() {
+        return blocking_accept_loop(shared, listener);
+    }
+    let mut backoff = AcceptBackoff::new();
+    let mut cooldown: Option<Instant> = None;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let now = Instant::now();
+        let listener_armed = match cooldown {
+            Some(until) if until > now => false,
+            _ => {
+                cooldown = None;
+                true
+            }
+        };
+        let timeout = cooldown.map(|until| until.saturating_duration_since(now));
+        let mut entries = vec![PollEntry {
+            fd: waker.fd(),
+            read: true,
+            write: false,
+        }];
+        if listener_armed {
+            entries.push(PollEntry {
+                fd: listener.as_raw_fd(),
+                read: true,
+                write: false,
+            });
+        }
+        let ready = match poll(&entries, timeout) {
+            Ok(ready) => ready,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+        };
+        if ready[0].readable {
+            waker.drain();
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if listener_armed && !ready[1].is_empty() {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        backoff.on_success();
+                        let _ = stream.set_nonblocking(false);
+                        admit(&shared, stream);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        shared.metrics.add(CTR_ROUTER_ACCEPT_ERRORS, 1);
+                        cooldown = Some(Instant::now() + backoff.on_error());
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Blocking fallback (and the whole story on non-unix builds): shutdown
+/// wake relies on the next connection arriving.
+fn blocking_accept_loop(shared: Arc<RouterShared>, listener: TcpListener) {
+    let mut error_pause = Duration::from_millis(1);
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                error_pause = Duration::from_millis(1);
+                admit(&shared, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                shared.metrics.add(CTR_ROUTER_ACCEPT_ERRORS, 1);
+                std::thread::sleep(error_pause);
+                error_pause = (error_pause * 2).min(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Admits or sheds one accepted connection. Past the cap the stream is
+/// counted and dropped without spawning anything — a connect flood must
+/// not mint router threads.
+fn admit(shared: &Arc<RouterShared>, stream: TcpStream) {
+    if shared.active_connections.load(Ordering::SeqCst) >= shared.config.max_connections {
+        shared.metrics.add(CTR_ROUTER_SHED_CONNECTIONS, 1);
+        return; // dropping the stream closes it
+    }
+    shared.active_connections.fetch_add(1, Ordering::SeqCst);
+    let conn = Arc::clone(shared);
+    std::thread::spawn(move || {
+        let _guard = CountGuard(&conn.active_connections);
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(conn.config.read_timeout);
+        let _ = stream.set_write_timeout(conn.config.write_timeout);
+        client_loop(&conn, stream);
+    });
+}
+
+/// The per-connection request/reply loop — the same session shape as the
+/// server's `serve_loop`, with the shard hop inside `respond_router`.
+fn client_loop<S: Read + Write>(shared: &RouterShared, mut stream: S) {
+    let mut session_version = V1;
+    loop {
+        let req = match read_request(&mut stream) {
+            Ok(req) => req,
+            Err(ServeError::Truncated { got: 0, .. }) | Err(ServeError::Io(_)) => return,
+            Err(e) => {
+                let reply = Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    message: e.to_string(),
+                };
+                let _ = write_response_v(&mut stream, session_version, &reply);
+                return;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let t0 = Instant::now();
+        let _inflight = CountGuard({
+            shared.inflight_requests.fetch_add(1, Ordering::SeqCst);
+            &shared.inflight_requests
+        });
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            respond_router(shared, req, &mut stream, &mut session_version)
+        }));
+        let (bytes, served_frame) = match outcome {
+            Ok(Ok(r)) => r,
+            Ok(Err(_)) => return, // client went away mid-reply
+            Err(_panic) => {
+                shared.metrics.add(CTR_ROUTER_HANDLER_PANICS, 1);
+                let reply = Response::Error {
+                    code: ERR_INTERNAL,
+                    message: "internal error routing this request; the connection survives"
+                        .to_string(),
+                };
+                match write_response_v(&mut stream, session_version, &reply) {
+                    Ok(bytes) => (bytes, false),
+                    Err(_) => return,
+                }
+            }
+        };
+        shared.metrics.add(CTR_ROUTER_REQUESTS, 1);
+        shared.metrics.add(CTR_ROUTER_BYTES_SENT, bytes);
+        if served_frame {
+            shared.metrics.add(CTR_ROUTER_FRAMES_SERVED, 1);
+        }
+        shared
+            .metrics
+            .record_seconds(HIST_ROUTER_LATENCY, t0.elapsed().as_secs_f64());
+    }
+}
+
+/// Serves one request at the router; returns (wire bytes written, was a
+/// frame reply). Mirrors the server's `respond` contract so a client
+/// cannot tell the difference.
+fn respond_router<S: Write>(
+    shared: &RouterShared,
+    req: Request,
+    stream: &mut S,
+    session_version: &mut u16,
+) -> crate::error::Result<(u64, bool)> {
+    match req {
+        Request::Hello { version } => {
+            let reply = if version == 0 {
+                Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    message: format!("protocol version must be at least 1, client sent {version}"),
+                }
+            } else {
+                let negotiated = version.min(VERSION);
+                *session_version = negotiated;
+                Response::HelloAck {
+                    version: negotiated,
+                    frame_count: shared.catalog.len() as u32,
+                }
+            };
+            Ok((write_response_v(stream, *session_version, &reply)?, false))
+        }
+        Request::ListFrames => {
+            let frames = shared.catalog.clone();
+            Ok((
+                write_response_v(stream, *session_version, &Response::FrameList(frames))?,
+                false,
+            ))
+        }
+        Request::RequestFrame { frame, threshold } => {
+            if threshold.is_nan() {
+                let reply = Response::Error {
+                    code: ERR_BAD_THRESHOLD,
+                    message: format!("threshold must not be NaN, got {threshold}"),
+                };
+                return Ok((write_response_v(stream, *session_version, &reply)?, false));
+            }
+            let Some((shard, local)) = shared.map.locate(frame) else {
+                let reply = Response::Error {
+                    code: ERR_NO_SUCH_FRAME,
+                    message: format!(
+                        "frame {frame} requested, {} available",
+                        shared.catalog.len()
+                    ),
+                };
+                return Ok((write_response_v(stream, *session_version, &reply)?, false));
+            };
+            let key = CacheKey::new(frame, threshold);
+            let global = frame as usize;
+            let (result, outcome) = shared.cache.get_or_fetch(key, || {
+                fetch_upstream(shared, shard, local, global, threshold)
+            });
+            match outcome {
+                FetchOutcome::Hit => {
+                    shared.metrics.add(CTR_ROUTER_CACHE_HITS, 1);
+                }
+                FetchOutcome::Coalesced => {
+                    shared.metrics.add(CTR_ROUTER_CACHE_HITS, 1);
+                    shared.metrics.add(CTR_ROUTER_COALESCED, 1);
+                }
+                FetchOutcome::Fetched => {
+                    shared.metrics.add(CTR_ROUTER_CACHE_MISSES, 1);
+                }
+            }
+            let frame = match result {
+                Ok(frame) => frame,
+                Err(why) => {
+                    // Upstream retries exhausted: degrade this frame
+                    // in-band, keep the session. A resilient client turns
+                    // this into a flagged stale frame (PR 5 model).
+                    let reply = Response::Error {
+                        code: ERR_INTERNAL,
+                        message: why,
+                    };
+                    return Ok((write_response_v(stream, *session_version, &reply)?, false));
+                }
+            };
+            // Re-encode at the *client's* negotiated version, straight
+            // from the cached Arc — both codecs are deterministic, so the
+            // bytes match what a direct server of the same data writes.
+            let payload = if *session_version >= V2 {
+                encode_frame_v2(&frame).0
+            } else {
+                encode_frame(&frame)
+            };
+            let bytes = write_envelope_v(stream, *session_version, RESP_FRAME, &payload)?;
+            Ok((bytes, true))
+        }
+        Request::Stats => {
+            let snapshot = aggregate_stats(shared);
+            Ok((
+                write_response_v(stream, *session_version, &Response::Stats(snapshot))?,
+                false,
+            ))
+        }
+    }
+}
+
+/// One upstream frame fetch against the owning shard, through its pool.
+/// The decoded frame is relabeled with its *global* step index: a sliced
+/// shard only knows its local frame numbering, and the run-wide
+/// convention (what a direct server of the unsliced data bakes into the
+/// frame, and what the merged catalog advertises) is `step == global
+/// index`.
+fn fetch_upstream(
+    shared: &RouterShared,
+    shard: usize,
+    local: u32,
+    global: usize,
+    threshold: f64,
+) -> Result<Arc<HybridFrame>, String> {
+    shared.metrics.add(CTR_ROUTER_UPSTREAM_FETCHES, 1);
+    match shared.pools[shard].with(|c| c.fetch(local, threshold)) {
+        Ok(((mut frame, _metrics), retries)) => {
+            shared.metrics.add(CTR_ROUTER_UPSTREAM_RETRIES, retries);
+            frame.step = global;
+            Ok(Arc::new(frame))
+        }
+        Err(e) => {
+            shared.metrics.add(CTR_ROUTER_UPSTREAM_ERRORS, 1);
+            Err(format!(
+                "shard {shard} failed serving its frame {local}: {e}"
+            ))
+        }
+    }
+}
+
+/// Sums every reachable shard's `Stats` snapshot into one wire-shaped
+/// total; a shard that cannot answer contributes zeros (and an
+/// `router.upstream_errors` count) instead of failing the reply.
+fn aggregate_stats(shared: &RouterShared) -> ServerStats {
+    let mut total = ServerStats::default();
+    for pool in &shared.pools {
+        match pool.with(|c| c.stats()) {
+            Ok((s, retries)) => {
+                shared.metrics.add(CTR_ROUTER_UPSTREAM_RETRIES, retries);
+                total.requests += s.requests;
+                total.frames_served += s.frames_served;
+                total.bytes_sent += s.bytes_sent;
+                total.cache_hits += s.cache_hits;
+                total.cache_misses += s.cache_misses;
+                total.frame_bytes_raw += s.frame_bytes_raw;
+                total.frame_bytes_wire += s.frame_bytes_wire;
+                for (t, c) in total.latency.counts.iter_mut().zip(s.latency.counts.iter()) {
+                    *t += c;
+                }
+            }
+            Err(_) => {
+                shared.metrics.add(CTR_ROUTER_UPSTREAM_ERRORS, 1);
+            }
+        }
+    }
+    total
+}
+
+/// A whole sharded deployment in one handle: N loopback shard servers,
+/// each owning its rendezvous slice of the catalog, fronted by a
+/// [`FrameRouter`] — the test, example, and single-host topology. For a
+/// distributed deployment, spawn [`FrameServer`]s where the data lives
+/// and wire a [`FrameRouter::spawn`] to their addresses instead.
+///
+/// ```
+/// use accelviz_beam::distribution::Distribution;
+/// use accelviz_octree::builder::{partition, BuildParams};
+/// use accelviz_octree::plots::PlotType;
+/// use accelviz_serve::{Client, RouterConfig, ServerConfig, ShardedFrameService};
+///
+/// let data: Vec<_> = (0..3u64)
+///     .map(|i| {
+///         let ps = Distribution::default_beam().sample(300, i + 1);
+///         partition(&ps, PlotType::XYZ, BuildParams::default())
+///     })
+///     .collect();
+/// let service = ShardedFrameService::spawn_loopback(
+///     data,
+///     2,
+///     ServerConfig::default(),
+///     RouterConfig::default(),
+/// )
+/// .unwrap();
+/// assert_eq!(service.shard_count(), 2);
+///
+/// let mut client = Client::connect(service.addr()).unwrap();
+/// let catalog = client.list_frames().unwrap();
+/// assert_eq!(catalog.len(), 3);
+/// let (frame, _) = client.fetch(2, f64::INFINITY).unwrap();
+/// assert_eq!(frame.step, 2);
+///
+/// drop(client);
+/// service.shutdown();
+/// ```
+pub struct ShardedFrameService {
+    shards: Vec<FrameServer>,
+    router: FrameRouter,
+}
+
+impl ShardedFrameService {
+    /// Spawns `shards` loopback shard servers over `data` sliced by
+    /// rendezvous ownership ([`ShardMap::sliced`]) plus the fronting
+    /// router. Rejects an empty shard set with `InvalidInput`.
+    pub fn spawn_loopback(
+        data: Vec<PartitionedData>,
+        shards: usize,
+        shard_config: ServerConfig,
+        router_config: RouterConfig,
+    ) -> io::Result<ShardedFrameService> {
+        if shards == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a sharded service needs at least one shard",
+            ));
+        }
+        let spec = ShardSpec::new(shards);
+        let map = ShardMap::sliced(&spec, data.len());
+        let mut slices: Vec<Vec<PartitionedData>> = (0..shards).map(|_| Vec::new()).collect();
+        for (g, d) in data.into_iter().enumerate() {
+            slices[spec.owner_of(g as u32)].push(d);
+        }
+        let servers = slices
+            .into_iter()
+            .map(|slice| FrameServer::spawn_loopback(slice, shard_config))
+            .collect::<io::Result<Vec<_>>>()?;
+        Self::front(servers, map, router_config)
+    }
+
+    /// Spawns `shards` loopback shard servers that all read the same
+    /// out-of-core `run` (ownership is logical, [`ShardMap::shared`]),
+    /// plus the fronting router. Rejects an empty shard set.
+    pub fn spawn_stored_loopback(
+        run: Arc<ResidentRun>,
+        shards: usize,
+        shard_config: ServerConfig,
+        router_config: RouterConfig,
+    ) -> io::Result<ShardedFrameService> {
+        if shards == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a sharded service needs at least one shard",
+            ));
+        }
+        let spec = ShardSpec::new(shards);
+        let map = ShardMap::shared(&spec, run.frame_count());
+        let servers = (0..shards)
+            .map(|_| FrameServer::spawn_stored_loopback(Arc::clone(&run), shard_config))
+            .collect::<io::Result<Vec<_>>>()?;
+        Self::front(servers, map, router_config)
+    }
+
+    fn front(
+        servers: Vec<FrameServer>,
+        map: ShardMap,
+        router_config: RouterConfig,
+    ) -> io::Result<ShardedFrameService> {
+        let addrs = servers.iter().map(|s| s.addr()).collect();
+        let router = FrameRouter::spawn("127.0.0.1:0", addrs, map, router_config)?;
+        Ok(ShardedFrameService {
+            shards: servers,
+            router,
+        })
+    }
+
+    /// The router address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.router.addr()
+    }
+
+    /// Shard servers behind the router.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `i`'s server handle (its private address, metrics, stats).
+    pub fn shard(&self, i: usize) -> &FrameServer {
+        &self.shards[i]
+    }
+
+    /// The fronting router (its `router.*` metrics, the failover hook).
+    pub fn router(&self) -> &FrameRouter {
+        &self.router
+    }
+
+    /// Sum of every shard's local stats — the same totals a client reads
+    /// with a `Stats` request through the router.
+    pub fn stats(&self) -> ServerStats {
+        let mut total = ServerStats::default();
+        for shard in &self.shards {
+            let s = shard.stats();
+            total.requests += s.requests;
+            total.frames_served += s.frames_served;
+            total.bytes_sent += s.bytes_sent;
+            total.cache_hits += s.cache_hits;
+            total.cache_misses += s.cache_misses;
+            total.frame_bytes_raw += s.frame_bytes_raw;
+            total.frame_bytes_wire += s.frame_bytes_wire;
+            for (t, c) in total.latency.counts.iter_mut().zip(s.latency.counts.iter()) {
+                *t += c;
+            }
+        }
+        total
+    }
+
+    /// Stops the router first (so no request races a dying shard), then
+    /// every shard.
+    pub fn shutdown(self) {
+        let ShardedFrameService { shards, router } = self;
+        router.shutdown();
+        for shard in shards {
+            shard.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelviz_beam::distribution::Distribution;
+    use accelviz_octree::builder::{partition, BuildParams};
+    use accelviz_octree::plots::PlotType;
+
+    fn tiny_frame(step: usize) -> Arc<HybridFrame> {
+        let ps = Distribution::default_beam().sample(100, step as u64 + 1);
+        let data = partition(&ps, PlotType::XYZ, BuildParams::default());
+        Arc::new(HybridFrame::from_partition(
+            &data,
+            step,
+            f64::INFINITY,
+            [2, 2, 2],
+        ))
+    }
+
+    #[test]
+    fn sliced_map_ranks_local_indices_per_shard() {
+        let spec = ShardSpec::new(3);
+        let map = ShardMap::sliced(&spec, 50);
+        let mut seen = [0u32; 3];
+        for g in 0..50u32 {
+            let (shard, local) = map.locate(g).unwrap();
+            assert_eq!(shard, spec.owner_of(g));
+            assert_eq!(local, seen[shard], "locals are dense and ascending");
+            seen[shard] += 1;
+        }
+        let total: u32 = seen.iter().sum();
+        assert_eq!(total, 50);
+        for (s, &count) in seen.iter().enumerate() {
+            assert_eq!(map.frames_owned_by(s).len(), count as usize);
+        }
+    }
+
+    #[test]
+    fn shared_map_uses_global_indices_locally() {
+        let map = ShardMap::shared(&ShardSpec::new(2), 10);
+        for g in 0..10u32 {
+            let (_, local) = map.locate(g).unwrap();
+            assert_eq!(local, g);
+        }
+        assert!(map.locate(10).is_none());
+    }
+
+    #[test]
+    fn fetch_cache_coalesces_and_shares_failures_without_caching_them() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Barrier;
+
+        let cache = Arc::new(FetchCache::new(4));
+        let key = CacheKey::new(0, 1.0);
+        let calls = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new(Barrier::new(2));
+
+        // First wave: the fetch fails; a waiter that arrives mid-fetch
+        // shares the failure.
+        let waiter = {
+            let (cache, gate) = (Arc::clone(&cache), Arc::clone(&gate));
+            std::thread::spawn(move || {
+                gate.wait(); // fetcher is inside its fetch
+                cache
+                    .get_or_fetch(key, || panic!("waiter must coalesce, not fetch"))
+                    .0
+            })
+        };
+        let (first, _) = cache.get_or_fetch(key, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            gate.wait();
+            // Give the waiter time to register on the pending slot.
+            std::thread::sleep(Duration::from_millis(50));
+            Err("shard down".to_string())
+        });
+        assert_eq!(first.unwrap_err(), "shard down");
+        assert_eq!(waiter.join().unwrap().unwrap_err(), "shard down");
+
+        // The failure was not cached: the next call fetches again and a
+        // success is then served from cache.
+        let frame = tiny_frame(0);
+        let served = Arc::clone(&frame);
+        let fetch_calls = Arc::clone(&calls);
+        let (second, _) = cache.get_or_fetch(key, move || {
+            fetch_calls.fetch_add(1, Ordering::SeqCst);
+            Ok(served)
+        });
+        assert!(Arc::ptr_eq(&second.unwrap(), &frame));
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        let (third, _) = cache.get_or_fetch(key, || panic!("cached now"));
+        assert!(Arc::ptr_eq(&third.unwrap(), &frame));
+    }
+
+    #[test]
+    fn fetch_cache_evicts_lru_at_capacity() {
+        let cache = FetchCache::new(2);
+        let keys: Vec<CacheKey> = (0..3).map(|f| CacheKey::new(f, 1.0)).collect();
+        for (i, &k) in keys[..2].iter().enumerate() {
+            let (r, _) = cache.get_or_fetch(k, || Ok(tiny_frame(i)));
+            r.unwrap();
+        }
+        // Touch key 0 so key 1 is the LRU victim.
+        cache
+            .get_or_fetch(keys[0], || panic!("resident"))
+            .0
+            .unwrap();
+        cache.get_or_fetch(keys[2], || Ok(tiny_frame(2))).0.unwrap();
+        cache
+            .get_or_fetch(keys[0], || panic!("survived"))
+            .0
+            .unwrap();
+        let mut refetched = false;
+        cache
+            .get_or_fetch(keys[1], || {
+                refetched = true;
+                Ok(tiny_frame(1))
+            })
+            .0
+            .unwrap();
+        assert!(refetched, "key 1 was the LRU victim");
+    }
+}

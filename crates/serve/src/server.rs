@@ -39,6 +39,11 @@
 //! wakes the acceptor deterministically through a self-pipe and drains
 //! in-flight replies before returning, bounded by
 //! [`ServerConfig::drain_timeout`].
+//!
+//! Scale-out: N of these servers can sit behind one
+//! [`crate::router::FrameRouter`], each owning a rendezvous-hashed slice
+//! of the catalog — clients speak the identical protocol to the router
+//! and cannot tell the difference (`crate::router`).
 
 use crate::cache::{CacheKey, ExtractionCache, Probe};
 use crate::error::ServeError;
@@ -219,8 +224,10 @@ pub(crate) struct Shared {
 /// The in-band message a shed connection gets with its `ERR_BUSY`.
 pub(crate) const SHED_CONNECTION_MSG: &str = "server at connection capacity; retry after ~100 ms";
 
-/// Decrements a shared gauge on drop, panic or not.
-struct CountGuard<'a>(&'a AtomicUsize);
+/// Decrements a shared gauge on drop, panic or not. Shared with the
+/// router (`crate::router`), whose connection and in-flight gauges
+/// follow the same discipline.
+pub(crate) struct CountGuard<'a>(pub(crate) &'a AtomicUsize);
 
 impl Drop for CountGuard<'_> {
     fn drop(&mut self) {

@@ -140,6 +140,81 @@ fn chaos_session_delivers_frames_bit_identical_to_fault_free_run() {
     server.shutdown();
 }
 
+/// The chaos matrix extended to the scale-out layer: the same seeded
+/// fault plan injected between the client and a 2-shard
+/// [`ShardedFrameService`] router must still deliver every frame
+/// bit-identical to the fault-free run — the router's proxy hop adds no
+/// new way to corrupt or lose a frame — with zero handler panics on the
+/// router and on both shards.
+///
+/// [`ShardedFrameService`]: accelviz::serve::ShardedFrameService
+#[test]
+fn sharded_chaos_session_delivers_bit_identical_frames() {
+    use accelviz::serve::router::CTR_ROUTER_HANDLER_PANICS;
+    use accelviz::serve::{RouterConfig, ShardedFrameService};
+
+    let seed = chaos_seed();
+    let service = ShardedFrameService::spawn_loopback(
+        stores(FRAMES),
+        2,
+        ServerConfig::default(),
+        RouterConfig::default(),
+    )
+    .unwrap();
+
+    // Fault-free reference through the router, measuring the reply
+    // volume that calibrates the chaos plan.
+    let mut reference = Vec::new();
+    let mut reply_bytes = 0u64;
+    let mut clean = Client::connect_with(service.addr(), ClientConfig::no_retry()).unwrap();
+    for frame in 0..FRAMES as u32 {
+        let (f, m) = clean.fetch(frame, f64::INFINITY).unwrap();
+        reply_bytes += m.wire_bytes;
+        reference.push(f);
+    }
+    drop(clean);
+
+    // Chaos on the client↔router leg; the router↔shard legs stay clean
+    // (shard death is covered by `serve_shard.rs`).
+    let plan = FaultPlan::chaos(seed, 8, reply_bytes);
+    let script = plan.script();
+    let config = fast_retry(seed);
+    let connector = FaultyConnector::new(
+        TcpConnector::new(service.addr(), &config).unwrap(),
+        Arc::clone(&script),
+    );
+    let client = Client::connect_via(Box::new(connector), config).unwrap();
+    let mut remote = RemoteFrames::new(client, f64::INFINITY, FRAMES);
+
+    use accelviz::core::viewer::FrameSource;
+    for (i, want) in reference.iter().enumerate() {
+        let (got, load) = remote.load(i).unwrap();
+        assert!(!load.degraded, "frame {i} must be genuine, not a fallback");
+        assert_eq!(&*got, want, "frame {i} differs from the fault-free run");
+    }
+    assert_eq!(remote.degraded_loads, 0);
+
+    let fired = script.stats();
+    assert!(fired.disconnects >= 1, "no disconnect fired: {fired:?}");
+    let cs = remote.client().client_stats();
+    assert!(
+        cs.reconnects >= 1,
+        "chaos must have forced reconnects: {cs:?}"
+    );
+
+    assert_eq!(
+        service
+            .router()
+            .metrics()
+            .counter(CTR_ROUTER_HANDLER_PANICS),
+        0
+    );
+    for s in 0..service.shard_count() {
+        assert_eq!(service.shard(s).metrics().counter(CTR_HANDLER_PANICS), 0);
+    }
+    service.shutdown();
+}
+
 /// With retries disabled the client behaves like the pre-resilience
 /// code: the first transport fault surfaces as an error, nothing is
 /// retried behind the caller's back.

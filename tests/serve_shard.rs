@@ -1,0 +1,424 @@
+//! Acceptance for the shard/router layer: a sharded service is
+//! indistinguishable from one big server (bit-identical frames and
+//! catalog, both wire versions), a thundering herd collapses to one
+//! upstream extraction per shard, a dead shard degrades per the PR 5
+//! model and recovers on restart, and `Stats` through the router is the
+//! sum of the shards.
+
+use accelviz::beam::distribution::Distribution;
+use accelviz::core::shard::ShardSpec;
+use accelviz::core::viewer::FrameSource;
+use accelviz::octree::builder::{partition, BuildParams};
+use accelviz::octree::plots::PlotType;
+use accelviz::octree::sorted_store::PartitionedData;
+use accelviz::serve::protocol::{ERR_BAD_THRESHOLD, ERR_NO_SUCH_FRAME};
+use accelviz::serve::router::{
+    CTR_ROUTER_CACHE_HITS, CTR_ROUTER_CACHE_MISSES, CTR_ROUTER_COALESCED,
+    CTR_ROUTER_UPSTREAM_ERRORS, CTR_ROUTER_UPSTREAM_FETCHES,
+};
+use accelviz::serve::stats::{CTR_CACHE_MISSES, CTR_FRAMES_SERVED};
+use accelviz::serve::wire::{V1, V2};
+use accelviz::serve::{
+    Client, ClientConfig, FrameRouter, FrameServer, RemoteFrames, RetryPolicy, RouterConfig,
+    ServeError, ServerConfig, ShardMap, ShardedFrameService,
+};
+use std::io;
+use std::sync::{Arc, Barrier};
+
+/// The fig-1 frame set this suite serves (same convention as the other
+/// serve suites: frame `i` is an 800-particle beam seeded `i + 1`).
+const FRAMES: usize = 5;
+
+fn stores(n: usize) -> Vec<PartitionedData> {
+    (0..n)
+        .map(|i| {
+            let ps = Distribution::default_beam().sample(800, i as u64 + 1);
+            partition(&ps, PlotType::XYZ, BuildParams::default())
+        })
+        .collect()
+}
+
+/// Fast upstream retries and a single-entry router cache, so the kill
+/// test exercises the upstream hop instead of the router's own cache.
+fn fast_upstream(seed: u64) -> RouterConfig {
+    RouterConfig {
+        cache_capacity: 1,
+        upstream: ClientConfig {
+            retry: Some(RetryPolicy::fast(seed)),
+            ..ClientConfig::default()
+        },
+        ..RouterConfig::default()
+    }
+}
+
+fn pinned(version: u16) -> ClientConfig {
+    ClientConfig {
+        max_version: version,
+        ..ClientConfig::no_retry()
+    }
+}
+
+#[test]
+fn empty_shard_set_is_rejected_at_construction() {
+    let err = ShardedFrameService::spawn_loopback(
+        stores(2),
+        0,
+        ServerConfig::default(),
+        RouterConfig::default(),
+    )
+    .map(|_| ())
+    .unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+    let err = FrameRouter::spawn(
+        "127.0.0.1:0",
+        Vec::new(),
+        ShardMap::shared(&ShardSpec::new(1), 3),
+        RouterConfig::default(),
+    )
+    .map(|_| ())
+    .unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+    // A shard list that disagrees with the map is just as malformed.
+    let lone = FrameServer::spawn_loopback(stores(1), ServerConfig::default()).unwrap();
+    let err = FrameRouter::spawn(
+        "127.0.0.1:0",
+        vec![lone.addr()],
+        ShardMap::shared(&ShardSpec::new(2), 3),
+        RouterConfig::default(),
+    )
+    .map(|_| ())
+    .unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    lone.shutdown();
+}
+
+/// A one-shard service is the degenerate deployment: every request
+/// proxies to the single shard, and the bytes a client receives — frame
+/// payloads included — are identical to talking to that server directly,
+/// under both wire versions.
+#[test]
+fn one_shard_service_is_bit_identical_to_a_direct_server() {
+    let data = stores(FRAMES);
+    let direct = FrameServer::spawn_loopback(data.clone(), ServerConfig::default()).unwrap();
+    let service = ShardedFrameService::spawn_loopback(
+        data,
+        1,
+        ServerConfig::default(),
+        RouterConfig::default(),
+    )
+    .unwrap();
+
+    for version in [V1, V2] {
+        let mut a = Client::connect_with(direct.addr(), pinned(version)).unwrap();
+        let mut b = Client::connect_with(service.addr(), pinned(version)).unwrap();
+        assert_eq!(a.negotiated_version(), version);
+        assert_eq!(b.negotiated_version(), version);
+        assert_eq!(a.list_frames().unwrap(), b.list_frames().unwrap());
+        for frame in 0..FRAMES as u32 {
+            let (fa, ma) = a.fetch(frame, f64::INFINITY).unwrap();
+            let (fb, mb) = b.fetch(frame, f64::INFINITY).unwrap();
+            assert_eq!(fa, fb, "frame {frame} differs at version {version}");
+            assert_eq!(
+                ma.wire_bytes, mb.wire_bytes,
+                "frame {frame} wire bytes differ at version {version}"
+            );
+        }
+    }
+    direct.shutdown();
+    service.shutdown();
+}
+
+/// The headline acceptance: a 2-shard loopback service serves every
+/// fig-1 frame bit-identical to a single-server run, at both wire
+/// versions, and its merged catalog equals the direct catalog.
+#[test]
+fn two_shard_service_serves_every_frame_bit_identical_to_one_server() {
+    let data = stores(FRAMES);
+    let direct = FrameServer::spawn_loopback(data.clone(), ServerConfig::default()).unwrap();
+    let service = ShardedFrameService::spawn_loopback(
+        data,
+        2,
+        ServerConfig::default(),
+        RouterConfig::default(),
+    )
+    .unwrap();
+    // The rendezvous layout actually split the catalog.
+    let spec = ShardSpec::new(2);
+    let owners: Vec<usize> = spec.assignments(FRAMES);
+    assert!(
+        owners.contains(&0) && owners.contains(&1),
+        "5 frames over 2 shards must populate both: {owners:?}"
+    );
+
+    for version in [V1, V2] {
+        let mut a = Client::connect_with(direct.addr(), pinned(version)).unwrap();
+        let mut b = Client::connect_with(service.addr(), pinned(version)).unwrap();
+        assert_eq!(a.list_frames().unwrap(), b.list_frames().unwrap());
+        for frame in 0..FRAMES as u32 {
+            let (fa, ma) = a.fetch(frame, f64::INFINITY).unwrap();
+            let (fb, mb) = b.fetch(frame, f64::INFINITY).unwrap();
+            assert_eq!(fa, fb, "frame {frame} differs at version {version}");
+            assert_eq!(ma.wire_bytes, mb.wire_bytes);
+        }
+    }
+    direct.shutdown();
+    service.shutdown();
+}
+
+/// A 32-client thundering herd — 16 on a shard-0 frame, 16 on a shard-1
+/// frame — costs each shard exactly one extraction: the router coalesces
+/// identical in-flight requests and caches the result, counter-asserted
+/// on both sides of the hop.
+#[test]
+fn thundering_herd_collapses_to_one_upstream_extraction_per_shard() {
+    let service = ShardedFrameService::spawn_loopback(
+        stores(FRAMES),
+        2,
+        ServerConfig::default(),
+        RouterConfig::default(),
+    )
+    .unwrap();
+    let spec = ShardSpec::new(2);
+    let of_shard = |s: usize| {
+        (0..FRAMES as u32)
+            .find(|&f| spec.owner_of(f) == s)
+            .expect("both shards own frames")
+    };
+    let targets = [of_shard(0), of_shard(1)];
+
+    const HERD: usize = 32;
+    let gun = Arc::new(Barrier::new(HERD));
+    let addr = service.addr();
+    let herd: Vec<_> = (0..HERD)
+        .map(|i| {
+            let gun = Arc::clone(&gun);
+            let frame = targets[i % 2];
+            std::thread::spawn(move || {
+                let config = ClientConfig {
+                    retry: Some(RetryPolicy::fast(7_000 + i as u64)),
+                    ..ClientConfig::default()
+                };
+                let mut client = Client::connect_with(addr, config).expect("herd connect");
+                gun.wait();
+                let (f, _) = client.fetch(frame, f64::INFINITY).expect("herd fetch");
+                assert_eq!(f.step, frame as usize);
+            })
+        })
+        .collect();
+    for h in herd {
+        h.join().expect("herd client must not panic");
+    }
+
+    // Each shard ran exactly one extraction and served exactly one frame.
+    for s in 0..2 {
+        let m = service.shard(s).metrics();
+        assert_eq!(
+            m.counter(CTR_FRAMES_SERVED),
+            1,
+            "shard {s} answered more than one upstream fetch"
+        );
+        assert_eq!(m.counter(CTR_CACHE_MISSES), 1);
+    }
+    // And the router's ledger shows the collapse: 2 upstream fetches, 30
+    // requests absorbed by coalescing or the cache.
+    let rm = service.router().metrics();
+    assert_eq!(rm.counter(CTR_ROUTER_UPSTREAM_FETCHES), 2);
+    assert_eq!(rm.counter(CTR_ROUTER_CACHE_MISSES), 2);
+    assert_eq!(rm.counter(CTR_ROUTER_CACHE_HITS), (HERD - 2) as u64);
+    assert!(rm.counter(CTR_ROUTER_COALESCED) <= (HERD - 2) as u64);
+    service.shutdown();
+}
+
+/// Killing one shard mid-session degrades only that shard's frames — the
+/// viewer-facing client falls back to its flagged stale frame, the other
+/// shard keeps serving genuine frames — and repointing the router at a
+/// restarted shard heals the same requests.
+#[test]
+fn shard_kill_mid_session_degrades_and_recovers_on_restart() {
+    let data = stores(FRAMES);
+    let spec = ShardSpec::new(2);
+    let map = ShardMap::sliced(&spec, FRAMES);
+    let mut slices: Vec<Vec<PartitionedData>> = vec![Vec::new(), Vec::new()];
+    for (g, d) in data.iter().enumerate() {
+        slices[spec.owner_of(g as u32)].push(d.clone());
+    }
+    let shard0 = FrameServer::spawn_loopback(slices[0].clone(), ServerConfig::default()).unwrap();
+    let shard1 = FrameServer::spawn_loopback(slices[1].clone(), ServerConfig::default()).unwrap();
+    let router = FrameRouter::spawn(
+        "127.0.0.1:0",
+        vec![shard0.addr(), shard1.addr()],
+        map,
+        fast_upstream(11),
+    )
+    .unwrap();
+
+    // Reference frames from a direct server of the unsliced data.
+    let direct = FrameServer::spawn_loopback(data, ServerConfig::default()).unwrap();
+    let mut reference = Vec::new();
+    let mut clean = Client::connect_with(direct.addr(), ClientConfig::no_retry()).unwrap();
+    for f in 0..FRAMES as u32 {
+        reference.push(clean.fetch(f, f64::INFINITY).unwrap().0);
+    }
+    drop(clean);
+    direct.shutdown();
+
+    let survivor = (0..FRAMES as u32).find(|&f| spec.owner_of(f) == 0).unwrap();
+    let victim = (0..FRAMES as u32).find(|&f| spec.owner_of(f) == 1).unwrap();
+
+    let client = Client::connect_with(router.addr(), ClientConfig::no_retry()).unwrap();
+    let mut remote = RemoteFrames::new(client, f64::INFINITY, 2);
+
+    // Healthy session: both shards' frames arrive genuine.
+    let (got, load) = remote.load(survivor as usize).unwrap();
+    assert!(!load.degraded);
+    assert_eq!(&*got, &reference[survivor as usize]);
+    let (got, load) = remote.load(victim as usize).unwrap();
+    assert!(!load.degraded);
+    assert_eq!(&*got, &reference[victim as usize]);
+
+    // Kill shard 1 mid-session. Its frames degrade to the client's stale
+    // resident frame — flagged, not errored — while shard 0's keep
+    // flowing genuine. (The client holds 2 resident frames, so the
+    // killed shard's frame is evicted before being re-requested below.)
+    shard1.shutdown();
+    let (_, load) = remote.load(survivor as usize).unwrap();
+    assert!(!load.degraded, "the surviving shard must be unaffected");
+    // Force the victim frame out of the client's resident set.
+    let other_survivor = (0..FRAMES as u32)
+        .filter(|&f| spec.owner_of(f) == 0)
+        .nth(1)
+        .unwrap_or(survivor);
+    remote.load(other_survivor as usize).unwrap();
+    let (stale, load) = remote.load(victim as usize).unwrap();
+    assert!(
+        load.degraded,
+        "a dead shard must degrade its frames, not fail the session"
+    );
+    assert_ne!(
+        &*stale, &reference[victim as usize],
+        "the degraded answer is a stale substitute, not the real frame"
+    );
+    assert!(remote.degraded_loads >= 1);
+    assert!(
+        router.metrics().counter(CTR_ROUTER_UPSTREAM_ERRORS) >= 1,
+        "the router must record the exhausted upstream retries"
+    );
+
+    // Restart the shard (new port — the OS may not rebind the old one
+    // promptly) and repoint the router. The same request heals.
+    let shard1b = FrameServer::spawn_loopback(slices[1].clone(), ServerConfig::default()).unwrap();
+    router.set_shard_addr(1, shard1b.addr()).unwrap();
+    let (healed, load) = remote.load(victim as usize).unwrap();
+    assert!(!load.degraded, "a restarted shard must heal the session");
+    assert_eq!(&*healed, &reference[victim as usize]);
+
+    assert!(router.set_shard_addr(9, shard1b.addr()).is_err());
+    router.shutdown();
+    shard0.shutdown();
+    shard1b.shutdown();
+}
+
+/// `Stats` through the router is the sum of the shards' counters; the
+/// local [`ShardedFrameService::stats`] sum agrees with the wire reply.
+#[test]
+fn stats_through_the_router_aggregate_the_shards() {
+    let service = ShardedFrameService::spawn_loopback(
+        stores(FRAMES),
+        2,
+        ServerConfig::default(),
+        RouterConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect_with(service.addr(), ClientConfig::no_retry()).unwrap();
+    for f in 0..FRAMES as u32 {
+        client.fetch(f, f64::INFINITY).unwrap();
+    }
+    // Revisit one frame: served from the router cache, invisible to the
+    // shards.
+    client.fetch(0, f64::INFINITY).unwrap();
+
+    let wire = client.stats().unwrap();
+    assert_eq!(wire.frames_served, FRAMES as u64);
+    assert_eq!(wire.cache_misses, FRAMES as u64);
+    assert!(wire.bytes_sent > 0);
+    assert!(wire.latency.total() > 0);
+    assert!(
+        wire.frame_bytes_wire < wire.frame_bytes_raw,
+        "v2 shard hops must compress"
+    );
+
+    let local = service.stats();
+    assert_eq!(local.frames_served, wire.frames_served);
+    assert_eq!(local.cache_misses, wire.cache_misses);
+    assert_eq!(local.frame_bytes_raw, wire.frame_bytes_raw);
+    service.shutdown();
+}
+
+/// The router answers catalog misses and NaN thresholds in-band, exactly
+/// like a direct server — the session survives the rejection.
+#[test]
+fn router_rejects_bad_requests_in_band() {
+    let service = ShardedFrameService::spawn_loopback(
+        stores(2),
+        2,
+        ServerConfig::default(),
+        RouterConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect_with(service.addr(), ClientConfig::no_retry()).unwrap();
+
+    match client.fetch(99, f64::INFINITY) {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, ERR_NO_SUCH_FRAME),
+        other => panic!("expected ERR_NO_SUCH_FRAME, got {other:?}"),
+    }
+    match client.fetch(0, f64::NAN) {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, ERR_BAD_THRESHOLD),
+        other => panic!("expected ERR_BAD_THRESHOLD, got {other:?}"),
+    }
+    // The connection survived both rejections.
+    let (frame, _) = client.fetch(0, f64::INFINITY).unwrap();
+    assert_eq!(frame.step, 0);
+    service.shutdown();
+}
+
+/// The stored backend shards too: N servers sharing one out-of-core run
+/// file behind a router serve bit-identical frames to a direct stored
+/// server.
+#[test]
+fn stored_sharded_service_matches_a_direct_stored_server() {
+    use accelviz::store::run::write_run_file;
+    use accelviz::store::ResidentRun;
+
+    let data = stores(4);
+    let path = std::env::temp_dir().join(format!("accelviz-shard-run-{}", std::process::id()));
+    write_run_file(&path, &data, 4_096).unwrap();
+    let run = Arc::new(ResidentRun::open(&path, u64::MAX).unwrap());
+
+    let direct =
+        FrameServer::spawn_stored_loopback(Arc::clone(&run), ServerConfig::default()).unwrap();
+    let service = ShardedFrameService::spawn_stored_loopback(
+        Arc::clone(&run),
+        2,
+        ServerConfig::default(),
+        RouterConfig::default(),
+    )
+    .unwrap();
+
+    let mut a = Client::connect_with(direct.addr(), ClientConfig::no_retry()).unwrap();
+    let mut b = Client::connect_with(service.addr(), ClientConfig::no_retry()).unwrap();
+    assert_eq!(a.list_frames().unwrap(), b.list_frames().unwrap());
+    for frame in 0..4u32 {
+        let (fa, ma) = a.fetch(frame, f64::INFINITY).unwrap();
+        let (fb, mb) = b.fetch(frame, f64::INFINITY).unwrap();
+        assert_eq!(fa, fb, "stored frame {frame} differs through the router");
+        assert_eq!(ma.wire_bytes, mb.wire_bytes);
+    }
+    drop(a);
+    drop(b);
+    direct.shutdown();
+    service.shutdown();
+    drop(run);
+    let _ = std::fs::remove_file(&path);
+}
