@@ -59,6 +59,12 @@ pub struct OpCost {
     /// The session stays on its previous frame index and keeps
     /// rendering; the UI should badge the display as stale.
     pub degraded: bool,
+    /// Whether the source served a *partially refined* rendition of the
+    /// requested frame (a progressive stream that could not finish).
+    /// Always paired with `degraded`, but unlike a stale frame the
+    /// session *does* advance — the data really is the requested frame,
+    /// at reduced fidelity.
+    pub partial: bool,
 }
 
 /// An interactive viewing session over a hybrid frame series. The frames
@@ -137,12 +143,19 @@ impl ViewerSession {
                 match self.source.load(frame) {
                     // A degraded load hands back a stale resident frame:
                     // keep rendering it, but do not pretend we moved —
-                    // `current` stays where the data actually is.
+                    // `current` stays where the data actually is. The
+                    // exception is a *partial* degraded load: that is the
+                    // requested frame at reduced refinement, so the
+                    // session really did move.
                     Ok((f, load)) if load.degraded => {
                         self.current_frame = f;
+                        if load.partial {
+                            self.current = frame;
+                        }
                         OpCost {
                             io_seconds: load.seconds,
                             degraded: true,
+                            partial: load.partial,
                             ..Default::default()
                         }
                     }

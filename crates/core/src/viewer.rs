@@ -35,6 +35,12 @@ pub struct FrameLoad {
     /// exhausted). Local sources never set this; the viewer should badge
     /// the display rather than freeze it.
     pub degraded: bool,
+    /// Whether the frame is a *partially refined* rendition of the
+    /// requested frame: a progressive stream that could not finish left
+    /// a renderable coarse frame behind (always paired with
+    /// `degraded`). Unlike a stale degraded load this IS the requested
+    /// frame — just at reduced fidelity — so the viewer advances to it.
+    pub partial: bool,
 }
 
 /// Where a viewing session gets its frames. The paper's desktop viewer
@@ -250,6 +256,7 @@ impl FrameCache {
             seconds,
             texture_resident,
             degraded: false,
+            partial: false,
         }
     }
 }

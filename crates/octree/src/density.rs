@@ -183,6 +183,32 @@ impl DensityGrid {
     pub fn texture_bytes(&self) -> u64 {
         (self.dims[0] * self.dims[1] * self.dims[2]) as u64
     }
+
+    /// Sum-pools the grid by `factor` along each axis: the low-depth
+    /// volume a progressive stream sends first. Each coarse cell holds
+    /// the exact particle count of the `factor`³ fine cells it covers
+    /// (edge cells cover the remainder), so `total()` is preserved and
+    /// the result is still a count grid — `f32` sums of integer counts
+    /// are exact far beyond any realistic occupancy, and the serial
+    /// x-fastest accumulation order makes the output deterministic.
+    pub fn downsample(&self, factor: usize) -> DensityGrid {
+        assert!(factor > 0, "downsample factor must be positive");
+        let nd = [
+            self.dims[0].div_ceil(factor),
+            self.dims[1].div_ceil(factor),
+            self.dims[2].div_ceil(factor),
+        ];
+        let mut data = vec![0.0f32; nd[0] * nd[1] * nd[2]];
+        for z in 0..self.dims[2] {
+            for y in 0..self.dims[1] {
+                for x in 0..self.dims[0] {
+                    let coarse = (x / factor) + nd[0] * ((y / factor) + nd[1] * (z / factor));
+                    data[coarse] += self.data[x + self.dims[0] * (y + self.dims[1] * z)];
+                }
+            }
+        }
+        DensityGrid::from_raw(self.bounds, nd, data)
+    }
 }
 
 /// Flat cell index of a point, or `None` when outside the bounds.
@@ -268,5 +294,41 @@ mod tests {
     #[should_panic]
     fn zero_dims_panic() {
         let _ = DensityGrid::zeros(unit_bounds(), [0, 4, 4]);
+    }
+
+    #[test]
+    fn downsample_preserves_mass_and_covers_remainders() {
+        let ps = Distribution::default_beam().sample(10_000, 7);
+        let bounds = Aabb::from_points(ps.iter().map(|p| PlotType::XYZ.project(p)));
+        // 17 is deliberately not divisible by 4: edge cells must absorb
+        // the remainder instead of dropping it.
+        let grid = DensityGrid::from_particles(&ps, PlotType::XYZ, bounds, [17, 16, 8]);
+        let coarse = grid.downsample(4);
+        assert_eq!(coarse.dims(), [5, 4, 2]);
+        assert_eq!(coarse.bounds(), grid.bounds());
+        assert_eq!(coarse.total(), grid.total(), "sum pooling preserves counts");
+        assert!(coarse.max_value() >= grid.max_value());
+        assert_eq!(coarse.texture_bytes(), 5 * 4 * 2);
+    }
+
+    #[test]
+    fn downsample_by_one_is_identity() {
+        let ps = Distribution::default_beam().sample(1_000, 9);
+        let bounds = Aabb::from_points(ps.iter().map(|p| PlotType::XYZ.project(p)));
+        let grid = DensityGrid::from_particles(&ps, PlotType::XYZ, bounds, [8, 8, 8]);
+        assert_eq!(grid.downsample(1), grid);
+    }
+
+    #[test]
+    fn downsample_known_cells() {
+        // 4×2×1 grid, factor 2 → 2×1×1; coarse cells sum their quadrants.
+        let data = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let grid = DensityGrid::from_raw(unit_bounds(), [4, 2, 1], data);
+        let coarse = grid.downsample(2);
+        assert_eq!(coarse.dims(), [2, 1, 1]);
+        assert_eq!(
+            coarse.data(),
+            &[1.0 + 2.0 + 5.0 + 6.0, 3.0 + 4.0 + 7.0 + 8.0]
+        );
     }
 }

@@ -107,6 +107,56 @@ pub fn threshold_for_budget(data: &PartitionedData, max_particles: usize) -> f64
     f64::INFINITY
 }
 
+/// Plans a coarse-to-fine refinement schedule over a density-sorted
+/// point prefix.
+///
+/// `run_lengths` are the sizes of consecutive equal-density groups (the
+/// octree leaf groups, in the sorted store's ascending-density order) and
+/// `chunk_points` is the per-cut point budget. Returns ascending,
+/// group-aligned cumulative point counts: a progressive stream sends
+/// points `[0, cuts[0])` first, then the deltas `[cuts[i-1], cuts[i])`.
+/// Cuts never split a group — a partial frame therefore always holds
+/// *complete* leaf groups, so its point set is exactly what a lower
+/// extraction threshold would have produced (the prefix property of the
+/// sorted store). The last cut is always the full prefix length, and at
+/// least one cut is returned even for an empty prefix.
+pub fn align_cuts(run_lengths: &[usize], chunk_points: usize) -> Vec<usize> {
+    let chunk = chunk_points.max(1);
+    let mut cuts = Vec::new();
+    let mut total = 0usize;
+    let mut since_cut = 0usize;
+    for &len in run_lengths {
+        total += len;
+        since_cut += len;
+        if since_cut >= chunk {
+            cuts.push(total);
+            since_cut = 0;
+        }
+    }
+    if cuts.last() != Some(&total) {
+        cuts.push(total);
+    }
+    cuts
+}
+
+/// The progressive cut schedule for an extraction at `threshold`:
+/// [`align_cuts`] over the kept leaf groups. Because the particle file
+/// is density-sorted, every cut is a contiguous prefix — "no computation
+/// is necessary for the particles" holds for each refinement slice just
+/// as it does for the full extraction.
+pub fn progressive_cuts(data: &PartitionedData, threshold: f64, chunk_points: usize) -> Vec<usize> {
+    let ex = extract(data, threshold);
+    let runs: Vec<usize> = data
+        .sorted_leaves()
+        .iter()
+        .take(ex.leaves_kept)
+        .map(|&li| data.tree().nodes[li as usize].len as usize)
+        .collect();
+    let cuts = align_cuts(&runs, chunk_points);
+    debug_assert_eq!(cuts.last().copied(), Some(ex.particles.len()));
+    cuts
+}
+
 /// [`threshold_for_budget`] from the octree alone, without the particle
 /// array. The density order is recovered from the leaf offsets (the
 /// store invariant: groups appear in ascending density), exactly as the
@@ -238,6 +288,57 @@ mod tests {
                 threshold_for_budget(&data, budget).to_bits(),
                 "budget {budget}"
             );
+        }
+    }
+
+    #[test]
+    fn align_cuts_is_group_aligned_ascending_and_complete() {
+        let runs = [3usize, 5, 1, 0, 7, 2, 2];
+        let total: usize = runs.iter().sum();
+        for chunk in [1usize, 2, 4, 6, 100] {
+            let cuts = align_cuts(&runs, chunk);
+            assert_eq!(cuts.last().copied(), Some(total), "chunk {chunk}");
+            // Strictly gaining ground (no empty refinement slices) and
+            // every cut lies on a group boundary.
+            let mut boundaries = vec![];
+            let mut acc = 0;
+            for &r in &runs {
+                acc += r;
+                boundaries.push(acc);
+            }
+            let mut prev = 0;
+            for &c in &cuts {
+                assert!(c >= prev, "cuts must ascend");
+                assert!(boundaries.contains(&c) || c == 0, "cut {c} splits a group");
+                prev = c;
+            }
+        }
+        // Degenerate inputs still yield a terminal cut.
+        assert_eq!(align_cuts(&[], 8), vec![0]);
+        assert_eq!(align_cuts(&[0, 0], 8), vec![0]);
+    }
+
+    #[test]
+    fn progressive_cuts_end_at_the_extraction_length() {
+        let data = build(5_000);
+        let mid = {
+            let leaves = data.sorted_leaves();
+            data.tree().nodes[leaves[leaves.len() / 2] as usize].density
+        };
+        for threshold in [0.0, mid, f64::INFINITY] {
+            let ex = extract(&data, threshold);
+            for chunk in [1usize, 64, 1_000, 100_000] {
+                let cuts = progressive_cuts(&data, threshold, chunk);
+                assert_eq!(cuts.last().copied(), Some(ex.particles.len()));
+                // Each cut is itself a valid extraction prefix: the points
+                // below it are exactly the first `cut` sorted particles.
+                for &c in &cuts {
+                    assert_eq!(
+                        &ex.particles[..c.min(ex.particles.len())],
+                        &data.particles()[..c]
+                    );
+                }
+            }
         }
     }
 

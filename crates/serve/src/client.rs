@@ -15,8 +15,11 @@
 
 use crate::error::{Result, ServeError};
 use crate::fault::{FaultScript, FaultyTransport};
+use crate::lod::ProgressiveAssembler;
 use crate::lru::LruOrder;
-use crate::protocol::{read_response, write_request, FrameInfo, Request, Response};
+use crate::protocol::{
+    read_chunk_reply, read_response, write_request, ChunkReply, FrameInfo, Request, Response,
+};
 use crate::retry::RetryPolicy;
 use crate::stats::ServerStats;
 use crate::wire::VERSION;
@@ -28,6 +31,13 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// A progressive fetch outcome: the final result, plus — on failure —
+/// the renderable partial frame the stream reached and what it cost.
+type ProgressiveFetch = (
+    Result<(HybridFrame, FetchMetrics)>,
+    Option<(HybridFrame, FetchMetrics)>,
+);
+
 /// Global-registry counter: requests retried after a transient failure.
 pub const CTR_CLIENT_RETRIES: &str = "client.retries";
 /// Global-registry counter: connections re-established (including the
@@ -36,6 +46,14 @@ pub const CTR_CLIENT_RECONNECTS: &str = "client.reconnects";
 /// Global-registry counter: loads served from a stale resident frame
 /// after retries were exhausted.
 pub const CTR_CLIENT_DEGRADED: &str = "client.degraded_frames";
+/// Global-registry counter: progressive chunk records applied to an
+/// assembling frame (replayed records skipped at the high-water mark do
+/// not count).
+pub const CTR_CLIENT_REFINE_CHUNKS: &str = "client.refine_chunks";
+/// Global-registry counter: loads answered with a *partially refined*
+/// frame after a progressive stream failed past the renderable coarse
+/// head (the [`FrameLoad::partial`] degradation).
+pub const CTR_CLIENT_REFINE_PARTIAL: &str = "client.refine_partial_frames";
 
 /// What one frame fetch actually cost on the wire — the measured numbers
 /// the `TransferModel` predicts analytically.
@@ -301,6 +319,100 @@ impl Client {
         }
     }
 
+    /// Fetches one frame progressively: a coarse renderable head first,
+    /// then refinement records, reassembled and verified against the
+    /// frame's v1 trailer — the returned frame is bit-identical to what
+    /// [`Client::fetch`] returns for the same request. `chunk_bytes` is
+    /// the requested chunk budget (0 lets the server choose, honoring
+    /// its `ACCELVIZ_LOD_BUDGET`). Requires a v2 session; a v1-capped
+    /// client gets the server's in-band rejection.
+    ///
+    /// Resilience: a mid-stream transport failure reconnects and
+    /// replays the request; the server restarts from the first record
+    /// and already-applied records are skipped at the assembler's
+    /// high-water mark, so refinement resumes instead of restarting.
+    pub fn fetch_progressive(
+        &mut self,
+        frame: u32,
+        threshold: f64,
+        chunk_bytes: u64,
+    ) -> Result<(HybridFrame, FetchMetrics)> {
+        self.fetch_progressive_inner(frame, threshold, chunk_bytes)
+            .0
+    }
+
+    /// The progressive fetch with its degradation channel: on failure,
+    /// the second slot carries the renderable partial frame the stream
+    /// got to (if it reached the coarse head at all) and what it cost.
+    /// [`RemoteFrames`] uses this to hand the viewer a reduced-fidelity
+    /// rendition of the *requested* frame instead of a stale one.
+    fn fetch_progressive_inner(
+        &mut self,
+        frame: u32,
+        threshold: f64,
+        chunk_bytes: u64,
+    ) -> ProgressiveFetch {
+        let mut span = accelviz_trace::span("serve.fetch_progressive");
+        span.arg("frame", frame as f64);
+        span.arg("threshold", threshold);
+        let t0 = Instant::now();
+        // The assembler lives *outside* the retry loop: it is the
+        // replay high-water mark, and on total failure it still holds
+        // the renderable partial.
+        let mut asm = ProgressiveAssembler::new();
+        let mut wire_bytes = 0u64;
+        let result = self.retry_loop(|t| {
+            write_request(
+                t,
+                &Request::RequestFrameProgressive {
+                    frame,
+                    threshold,
+                    chunk_bytes,
+                },
+            )?;
+            loop {
+                let (reply, bytes) = read_chunk_reply(t)?;
+                let record = match reply {
+                    ChunkReply::Chunk(record) => record,
+                    ChunkReply::Error { code, message } => {
+                        return Err(ServeError::Remote { code, message });
+                    }
+                };
+                // A replayed stream restarts at seq 0; records already
+                // spliced are skipped, not re-applied.
+                let rec = accelviz_store::progressive::decode_record(&record)
+                    .map_err(|e| ServeError::Corrupt(e.to_string()))?;
+                if rec.seq < asm.next_seq() {
+                    continue;
+                }
+                let done = asm.accept(&record)?;
+                wire_bytes += bytes;
+                accelviz_trace::global().add(CTR_CLIENT_REFINE_CHUNKS, 1);
+                if done {
+                    return Ok(());
+                }
+            }
+        });
+        let seconds = t0.elapsed().as_secs_f64();
+        let metrics = FetchMetrics {
+            wire_bytes,
+            seconds,
+        };
+        span.arg("wire_bytes", wire_bytes as f64);
+        match result {
+            Ok(()) => {
+                self.last_wire_bytes = wire_bytes;
+                let frame = asm.into_frame().expect("completed stream has a frame");
+                (Ok((frame, metrics)), None)
+            }
+            Err(e) => {
+                span.arg("failed", 1.0);
+                let partial = asm.partial_frame().map(|p| (p, metrics));
+                (Err(e), partial)
+            }
+        }
+    }
+
     /// Fetches the server's statistics snapshot.
     pub fn stats(&mut self) -> Result<ServerStats> {
         match self.call(Request::Stats)? {
@@ -448,11 +560,18 @@ pub struct RemoteFrames {
     max_resident: usize,
     resident: LruOrder<u32>,
     frames: HashMap<u32, Arc<HybridFrame>>,
+    /// `Some(chunk budget)` switches cold loads to progressive fetches
+    /// (0 = server default); the degradation ladder then prefers a
+    /// partial rendition of the requested frame over a stale one.
+    progressive: Option<u64>,
     /// Wire bytes received across all fetches.
     pub bytes_fetched: u64,
     /// Loads answered with a stale resident frame after retries were
     /// exhausted.
     pub degraded_loads: u64,
+    /// Loads answered with a partially refined frame after a
+    /// progressive stream failed past its renderable head.
+    pub partial_loads: u64,
 }
 
 impl RemoteFrames {
@@ -466,9 +585,23 @@ impl RemoteFrames {
             max_resident,
             resident: LruOrder::new(),
             frames: HashMap::new(),
+            progressive: None,
             bytes_fetched: 0,
             degraded_loads: 0,
+            partial_loads: 0,
         }
+    }
+
+    /// Switches cold loads to progressive streaming with the given
+    /// chunk budget (0 = server default). The fully refined frame is
+    /// bit-identical to a plain fetch, so the resident set and the
+    /// session above are unaffected — but when a stream dies past its
+    /// renderable head, the viewer gets the requested frame at partial
+    /// refinement ([`FrameLoad::partial`]) instead of a stale one.
+    /// Requires the session to have negotiated v2.
+    pub fn progressive(mut self, chunk_bytes: u64) -> RemoteFrames {
+        self.progressive = Some(chunk_bytes);
+        self
     }
 
     /// The connection, e.g. to pull server stats mid-session.
@@ -490,6 +623,7 @@ impl RemoteFrames {
                 seconds: 0.0,
                 texture_resident: true,
                 degraded: true,
+                partial: false,
             },
         ))
     }
@@ -510,10 +644,43 @@ impl FrameSource for RemoteFrames {
                 seconds: 0.0,
                 texture_resident: true,
                 degraded: false,
+                partial: false,
             };
             return Ok((frame, load));
         }
-        let (frame, metrics) = match self.client.fetch(key, self.threshold) {
+        let fetched = match self.progressive {
+            Some(budget) => {
+                match self
+                    .client
+                    .fetch_progressive_inner(key, self.threshold, budget)
+                {
+                    (Ok(r), _) => Ok(r),
+                    // The stream died but got past its renderable head:
+                    // hand the viewer the *requested* frame at partial
+                    // refinement. Not cached — the next visit refetches
+                    // toward the full frame.
+                    (Err(_), Some((partial, metrics))) => {
+                        self.partial_loads += 1;
+                        self.bytes_fetched += metrics.wire_bytes;
+                        accelviz_trace::global().add(CTR_CLIENT_REFINE_PARTIAL, 1);
+                        return Ok((
+                            Arc::new(partial),
+                            FrameLoad {
+                                cache_hit: false,
+                                bytes_loaded: metrics.wire_bytes,
+                                seconds: metrics.seconds,
+                                texture_resident: false,
+                                degraded: true,
+                                partial: true,
+                            },
+                        ));
+                    }
+                    (Err(e), None) => Err(e),
+                }
+            }
+            None => self.client.fetch(key, self.threshold),
+        };
+        let (frame, metrics) = match fetched {
             Ok(r) => r,
             Err(e) => {
                 // Retries (if configured) are exhausted. Degrade to the
@@ -541,6 +708,7 @@ impl FrameSource for RemoteFrames {
             seconds: metrics.seconds,
             texture_resident: false,
             degraded: false,
+            partial: false,
         };
         Ok((frame, load))
     }

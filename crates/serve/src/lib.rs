@@ -15,6 +15,10 @@
 //!   `accelviz-store`'s codec blocks, negotiated per session at `Hello`.
 //! - [`protocol`] — `Hello` / `ListFrames` / `RequestFrame` / `Stats`
 //!   requests and their replies, including structured errors.
+//! - [`lod`] — progressive multi-resolution streaming: the
+//!   coarse-to-fine chunk planner ([`lod::plan_frame_chunks`]) and the
+//!   verifying reassembler ([`lod::ProgressiveAssembler`]), on top of
+//!   the record framing in `accelviz_store::progressive`.
 //! - [`cache`] — the server's shared LRU extraction cache, keyed by
 //!   `(frame, threshold)`.
 //! - [`server`] — [`server::FrameServer`] with two selectable connection
@@ -54,6 +58,7 @@ pub mod cache;
 pub mod client;
 pub mod error;
 pub mod fault;
+pub mod lod;
 #[cfg(unix)]
 pub mod poll;
 pub mod protocol;

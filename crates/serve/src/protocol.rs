@@ -24,6 +24,11 @@ pub const REQ_LIST: u8 = 0x02;
 pub const REQ_FRAME: u8 = 0x03;
 /// Request kind: server statistics snapshot.
 pub const REQ_STATS: u8 = 0x04;
+/// Request kind: one frame streamed progressively (coarse-to-fine). The
+/// one request answered by *multiple* envelopes: a sequence of
+/// [`RESP_FRAME_CHUNK`]s. Valid only on a v2 session — a v1 session gets
+/// [`ERR_BAD_REQUEST`], so pre-LOD clients stay byte-identical.
+pub const REQ_FRAME_PROGRESSIVE: u8 = 0x05;
 
 /// Response kind: handshake acknowledgment.
 pub const RESP_HELLO_ACK: u8 = 0x81;
@@ -35,6 +40,12 @@ pub const RESP_FRAME: u8 = 0x83;
 pub const RESP_STATS: u8 = 0x84;
 /// Response kind: structured error reply.
 pub const RESP_ERROR: u8 = 0x85;
+/// Response kind: one record of a progressive frame stream. The payload
+/// is an `accelviz-store` progressive record (its own header + FNV
+/// trailer) inside the envelope's checksummed framing — per-chunk
+/// integrity at both layers. `total` inside the record says how many
+/// chunks the stream holds.
+pub const RESP_FRAME_CHUNK: u8 = 0x86;
 
 /// Error code: the request could not be understood.
 pub const ERR_BAD_REQUEST: u16 = 1;
@@ -83,6 +94,18 @@ pub enum Request {
     },
     /// Asks for the server's statistics snapshot.
     Stats,
+    /// Asks for frame `frame` at `threshold`, streamed coarse-to-fine as
+    /// [`RESP_FRAME_CHUNK`] records of roughly `chunk_bytes` each.
+    RequestFrameProgressive {
+        /// Frame index from the catalog.
+        frame: u32,
+        /// Absolute extraction threshold (leaf density).
+        threshold: f64,
+        /// Requested refinement-chunk size in bytes; the server clamps
+        /// it (and 0 means "server default", which honors
+        /// `ACCELVIZ_LOD_BUDGET`).
+        chunk_bytes: u64,
+    },
 }
 
 /// A server-to-client message.
@@ -125,6 +148,16 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<u64> {
             REQ_FRAME
         }
         Request::Stats => REQ_STATS,
+        Request::RequestFrameProgressive {
+            frame,
+            threshold,
+            chunk_bytes,
+        } => {
+            p.put_u32(*frame);
+            p.put_f64(*threshold);
+            p.put_u64(*chunk_bytes);
+            REQ_FRAME_PROGRESSIVE
+        }
     };
     write_envelope(w, kind, &p.into_bytes())
 }
@@ -141,6 +174,11 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Request> {
             threshold: p.f64()?,
         },
         REQ_STATS => Request::Stats,
+        REQ_FRAME_PROGRESSIVE => Request::RequestFrameProgressive {
+            frame: p.u32()?,
+            threshold: p.f64()?,
+            chunk_bytes: p.u64()?,
+        },
         other => return Err(ServeError::UnknownKind(other)),
     };
     p.finish()?;
@@ -273,6 +311,49 @@ pub fn read_response<R: Read>(r: &mut R) -> Result<(Response, u64)> {
     Ok((resp, wire_bytes))
 }
 
+/// One streamed reply to a [`Request::RequestFrameProgressive`]: either
+/// the next record of the stream or the terminal in-band error (a server
+/// that answers with an error sends nothing further for that request).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChunkReply {
+    /// The next record's encoded bytes (feed to a progressive assembler).
+    Chunk(Vec<u8>),
+    /// The request failed; the connection stays usable.
+    Error {
+        /// One of the `ERR_*` codes.
+        code: u16,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Writes one progressive chunk envelope (always framed at v2 — chunks
+/// only exist on v2 sessions); returns wire bytes written.
+pub fn write_chunk<W: Write>(w: &mut W, record: &[u8]) -> Result<u64> {
+    write_envelope_v(w, V2, RESP_FRAME_CHUNK, record)
+}
+
+/// Reads one reply envelope of a progressive stream; returns the reply
+/// and its wire bytes. Any kind other than a chunk or an in-band error
+/// means the stream lost framing and is a structured failure.
+pub fn read_chunk_reply<R: Read>(r: &mut R) -> Result<(ChunkReply, u64)> {
+    let env = read_envelope(r)?;
+    let wire_bytes = env.wire_bytes();
+    match env.kind {
+        RESP_FRAME_CHUNK => Ok((ChunkReply::Chunk(env.payload), wire_bytes)),
+        RESP_ERROR => {
+            let mut p = PayloadReader::new(&env.payload);
+            let reply = ChunkReply::Error {
+                code: p.u16()?,
+                message: p.str()?,
+            };
+            p.finish()?;
+            Ok((reply, wire_bytes))
+        }
+        other => Err(ServeError::UnknownKind(other)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,9 +380,53 @@ mod tests {
                 threshold: 0.125,
             },
             Request::Stats,
+            Request::RequestFrameProgressive {
+                frame: 3,
+                threshold: 1.5e6,
+                chunk_bytes: 65_536,
+            },
         ] {
             assert_eq!(roundtrip_request(req), req);
         }
+    }
+
+    #[test]
+    fn chunk_replies_roundtrip_and_reject_foreign_kinds() {
+        let mut buf = Vec::new();
+        write_chunk(&mut buf, b"record bytes").unwrap();
+        let (reply, wire) = read_chunk_reply(&mut buf.as_slice()).unwrap();
+        assert_eq!(reply, ChunkReply::Chunk(b"record bytes".to_vec()));
+        assert_eq!(wire as usize, buf.len());
+
+        // An in-band error terminates the stream but stays structured.
+        let mut buf = Vec::new();
+        write_response(
+            &mut buf,
+            &Response::Error {
+                code: ERR_BUSY,
+                message: "retry".into(),
+            },
+        )
+        .unwrap();
+        match read_chunk_reply(&mut buf.as_slice()).unwrap().0 {
+            ChunkReply::Error { code, .. } => assert_eq!(code, ERR_BUSY),
+            other => panic!("expected Error, got {other:?}"),
+        }
+
+        // A whole-frame reply in a progressive stream is lost framing.
+        let mut buf = Vec::new();
+        write_response(
+            &mut buf,
+            &Response::HelloAck {
+                version: 1,
+                frame_count: 0,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_chunk_reply(&mut buf.as_slice()),
+            Err(ServeError::UnknownKind(RESP_HELLO_ACK))
+        ));
     }
 
     #[test]

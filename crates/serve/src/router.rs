@@ -103,6 +103,11 @@ pub const CTR_ROUTER_HANDLER_PANICS: &str = "router.handler_panics";
 /// Registry histogram: router request service time, including the
 /// upstream hop for cache misses.
 pub const HIST_ROUTER_LATENCY: &str = "router.request_latency";
+/// Registry counter: progressive (LOD) frame requests the router served
+/// by fetching the full frame upstream and re-chunking it locally.
+pub const CTR_ROUTER_LOD_REQUESTS: &str = "router.lod_requests";
+/// Registry counter: progressive chunk records the router wrote.
+pub const CTR_ROUTER_LOD_CHUNKS: &str = "router.lod_chunks";
 
 /// Where every global frame lives: which shard owns it and which *local*
 /// index that shard knows it by. Built once from a [`ShardSpec`] and a
@@ -195,9 +200,14 @@ impl ShardMap {
 /// Router tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct RouterConfig {
-    /// Decoded frames the router's cache holds (the herd-coalescing
-    /// layer); must be at least 1.
-    pub cache_capacity: usize,
+    /// Byte budget for the router's decoded-frame cache (the
+    /// herd-coalescing layer), LRU by resident frame bytes
+    /// ([`HybridFrame::total_bytes`] per frame); must be positive.
+    /// Frames vary by orders of magnitude with threshold and grid
+    /// dims, so the budget counts bytes rather than entries; a frame
+    /// larger than the whole budget is still admitted (to serve its
+    /// coalesced waiters) and becomes the next eviction victim.
+    pub cache_bytes: u64,
     /// Bound on any single blocking read from a client; `None` waits
     /// forever.
     pub read_timeout: Option<Duration>,
@@ -219,7 +229,7 @@ pub struct RouterConfig {
 impl Default for RouterConfig {
     fn default() -> RouterConfig {
         RouterConfig {
-            cache_capacity: 16,
+            cache_bytes: 128 << 20,
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             max_connections: 256,
@@ -256,7 +266,11 @@ enum FetchEntry {
 }
 
 struct FetchInner {
-    capacity: usize,
+    /// Byte budget over resident decoded frames
+    /// ([`HybridFrame::total_bytes`] each).
+    budget: u64,
+    /// Bytes currently resident under `Ready` entries.
+    resident_bytes: u64,
     /// LRU over *ready* keys only; in-flight fetches cannot be evicted.
     order: LruOrder<CacheKey>,
     entries: HashMap<CacheKey, FetchEntry>,
@@ -266,16 +280,24 @@ struct FetchInner {
 /// same-key coalescing that collapses a thundering herd into one
 /// upstream fetch. Failures are shared with waiters but vacated, not
 /// cached — the next request after a shard recovers goes upstream.
+///
+/// Capacity is a *byte* budget, not an entry count: frames vary by
+/// orders of magnitude with threshold and grid dims, so an entry count
+/// either wastes the budget on small frames or blows it on large ones.
+/// A frame larger than the whole budget is still admitted (and becomes
+/// the next eviction victim) — the just-fetched frame must be resident
+/// to serve its coalesced waiters.
 struct FetchCache {
     inner: Mutex<FetchInner>,
 }
 
 impl FetchCache {
-    fn new(capacity: usize) -> FetchCache {
-        assert!(capacity > 0, "router cache needs at least one slot");
+    fn new(budget: u64) -> FetchCache {
+        assert!(budget > 0, "router cache needs a positive byte budget");
         FetchCache {
             inner: Mutex::new(FetchInner {
-                capacity,
+                budget,
+                resident_bytes: 0,
                 order: LruOrder::new(),
                 entries: HashMap::new(),
             }),
@@ -334,12 +356,22 @@ impl FetchCache {
             let mut g = self.inner.lock();
             match &outcome {
                 Ok(frame) => {
-                    while g.order.len() >= g.capacity {
-                        if let Some(victim) = g.order.pop_oldest() {
-                            g.entries.remove(&victim);
+                    // Make room by bytes: evict oldest Ready frames
+                    // until the newcomer fits (or nothing is left to
+                    // evict — an oversized frame is admitted anyway and
+                    // is simply the next victim). The newcomer is not
+                    // in `order` yet, so it can never evict itself.
+                    let incoming = frame.total_bytes();
+                    while g.resident_bytes + incoming > g.budget {
+                        let Some(victim) = g.order.pop_oldest() else {
+                            break;
+                        };
+                        if let Some(FetchEntry::Ready(evicted)) = g.entries.remove(&victim) {
+                            g.resident_bytes -= evicted.total_bytes();
                         }
                     }
                     g.order.touch(key);
+                    g.resident_bytes += incoming;
                     g.entries.insert(key, FetchEntry::Ready(Arc::clone(frame)));
                 }
                 // A failed fetch vacates the key so recovery is observed
@@ -513,7 +545,7 @@ impl FrameRouter {
             map,
             catalog,
             pools,
-            cache: FetchCache::new(config.cache_capacity.max(1)),
+            cache: FetchCache::new(config.cache_bytes.max(1)),
             config,
             metrics: Registry::new(),
             shutdown: AtomicBool::new(false),
@@ -858,52 +890,9 @@ fn respond_router<S: Write>(
             ))
         }
         Request::RequestFrame { frame, threshold } => {
-            if threshold.is_nan() {
-                let reply = Response::Error {
-                    code: ERR_BAD_THRESHOLD,
-                    message: format!("threshold must not be NaN, got {threshold}"),
-                };
-                return Ok((write_response_v(stream, *session_version, &reply)?, false));
-            }
-            let Some((shard, local)) = shared.map.locate(frame) else {
-                let reply = Response::Error {
-                    code: ERR_NO_SUCH_FRAME,
-                    message: format!(
-                        "frame {frame} requested, {} available",
-                        shared.catalog.len()
-                    ),
-                };
-                return Ok((write_response_v(stream, *session_version, &reply)?, false));
-            };
-            let key = CacheKey::new(frame, threshold);
-            let global = frame as usize;
-            let (result, outcome) = shared.cache.get_or_fetch(key, || {
-                fetch_upstream(shared, shard, local, global, threshold)
-            });
-            match outcome {
-                FetchOutcome::Hit => {
-                    shared.metrics.add(CTR_ROUTER_CACHE_HITS, 1);
-                }
-                FetchOutcome::Coalesced => {
-                    shared.metrics.add(CTR_ROUTER_CACHE_HITS, 1);
-                    shared.metrics.add(CTR_ROUTER_COALESCED, 1);
-                }
-                FetchOutcome::Fetched => {
-                    shared.metrics.add(CTR_ROUTER_CACHE_MISSES, 1);
-                }
-            }
-            let frame = match result {
+            let frame = match route_frame(shared, frame, threshold, stream, *session_version)? {
                 Ok(frame) => frame,
-                Err(why) => {
-                    // Upstream retries exhausted: degrade this frame
-                    // in-band, keep the session. A resilient client turns
-                    // this into a flagged stale frame (PR 5 model).
-                    let reply = Response::Error {
-                        code: ERR_INTERNAL,
-                        message: why,
-                    };
-                    return Ok((write_response_v(stream, *session_version, &reply)?, false));
-                }
+                Err(reply_written) => return Ok(reply_written),
             };
             // Re-encode at the *client's* negotiated version, straight
             // from the cached Arc — both codecs are deterministic, so the
@@ -916,12 +905,121 @@ fn respond_router<S: Write>(
             let bytes = write_envelope_v(stream, *session_version, RESP_FRAME, &payload)?;
             Ok((bytes, true))
         }
+        Request::RequestFrameProgressive {
+            frame,
+            threshold,
+            chunk_bytes,
+        } => {
+            // Same v2-session gate as a direct server: the chunk records
+            // only exist on the v2 wire.
+            if *session_version < V2 {
+                let reply = Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    message: "progressive streaming requires a v2 session; \
+                              send Hello with version >= 2 first"
+                        .to_string(),
+                };
+                return Ok((write_response_v(stream, *session_version, &reply)?, false));
+            }
+            let frame = match route_frame(shared, frame, threshold, stream, *session_version)? {
+                Ok(frame) => frame,
+                Err(reply_written) => return Ok(reply_written),
+            };
+            // The upstream hop stays a *full* fetch through the shared
+            // cache (coalescing with plain requests for the same key);
+            // the router re-chunks locally with the same planner the
+            // shards run, which is a pure function of (frame, budget) —
+            // so the record bytes a sharded session sees are identical
+            // to a direct server's.
+            let records =
+                crate::lod::plan_frame_chunks(&frame, crate::lod::chunk_budget(chunk_bytes));
+            let mut bytes = 0u64;
+            for record in &records {
+                bytes += crate::protocol::write_chunk(stream, record)?;
+            }
+            shared.metrics.add(CTR_ROUTER_LOD_REQUESTS, 1);
+            shared
+                .metrics
+                .add(CTR_ROUTER_LOD_CHUNKS, records.len() as u64);
+            Ok((bytes, true))
+        }
         Request::Stats => {
             let snapshot = aggregate_stats(shared);
             Ok((
                 write_response_v(stream, *session_version, &Response::Stats(snapshot))?,
                 false,
             ))
+        }
+    }
+}
+
+/// The shared routing path behind both frame request kinds: validates
+/// the threshold, locates the owning shard, and resolves the decoded
+/// frame through the router cache (one upstream fetch per herd). On a
+/// policy or upstream failure the in-band error reply is already
+/// written and the inner `Err` carries `respond_router`'s return value;
+/// the outer `Err` is a dead client connection.
+fn route_frame<S: Write>(
+    shared: &RouterShared,
+    frame: u32,
+    threshold: f64,
+    stream: &mut S,
+    session_version: u16,
+) -> crate::error::Result<std::result::Result<Arc<HybridFrame>, (u64, bool)>> {
+    if threshold.is_nan() {
+        let reply = Response::Error {
+            code: ERR_BAD_THRESHOLD,
+            message: format!("threshold must not be NaN, got {threshold}"),
+        };
+        return Ok(Err((
+            write_response_v(stream, session_version, &reply)?,
+            false,
+        )));
+    }
+    let Some((shard, local)) = shared.map.locate(frame) else {
+        let reply = Response::Error {
+            code: ERR_NO_SUCH_FRAME,
+            message: format!(
+                "frame {frame} requested, {} available",
+                shared.catalog.len()
+            ),
+        };
+        return Ok(Err((
+            write_response_v(stream, session_version, &reply)?,
+            false,
+        )));
+    };
+    let key = CacheKey::new(frame, threshold);
+    let global = frame as usize;
+    let (result, outcome) = shared.cache.get_or_fetch(key, || {
+        fetch_upstream(shared, shard, local, global, threshold)
+    });
+    match outcome {
+        FetchOutcome::Hit => {
+            shared.metrics.add(CTR_ROUTER_CACHE_HITS, 1);
+        }
+        FetchOutcome::Coalesced => {
+            shared.metrics.add(CTR_ROUTER_CACHE_HITS, 1);
+            shared.metrics.add(CTR_ROUTER_COALESCED, 1);
+        }
+        FetchOutcome::Fetched => {
+            shared.metrics.add(CTR_ROUTER_CACHE_MISSES, 1);
+        }
+    }
+    match result {
+        Ok(frame) => Ok(Ok(frame)),
+        Err(why) => {
+            // Upstream retries exhausted: degrade this frame
+            // in-band, keep the session. A resilient client turns
+            // this into a flagged stale frame (PR 5 model).
+            let reply = Response::Error {
+                code: ERR_INTERNAL,
+                message: why,
+            };
+            Ok(Err((
+                write_response_v(stream, session_version, &reply)?,
+                false,
+            )))
         }
     }
 }
@@ -1191,7 +1289,7 @@ mod tests {
         use std::sync::atomic::AtomicU64;
         use std::sync::Barrier;
 
-        let cache = Arc::new(FetchCache::new(4));
+        let cache = Arc::new(FetchCache::new(1 << 20));
         let key = CacheKey::new(0, 1.0);
         let calls = Arc::new(AtomicU64::new(0));
         let gate = Arc::new(Barrier::new(2));
@@ -1233,8 +1331,11 @@ mod tests {
     }
 
     #[test]
-    fn fetch_cache_evicts_lru_at_capacity() {
-        let cache = FetchCache::new(2);
+    fn fetch_cache_evicts_lru_by_bytes() {
+        // A budget of exactly two frames: the third insert must evict
+        // the least recently used resident frame.
+        let frame_bytes = tiny_frame(0).total_bytes();
+        let cache = FetchCache::new(2 * frame_bytes);
         let keys: Vec<CacheKey> = (0..3).map(|f| CacheKey::new(f, 1.0)).collect();
         for (i, &k) in keys[..2].iter().enumerate() {
             let (r, _) = cache.get_or_fetch(k, || Ok(tiny_frame(i)));
@@ -1259,5 +1360,33 @@ mod tests {
             .0
             .unwrap();
         assert!(refetched, "key 1 was the LRU victim");
+    }
+
+    #[test]
+    fn fetch_cache_admits_frames_larger_than_the_whole_budget() {
+        let cache = FetchCache::new(1);
+        let key = CacheKey::new(0, 1.0);
+        let frame = tiny_frame(0);
+        let served = Arc::clone(&frame);
+        let (r, _) = cache.get_or_fetch(key, move || Ok(served));
+        assert!(Arc::ptr_eq(&r.unwrap(), &frame));
+        // Still resident: the just-inserted frame is never its own
+        // eviction victim, so its coalesced waiters are served.
+        let (again, _) = cache.get_or_fetch(key, || panic!("resident"));
+        assert!(Arc::ptr_eq(&again.unwrap(), &frame));
+        // The next distinct insert evicts it.
+        cache
+            .get_or_fetch(CacheKey::new(1, 1.0), || Ok(tiny_frame(1)))
+            .0
+            .unwrap();
+        let mut refetched = false;
+        cache
+            .get_or_fetch(key, || {
+                refetched = true;
+                Ok(tiny_frame(0))
+            })
+            .0
+            .unwrap();
+        assert!(refetched, "the oversized frame was the next victim");
     }
 }

@@ -54,8 +54,9 @@ use crate::protocol::{
 };
 use crate::stats::{
     ServerStats, CTR_BYTES_SENT, CTR_CACHE_HITS, CTR_CACHE_MISSES, CTR_FRAMES_SERVED,
-    CTR_FRAME_BYTES_RAW, CTR_FRAME_BYTES_WIRE, CTR_HANDLER_PANICS, CTR_REQUESTS,
-    CTR_SHED_CONNECTIONS, CTR_SHED_EXTRACTIONS, HIST_LATENCY,
+    CTR_FRAME_BYTES_RAW, CTR_FRAME_BYTES_WIRE, CTR_HANDLER_PANICS, CTR_LOD_BYTES_WIRE,
+    CTR_LOD_CHUNKS, CTR_LOD_REQUESTS, CTR_REQUESTS, CTR_SHED_CONNECTIONS, CTR_SHED_EXTRACTIONS,
+    HIST_LATENCY,
 };
 use crate::wire::{encode_frame, encode_frame_v2, write_envelope_v, V1, V2, VERSION};
 use accelviz_core::hybrid::HybridFrame;
@@ -823,88 +824,11 @@ pub(crate) fn respond<S: Write>(
             ))
         }
         Request::RequestFrame { frame, threshold } => {
-            if threshold.is_nan() {
-                // NaN has no place in the density order: extraction's
-                // partition_point would silently return an empty prefix,
-                // and the many NaN bit patterns would each occupy their
-                // own cache slot. Reject in-band. (±Inf stay valid dials:
-                // +Inf is the catalog's own "serve everything" sentinel,
-                // -Inf is an empty extraction.)
-                let reply = Response::Error {
-                    code: ERR_BAD_THRESHOLD,
-                    message: format!("threshold must not be NaN, got {threshold}"),
-                };
-                return Ok((write_response_v(stream, *session_version, &reply)?, false));
-            }
-            if frame as usize >= shared.backend.frame_count() {
-                let reply = Response::Error {
-                    code: ERR_NO_SUCH_FRAME,
-                    message: format!(
-                        "frame {frame} requested, {} available",
-                        shared.backend.frame_count()
-                    ),
-                };
-                return Ok((write_response_v(stream, *session_version, &reply)?, false));
-            }
-            let key = CacheKey::new(frame, threshold);
-            // Load shedding at the extraction limit: only requests that
-            // would start a *new* extraction are shed — cached frames and
-            // coalescing waiters are cheap and always admitted. The probe
-            // is advisory (the entry may change before get_or_build), so
-            // the limit is a strong bound, not a hard invariant.
-            let probe = shared.cache.probe(&key);
-            let _permit = match probe {
-                Probe::Vacant => match try_extraction_permit(shared) {
-                    Some(p) => Some(p),
-                    None => {
-                        shared.metrics.add(CTR_SHED_EXTRACTIONS, 1);
-                        let reply = Response::Error {
-                            code: ERR_BUSY,
-                            message: "extraction capacity reached; retry after ~100 ms".to_string(),
-                        };
-                        return Ok((write_response_v(stream, *session_version, &reply)?, false));
-                    }
-                },
-                Probe::Ready | Probe::Building => None,
+            let extracted = match acquire_frame(shared, frame, threshold, stream, *session_version)?
+            {
+                Ok(frame) => frame,
+                Err(reply_written) => return Ok(reply_written),
             };
-            // The stored backend pages the frame's particles in *before*
-            // committing to build, so a disk failure is an in-band
-            // ERR_INTERNAL instead of a panic. A Ready probe skips the
-            // fetch — serving a cached extraction must not churn the
-            // residency window.
-            let part: Option<Arc<PartitionedData>> = match &shared.backend {
-                Backend::Stored(run) if probe != Probe::Ready => match run.fetch(frame as usize) {
-                    Ok(fetch) => Some(fetch.data),
-                    Err(e) => {
-                        let reply = Response::Error {
-                            code: ERR_INTERNAL,
-                            message: format!("run store failed loading frame {frame}: {e}"),
-                        };
-                        return Ok((write_response_v(stream, *session_version, &reply)?, false));
-                    }
-                },
-                _ => None,
-            };
-            let (extracted, hit) = {
-                let mut span = accelviz_trace::span("serve.extract");
-                span.arg("frame", frame as f64);
-                span.arg("threshold", threshold);
-                let (extracted, hit) = shared
-                    .cache
-                    .get_or_build(CacheKey::new(frame, threshold), || {
-                        build_frame(shared, part.as_deref(), frame as usize, threshold)
-                    });
-                span.arg("cache_hit", hit as u64 as f64);
-                (extracted, hit)
-            };
-            shared.metrics.add(
-                if hit {
-                    CTR_CACHE_HITS
-                } else {
-                    CTR_CACHE_MISSES
-                },
-                1,
-            );
             // Encode straight from the cached Arc — no frame clone. The
             // session version picks the payload encoding; both are
             // counted so the stats expose the live compression ratio.
@@ -927,6 +851,50 @@ pub(crate) fn respond<S: Write>(
             };
             Ok((bytes, true))
         }
+        Request::RequestFrameProgressive {
+            frame,
+            threshold,
+            chunk_bytes,
+        } => {
+            // The chunk records ride v2 envelopes and splice back into a
+            // frame the v2 trailer can verify; a v1 session has neither,
+            // so the request is a protocol error there — and pre-v2
+            // clients never send it, keeping their byte streams frozen.
+            if *session_version < V2 {
+                let reply = Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    message: "progressive streaming requires a v2 session; \
+                              send Hello with version >= 2 first"
+                        .to_string(),
+                };
+                return Ok((write_response_v(stream, *session_version, &reply)?, false));
+            }
+            let extracted = match acquire_frame(shared, frame, threshold, stream, *session_version)?
+            {
+                Ok(frame) => frame,
+                Err(reply_written) => return Ok(reply_written),
+            };
+            // Same cache entry as a plain fetch — a progressive and a
+            // full request for the same (frame, threshold) coalesce on
+            // one extraction; only the wire shape differs from here on.
+            let records = {
+                let mut span = accelviz_trace::span("serve.lod_send");
+                let records = crate::lod::plan_frame_chunks(
+                    &extracted,
+                    crate::lod::chunk_budget(chunk_bytes),
+                );
+                span.arg("chunks", records.len() as f64);
+                records
+            };
+            let mut bytes = 0u64;
+            for record in &records {
+                bytes += crate::protocol::write_chunk(stream, record)?;
+            }
+            shared.metrics.add(CTR_LOD_REQUESTS, 1);
+            shared.metrics.add(CTR_LOD_CHUNKS, records.len() as u64);
+            shared.metrics.add(CTR_LOD_BYTES_WIRE, bytes);
+            Ok((bytes, true))
+        }
         Request::Stats => {
             let snapshot = ServerStats::from_registry(&shared.metrics);
             Ok((
@@ -935,6 +903,116 @@ pub(crate) fn respond<S: Write>(
             ))
         }
     }
+}
+
+/// The shared admission-and-build path behind both frame request kinds:
+/// validates the threshold and frame index, applies extraction-limit
+/// shedding, pages the frame in on the stored backend, and resolves the
+/// extraction through the cache. On a policy failure the in-band error
+/// reply is already written and the inner `Err` carries `respond`'s
+/// return value for it; the outer `Err` is a dead client connection.
+fn acquire_frame<S: Write>(
+    shared: &Shared,
+    frame: u32,
+    threshold: f64,
+    stream: &mut S,
+    session_version: u16,
+) -> crate::error::Result<std::result::Result<Arc<HybridFrame>, (u64, bool)>> {
+    if threshold.is_nan() {
+        // NaN has no place in the density order: extraction's
+        // partition_point would silently return an empty prefix,
+        // and the many NaN bit patterns would each occupy their
+        // own cache slot. Reject in-band. (±Inf stay valid dials:
+        // +Inf is the catalog's own "serve everything" sentinel,
+        // -Inf is an empty extraction.)
+        let reply = Response::Error {
+            code: ERR_BAD_THRESHOLD,
+            message: format!("threshold must not be NaN, got {threshold}"),
+        };
+        return Ok(Err((
+            write_response_v(stream, session_version, &reply)?,
+            false,
+        )));
+    }
+    if frame as usize >= shared.backend.frame_count() {
+        let reply = Response::Error {
+            code: ERR_NO_SUCH_FRAME,
+            message: format!(
+                "frame {frame} requested, {} available",
+                shared.backend.frame_count()
+            ),
+        };
+        return Ok(Err((
+            write_response_v(stream, session_version, &reply)?,
+            false,
+        )));
+    }
+    let key = CacheKey::new(frame, threshold);
+    // Load shedding at the extraction limit: only requests that
+    // would start a *new* extraction are shed — cached frames and
+    // coalescing waiters are cheap and always admitted. The probe
+    // is advisory (the entry may change before get_or_build), so
+    // the limit is a strong bound, not a hard invariant.
+    let probe = shared.cache.probe(&key);
+    let _permit = match probe {
+        Probe::Vacant => match try_extraction_permit(shared) {
+            Some(p) => Some(p),
+            None => {
+                shared.metrics.add(CTR_SHED_EXTRACTIONS, 1);
+                let reply = Response::Error {
+                    code: ERR_BUSY,
+                    message: "extraction capacity reached; retry after ~100 ms".to_string(),
+                };
+                return Ok(Err((
+                    write_response_v(stream, session_version, &reply)?,
+                    false,
+                )));
+            }
+        },
+        Probe::Ready | Probe::Building => None,
+    };
+    // The stored backend pages the frame's particles in *before*
+    // committing to build, so a disk failure is an in-band
+    // ERR_INTERNAL instead of a panic. A Ready probe skips the
+    // fetch — serving a cached extraction must not churn the
+    // residency window.
+    let part: Option<Arc<PartitionedData>> = match &shared.backend {
+        Backend::Stored(run) if probe != Probe::Ready => match run.fetch(frame as usize) {
+            Ok(fetch) => Some(fetch.data),
+            Err(e) => {
+                let reply = Response::Error {
+                    code: ERR_INTERNAL,
+                    message: format!("run store failed loading frame {frame}: {e}"),
+                };
+                return Ok(Err((
+                    write_response_v(stream, session_version, &reply)?,
+                    false,
+                )));
+            }
+        },
+        _ => None,
+    };
+    let (extracted, hit) = {
+        let mut span = accelviz_trace::span("serve.extract");
+        span.arg("frame", frame as f64);
+        span.arg("threshold", threshold);
+        let (extracted, hit) = shared
+            .cache
+            .get_or_build(CacheKey::new(frame, threshold), || {
+                build_frame(shared, part.as_deref(), frame as usize, threshold)
+            });
+        span.arg("cache_hit", hit as u64 as f64);
+        (extracted, hit)
+    };
+    shared.metrics.add(
+        if hit {
+            CTR_CACHE_HITS
+        } else {
+            CTR_CACHE_MISSES
+        },
+        1,
+    );
+    Ok(Ok(extracted))
 }
 
 /// Builds one frame for the extraction cache. `part` is the paged-in

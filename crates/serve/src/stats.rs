@@ -48,6 +48,16 @@ pub const CTR_FRAME_BYTES_RAW: &str = "serve.frame_bytes_raw";
 /// Registry counter: frame payload bytes actually written to the wire
 /// (compressed under AVWF v2, identical to raw for v1 sessions).
 pub const CTR_FRAME_BYTES_WIRE: &str = "serve.frame_bytes_wire";
+/// Registry counter: progressive (LOD) frame requests served. Each also
+/// counts once under `serve.frames_served`; this isolates the
+/// progressive share. Registry-only — the `Stats` wire shape is frozen.
+pub const CTR_LOD_REQUESTS: &str = "serve.lod_requests";
+/// Registry counter: progressive chunk records written (every stream is
+/// at least 2: the coarse head and the final tail).
+pub const CTR_LOD_CHUNKS: &str = "serve.lod_chunks";
+/// Registry counter: wire bytes of progressive chunk envelopes.
+/// Registry-only.
+pub const CTR_LOD_BYTES_WIRE: &str = "serve.lod_bytes_wire";
 
 /// A snapshot of the server's lifetime counters, as carried by the
 /// `Stats` reply.

@@ -345,7 +345,7 @@ impl<'a> PayloadReader<'a> {
 }
 
 /// Phase-coordinate wire code, matching `store_io`'s on-disk codes.
-fn coord_code(c: PhaseCoord) -> u8 {
+pub(crate) fn coord_code(c: PhaseCoord) -> u8 {
     match c {
         PhaseCoord::X => 0,
         PhaseCoord::Px => 1,
@@ -356,7 +356,7 @@ fn coord_code(c: PhaseCoord) -> u8 {
     }
 }
 
-fn coord_from_code(b: u8) -> Result<PhaseCoord> {
+pub(crate) fn coord_from_code(b: u8) -> Result<PhaseCoord> {
     Ok(match b {
         0 => PhaseCoord::X,
         1 => PhaseCoord::Px,
@@ -372,7 +372,7 @@ fn coord_from_code(b: u8) -> Result<PhaseCoord> {
     })
 }
 
-fn put_aabb(w: &mut PayloadWriter, b: &Aabb) {
+pub(crate) fn put_aabb(w: &mut PayloadWriter, b: &Aabb) {
     for v in [b.min, b.max] {
         w.put_f64(v.x);
         w.put_f64(v.y);
@@ -380,7 +380,7 @@ fn put_aabb(w: &mut PayloadWriter, b: &Aabb) {
     }
 }
 
-fn read_aabb(r: &mut PayloadReader<'_>) -> Result<Aabb> {
+pub(crate) fn read_aabb(r: &mut PayloadReader<'_>) -> Result<Aabb> {
     let min = Vec3::new(r.f64()?, r.f64()?, r.f64()?);
     let max = Vec3::new(r.f64()?, r.f64()?, r.f64()?);
     Ok(Aabb { min, max })
@@ -536,7 +536,7 @@ pub fn encode_frame_v2(frame: &HybridFrame) -> (Vec<u8>, u64) {
 }
 
 /// Reads one codec block of `expect` `f64`s from the reader's tail.
-fn read_f64_block(r: &mut PayloadReader<'_>, expect: usize) -> Result<Vec<f64>> {
+pub(crate) fn read_f64_block(r: &mut PayloadReader<'_>, expect: usize) -> Result<Vec<f64>> {
     let mut pos = 0;
     let values =
         decode_f64s(r.rest(), &mut pos, expect).map_err(|e| ServeError::Corrupt(e.to_string()))?;

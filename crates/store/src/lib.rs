@@ -16,6 +16,9 @@
 //!   hand-rolled memory map with a pread fallback, an LRU-budgeted
 //!   residency layer, and a `FrameSource` adapter so a viewer or frame
 //!   server can serve a run larger than RAM.
+//! - [`progressive`] — the chunk/delta record framing under progressive
+//!   (coarse-to-fine) frame streaming: checksummed records and the
+//!   strict in-order [`progressive::RecordAssembler`] grammar.
 //! - [`lru`] — the recency-order structure shared by this crate's
 //!   residency layer and the serve layer's caches (re-exported there).
 
@@ -24,6 +27,7 @@
 pub mod codec;
 pub mod lru;
 pub mod mmap;
+pub mod progressive;
 pub mod resident;
 pub mod run;
 pub mod source;

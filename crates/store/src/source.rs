@@ -64,6 +64,7 @@ impl FrameSource for StoredRunSource {
                 seconds: started.elapsed().as_secs_f64(),
                 texture_resident: fetch.warm,
                 degraded: false,
+                partial: false,
             },
         ))
     }

@@ -1,0 +1,293 @@
+//! End-to-end progressive (LOD) streaming: a progressive fetch must
+//! refine to a frame bit-identical to a full fetch — through a direct
+//! server, through the shard router, and under a seeded chaos plan with
+//! reconnect-and-replay mid-stream — while the first chunk alone is a
+//! renderable partial frame at a fraction of the full wire bytes. v1
+//! sessions must reject the request in-band and stay byte-identical to
+//! their pre-LOD behavior.
+//!
+//! NOTE for CI: no test in this file may legitimately print
+//! "panicked at" — the chaos job greps for that string.
+
+use accelviz::beam::distribution::Distribution;
+use accelviz::core::hybrid::HybridFrame;
+use accelviz::core::session::{SessionOp, ViewerSession};
+use accelviz::core::viewer::FrameSource;
+use accelviz::octree::builder::{partition, BuildParams};
+use accelviz::octree::extraction::threshold_for_budget;
+use accelviz::octree::plots::PlotType;
+use accelviz::octree::sorted_store::PartitionedData;
+use accelviz::serve::client::{FaultyConnector, TcpConnector};
+use accelviz::serve::fault::{FaultDirection, FaultEvent, FaultKind, FaultPlan};
+use accelviz::serve::lod;
+use accelviz::serve::protocol::{write_response_v, Response, ERR_BAD_REQUEST};
+use accelviz::serve::stats::{CTR_LOD_CHUNKS, CTR_LOD_REQUESTS};
+use accelviz::serve::wire::{encode_frame_v2, V1, V2};
+use accelviz::serve::{
+    Client, ClientConfig, FrameServer, RemoteFrames, RetryPolicy, RouterConfig, ServeError,
+    ServerConfig, ShardedFrameService,
+};
+use std::sync::Arc;
+
+fn stores(n: usize, particles: usize) -> Vec<PartitionedData> {
+    (0..n)
+        .map(|i| {
+            let ps = Distribution::default_beam().sample(particles, i as u64 + 1);
+            partition(&ps, PlotType::XYZ, BuildParams::default())
+        })
+        .collect()
+}
+
+fn chaos_seed() -> u64 {
+    std::env::var("ACCELVIZ_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_260_807)
+}
+
+/// Direct server: every (frame, threshold, budget) cell of the matrix
+/// refines to the bit-identical full fetch, the first chunk undercuts
+/// the full v2 payload, and both request kinds share one extraction.
+#[test]
+fn progressive_refines_bit_identical_to_full_fetch_direct() {
+    let config = ServerConfig::default();
+    let server = FrameServer::spawn_loopback(stores(2, 2_000), config).unwrap();
+    let local = stores(2, 2_000);
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(client.negotiated_version(), V2);
+
+    for (frame_idx, data) in local.iter().enumerate() {
+        for budget in [300usize, 1_200] {
+            let threshold = threshold_for_budget(data, budget);
+            let (full, full_metrics) = client.fetch(frame_idx as u32, threshold).unwrap();
+            for chunk_bytes in [lod::MIN_CHUNK_BYTES, 8 * 1024, 0] {
+                let (refined, metrics) = client
+                    .fetch_progressive(frame_idx as u32, threshold, chunk_bytes)
+                    .unwrap();
+                assert_eq!(
+                    refined, full,
+                    "frame {frame_idx} budget {budget} chunk {chunk_bytes}"
+                );
+                assert!(metrics.wire_bytes > 0);
+                // The reference frame extracted locally matches too —
+                // the stream is the *same data*, not merely
+                // self-consistent.
+                let reference =
+                    HybridFrame::from_partition(data, frame_idx, threshold, config.volume_dims);
+                assert_eq!(refined, reference);
+                let _ = full_metrics;
+            }
+        }
+    }
+
+    // The coarse head alone is a fraction of the full v2 payload: the
+    // time-to-first-pixel claim. (The <25%-at-default-budget acceptance
+    // number is measured by the lod_stream bench on the fig-1 workload,
+    // which is much larger than one chunk; this frame is not, so pin a
+    // budget well under the frame size.)
+    let threshold = threshold_for_budget(&local[0], 1_200);
+    let reference = HybridFrame::from_partition(&local[0], 0, threshold, config.volume_dims);
+    let records = lod::plan_frame_chunks(&reference, 4 * 1024);
+    let (full_v2, _) = encode_frame_v2(&reference);
+    assert!(
+        records[0].len() * 4 < full_v2.len(),
+        "first chunk {} B vs full {} B",
+        records[0].len(),
+        full_v2.len()
+    );
+
+    // Observability: progressive traffic is counted, and the shared
+    // extraction cache served both request kinds (no double builds).
+    let reg = server.metrics();
+    assert!(reg.counter(CTR_LOD_REQUESTS) >= 12);
+    assert!(reg.counter(CTR_LOD_CHUNKS) >= 2 * reg.counter(CTR_LOD_REQUESTS));
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.cache_hits >= 12,
+        "progressive refetches must hit the same cache entries: {stats:?}"
+    );
+    server.shutdown();
+}
+
+/// Sharded sessions: the router proxies a progressive request by
+/// fetching the full frame upstream and re-chunking locally with the
+/// same planner the shards run — the refined frame is bit-identical to
+/// both a full fetch through the router and a direct extraction.
+#[test]
+fn sharded_progressive_matches_full_fetch_and_direct_extraction() {
+    let frames = 4usize;
+    let data = stores(frames, 1_200);
+    let dims = ServerConfig::default().volume_dims;
+    let service = ShardedFrameService::spawn_loopback(
+        stores(frames, 1_200),
+        2,
+        ServerConfig::default(),
+        RouterConfig::default(),
+    )
+    .unwrap();
+
+    let mut client = Client::connect(service.addr()).unwrap();
+    assert_eq!(client.negotiated_version(), V2);
+    for (g, frame_data) in data.iter().enumerate() {
+        let (full, _) = client.fetch(g as u32, f64::INFINITY).unwrap();
+        let (refined, _) = client
+            .fetch_progressive(g as u32, f64::INFINITY, 2_048)
+            .unwrap();
+        assert_eq!(refined, full, "frame {g} through the router");
+        let reference = HybridFrame::from_partition(frame_data, g, f64::INFINITY, dims);
+        assert_eq!(refined, reference, "frame {g} vs direct extraction");
+    }
+    drop(client);
+    service.shutdown();
+}
+
+/// Chaos: a seeded fault plan (delay, disconnect, truncation guaranteed
+/// in the first half) against a progressive session must still refine
+/// every frame bit-identically — mid-stream failures reconnect, replay
+/// the request, and skip already-applied records at the assembler's
+/// high-water mark.
+#[test]
+fn chaos_progressive_session_refines_bit_identically() {
+    let frames = 5usize;
+    let seed = chaos_seed();
+    let server = FrameServer::spawn_loopback(stores(frames, 800), ServerConfig::default()).unwrap();
+
+    // Fault-free reference pass, measuring the progressive reply volume
+    // that calibrates the chaos plan's byte span.
+    let mut reference = Vec::new();
+    let mut reply_bytes = 0u64;
+    let mut clean = Client::connect_with(server.addr(), ClientConfig::no_retry()).unwrap();
+    for frame in 0..frames as u32 {
+        let (f, m) = clean
+            .fetch_progressive(frame, f64::INFINITY, 2_048)
+            .unwrap();
+        reply_bytes += m.wire_bytes;
+        reference.push(f);
+    }
+    drop(clean);
+
+    let plan = FaultPlan::chaos(seed, 8, reply_bytes);
+    let script = plan.script();
+    let config = ClientConfig {
+        retry: Some(RetryPolicy::fast(seed)),
+        ..ClientConfig::default()
+    };
+    let connector = FaultyConnector::new(
+        TcpConnector::new(server.addr(), &config).unwrap(),
+        Arc::clone(&script),
+    );
+    let client = Client::connect_via(Box::new(connector), config).unwrap();
+    let mut remote = RemoteFrames::new(client, f64::INFINITY, frames).progressive(2_048);
+
+    for (i, want) in reference.iter().enumerate() {
+        let (got, load) = remote.load(i).unwrap();
+        assert!(
+            !load.degraded && !load.partial,
+            "frame {i} must be fully refined, not a fallback"
+        );
+        assert_eq!(&*got, want, "frame {i} differs from the fault-free run");
+    }
+    assert!(
+        script.stats().total() > 0,
+        "the plan must actually have fired"
+    );
+    server.shutdown();
+}
+
+/// An unrecoverable mid-stream failure past the coarse head degrades to
+/// a *partial* rendition of the requested frame: the session advances
+/// to it (unlike a stale fallback) and the resident points are a prefix
+/// of the real frame.
+#[test]
+fn midstream_failure_degrades_to_a_partial_of_the_requested_frame() {
+    let config = ServerConfig::default();
+    let server = FrameServer::spawn_loopback(stores(1, 2_000), config).unwrap();
+    let reference = {
+        let data = stores(1, 2_000);
+        HybridFrame::from_partition(&data[0], 0, f64::INFINITY, config.volume_dims)
+    };
+    let records = lod::plan_frame_chunks(&reference, lod::MIN_CHUNK_BYTES);
+    assert!(records.len() > 3, "the plan must have refinement records");
+
+    // Truncate the read side mid-way through the second chunk: after
+    // the hello ack and the first chunk envelope, but before the stream
+    // completes. Envelope overhead is 16 B header + 8 B checksum.
+    let hello_bytes = {
+        let mut buf = Vec::new();
+        write_response_v(
+            &mut buf,
+            V2,
+            &Response::HelloAck {
+                version: V2,
+                frame_count: 1,
+            },
+        )
+        .unwrap()
+    };
+    let cut = hello_bytes + (records[0].len() as u64 + 24) + 12;
+    let plan = FaultPlan::new(vec![FaultEvent {
+        direction: FaultDirection::Read,
+        at_byte: cut,
+        kind: FaultKind::Truncate,
+    }]);
+    let config_client = ClientConfig::no_retry();
+    let connector = FaultyConnector::new(
+        TcpConnector::new(server.addr(), &config_client).unwrap(),
+        plan.script(),
+    );
+    let client = Client::connect_via(Box::new(connector), config_client).unwrap();
+    let remote = RemoteFrames::new(client, f64::INFINITY, 4).progressive(lod::MIN_CHUNK_BYTES);
+
+    let mut session = ViewerSession::open_with(Box::new(remote));
+    // Frame 0 loaded eagerly at open — but over a dead-by-now transport
+    // with no retries the *session step* is what we exercise: force a
+    // reload by stepping to 0 again is a cache hit, so instead assert
+    // on the initial load's partiality through the frame content.
+    let shown = session.frame().clone();
+    assert!(
+        shown.points.len() < reference.points.len(),
+        "the partial must hold a strict prefix: {} vs {}",
+        shown.points.len(),
+        reference.points.len()
+    );
+    assert!(!shown.points.is_empty(), "the coarse head was renderable");
+    assert_eq!(
+        &reference.points[..shown.points.len()],
+        &shown.points[..],
+        "partial points are a prefix of the real frame"
+    );
+    // The coarse grid carries the full density mass at reduced dims.
+    assert_eq!(shown.grid.total(), reference.grid.total());
+    let _ = session.apply(SessionOp::Orbit(0.3, 0.1));
+    server.shutdown();
+}
+
+/// A v1-capped session must get an in-band rejection for progressive
+/// requests (the chunk wire only exists under v2) and keep serving
+/// plain v1 fetches on the same connection — the frozen-byte-stream
+/// guarantee for pre-v2 clients.
+#[test]
+fn v1_sessions_reject_progressive_in_band_and_keep_serving() {
+    let server = FrameServer::spawn_loopback(stores(1, 800), ServerConfig::default()).unwrap();
+    let mut client = Client::connect_with(
+        server.addr(),
+        ClientConfig {
+            max_version: V1,
+            ..ClientConfig::no_retry()
+        },
+    )
+    .unwrap();
+    assert_eq!(client.negotiated_version(), V1);
+    let err = client.fetch_progressive(0, f64::INFINITY, 0).unwrap_err();
+    match err {
+        ServeError::Remote { code, message } => {
+            assert_eq!(code, ERR_BAD_REQUEST);
+            assert!(message.contains("v2"), "{message}");
+        }
+        other => panic!("expected an in-band rejection, got {other}"),
+    }
+    // The connection survives the rejection and serves v1 fetches.
+    let (frame, _) = client.fetch(0, f64::INFINITY).unwrap();
+    assert_eq!(frame.step, 0);
+    server.shutdown();
+}

@@ -38,11 +38,12 @@ fn stores(n: usize) -> Vec<PartitionedData> {
         .collect()
 }
 
-/// Fast upstream retries and a single-entry router cache, so the kill
-/// test exercises the upstream hop instead of the router's own cache.
+/// Fast upstream retries and a minimal router cache byte budget (only
+/// the most recent frame stays resident), so the kill test exercises
+/// the upstream hop instead of the router's own cache.
 fn fast_upstream(seed: u64) -> RouterConfig {
     RouterConfig {
-        cache_capacity: 1,
+        cache_bytes: 1,
         upstream: ClientConfig {
             retry: Some(RetryPolicy::fast(seed)),
             ..ClientConfig::default()
