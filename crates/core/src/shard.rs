@@ -72,6 +72,50 @@ impl ShardSpec {
     pub fn assignments(&self, frame_count: usize) -> Vec<usize> {
         (0..frame_count).map(|f| self.owner_of(f as u32)).collect()
     }
+
+    /// The top-`k` shards for `frame` under rendezvous hashing, in
+    /// descending score order — the frame's *replica set*, with the
+    /// primary owner first and each later entry the next-preferred
+    /// fallback. `k` is clamped to the shard count, and `k == 0` is
+    /// rejected (a frame with no owners can never be served).
+    ///
+    /// `owners(frame, 1)` is exactly `[owner_of(frame)]`: the argmax of
+    /// the same per-`(frame, shard)` scores, so a single-replica layout
+    /// reproduces the pre-replication placement bit for bit. Growing `k`
+    /// only *appends* lower-scored shards — it never reorders the
+    /// prefix — so raising the replication factor of a deployment keeps
+    /// every frame's primary (and the data already resident there) in
+    /// place.
+    ///
+    /// ```
+    /// use accelviz_core::shard::ShardSpec;
+    ///
+    /// let spec = ShardSpec::new(4);
+    /// for f in 0..100 {
+    ///     let owners = spec.owners(f, 2);
+    ///     assert_eq!(owners[0], spec.owner_of(f));
+    ///     assert_ne!(owners[0], owners[1], "replicas are distinct shards");
+    /// }
+    /// ```
+    pub fn owners(&self, frame: u32, k: usize) -> Vec<usize> {
+        assert!(k > 0, "a frame needs at least one owner");
+        let k = k.min(self.shards);
+        // Scores are 64-bit SplitMix64 outputs; collisions across the
+        // handful of shards a deployment runs are vanishingly unlikely,
+        // but the tie-break on shard index keeps the order total and
+        // platform-independent regardless.
+        let mut scored: Vec<(u64, usize)> =
+            (0..self.shards).map(|s| (score(frame, s), s)).collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.truncate(k);
+        scored.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// Replica set of every frame in `0..frame_count` at replication
+    /// `k` — the replicated twin of [`ShardSpec::assignments`].
+    pub fn replica_assignments(&self, frame_count: usize, k: usize) -> Vec<Vec<usize>> {
+        (0..frame_count).map(|f| self.owners(f as u32, k)).collect()
+    }
 }
 
 /// The rendezvous score of a `(frame, shard)` pair: both identities are
@@ -147,6 +191,77 @@ mod tests {
                 (1_500..=3_500).contains(&c),
                 "shard {shard} owns {c} of 10000 frames"
             );
+        }
+    }
+
+    #[test]
+    fn owners_at_k1_reproduce_the_single_owner_layout() {
+        // The replication acceptance bar: `owners(f, 1)` must be the
+        // PR 8 placement exactly, for every frame at every shard count.
+        for n in 1..=8 {
+            let spec = ShardSpec::new(n);
+            for f in 0..2_000u32 {
+                assert_eq!(
+                    spec.owners(f, 1),
+                    vec![spec.owner_of(f)],
+                    "k=1 must be bit-compatible at n={n}, frame {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn owners_are_distinct_prefix_stable_and_clamped() {
+        let spec = ShardSpec::new(5);
+        for f in 0..500u32 {
+            let all = spec.owners(f, 5);
+            // Distinct shards, all in range.
+            let mut seen = [false; 5];
+            for &s in &all {
+                assert!(s < 5);
+                assert!(!seen[s], "shard {s} appears twice for frame {f}");
+                seen[s] = true;
+            }
+            // Growing k appends — it never reorders the preference
+            // prefix, so replication bumps keep primaries in place.
+            for k in 1..=5 {
+                assert_eq!(spec.owners(f, k), all[..k], "prefix at k={k}");
+            }
+            // k past the shard count clamps to every shard.
+            assert_eq!(spec.owners(f, 99), all);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one owner")]
+    fn zero_replication_is_rejected() {
+        ShardSpec::new(3).owners(0, 0);
+    }
+
+    #[test]
+    fn replica_sets_spread_secondaries_across_shards() {
+        // Secondary replicas are rendezvous-scored too, so they balance
+        // like primaries instead of piling onto one backup shard.
+        let spec = ShardSpec::new(4);
+        let mut secondary_counts = [0usize; 4];
+        for f in 0..10_000u32 {
+            secondary_counts[spec.owners(f, 2)[1]] += 1;
+        }
+        for (shard, &c) in secondary_counts.iter().enumerate() {
+            assert!(
+                (1_500..=3_500).contains(&c),
+                "shard {shard} backs up {c} of 10000 frames"
+            );
+        }
+    }
+
+    #[test]
+    fn replica_assignments_match_owners() {
+        let spec = ShardSpec::new(3);
+        let sets = spec.replica_assignments(64, 2);
+        assert_eq!(sets.len(), 64);
+        for (f, set) in sets.iter().enumerate() {
+            assert_eq!(set, &spec.owners(f as u32, 2));
         }
     }
 

@@ -1,0 +1,331 @@
+//! Per-shard circuit breakers for the router's upstream leg.
+//!
+//! Without a breaker, every request routed to a dead shard burns the
+//! full upstream retry budget (seconds) before degrading — the
+//! availability cliff the PR 5 model was meant to smooth over. A
+//! breaker makes the *knowledge* that a shard is down cheap to reuse:
+//! after `failure_threshold` consecutive upstream failures the shard's
+//! breaker trips [`BreakerState::Open`] and subsequent requests
+//! fast-fail in microseconds (skipping straight to the next replica, or
+//! to the degraded path when no replica remains). After
+//! `open_cooldown`, the first arrival is admitted as a single
+//! [`Admission::Trial`] ([`BreakerState::HalfOpen`]); its success
+//! closes the breaker, its failure re-opens it for another cooldown.
+//! The background [`crate::health`] prober drives the same state
+//! machine from its `Stats` pings, so a recovering shard is reinstated
+//! even when no client traffic is probing it.
+//!
+//! The breaker is deliberately *pessimistic about consecutive failures
+//! only*: one success resets the count, so a shard that answers most
+//! requests but occasionally times out never trips. Every state
+//! transition is surfaced as a [`Transition`] so the router can land it
+//! on the `router.breaker_*` counters.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// When a shard's breaker trips and how long it stays tripped.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive upstream failures (requests or probes) that trip the
+    /// breaker from Closed to Open. One success resets the count.
+    pub failure_threshold: u32,
+    /// How long an Open breaker fast-fails before admitting a single
+    /// half-open trial. A failure while Open (from a request admitted
+    /// before the trip) refreshes this window.
+    pub open_cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The externally visible breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are being counted.
+    Closed,
+    /// Requests fast-fail without touching the shard.
+    Open,
+    /// One trial request is probing whether the shard recovered.
+    HalfOpen,
+}
+
+/// What `admit` decided for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: proceed normally.
+    Allow,
+    /// Breaker half-open and this caller won the single trial slot; its
+    /// `on_success`/`on_failure` report decides the next state.
+    Trial,
+    /// Breaker open (or a trial is already in flight): fail fast
+    /// without spending the upstream retry budget.
+    FastFail,
+}
+
+/// A state transition worth a counter increment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// Closed or HalfOpen → Open: the shard was ejected.
+    Opened,
+    /// Open → HalfOpen: the cooldown elapsed and a trial was admitted.
+    HalfOpened,
+    /// Open or HalfOpen → Closed: the shard was reinstated.
+    Closed,
+}
+
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant },
+    HalfOpen { trial_started: Option<Instant> },
+}
+
+/// One shard's circuit breaker. Thread-safe; every method is a short
+/// critical section, so `admit` on an open breaker costs microseconds —
+/// that *is* the feature.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<State>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given trip thresholds.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
+        }
+    }
+
+    /// The current state, for gauges and tests.
+    pub fn state(&self) -> BreakerState {
+        match *self.state.lock() {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Decides whether one request may proceed. Open breakers past
+    /// their cooldown admit exactly one [`Admission::Trial`]; a trial
+    /// whose owner never reports back (e.g. an isolated panic) is
+    /// abandoned after another cooldown so the breaker cannot wedge in
+    /// HalfOpen forever.
+    pub fn admit(&self) -> (Admission, Option<Transition>) {
+        let now = Instant::now();
+        let mut state = self.state.lock();
+        match *state {
+            State::Closed { .. } => (Admission::Allow, None),
+            State::Open { until } if now >= until => {
+                *state = State::HalfOpen {
+                    trial_started: Some(now),
+                };
+                (Admission::Trial, Some(Transition::HalfOpened))
+            }
+            State::Open { .. } => (Admission::FastFail, None),
+            State::HalfOpen { trial_started } => match trial_started {
+                Some(started) if now.duration_since(started) <= self.config.open_cooldown => {
+                    (Admission::FastFail, None)
+                }
+                // No trial in flight (or the previous one was abandoned):
+                // this caller takes the slot.
+                _ => {
+                    *state = State::HalfOpen {
+                        trial_started: Some(now),
+                    };
+                    (Admission::Trial, None)
+                }
+            },
+        }
+    }
+
+    /// Reports a successful upstream operation (request or probe): the
+    /// breaker closes from any state and the failure count resets.
+    pub fn on_success(&self) -> Option<Transition> {
+        let mut state = self.state.lock();
+        let was_closed = matches!(*state, State::Closed { .. });
+        *state = State::Closed {
+            consecutive_failures: 0,
+        };
+        if was_closed {
+            None
+        } else {
+            Some(Transition::Closed)
+        }
+    }
+
+    /// Reports a failed upstream operation. Closed breakers count it
+    /// (and trip at the threshold); a failed half-open trial re-opens;
+    /// a failure reported while already Open (a request admitted before
+    /// the trip) refreshes the cooldown window.
+    pub fn on_failure(&self) -> Option<Transition> {
+        let now = Instant::now();
+        let mut state = self.state.lock();
+        match *state {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.config.failure_threshold {
+                    *state = State::Open {
+                        until: now + self.config.open_cooldown,
+                    };
+                    Some(Transition::Opened)
+                } else {
+                    *state = State::Closed {
+                        consecutive_failures: failures,
+                    };
+                    None
+                }
+            }
+            State::HalfOpen { .. } => {
+                *state = State::Open {
+                    until: now + self.config.open_cooldown,
+                };
+                Some(Transition::Opened)
+            }
+            State::Open { .. } => {
+                *state = State::Open {
+                    until: now + self.config.open_cooldown,
+                };
+                None
+            }
+        }
+    }
+
+    /// Forces the breaker closed with a clean slate — the
+    /// `set_shard_addr` operator override: a pool repointed at a
+    /// replacement shard must not inherit the dead one's verdict.
+    pub fn reset(&self) -> Option<Transition> {
+        let mut state = self.state.lock();
+        let was_closed = matches!(*state, State::Closed { .. });
+        *state = State::Closed {
+            consecutive_failures: 0,
+        };
+        if was_closed {
+            None
+        } else {
+            Some(Transition::Closed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_cooldown: Duration::from_millis(30),
+        }
+    }
+
+    #[test]
+    fn trips_open_after_consecutive_failures_and_fast_fails() {
+        let b = CircuitBreaker::new(fast());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.on_failure(), None);
+        assert_eq!(b.on_failure(), None);
+        assert_eq!(b.on_failure(), Some(Transition::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+        let (admission, t) = b.admit();
+        assert_eq!(admission, Admission::FastFail);
+        assert_eq!(t, None);
+    }
+
+    #[test]
+    fn one_success_resets_the_failure_count() {
+        let b = CircuitBreaker::new(fast());
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.on_success(), None, "closed stays closed");
+        // The count restarted: two more failures do not trip.
+        b.on_failure();
+        assert_eq!(b.on_failure(), None);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_admits_one_trial_then_success_closes() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        let (admission, t) = b.admit();
+        assert_eq!(admission, Admission::Trial);
+        assert_eq!(t, Some(Transition::HalfOpened));
+        // A second arrival while the trial is in flight fast-fails.
+        assert_eq!(b.admit().0, Admission::FastFail);
+        assert_eq!(b.on_success(), Some(Transition::Closed));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit().0, Admission::Allow);
+    }
+
+    #[test]
+    fn failed_trial_reopens_for_another_cooldown() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(b.admit().0, Admission::Trial);
+        assert_eq!(b.on_failure(), Some(Transition::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit().0, Admission::FastFail);
+        // ...and the next cooldown admits a fresh trial.
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(b.admit().0, Admission::Trial);
+    }
+
+    #[test]
+    fn abandoned_trial_is_reclaimed_after_a_cooldown() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(b.admit().0, Admission::Trial);
+        // The trial's owner vanishes without reporting. After another
+        // cooldown the slot is reclaimed instead of wedging HalfOpen.
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(b.admit().0, Admission::Trial);
+    }
+
+    #[test]
+    fn reset_closes_from_any_state() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.reset(), Some(Transition::Closed));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.reset(), None, "already closed");
+        assert_eq!(b.admit().0, Admission::Allow);
+    }
+
+    #[test]
+    fn open_failure_refreshes_the_cooldown() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        // A straggler admitted before the trip reports its failure now:
+        // the cooldown restarts, so 20 ms later the breaker is still
+        // fully open rather than half-open.
+        assert_eq!(b.on_failure(), None);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.admit().0, Admission::FastFail);
+    }
+}

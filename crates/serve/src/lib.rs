@@ -34,9 +34,16 @@
 //!   `Stats` reply carries.
 //! - [`router`] — the scale-out layer: [`router::ShardedFrameService`]
 //!   and [`router::FrameRouter`], one AVWF front door over N shard
-//!   servers with rendezvous-hashed frame ownership, pooled retrying
-//!   upstream connections, cross-shard herd coalescing, and aggregated
-//!   `Stats`.
+//!   servers with rendezvous-hashed (optionally replicated) frame
+//!   ownership, pooled retrying upstream connections, cross-shard herd
+//!   coalescing, replica failover with optional hedged reads, and
+//!   aggregated `Stats`.
+//! - [`breaker`] — per-shard circuit breakers on the upstream leg, so a
+//!   dead shard fast-fails in microseconds instead of burning the retry
+//!   budget per request.
+//! - [`health`] — the background prober that pings every shard with
+//!   cheap `Stats` round trips on a seeded-jitter interval and
+//!   reinstates recovered shards with no operator in the loop.
 //! - [`retry`] — the deterministic backoff policy behind the client's
 //!   reconnect-and-replay resilience.
 //! - [`fault`] — seeded, scheduled fault injection for chaos testing
@@ -54,10 +61,12 @@
 
 #![deny(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
 pub mod client;
 pub mod error;
 pub mod fault;
+pub mod health;
 pub mod lod;
 #[cfg(unix)]
 pub mod poll;
@@ -76,14 +85,16 @@ pub mod wire;
 // resolving for every existing caller.
 pub use accelviz_store::lru;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::{
     Client, ClientConfig, ClientStats, Connector, FaultyConnector, FetchMetrics, RemoteFrames,
     TcpConnector, Transport,
 };
 pub use error::{Result, ServeError};
 pub use fault::{FaultDirection, FaultEvent, FaultKind, FaultPlan, FaultScript, FaultyTransport};
+pub use health::HealthConfig;
 pub use lru::LruOrder;
 pub use retry::RetryPolicy;
-pub use router::{FrameRouter, RouterConfig, ShardMap, ShardedFrameService};
+pub use router::{FrameRouter, HedgeConfig, RouterConfig, ShardMap, ShardedFrameService};
 pub use server::{FrameServer, ServeBackend, ServerConfig};
 pub use stats::ServerStats;

@@ -38,14 +38,17 @@
 //! shard returns (or [`FrameRouter::set_shard_addr`] repoints its pool
 //! at a replacement), the same requests simply succeed again.
 
+use crate::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker, Transition};
 use crate::cache::CacheKey;
 use crate::client::{Client, ClientConfig};
 use crate::error::ServeError;
+use crate::health::{HealthConfig, Prober};
 use crate::lru::LruOrder;
 use crate::protocol::{
     read_request, write_response_v, FrameInfo, Request, Response, ERR_BAD_REQUEST,
     ERR_BAD_THRESHOLD, ERR_INTERNAL, ERR_NO_SUCH_FRAME, RESP_FRAME,
 };
+use crate::retry::RetryPolicy;
 use crate::server::{CountGuard, FrameServer, ServerConfig};
 use crate::stats::ServerStats;
 use crate::wire::{encode_frame, encode_frame_v2, write_envelope_v, V1, V2, VERSION};
@@ -58,7 +61,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -108,11 +111,43 @@ pub const HIST_ROUTER_LATENCY: &str = "router.request_latency";
 pub const CTR_ROUTER_LOD_REQUESTS: &str = "router.lod_requests";
 /// Registry counter: progressive chunk records the router wrote.
 pub const CTR_ROUTER_LOD_CHUNKS: &str = "router.lod_chunks";
+/// Registry counter: breaker trips (Closed or HalfOpen → Open) — a
+/// shard was ejected from routing until it proves itself again.
+pub const CTR_ROUTER_BREAKER_OPEN: &str = "router.breaker_open";
+/// Registry counter: breaker cooldowns that elapsed into a half-open
+/// trial (Open → HalfOpen).
+pub const CTR_ROUTER_BREAKER_HALF_OPEN: &str = "router.breaker_half_open";
+/// Registry counter: breaker reinstatements (Open or HalfOpen →
+/// Closed), whether from a successful trial, a successful probe, or a
+/// `set_shard_addr` reset.
+pub const CTR_ROUTER_BREAKER_CLOSED: &str = "router.breaker_closed";
+/// Registry counter: fetch attempts an open breaker rejected in
+/// microseconds instead of burning the upstream retry budget.
+pub const CTR_ROUTER_BREAKER_FAST_FAILS: &str = "router.breaker_fast_fails";
+/// Registry counter: background health probes a shard answered.
+pub const CTR_ROUTER_PROBE_OK: &str = "router.probe_ok";
+/// Registry counter: background health probes a shard failed.
+pub const CTR_ROUTER_PROBE_FAIL: &str = "router.probe_fail";
+/// Registry counter: frame fetches ultimately served by a replica other
+/// than the frame's primary owner — the redundancy at work.
+pub const CTR_ROUTER_REPLICA_FAILOVERS: &str = "router.replica_failovers";
+/// Registry counter: fetches where the hedge delay elapsed and a second
+/// replica was raced against the slow primary.
+pub const CTR_ROUTER_HEDGED_REQUESTS: &str = "router.hedged_requests";
+/// Registry counter: hedged fetches where the raced replica answered
+/// first (with the primary still in flight).
+pub const CTR_ROUTER_HEDGED_WINS: &str = "router.hedged_wins";
+/// Registry histogram: one upstream fetch attempt against a shard,
+/// retries included — the distribution the hedge delay quantile is
+/// derived from.
+pub const HIST_ROUTER_UPSTREAM_LATENCY: &str = "router.upstream_latency";
 
-/// Where every global frame lives: which shard owns it and which *local*
-/// index that shard knows it by. Built once from a [`ShardSpec`] and a
-/// frame count, then shared by the shard launcher (to slice the data)
-/// and the router (to route requests).
+/// Where every global frame lives: which shards hold a replica of it
+/// (preference-ordered, primary first) and which *local* index each of
+/// those shards knows it by. Built once from a [`ShardSpec`], a frame
+/// count, and a replication factor, then shared by the shard launcher
+/// (to provision the — possibly overlapping — slices) and the router
+/// (to route requests and fall through replicas on failure).
 ///
 /// ```
 /// use accelviz_core::shard::ShardSpec;
@@ -120,51 +155,89 @@ pub const CTR_ROUTER_LOD_CHUNKS: &str = "router.lod_chunks";
 ///
 /// let map = ShardMap::sliced(&ShardSpec::new(2), 6);
 /// assert_eq!(map.frame_count(), 6);
+/// assert_eq!(map.replication(), 1);
 /// let (shard, _local) = map.locate(4).expect("frame 4 exists");
 /// assert!(shard < map.shard_count());
 /// // Out-of-catalog frames have no owner.
 /// assert!(map.locate(6).is_none());
+///
+/// // At replication 2 every frame lives on two shards.
+/// let map = ShardMap::sliced_replicated(&ShardSpec::new(3), 6, 2);
+/// assert_eq!(map.replication(), 2);
+/// assert_eq!(map.replicas(0).expect("frame 0 exists").len(), 2);
 /// ```
 #[derive(Clone, Debug)]
 pub struct ShardMap {
-    /// `owners[g] = (shard, local index)` for global frame `g`.
-    owners: Vec<(u32, u32)>,
+    /// `replicas[g]` = preference-ordered `(shard, local index)` pairs
+    /// for global frame `g`; the first entry is the primary owner.
+    replicas: Vec<Vec<(u32, u32)>>,
     shards: usize,
+    replication: usize,
 }
 
 impl ShardMap {
-    /// The layout for *physically sliced* shards: each shard holds only
-    /// its owned frames, packed in ascending global order, so global
-    /// frame `g` is the owner's `rank(g)`-th local frame. This is what
-    /// [`ShardedFrameService::spawn_loopback`] feeds its shards.
+    /// The single-replica sliced layout — identical to the
+    /// pre-replication behavior: each shard holds only the frames it
+    /// primarily owns, packed in ascending global order. Shorthand for
+    /// [`ShardMap::sliced_replicated`] with `replication == 1`.
     pub fn sliced(spec: &ShardSpec, frame_count: usize) -> ShardMap {
+        ShardMap::sliced_replicated(spec, frame_count, 1)
+    }
+
+    /// The layout for *physically sliced* shards at a replication
+    /// factor: each shard holds every frame whose top-`replication`
+    /// rendezvous owner set includes it, packed in ascending global
+    /// order, so global frame `g` is that shard's `rank(g)`-th local
+    /// frame. This is what
+    /// [`ShardedFrameService::spawn_loopback_replicated`] feeds its
+    /// shards. `replication` is clamped to the shard count; zero is
+    /// rejected by the underlying [`ShardSpec::owners`].
+    pub fn sliced_replicated(spec: &ShardSpec, frame_count: usize, replication: usize) -> ShardMap {
         let mut next_local = vec![0u32; spec.shards()];
-        let owners = (0..frame_count)
+        let replicas = (0..frame_count)
             .map(|g| {
-                let shard = spec.owner_of(g as u32);
-                let local = next_local[shard];
-                next_local[shard] += 1;
-                (shard as u32, local)
+                spec.owners(g as u32, replication)
+                    .into_iter()
+                    .map(|shard| {
+                        let local = next_local[shard];
+                        next_local[shard] += 1;
+                        (shard as u32, local)
+                    })
+                    .collect()
             })
             .collect();
         ShardMap {
-            owners,
+            replicas,
             shards: spec.shards(),
+            replication: replication.min(spec.shards()),
         }
     }
 
-    /// The layout for shards that all expose the *full* catalog (e.g.
-    /// N stored servers sharing one run file): ownership still follows
-    /// the rendezvous spec, but a frame's local index on its owner is
-    /// its global index. This is what
-    /// [`ShardedFrameService::spawn_stored_loopback`] uses.
+    /// The single-replica shared layout (every shard exposes the full
+    /// catalog); shorthand for [`ShardMap::shared_replicated`] with
+    /// `replication == 1`.
     pub fn shared(spec: &ShardSpec, frame_count: usize) -> ShardMap {
-        let owners = (0..frame_count)
-            .map(|g| (spec.owner_of(g as u32) as u32, g as u32))
+        ShardMap::shared_replicated(spec, frame_count, 1)
+    }
+
+    /// The layout for shards that all expose the *full* catalog (e.g.
+    /// N stored servers sharing one run file): routing preference still
+    /// follows the rendezvous replica set, but a frame's local index on
+    /// every replica is its global index. This is what
+    /// [`ShardedFrameService::spawn_stored_loopback_replicated`] uses.
+    pub fn shared_replicated(spec: &ShardSpec, frame_count: usize, replication: usize) -> ShardMap {
+        let replicas = (0..frame_count)
+            .map(|g| {
+                spec.owners(g as u32, replication)
+                    .into_iter()
+                    .map(|shard| (shard as u32, g as u32))
+                    .collect()
+            })
             .collect();
         ShardMap {
-            owners,
+            replicas,
             shards: spec.shards(),
+            replication: replication.min(spec.shards()),
         }
     }
 
@@ -175,23 +248,37 @@ impl ShardMap {
 
     /// Global frames this map covers.
     pub fn frame_count(&self) -> usize {
-        self.owners.len()
+        self.replicas.len()
     }
 
-    /// Where global frame `g` lives: `(shard, local index)`, or `None`
-    /// when `g` is outside the catalog.
+    /// Replicas every frame lives on (after clamping to the shard
+    /// count).
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Where global frame `g` primarily lives: `(shard, local index)`,
+    /// or `None` when `g` is outside the catalog.
     pub fn locate(&self, g: u32) -> Option<(usize, u32)> {
-        self.owners
+        self.replicas
             .get(g as usize)
-            .map(|&(s, local)| (s as usize, local))
+            .map(|set| (set[0].0 as usize, set[0].1))
     }
 
-    /// The global frames shard `s` owns, ascending.
+    /// Every `(shard, local index)` replica of global frame `g` in
+    /// routing-preference order (primary first), or `None` when `g` is
+    /// outside the catalog.
+    pub fn replicas(&self, g: u32) -> Option<&[(u32, u32)]> {
+        self.replicas.get(g as usize).map(|set| set.as_slice())
+    }
+
+    /// The global frames shard `s` holds a replica of (primary or
+    /// fallback), ascending — the slice the shard launcher provisions.
     pub fn frames_owned_by(&self, s: usize) -> Vec<usize> {
-        self.owners
+        self.replicas
             .iter()
             .enumerate()
-            .filter(|(_, &(shard, _))| shard as usize == s)
+            .filter(|(_, set)| set.iter().any(|&(shard, _)| shard as usize == s))
             .map(|(g, _)| g)
             .collect()
     }
@@ -222,8 +309,27 @@ pub struct RouterConfig {
     /// honored, so a `wire::V1`-capped upstream config forces
     /// uncompressed shard hops.
     pub upstream: ClientConfig,
+    /// Overrides `upstream.retry` when set — the knob operators tune
+    /// without rebuilding a whole [`ClientConfig`]. Whichever policy
+    /// wins, its seed is only a *base*: every fresh upstream dial
+    /// derives its own jitter seed from `(base seed, shard, dial
+    /// count)`, so a shard restart does not march every pooled
+    /// connection through identical backoff schedules (a synchronized
+    /// retry storm), while any fixed base seed still replays exactly.
+    pub upstream_retry: Option<RetryPolicy>,
     /// Idle upstream connections kept pooled per shard.
     pub upstream_idle: usize,
+    /// When a shard's circuit breaker trips and how long it cools down.
+    pub breaker: BreakerConfig,
+    /// The background health prober's pacing (zero interval disables
+    /// it).
+    pub health: HealthConfig,
+    /// Hedged upstream reads: `None` (the default) never hedges;
+    /// `Some` races the next replica when the primary is slower than a
+    /// latency quantile says it should be. Only meaningful with
+    /// replicated shard maps — with one replica per frame there is
+    /// nothing to race.
+    pub hedge: Option<HedgeConfig>,
 }
 
 impl Default for RouterConfig {
@@ -234,8 +340,52 @@ impl Default for RouterConfig {
             write_timeout: Some(Duration::from_secs(30)),
             max_connections: 256,
             upstream: ClientConfig::default(),
+            upstream_retry: None,
             upstream_idle: 4,
+            breaker: BreakerConfig::default(),
+            health: HealthConfig::default(),
+            hedge: None,
         }
+    }
+}
+
+/// When and how aggressively to hedge a slow upstream fetch with a
+/// request to the next replica.
+#[derive(Clone, Copy, Debug)]
+pub struct HedgeConfig {
+    /// The latency quantile of `router.upstream_latency` that sets the
+    /// hedge delay: a primary slower than this is raced. `0.95` hedges
+    /// roughly the slowest 5% of fetches.
+    pub quantile: f64,
+    /// Floor on the derived delay — hedging below this would duplicate
+    /// upstream work on healthy fetch jitter.
+    pub min_delay: Duration,
+    /// Ceiling on the derived delay, and the delay used while the
+    /// latency histogram is still empty (or the quantile lands in its
+    /// unbounded overflow bucket).
+    pub max_delay: Duration,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> HedgeConfig {
+        HedgeConfig {
+            quantile: 0.95,
+            min_delay: Duration::from_millis(1),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl HedgeConfig {
+    /// The hedge delay derived from the observed upstream latency
+    /// distribution, clamped to `[min_delay, max_delay]`.
+    fn delay_from(&self, metrics: &Registry) -> Duration {
+        metrics
+            .histogram(HIST_ROUTER_UPSTREAM_LATENCY)
+            .and_then(|h| h.quantile_upper_bound(self.quantile))
+            .map(Duration::from_secs_f64)
+            .unwrap_or(self.max_delay)
+            .clamp(self.min_delay, self.max_delay)
     }
 }
 
@@ -387,25 +537,45 @@ impl FetchCache {
     }
 }
 
+/// SplitMix64 — the workspace's stock seed mixer, used here to derive
+/// decorrelated per-connection retry seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// One shard's pooled upstream connections. Checked-out clients that
 /// finish their operation cleanly go back to the idle pool (up to
 /// `max_idle`); any failure drops the connection instead — its stream
 /// may be mid-envelope, and the next checkout dials fresh.
 struct UpstreamPool {
+    shard: usize,
     addr: Mutex<SocketAddr>,
     idle: Mutex<Vec<Client>>,
     config: ClientConfig,
+    /// Fresh dials so far — the per-connection retry seed counter.
+    dialed: AtomicU64,
     max_idle: usize,
 }
 
 impl UpstreamPool {
-    fn new(addr: SocketAddr, config: ClientConfig, max_idle: usize) -> UpstreamPool {
+    fn new(shard: usize, addr: SocketAddr, config: ClientConfig, max_idle: usize) -> UpstreamPool {
         UpstreamPool {
+            shard,
             addr: Mutex::new(addr),
             idle: Mutex::new(Vec::new()),
             config,
+            dialed: AtomicU64::new(0),
             max_idle,
         }
+    }
+
+    /// Where this pool currently dials — the address the health prober
+    /// pings, so `set_shard_addr` repoints probing too.
+    fn addr(&self) -> SocketAddr {
+        *self.addr.lock()
     }
 
     /// Repoints the pool (shard restarted elsewhere); idle connections
@@ -413,6 +583,21 @@ impl UpstreamPool {
     fn set_addr(&self, addr: SocketAddr) {
         *self.addr.lock() = addr;
         self.idle.lock().clear();
+    }
+
+    /// The config for one fresh dial: the shared policy with a retry
+    /// seed derived from `(base seed, shard, dial count)`. Each
+    /// connection jitters its backoff on its own schedule — a shard
+    /// restart must not turn N pooled connections into N synchronized
+    /// retry volleys — while a fixed base seed keeps the whole pattern
+    /// replayable.
+    fn dial_config(&self) -> ClientConfig {
+        let mut config = self.config;
+        if let Some(retry) = &mut config.retry {
+            let dial = self.dialed.fetch_add(1, Ordering::Relaxed);
+            retry.seed = splitmix64(retry.seed ^ ((self.shard as u64) << 32) ^ dial);
+        }
+        config
     }
 
     /// Runs `op` on a pooled (or freshly dialed) client. Returns the
@@ -424,7 +609,7 @@ impl UpstreamPool {
     ) -> crate::error::Result<(T, u64)> {
         let mut client = match self.idle.lock().pop() {
             Some(c) => c,
-            None => Client::connect_with(*self.addr.lock(), self.config)?,
+            None => Client::connect_with(self.addr(), self.dial_config())?,
         };
         let before = client.client_stats().retries;
         match op(&mut client) {
@@ -446,12 +631,31 @@ struct RouterShared {
     map: ShardMap,
     catalog: Vec<FrameInfo>,
     pools: Vec<UpstreamPool>,
+    /// One circuit breaker per shard, fed by upstream fetches, stats
+    /// hops, and the background prober alike.
+    breakers: Vec<CircuitBreaker>,
     cache: FetchCache,
     config: RouterConfig,
     metrics: Registry,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
     inflight_requests: AtomicUsize,
+}
+
+/// Lands a breaker state transition on the `router.breaker_*` counters.
+fn note_transition(metrics: &Registry, transition: Option<Transition>) {
+    match transition {
+        Some(Transition::Opened) => {
+            metrics.add(CTR_ROUTER_BREAKER_OPEN, 1);
+        }
+        Some(Transition::HalfOpened) => {
+            metrics.add(CTR_ROUTER_BREAKER_HALF_OPEN, 1);
+        }
+        Some(Transition::Closed) => {
+            metrics.add(CTR_ROUTER_BREAKER_CLOSED, 1);
+        }
+        None => {}
+    }
 }
 
 /// A running shard router: binds its own listener, speaks the unchanged
@@ -501,6 +705,7 @@ pub struct FrameRouter {
     shared: Arc<RouterShared>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
+    prober: Option<Prober>,
     #[cfg(unix)]
     waker: Arc<crate::poll::Waker>,
 }
@@ -534,9 +739,20 @@ impl FrameRouter {
                 ),
             ));
         }
+        // The operator override wins over the full upstream config; the
+        // winner's seed is re-derived per dial inside the pool.
+        let mut upstream = config.upstream;
+        if let Some(retry) = config.upstream_retry {
+            upstream.retry = Some(retry);
+        }
+        let shard_count = shards.len();
         let pools: Vec<UpstreamPool> = shards
             .into_iter()
-            .map(|a| UpstreamPool::new(a, config.upstream, config.upstream_idle))
+            .enumerate()
+            .map(|(i, a)| UpstreamPool::new(i, a, upstream, config.upstream_idle))
+            .collect();
+        let breakers = (0..shard_count)
+            .map(|_| CircuitBreaker::new(config.breaker))
             .collect();
         let catalog = merge_catalogs(&map, &pools)?;
         let listener = TcpListener::bind(addr)?;
@@ -545,6 +761,7 @@ impl FrameRouter {
             map,
             catalog,
             pools,
+            breakers,
             cache: FetchCache::new(config.cache_bytes.max(1)),
             config,
             metrics: Registry::new(),
@@ -552,6 +769,24 @@ impl FrameRouter {
             active_connections: AtomicUsize::new(0),
             inflight_requests: AtomicUsize::new(0),
         });
+        let prober = {
+            let addrs = Arc::clone(&shared);
+            let verdicts = Arc::clone(&shared);
+            Prober::spawn(
+                config.health,
+                shard_count,
+                move |i| addrs.pools[i].addr(),
+                move |i, ok| {
+                    if ok {
+                        verdicts.metrics.add(CTR_ROUTER_PROBE_OK, 1);
+                        note_transition(&verdicts.metrics, verdicts.breakers[i].on_success());
+                    } else {
+                        verdicts.metrics.add(CTR_ROUTER_PROBE_FAIL, 1);
+                        note_transition(&verdicts.metrics, verdicts.breakers[i].on_failure());
+                    }
+                },
+            )
+        };
         #[cfg(unix)]
         {
             let waker = Arc::new(crate::poll::Waker::new()?);
@@ -561,6 +796,7 @@ impl FrameRouter {
                 shared,
                 addr: local,
                 accept: Some(accept),
+                prober,
                 waker,
             })
         }
@@ -572,6 +808,7 @@ impl FrameRouter {
                 shared,
                 addr: local,
                 accept: Some(accept),
+                prober,
             })
         }
     }
@@ -601,13 +838,17 @@ impl FrameRouter {
 
     /// Repoints shard `shard`'s upstream pool at `addr` — the failover
     /// hook for a shard restarted on a new address. Idle pooled
-    /// connections to the old address are dropped; the merged catalog is
-    /// kept, so the replacement must serve the same frame slice. Errors
-    /// when `shard` is out of range.
+    /// connections to the old address are dropped, and the shard's
+    /// circuit breaker is reset to Closed: a replacement shard must not
+    /// inherit the dead one's verdict, or the router would keep
+    /// fast-failing a healthy server until a cooldown elapsed. The
+    /// merged catalog is kept, so the replacement must serve the same
+    /// frame slice. Errors when `shard` is out of range.
     pub fn set_shard_addr(&self, shard: usize, addr: SocketAddr) -> io::Result<()> {
         match self.shared.pools.get(shard) {
             Some(pool) => {
                 pool.set_addr(addr);
+                note_transition(&self.shared.metrics, self.shared.breakers[shard].reset());
                 Ok(())
             }
             None => Err(io::Error::new(
@@ -615,6 +856,12 @@ impl FrameRouter {
                 format!("shard {shard} out of range ({} shards)", self.shard_count()),
             )),
         }
+    }
+
+    /// Shard `shard`'s current circuit-breaker state, for dashboards
+    /// and tests. Panics when `shard` is out of range.
+    pub fn breaker_state(&self, shard: usize) -> BreakerState {
+        self.shared.breakers[shard].state()
     }
 
     /// Stops accepting, joins the accept thread, and drains in-flight
@@ -625,6 +872,11 @@ impl FrameRouter {
     }
 
     fn stop(&mut self) {
+        // Stop probing first: a dying deployment's shards going away
+        // must not race verdicts into the breakers mid-shutdown.
+        if let Some(mut prober) = self.prober.take() {
+            prober.shutdown();
+        }
         let Some(accept) = self.accept.take() else {
             return;
         };
@@ -651,9 +903,12 @@ impl Drop for FrameRouter {
 }
 
 /// Fetches every shard's catalog and stitches the merged global catalog:
-/// entry `g` comes from its owner's local slot, relabeled with the
-/// global index (`frame = g`, `step = g` — the run-wide convention a
-/// direct server of the unsliced data would report).
+/// entry `g` comes from its *primary* owner's local slot, relabeled with
+/// the global index (`frame = g`, `step = g` — the run-wide convention a
+/// direct server of the unsliced data would report). Every fallback
+/// replica's local index is validated against its shard's catalog too —
+/// a replica that cannot actually serve its frames would otherwise only
+/// be discovered during a failover, the worst possible moment.
 fn merge_catalogs(map: &ShardMap, pools: &[UpstreamPool]) -> io::Result<Vec<FrameInfo>> {
     let mut shard_catalogs = Vec::with_capacity(pools.len());
     for (i, pool) in pools.iter().enumerate() {
@@ -667,17 +922,22 @@ fn merge_catalogs(map: &ShardMap, pools: &[UpstreamPool]) -> io::Result<Vec<Fram
     }
     let mut merged = Vec::with_capacity(map.frame_count());
     for g in 0..map.frame_count() {
-        let (shard, local) = map.locate(g as u32).expect("g < frame_count");
-        let entry = shard_catalogs[shard].get(local as usize).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "shard {shard} advertises {} frames but the map routes global frame {g} \
-                     to its local index {local}",
-                    shard_catalogs[shard].len()
-                ),
-            )
-        })?;
+        let replicas = map.replicas(g as u32).expect("g < frame_count");
+        for &(shard, local) in replicas {
+            let (shard, local) = (shard as usize, local as usize);
+            if local >= shard_catalogs[shard].len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "shard {shard} advertises {} frames but the map routes global frame {g} \
+                         to its local index {local}",
+                        shard_catalogs[shard].len()
+                    ),
+                ));
+            }
+        }
+        let (shard, local) = (replicas[0].0 as usize, replicas[0].1 as usize);
+        let entry = &shard_catalogs[shard][local];
         merged.push(FrameInfo {
             frame: g as u32,
             step: g as u64,
@@ -803,7 +1063,9 @@ fn admit(shared: &Arc<RouterShared>, stream: TcpStream) {
 
 /// The per-connection request/reply loop — the same session shape as the
 /// server's `serve_loop`, with the shard hop inside `respond_router`.
-fn client_loop<S: Read + Write>(shared: &RouterShared, mut stream: S) {
+/// Takes the `Arc` (not a plain borrow) because a hedged fetch spawns a
+/// helper thread that must co-own the shared state.
+fn client_loop<S: Read + Write>(shared: &Arc<RouterShared>, mut stream: S) {
     let mut session_version = V1;
     loop {
         let req = match read_request(&mut stream) {
@@ -860,7 +1122,7 @@ fn client_loop<S: Read + Write>(shared: &RouterShared, mut stream: S) {
 /// frame reply). Mirrors the server's `respond` contract so a client
 /// cannot tell the difference.
 fn respond_router<S: Write>(
-    shared: &RouterShared,
+    shared: &Arc<RouterShared>,
     req: Request,
     stream: &mut S,
     session_version: &mut u16,
@@ -954,13 +1216,13 @@ fn respond_router<S: Write>(
 }
 
 /// The shared routing path behind both frame request kinds: validates
-/// the threshold, locates the owning shard, and resolves the decoded
-/// frame through the router cache (one upstream fetch per herd). On a
-/// policy or upstream failure the in-band error reply is already
-/// written and the inner `Err` carries `respond_router`'s return value;
-/// the outer `Err` is a dead client connection.
+/// the threshold, locates the frame's replica set, and resolves the
+/// decoded frame through the router cache (one upstream fetch per
+/// herd). On a policy or upstream failure the in-band error reply is
+/// already written and the inner `Err` carries `respond_router`'s
+/// return value; the outer `Err` is a dead client connection.
 fn route_frame<S: Write>(
-    shared: &RouterShared,
+    shared: &Arc<RouterShared>,
     frame: u32,
     threshold: f64,
     stream: &mut S,
@@ -976,7 +1238,7 @@ fn route_frame<S: Write>(
             false,
         )));
     }
-    let Some((shard, local)) = shared.map.locate(frame) else {
+    if shared.map.replicas(frame).is_none() {
         let reply = Response::Error {
             code: ERR_NO_SUCH_FRAME,
             message: format!(
@@ -988,12 +1250,12 @@ fn route_frame<S: Write>(
             write_response_v(stream, session_version, &reply)?,
             false,
         )));
-    };
+    }
     let key = CacheKey::new(frame, threshold);
     let global = frame as usize;
-    let (result, outcome) = shared.cache.get_or_fetch(key, || {
-        fetch_upstream(shared, shard, local, global, threshold)
-    });
+    let (result, outcome) = shared
+        .cache
+        .get_or_fetch(key, || fetch_replicated(shared, frame, global, threshold));
     match outcome {
         FetchOutcome::Hit => {
             shared.metrics.add(CTR_ROUTER_CACHE_HITS, 1);
@@ -1024,13 +1286,13 @@ fn route_frame<S: Write>(
     }
 }
 
-/// One upstream frame fetch against the owning shard, through its pool.
-/// The decoded frame is relabeled with its *global* step index: a sliced
-/// shard only knows its local frame numbering, and the run-wide
-/// convention (what a direct server of the unsliced data bakes into the
-/// frame, and what the merged catalog advertises) is `step == global
-/// index`.
-fn fetch_upstream(
+/// One upstream frame fetch attempt against shard `shard`, through its
+/// pool, with the shard's breaker told the outcome. The decoded frame
+/// is relabeled with its *global* step index: a sliced shard only knows
+/// its local frame numbering, and the run-wide convention (what a
+/// direct server of the unsliced data bakes into the frame, and what
+/// the merged catalog advertises) is `step == global index`.
+fn attempt_fetch(
     shared: &RouterShared,
     shard: usize,
     local: u32,
@@ -1038,14 +1300,21 @@ fn fetch_upstream(
     threshold: f64,
 ) -> Result<Arc<HybridFrame>, String> {
     shared.metrics.add(CTR_ROUTER_UPSTREAM_FETCHES, 1);
-    match shared.pools[shard].with(|c| c.fetch(local, threshold)) {
+    let t0 = Instant::now();
+    let result = shared.pools[shard].with(|c| c.fetch(local, threshold));
+    shared
+        .metrics
+        .record_seconds(HIST_ROUTER_UPSTREAM_LATENCY, t0.elapsed().as_secs_f64());
+    match result {
         Ok(((mut frame, _metrics), retries)) => {
             shared.metrics.add(CTR_ROUTER_UPSTREAM_RETRIES, retries);
+            note_transition(&shared.metrics, shared.breakers[shard].on_success());
             frame.step = global;
             Ok(Arc::new(frame))
         }
         Err(e) => {
             shared.metrics.add(CTR_ROUTER_UPSTREAM_ERRORS, 1);
+            note_transition(&shared.metrics, shared.breakers[shard].on_failure());
             Err(format!(
                 "shard {shard} failed serving its frame {local}: {e}"
             ))
@@ -1053,15 +1322,175 @@ fn fetch_upstream(
     }
 }
 
+/// Advances `cursor` to the next replica whose breaker admits an
+/// attempt, counting fast-fails along the way. Returns the replica's
+/// position in the preference list plus its `(shard, local)` target, or
+/// `None` when every remaining replica fast-failed. Admission is lazy —
+/// a half-open trial slot is only claimed when the fetch is actually
+/// about to use it.
+fn next_candidate(
+    shared: &RouterShared,
+    replicas: &[(u32, u32)],
+    cursor: &mut usize,
+) -> Option<(usize, usize, u32)> {
+    while *cursor < replicas.len() {
+        let idx = *cursor;
+        *cursor += 1;
+        let (shard, local) = (replicas[idx].0 as usize, replicas[idx].1);
+        let (admission, transition) = shared.breakers[shard].admit();
+        note_transition(&shared.metrics, transition);
+        match admission {
+            Admission::FastFail => {
+                shared.metrics.add(CTR_ROUTER_BREAKER_FAST_FAILS, 1);
+            }
+            Admission::Allow | Admission::Trial => return Some((idx, shard, local)),
+        }
+    }
+    None
+}
+
+/// One logical frame fetch, resolved across the frame's replica set:
+/// walk the preference order, skip replicas whose breaker fast-fails
+/// (microseconds each), attempt the rest in turn — optionally hedged —
+/// and stop at the first success. Only when every replica has either
+/// fast-failed or genuinely failed does the fetch fail, which the
+/// caller turns into the in-band `ERR_INTERNAL` degraded path; with
+/// replication ≥ 2 a single dead shard therefore costs zero degraded
+/// frames.
+fn fetch_replicated(
+    shared: &Arc<RouterShared>,
+    frame: u32,
+    global: usize,
+    threshold: f64,
+) -> Result<Arc<HybridFrame>, String> {
+    let replicas = shared
+        .map
+        .replicas(frame)
+        .expect("caller checked the frame exists")
+        .to_vec();
+    let mut cursor = 0usize;
+    let mut last_err: Option<String> = None;
+    while let Some((idx, shard, local)) = next_candidate(shared, &replicas, &mut cursor) {
+        let outcome = match shared.config.hedge {
+            Some(hedge) => hedged_attempt(
+                shared,
+                &replicas,
+                &mut cursor,
+                idx,
+                shard,
+                local,
+                global,
+                threshold,
+                hedge,
+            ),
+            None => attempt_fetch(shared, shard, local, global, threshold).map(|f| (f, idx)),
+        };
+        match outcome {
+            Ok((decoded, served_idx)) => {
+                if served_idx > 0 {
+                    shared.metrics.add(CTR_ROUTER_REPLICA_FAILOVERS, 1);
+                }
+                return Ok(decoded);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        format!(
+            "every replica's circuit breaker is open for frame {global} \
+             ({} replicas)",
+            replicas.len()
+        )
+    }))
+}
+
+/// One fetch attempt with a hedge: the primary runs on a helper thread;
+/// if it has not answered within the quantile-derived hedge delay, the
+/// next admissible replica is raced against it and the first genuine
+/// reply wins. The loser is not cancelled — it finishes on its thread
+/// and reports its own outcome to its breaker and counters, it just
+/// cannot win. Returns the frame plus the preference index of the
+/// replica that served it.
+#[allow(clippy::too_many_arguments)]
+fn hedged_attempt(
+    shared: &Arc<RouterShared>,
+    replicas: &[(u32, u32)],
+    cursor: &mut usize,
+    primary_idx: usize,
+    shard: usize,
+    local: u32,
+    global: usize,
+    threshold: f64,
+    hedge: HedgeConfig,
+) -> Result<(Arc<HybridFrame>, usize), String> {
+    use std::sync::mpsc;
+    let (tx, rx) = mpsc::channel();
+    let spawn_attempt = |idx: usize, shard: usize, local: u32| {
+        let s = Arc::clone(shared);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let outcome = attempt_fetch(&s, shard, local, global, threshold);
+            // A send after the winner returned just goes nowhere.
+            let _ = tx.send((idx, outcome));
+        });
+    };
+    let delay = hedge.delay_from(&shared.metrics);
+    spawn_attempt(primary_idx, shard, local);
+    let mut in_flight = 1usize;
+    let mut hedge_launched = false;
+    let mut last_err: Option<String> = None;
+    while in_flight > 0 {
+        let (idx, outcome) = if hedge_launched {
+            rx.recv().expect("tx is owned by this frame until return")
+        } else {
+            match rx.recv_timeout(delay) {
+                Ok(msg) => msg,
+                Err(_slow_primary) => {
+                    hedge_launched = true;
+                    if let Some((idx2, shard2, local2)) = next_candidate(shared, replicas, cursor) {
+                        shared.metrics.add(CTR_ROUTER_HEDGED_REQUESTS, 1);
+                        spawn_attempt(idx2, shard2, local2);
+                        in_flight += 1;
+                    }
+                    continue;
+                }
+            }
+        };
+        in_flight -= 1;
+        match outcome {
+            Ok(frame) => {
+                if idx != primary_idx && in_flight > 0 {
+                    shared.metrics.add(CTR_ROUTER_HEDGED_WINS, 1);
+                }
+                return Ok((frame, idx));
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least the primary attempt completed"))
+}
+
 /// Sums every reachable shard's `Stats` snapshot into one wire-shaped
 /// total; a shard that cannot answer contributes zeros (and an
-/// `router.upstream_errors` count) instead of failing the reply.
+/// `router.upstream_errors` count) instead of failing the reply, and a
+/// shard whose breaker is open is skipped outright (a
+/// `router.breaker_fast_fails` count) — one dead shard must not add its
+/// full retry budget to every `Stats` round trip. Stats hops feed the
+/// breakers like any other upstream traffic, so a `Stats` poll doubles
+/// as a half-open trial once the cooldown elapses.
 fn aggregate_stats(shared: &RouterShared) -> ServerStats {
     let mut total = ServerStats::default();
-    for pool in &shared.pools {
+    for (shard, pool) in shared.pools.iter().enumerate() {
+        let (admission, transition) = shared.breakers[shard].admit();
+        note_transition(&shared.metrics, transition);
+        if admission == Admission::FastFail {
+            shared.metrics.add(CTR_ROUTER_BREAKER_FAST_FAILS, 1);
+            continue;
+        }
         match pool.with(|c| c.stats()) {
             Ok((s, retries)) => {
                 shared.metrics.add(CTR_ROUTER_UPSTREAM_RETRIES, retries);
+                note_transition(&shared.metrics, shared.breakers[shard].on_success());
                 total.requests += s.requests;
                 total.frames_served += s.frames_served;
                 total.bytes_sent += s.bytes_sent;
@@ -1075,6 +1504,7 @@ fn aggregate_stats(shared: &RouterShared) -> ServerStats {
             }
             Err(_) => {
                 shared.metrics.add(CTR_ROUTER_UPSTREAM_ERRORS, 1);
+                note_transition(&shared.metrics, shared.breakers[shard].on_failure());
             }
         }
     }
@@ -1118,71 +1548,137 @@ fn aggregate_stats(shared: &RouterShared) -> ServerStats {
 /// service.shutdown();
 /// ```
 pub struct ShardedFrameService {
-    shards: Vec<FrameServer>,
+    /// `None` marks a shard killed by [`ShardedFrameService::kill_shard`]
+    /// and not yet reinstated.
+    shards: Vec<Option<FrameServer>>,
+    /// What each shard serves — retained so a killed shard can be
+    /// respawned bit-identically by
+    /// [`ShardedFrameService::reinstate_shard`].
+    sources: Vec<ShardSource>,
+    shard_config: ServerConfig,
     router: FrameRouter,
+}
+
+/// The data a shard was provisioned with, kept for reinstatement.
+enum ShardSource {
+    /// A physically sliced shard's frames, in local-index order.
+    Sliced(Vec<PartitionedData>),
+    /// A stored shard's shared out-of-core run.
+    Stored(Arc<ResidentRun>),
 }
 
 impl ShardedFrameService {
     /// Spawns `shards` loopback shard servers over `data` sliced by
     /// rendezvous ownership ([`ShardMap::sliced`]) plus the fronting
-    /// router. Rejects an empty shard set with `InvalidInput`.
+    /// router — the single-replica layout, bit-identical to the
+    /// pre-replication service. Rejects an empty shard set with
+    /// `InvalidInput`.
     pub fn spawn_loopback(
         data: Vec<PartitionedData>,
         shards: usize,
         shard_config: ServerConfig,
         router_config: RouterConfig,
     ) -> io::Result<ShardedFrameService> {
-        if shards == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "a sharded service needs at least one shard",
-            ));
-        }
-        let spec = ShardSpec::new(shards);
-        let map = ShardMap::sliced(&spec, data.len());
+        Self::spawn_loopback_replicated(data, shards, 1, shard_config, router_config)
+    }
+
+    /// Spawns `shards` loopback shard servers over `data`, each
+    /// provisioned with the (overlapping, when `replication > 1`)
+    /// slice of frames whose rendezvous replica set includes it
+    /// ([`ShardMap::sliced_replicated`]), plus the fronting router.
+    /// With `replication >= 2` every frame lives on at least two shards
+    /// and a single shard kill costs zero degraded frames. Rejects an
+    /// empty shard set or a zero replication factor with
+    /// `InvalidInput`; `replication` above the shard count clamps.
+    pub fn spawn_loopback_replicated(
+        data: Vec<PartitionedData>,
+        shards: usize,
+        replication: usize,
+        shard_config: ServerConfig,
+        router_config: RouterConfig,
+    ) -> io::Result<ShardedFrameService> {
+        let spec = Self::validated_spec(shards, replication)?;
+        let map = ShardMap::sliced_replicated(&spec, data.len(), replication);
         let mut slices: Vec<Vec<PartitionedData>> = (0..shards).map(|_| Vec::new()).collect();
         for (g, d) in data.into_iter().enumerate() {
-            slices[spec.owner_of(g as u32)].push(d);
+            let set = map.replicas(g as u32).expect("g is in range");
+            // Ascending-g pushes reproduce each shard's local ranking;
+            // the last replica takes the original, the rest clone.
+            let (last, rest) = set.split_last().expect("replica sets are nonempty");
+            for &(shard, _) in rest {
+                slices[shard as usize].push(d.clone());
+            }
+            slices[last.0 as usize].push(d);
         }
-        let servers = slices
-            .into_iter()
-            .map(|slice| FrameServer::spawn_loopback(slice, shard_config))
-            .collect::<io::Result<Vec<_>>>()?;
-        Self::front(servers, map, router_config)
+        let sources: Vec<ShardSource> = slices.into_iter().map(ShardSource::Sliced).collect();
+        Self::front(sources, map, shard_config, router_config)
     }
 
     /// Spawns `shards` loopback shard servers that all read the same
     /// out-of-core `run` (ownership is logical, [`ShardMap::shared`]),
-    /// plus the fronting router. Rejects an empty shard set.
+    /// plus the fronting router — single-replica routing preference.
     pub fn spawn_stored_loopback(
         run: Arc<ResidentRun>,
         shards: usize,
         shard_config: ServerConfig,
         router_config: RouterConfig,
     ) -> io::Result<ShardedFrameService> {
+        Self::spawn_stored_loopback_replicated(run, shards, 1, shard_config, router_config)
+    }
+
+    /// The replicated twin of
+    /// [`ShardedFrameService::spawn_stored_loopback`]: every shard
+    /// already exposes the full catalog, so replication here is purely
+    /// a routing property ([`ShardMap::shared_replicated`]) — no frame
+    /// is provisioned twice, but each request has `replication` shards
+    /// to fall through.
+    pub fn spawn_stored_loopback_replicated(
+        run: Arc<ResidentRun>,
+        shards: usize,
+        replication: usize,
+        shard_config: ServerConfig,
+        router_config: RouterConfig,
+    ) -> io::Result<ShardedFrameService> {
+        let spec = Self::validated_spec(shards, replication)?;
+        let map = ShardMap::shared_replicated(&spec, run.frame_count(), replication);
+        let sources = (0..shards)
+            .map(|_| ShardSource::Stored(Arc::clone(&run)))
+            .collect();
+        Self::front(sources, map, shard_config, router_config)
+    }
+
+    fn validated_spec(shards: usize, replication: usize) -> io::Result<ShardSpec> {
         if shards == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "a sharded service needs at least one shard",
             ));
         }
-        let spec = ShardSpec::new(shards);
-        let map = ShardMap::shared(&spec, run.frame_count());
-        let servers = (0..shards)
-            .map(|_| FrameServer::spawn_stored_loopback(Arc::clone(&run), shard_config))
-            .collect::<io::Result<Vec<_>>>()?;
-        Self::front(servers, map, router_config)
+        if replication == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a sharded service needs a replication factor of at least 1",
+            ));
+        }
+        Ok(ShardSpec::new(shards))
     }
 
     fn front(
-        servers: Vec<FrameServer>,
+        sources: Vec<ShardSource>,
         map: ShardMap,
+        shard_config: ServerConfig,
         router_config: RouterConfig,
     ) -> io::Result<ShardedFrameService> {
+        let servers = sources
+            .iter()
+            .map(|source| spawn_shard(source, shard_config))
+            .collect::<io::Result<Vec<_>>>()?;
         let addrs = servers.iter().map(|s| s.addr()).collect();
         let router = FrameRouter::spawn("127.0.0.1:0", addrs, map, router_config)?;
         Ok(ShardedFrameService {
-            shards: servers,
+            shards: servers.into_iter().map(Some).collect(),
+            sources,
+            shard_config,
             router,
         })
     }
@@ -1192,14 +1688,52 @@ impl ShardedFrameService {
         self.router.addr()
     }
 
-    /// Shard servers behind the router.
+    /// Shard servers behind the router (killed ones included).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
     /// Shard `i`'s server handle (its private address, metrics, stats).
+    ///
+    /// # Panics
+    /// Panics when shard `i` is currently killed — a dead server has no
+    /// handle to return.
     pub fn shard(&self, i: usize) -> &FrameServer {
-        &self.shards[i]
+        self.shards[i]
+            .as_ref()
+            .expect("shard was killed and not reinstated")
+    }
+
+    /// Whether shard `i` is currently live.
+    pub fn shard_alive(&self, i: usize) -> bool {
+        self.shards[i].is_some()
+    }
+
+    /// Kills shard `i`: shuts the server down and drops its handle, so
+    /// every connection to it — pooled upstream connections included —
+    /// starts failing. The router is told nothing; discovering the
+    /// death (retries, breaker trip, probe failures) and surviving it
+    /// (replica fall-through) is exactly what this hook exists to
+    /// exercise. A no-op when the shard is already dead.
+    pub fn kill_shard(&mut self, i: usize) {
+        if let Some(server) = self.shards[i].take() {
+            server.shutdown();
+        }
+    }
+
+    /// Reinstates a killed shard `i`: respawns a server over the same
+    /// source data (bit-identical frames, fresh address) and repoints
+    /// the router's pool at it — which also resets the shard's breaker,
+    /// per [`FrameRouter::set_shard_addr`]. A no-op when the shard is
+    /// alive.
+    pub fn reinstate_shard(&mut self, i: usize) -> io::Result<()> {
+        if self.shards[i].is_some() {
+            return Ok(());
+        }
+        let server = spawn_shard(&self.sources[i], self.shard_config)?;
+        self.router.set_shard_addr(i, server.addr())?;
+        self.shards[i] = Some(server);
+        Ok(())
     }
 
     /// The fronting router (its `router.*` metrics, the failover hook).
@@ -1207,11 +1741,12 @@ impl ShardedFrameService {
         &self.router
     }
 
-    /// Sum of every shard's local stats — the same totals a client reads
-    /// with a `Stats` request through the router.
+    /// Sum of every *live* shard's local stats — the same totals a
+    /// client reads with a `Stats` request through the router (which
+    /// likewise counts a dead shard as zeros).
     pub fn stats(&self) -> ServerStats {
         let mut total = ServerStats::default();
-        for shard in &self.shards {
+        for shard in self.shards.iter().flatten() {
             let s = shard.stats();
             total.requests += s.requests;
             total.frames_served += s.frames_served;
@@ -1228,13 +1763,21 @@ impl ShardedFrameService {
     }
 
     /// Stops the router first (so no request races a dying shard), then
-    /// every shard.
+    /// every live shard.
     pub fn shutdown(self) {
-        let ShardedFrameService { shards, router } = self;
+        let ShardedFrameService { shards, router, .. } = self;
         router.shutdown();
-        for shard in shards {
+        for shard in shards.into_iter().flatten() {
             shard.shutdown();
         }
+    }
+}
+
+/// Spawns one shard server over its retained source.
+fn spawn_shard(source: &ShardSource, config: ServerConfig) -> io::Result<FrameServer> {
+    match source {
+        ShardSource::Sliced(slice) => FrameServer::spawn_loopback(slice.clone(), config),
+        ShardSource::Stored(run) => FrameServer::spawn_stored_loopback(Arc::clone(run), config),
     }
 }
 

@@ -1,0 +1,522 @@
+//! Acceptance for the self-healing shard layer: replicated ownership
+//! keeps a session bit-identical through shard kills (zero degraded
+//! frames at replication 2), circuit breakers turn a dead shard's cost
+//! from a retry budget into microseconds at replication 1, breaker and
+//! failover transitions land on the router's counters, and the
+//! background prober both discovers death without client traffic and
+//! reinstates a shard that comes back on its old address with no
+//! operator in the loop.
+//!
+//! Runs against whichever serve backend `ACCELVIZ_SERVE_BACKEND`
+//! selects, like the other serve suites — CI matrixes it over both.
+
+use accelviz::beam::distribution::Distribution;
+use accelviz::core::shard::ShardSpec;
+use accelviz::core::viewer::FrameSource;
+use accelviz::octree::builder::{partition, BuildParams};
+use accelviz::octree::plots::PlotType;
+use accelviz::octree::sorted_store::PartitionedData;
+use accelviz::serve::protocol::ERR_INTERNAL;
+use accelviz::serve::router::{
+    CTR_ROUTER_BREAKER_CLOSED, CTR_ROUTER_BREAKER_FAST_FAILS, CTR_ROUTER_BREAKER_OPEN,
+    CTR_ROUTER_PROBE_FAIL, CTR_ROUTER_PROBE_OK, CTR_ROUTER_REPLICA_FAILOVERS,
+    CTR_ROUTER_UPSTREAM_ERRORS,
+};
+use accelviz::serve::{
+    BreakerConfig, BreakerState, Client, ClientConfig, FrameRouter, FrameServer, HealthConfig,
+    RemoteFrames, RetryPolicy, RouterConfig, ServeError, ServerConfig, ShardMap,
+    ShardedFrameService,
+};
+use std::time::{Duration, Instant};
+
+/// The 10-frame session the chaos scenarios walk (same convention as
+/// the other serve suites: frame `i` is an 800-particle beam seeded
+/// `i + 1`).
+const FRAMES: usize = 10;
+
+fn stores(n: usize) -> Vec<PartitionedData> {
+    (0..n)
+        .map(|i| {
+            let ps = Distribution::default_beam().sample(800, i as u64 + 1);
+            partition(&ps, PlotType::XYZ, BuildParams::default())
+        })
+        .collect()
+}
+
+/// Reference frames from a direct server of the unsliced data — the
+/// bit-identity bar every chaos session is held to.
+fn reference_frames(data: &[PartitionedData]) -> Vec<accelviz::core::hybrid::HybridFrame> {
+    let direct = FrameServer::spawn_loopback(data.to_vec(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect_with(direct.addr(), ClientConfig::no_retry()).unwrap();
+    let frames = (0..data.len() as u32)
+        .map(|f| client.fetch(f, f64::INFINITY).unwrap().0)
+        .collect();
+    drop(client);
+    direct.shutdown();
+    frames
+}
+
+/// The chaos-test router tuning: a 1-byte cache so every request pays
+/// the upstream hop (nothing hides behind the router cache), fast
+/// seeded upstream retries so a dead-shard attempt costs milliseconds,
+/// a hair-trigger breaker with a cooldown longer than any test phase
+/// (no half-open trial fires mid-scenario unless a test wants one), and
+/// the prober off for deterministic counters — the prober gets its own
+/// tests.
+fn chaos_router(seed: u64) -> RouterConfig {
+    RouterConfig {
+        cache_bytes: 1,
+        upstream_retry: Some(RetryPolicy::fast(seed)),
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            open_cooldown: Duration::from_secs(120),
+        },
+        health: HealthConfig {
+            probe_interval: Duration::ZERO,
+            ..HealthConfig::default()
+        },
+        ..RouterConfig::default()
+    }
+}
+
+/// A frame whose replica set starts (or does not start) at `shard`.
+fn frame_with_primary(spec: &ShardSpec, shard: usize) -> u32 {
+    (0..FRAMES as u32)
+        .find(|&f| spec.owner_of(f) == shard)
+        .expect("every shard should primary-own a frame in a 10-frame catalog")
+}
+
+/// The headline acceptance: at replication 2, killing a shard mid-
+/// session costs **zero** degraded frames — every fetch falls through
+/// to the surviving replica and arrives bit-identical to a direct
+/// server of the unsliced data, counter-asserted.
+#[test]
+fn replicated_kill_mid_session_yields_zero_degraded_frames() {
+    let data = stores(FRAMES);
+    let reference = reference_frames(&data);
+    let mut service = ShardedFrameService::spawn_loopback_replicated(
+        data,
+        3,
+        2,
+        ServerConfig::default(),
+        chaos_router(101),
+    )
+    .unwrap();
+    let spec = ShardSpec::new(3);
+    let victim = spec.owner_of(0);
+
+    let client = Client::connect_with(service.addr(), ClientConfig::no_retry()).unwrap();
+    let mut remote = RemoteFrames::new(client, f64::INFINITY, 2);
+
+    // A few healthy loads, then the kill, then the whole catalog.
+    for (f, want) in reference.iter().enumerate().take(3) {
+        let (got, load) = remote.load(f).unwrap();
+        assert!(!load.degraded);
+        assert_eq!(&*got, want);
+    }
+    service.kill_shard(victim);
+    for (f, want) in reference.iter().enumerate() {
+        let (got, load) = remote.load(f).unwrap();
+        assert!(
+            !load.degraded,
+            "frame {f} degraded despite a surviving replica"
+        );
+        assert_eq!(&*got, want, "frame {f} differs after failover");
+    }
+    assert_eq!(remote.degraded_loads, 0);
+
+    let rm = service.router().metrics();
+    assert!(
+        rm.counter(CTR_ROUTER_REPLICA_FAILOVERS) >= 1,
+        "the victim's primaries must have been served by their fallback"
+    );
+    assert!(
+        rm.counter(CTR_ROUTER_UPSTREAM_ERRORS) >= 1,
+        "the first post-kill fetch pays the discovery cost"
+    );
+    assert!(
+        rm.counter(CTR_ROUTER_BREAKER_OPEN) >= 1,
+        "the dead shard's breaker must trip"
+    );
+    assert_eq!(service.router().breaker_state(victim), BreakerState::Open);
+    service.shutdown();
+}
+
+/// The flapping-shard chaos session: kill → reinstate → kill across the
+/// 10-frame catalog, full pass after each transition. Replication 2
+/// means no pass ever hard-fails or degrades, the final session is
+/// bit-identical to a fault-free run, and every breaker transition is
+/// visible on the counters.
+#[test]
+fn flapping_shard_session_stays_bit_identical_with_replication() {
+    let data = stores(FRAMES);
+    let reference = reference_frames(&data);
+    let mut service = ShardedFrameService::spawn_loopback_replicated(
+        data,
+        3,
+        2,
+        ServerConfig::default(),
+        chaos_router(202),
+    )
+    .unwrap();
+    let spec = ShardSpec::new(3);
+    let victim = spec.owner_of(0);
+    frame_with_primary(&spec, victim); // the kill must actually bite
+
+    let client = Client::connect_with(service.addr(), ClientConfig::no_retry()).unwrap();
+    let mut remote = RemoteFrames::new(client, f64::INFINITY, 2);
+    let full_pass = |remote: &mut RemoteFrames, phase: &str| {
+        for (f, want) in reference.iter().enumerate() {
+            let (got, load) = remote.load(f).unwrap();
+            assert!(!load.degraded, "frame {f} degraded during phase {phase}");
+            assert_eq!(&*got, want, "frame {f} differs in phase {phase}");
+        }
+    };
+
+    full_pass(&mut remote, "healthy");
+    service.kill_shard(victim);
+    full_pass(&mut remote, "first kill");
+    assert_eq!(service.router().breaker_state(victim), BreakerState::Open);
+
+    service.reinstate_shard(victim).unwrap();
+    assert_eq!(
+        service.router().breaker_state(victim),
+        BreakerState::Closed,
+        "reinstatement must reset the breaker"
+    );
+    full_pass(&mut remote, "reinstated");
+
+    service.kill_shard(victim);
+    full_pass(&mut remote, "second kill");
+
+    assert_eq!(remote.degraded_loads, 0, "no phase may degrade a frame");
+    let rm = service.router().metrics();
+    assert!(
+        rm.counter(CTR_ROUTER_BREAKER_OPEN) >= 2,
+        "one trip per kill"
+    );
+    assert!(
+        rm.counter(CTR_ROUTER_BREAKER_CLOSED) >= 1,
+        "the reinstatement reset must be counted"
+    );
+    assert!(
+        rm.counter(CTR_ROUTER_BREAKER_FAST_FAILS) >= 1,
+        "post-trip fetches must skip the dead primary in microseconds"
+    );
+    assert!(rm.counter(CTR_ROUTER_REPLICA_FAILOVERS) >= 2);
+    service.shutdown();
+}
+
+/// At replication 1 there is no replica to fall through, so the breaker
+/// changes the *speed* of degradation, not the outcome: once tripped,
+/// requests for the dead shard's frames fast-fail to the in-band
+/// `ERR_INTERNAL` degraded path in well under 10 ms instead of burning
+/// the upstream retry budget.
+#[test]
+fn replication_one_fast_fails_to_the_degraded_path_once_tripped() {
+    let data = stores(FRAMES);
+    let mut service = ShardedFrameService::spawn_loopback_replicated(
+        data,
+        2,
+        1,
+        ServerConfig::default(),
+        chaos_router(303),
+    )
+    .unwrap();
+    let spec = ShardSpec::new(2);
+    let victim = spec.owner_of(0);
+    let doomed = frame_with_primary(&spec, victim);
+    let safe = frame_with_primary(&spec, 1 - victim);
+
+    let mut client = Client::connect_with(service.addr(), ClientConfig::no_retry()).unwrap();
+    service.kill_shard(victim);
+
+    // The first fetch pays the discovery cost (the fast retry policy)
+    // and trips the hair-trigger breaker.
+    match client.fetch(doomed, f64::INFINITY) {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, ERR_INTERNAL),
+        other => panic!("expected the in-band degraded path, got {other:?}"),
+    }
+    assert_eq!(service.router().breaker_state(victim), BreakerState::Open);
+
+    // Every subsequent fetch fast-fails: same in-band error, but in
+    // microseconds — bounded here at 10 ms with a wide margin.
+    for attempt in 0..5 {
+        let t0 = Instant::now();
+        match client.fetch(doomed, f64::INFINITY) {
+            Err(ServeError::Remote { code, .. }) => assert_eq!(code, ERR_INTERNAL),
+            other => panic!("expected the in-band degraded path, got {other:?}"),
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(10),
+            "fast-fail attempt {attempt} took {elapsed:?}; the breaker is not breaking"
+        );
+    }
+    assert!(
+        service
+            .router()
+            .metrics()
+            .counter(CTR_ROUTER_BREAKER_FAST_FAILS)
+            >= 5
+    );
+
+    // The surviving shard is untouched by its neighbor's open breaker.
+    let (frame, _) = client.fetch(safe, f64::INFINITY).unwrap();
+    assert_eq!(frame.step, safe as usize);
+    service.shutdown();
+}
+
+/// The background prober discovers a dead shard with **no client
+/// traffic at all**: its failed `Stats` pings trip the breaker, so the
+/// first real request after the death fast-fails instead of paying the
+/// discovery cost itself.
+#[test]
+fn prober_trips_the_breaker_without_client_traffic() {
+    let data = stores(4);
+    let mut service = ShardedFrameService::spawn_loopback_replicated(
+        data,
+        2,
+        1,
+        ServerConfig::default(),
+        RouterConfig {
+            cache_bytes: 1,
+            upstream_retry: Some(RetryPolicy::fast(404)),
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                open_cooldown: Duration::from_secs(120),
+            },
+            health: HealthConfig {
+                probe_interval: Duration::from_millis(20),
+                probe_timeout: Duration::from_millis(500),
+                probe_seed: 404,
+                ..HealthConfig::default()
+            },
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    let victim = ShardSpec::new(2).owner_of(0);
+    service.kill_shard(victim);
+
+    // No requests issued: the prober alone must observe the death.
+    let rm = service.router().metrics();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.router().breaker_state(victim) != BreakerState::Open && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        service.router().breaker_state(victim),
+        BreakerState::Open,
+        "probe failures alone must trip the breaker"
+    );
+    assert!(rm.counter(CTR_ROUTER_PROBE_FAIL) >= 2);
+    assert!(
+        rm.counter(CTR_ROUTER_PROBE_OK) >= 1,
+        "the live shard's pings keep answering"
+    );
+    service.shutdown();
+}
+
+/// The prober also closes the loop: a shard that comes back on its
+/// *old* address (no `set_shard_addr`, no operator) is reinstated by a
+/// successful ping, and requests flow again.
+#[test]
+fn prober_reinstates_a_shard_that_returns_on_its_old_address() {
+    let data = stores(4);
+    let spec = ShardSpec::new(2);
+    let map = ShardMap::sliced(&spec, 4);
+    let mut slices: Vec<Vec<PartitionedData>> = vec![Vec::new(), Vec::new()];
+    for (g, d) in data.iter().enumerate() {
+        slices[spec.owner_of(g as u32)].push(d.clone());
+    }
+    let shard0 = FrameServer::spawn_loopback(slices[0].clone(), ServerConfig::default()).unwrap();
+    let shard1 = FrameServer::spawn_loopback(slices[1].clone(), ServerConfig::default()).unwrap();
+    let victim_addr = shard1.addr();
+    let router = FrameRouter::spawn(
+        "127.0.0.1:0",
+        vec![shard0.addr(), shard1.addr()],
+        map,
+        RouterConfig {
+            cache_bytes: 1,
+            upstream_retry: Some(RetryPolicy::fast(505)),
+            breaker: BreakerConfig {
+                failure_threshold: 1,
+                // Short cooldown: recovery may also arrive via a
+                // half-open trial; either road must lead back to Closed.
+                open_cooldown: Duration::from_millis(200),
+            },
+            health: HealthConfig {
+                probe_interval: Duration::from_millis(20),
+                probe_timeout: Duration::from_millis(500),
+                probe_seed: 505,
+                ..HealthConfig::default()
+            },
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    let victim_frame = (0..4u32)
+        .find(|&f| spec.owner_of(f) == 1)
+        .expect("shard 1 should primary-own a frame in a 4-frame catalog");
+
+    shard1.shutdown();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while router.breaker_state(1) != BreakerState::Open && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(router.breaker_state(1), BreakerState::Open);
+
+    // The shard returns on the very same port — rebinding can lose a
+    // race against the OS releasing it, so retry briefly.
+    let mut revived = None;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while revived.is_none() && Instant::now() < deadline {
+        match FrameServer::spawn(
+            &victim_addr.to_string(),
+            slices[1].clone(),
+            ServerConfig::default(),
+        ) {
+            Ok(server) => revived = Some(server),
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    let revived = revived.expect("the old port must become bindable again");
+
+    // No operator action: probing (or a half-open trial fed by it)
+    // must reinstate the shard on its own.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while router.breaker_state(1) != BreakerState::Closed && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        router.breaker_state(1),
+        BreakerState::Closed,
+        "a returning shard must be reinstated without set_shard_addr"
+    );
+    assert!(router.metrics().counter(CTR_ROUTER_PROBE_OK) >= 1);
+
+    let mut client = Client::connect_with(router.addr(), ClientConfig::no_retry()).unwrap();
+    let (frame, _) = client.fetch(victim_frame, f64::INFINITY).unwrap();
+    assert_eq!(frame.step, victim_frame as usize);
+
+    drop(client);
+    router.shutdown();
+    shard0.shutdown();
+    revived.shutdown();
+}
+
+/// Hedged reads stay correct: with an aggressive hedge delay every
+/// fetch may race two replicas, and the session is still bit-identical
+/// with no duplicate replies — the first genuine answer wins, the loser
+/// is discarded by the channel, and the cache sees one result per key.
+#[test]
+fn hedged_reads_stay_bit_identical_and_are_counted() {
+    use accelviz::serve::HedgeConfig;
+
+    let data = stores(FRAMES);
+    let reference = reference_frames(&data);
+    let mut service = ShardedFrameService::spawn_loopback_replicated(
+        data,
+        3,
+        2,
+        ServerConfig::default(),
+        RouterConfig {
+            hedge: Some(HedgeConfig {
+                quantile: 0.95,
+                // Zero floor: with an empty histogram the delay starts at
+                // max_delay, then collapses toward the observed latency —
+                // so later fetches hedge aggressively.
+                min_delay: Duration::ZERO,
+                max_delay: Duration::from_millis(5),
+            }),
+            ..chaos_router(606)
+        },
+    )
+    .unwrap();
+    let spec = ShardSpec::new(3);
+    let victim = spec.owner_of(0);
+
+    let client = Client::connect_with(service.addr(), ClientConfig::no_retry()).unwrap();
+    let mut remote = RemoteFrames::new(client, f64::INFINITY, 2);
+    for round in 0..3 {
+        for (f, want) in reference.iter().enumerate() {
+            let (got, load) = remote.load(f).unwrap();
+            assert!(!load.degraded, "round {round} frame {f}");
+            assert_eq!(&*got, want, "round {round} frame {f} differs");
+        }
+    }
+    // And hedging composes with failover: kill a shard, the session
+    // still never degrades.
+    service.kill_shard(victim);
+    for (f, want) in reference.iter().enumerate() {
+        let (got, load) = remote.load(f).unwrap();
+        assert!(!load.degraded, "post-kill frame {f} degraded");
+        assert_eq!(&*got, want);
+    }
+    assert_eq!(remote.degraded_loads, 0);
+    service.shutdown();
+}
+
+/// `spawn_loopback_replicated` provisioning is sound: at replication 2
+/// each shard's slice is exactly the frames whose replica set includes
+/// it, in ascending global order — so every replica serves bytes
+/// identical to the primary's.
+#[test]
+fn replicated_slices_serve_identical_bytes_from_every_replica() {
+    let data = stores(6);
+    let reference = reference_frames(&data);
+    let spec = ShardSpec::new(3);
+    let map = ShardMap::sliced_replicated(&spec, 6, 2);
+    let mut service = ShardedFrameService::spawn_loopback_replicated(
+        data,
+        3,
+        2,
+        ServerConfig::default(),
+        chaos_router(707),
+    )
+    .unwrap();
+
+    // Ask each live shard directly for each of its local frames and
+    // check them against the global reference.
+    for g in 0..6u32 {
+        for &(shard, local) in map.replicas(g).unwrap() {
+            let mut direct = Client::connect_with(
+                service.shard(shard as usize).addr(),
+                ClientConfig::no_retry(),
+            )
+            .unwrap();
+            let (mut frame, _) = direct.fetch(local, f64::INFINITY).unwrap();
+            // A sliced shard labels steps locally; undo the relabeling
+            // the router normally performs.
+            frame.step = g as usize;
+            assert_eq!(
+                frame, reference[g as usize],
+                "shard {shard} local {local} differs from global frame {g}"
+            );
+        }
+    }
+
+    // Zero replication is rejected up front.
+    let err = ShardedFrameService::spawn_loopback_replicated(
+        stores(2),
+        2,
+        0,
+        ServerConfig::default(),
+        RouterConfig::default(),
+    )
+    .map(|_| ())
+    .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+
+    // kill_shard / reinstate_shard round-trip bookkeeping.
+    assert!(service.shard_alive(0));
+    service.kill_shard(0);
+    assert!(!service.shard_alive(0));
+    service.kill_shard(0); // idempotent
+    service.reinstate_shard(0).unwrap();
+    assert!(service.shard_alive(0));
+    service.reinstate_shard(0).unwrap(); // idempotent
+    service.shutdown();
+}
